@@ -1,0 +1,285 @@
+//! The utilization-based admission controller.
+//!
+//! Admission of a flow = walk its configured route and CAS-reserve its
+//! class rate on every link server; roll back on the first full link.
+//! O(path length) work, no global locks, no per-flow state anywhere but
+//! at the edge (the returned [`FlowHandle`]). This is the paper's entire
+//! run-time mechanism — the safety of the utilization levels was proven
+//! offline, so no delay computation happens here.
+
+use crate::state::UtilizationState;
+use crate::table::RoutingTable;
+use std::sync::Arc;
+use uba_graph::NodeId;
+use uba_traffic::{ClassId, ClassSet};
+
+/// Why a flow was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reject {
+    /// Configuration installed no route for this (src, dst, class).
+    NoRoute,
+    /// Some link on the route has no headroom left for the class (the
+    /// raw server index is reported for diagnostics).
+    LinkFull {
+        /// Raw server index of the saturated link.
+        server: u32,
+    },
+}
+
+/// The run-time admission controller (shared-state handle; cheap to
+/// clone via `Arc` inside).
+#[derive(Clone, Debug)]
+pub struct AdmissionController {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: UtilizationState,
+    table: RoutingTable,
+    /// Per-class flow rate `ρ_i` in bits/s.
+    rates: Vec<f64>,
+}
+
+/// An admitted flow. Dropping the handle releases its bandwidth on every
+/// link of its route (RAII teardown = the paper's flow tear-down message).
+#[derive(Debug)]
+pub struct FlowHandle {
+    inner: Arc<Inner>,
+    class: usize,
+    rate: f64,
+    servers: Box<[u32]>,
+}
+
+impl AdmissionController {
+    /// Builds a controller from the configured routing table, the class
+    /// set, per-server capacities, and the verified utilization assignment.
+    pub fn new(
+        table: RoutingTable,
+        classes: &ClassSet,
+        capacities: &[f64],
+        alphas: &[f64],
+    ) -> Self {
+        assert_eq!(alphas.len(), classes.len(), "one alpha per class");
+        let state = UtilizationState::new(capacities, alphas);
+        let rates = classes.iter().map(|(_, c)| c.bucket.rate).collect();
+        Self {
+            inner: Arc::new(Inner {
+                state,
+                table,
+                rates,
+            }),
+        }
+    }
+
+    /// Attempts to admit one flow of `class` from `src` to `dst`.
+    ///
+    /// On success the flow's rate is reserved on every link server of the
+    /// configured route and a [`FlowHandle`] is returned; on failure
+    /// nothing is left reserved.
+    pub fn try_admit(
+        &self,
+        class: ClassId,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<FlowHandle, Reject> {
+        let inner = &self.inner;
+        let rate = inner.rates[class.index()];
+        let Some(route) = inner.table.route(src, dst, class) else {
+            return Err(Reject::NoRoute);
+        };
+        for (i, &server) in route.iter().enumerate() {
+            if !inner.state.try_reserve(server as usize, class.index(), rate) {
+                // Roll back the prefix we already hold.
+                for &held in &route[..i] {
+                    inner.state.release(held as usize, class.index(), rate);
+                }
+                return Err(Reject::LinkFull { server });
+            }
+        }
+        Ok(FlowHandle {
+            inner: Arc::clone(inner),
+            class: class.index(),
+            rate,
+            servers: route.into(),
+        })
+    }
+
+    /// Reserved rate of `class` on a server, bits/s.
+    pub fn reserved(&self, server: usize, class: ClassId) -> f64 {
+        self.inner.state.reserved(server, class.index())
+    }
+
+    /// Fraction of the class budget in use on a server.
+    pub fn occupancy(&self, server: usize, class: ClassId) -> f64 {
+        self.inner.state.occupancy(server, class.index())
+    }
+
+    /// Upper bound on concurrently admissible flows of `class` on one
+    /// link: `⌊α_i·C / ρ_i⌋`.
+    pub fn per_link_flow_capacity(&self, server: usize, class: ClassId) -> usize {
+        (self.inner.state.budget(server, class.index()) / self.inner.rates[class.index()]) as usize
+    }
+
+    /// Snapshot of every server's class occupancy (fraction of its
+    /// budget in use) — the operator's utilization dashboard.
+    pub fn occupancy_snapshot(&self, class: ClassId) -> Vec<f64> {
+        (0..self.inner.state.servers())
+            .map(|k| self.inner.state.occupancy(k, class.index()))
+            .collect()
+    }
+
+    /// The `top` most-loaded servers for a class, as
+    /// `(server index, occupancy)`, most loaded first.
+    pub fn hottest_links(&self, class: ClassId, top: usize) -> Vec<(usize, f64)> {
+        let mut occ: Vec<(usize, f64)> = self
+            .occupancy_snapshot(class)
+            .into_iter()
+            .enumerate()
+            .collect();
+        occ.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        occ.truncate(top);
+        occ
+    }
+}
+
+impl FlowHandle {
+    /// The route the flow was admitted on (raw server indices).
+    pub fn route(&self) -> &[u32] {
+        &self.servers
+    }
+
+    /// The flow's reserved rate in bits/s.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Drop for FlowHandle {
+    fn drop(&mut self) {
+        for &server in self.servers.iter() {
+            self.inner.state.release(server as usize, self.class, self.rate);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_graph::{Digraph, Path};
+    use uba_traffic::TrafficClass;
+
+    /// 0 -> 1 -> 2 with routes (0,2) and (1,2); link 1->2 is shared.
+    fn setup(alpha: f64) -> (AdmissionController, usize) {
+        let mut g = Digraph::with_nodes(3);
+        let (e01, _) = g.add_link(NodeId(0), NodeId(1), 1.0);
+        let (e12, _) = g.add_link(NodeId(1), NodeId(2), 1.0);
+        let mut table = RoutingTable::new();
+        table.insert(ClassId(0), &Path::from_edges(&g, vec![e01, e12]));
+        table.insert(ClassId(0), &Path::from_edges(&g, vec![e12]));
+        let classes = ClassSet::single(TrafficClass::voip());
+        let caps = vec![1e6; g.edge_count()];
+        let ctrl = AdmissionController::new(table, &classes, &caps, &[alpha]);
+        (ctrl, e12.index())
+    }
+
+    #[test]
+    fn admits_until_shared_link_full() {
+        // alpha 0.32 on 1 Mb/s => 10 voip flows on the shared link.
+        let (ctrl, shared) = setup(0.32);
+        let mut handles = Vec::new();
+        for i in 0..10 {
+            let h = ctrl
+                .try_admit(ClassId(0), NodeId(0), NodeId(2))
+                .unwrap_or_else(|e| panic!("flow {i} rejected: {e:?}"));
+            handles.push(h);
+        }
+        let r = ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2));
+        assert_eq!(
+            r.err(),
+            Some(Reject::LinkFull {
+                server: shared as u32
+            })
+        );
+        assert_eq!(ctrl.per_link_flow_capacity(shared, ClassId(0)), 10);
+    }
+
+    #[test]
+    fn rollback_leaves_no_residue() {
+        let (ctrl, shared) = setup(0.32);
+        // Saturate the shared link via the short route.
+        let _held: Vec<_> = (0..10)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).unwrap())
+            .collect();
+        // Long route must fail on its second hop and roll back the first.
+        let before = ctrl.reserved(0, ClassId(0));
+        let r = ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2));
+        assert!(matches!(r, Err(Reject::LinkFull { .. })));
+        assert_eq!(ctrl.reserved(0, ClassId(0)), before);
+        assert_eq!(ctrl.occupancy(shared, ClassId(0)), 1.0);
+    }
+
+    #[test]
+    fn drop_releases_bandwidth() {
+        let (ctrl, shared) = setup(0.32);
+        {
+            let _h: Vec<_> = (0..10)
+                .map(|_| ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap())
+                .collect();
+            assert_eq!(ctrl.occupancy(shared, ClassId(0)), 1.0);
+        }
+        assert_eq!(ctrl.reserved(shared, ClassId(0)), 0.0);
+        assert!(ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).is_ok());
+    }
+
+    #[test]
+    fn occupancy_snapshot_and_hottest_links() {
+        let (ctrl, shared) = setup(0.32);
+        let _h: Vec<_> = (0..5)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap())
+            .collect();
+        let snap = ctrl.occupancy_snapshot(ClassId(0));
+        assert_eq!(snap.len(), 4);
+        assert!((snap[shared] - 0.5).abs() < 1e-9);
+        let hot = ctrl.hottest_links(ClassId(0), 2);
+        assert_eq!(hot.len(), 2);
+        assert!(hot[0].1 >= hot[1].1);
+        // The shared link and the first hop are the two loaded servers.
+        assert!((hot[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_route_rejected() {
+        let (ctrl, _) = setup(0.32);
+        assert_eq!(
+            ctrl.try_admit(ClassId(0), NodeId(2), NodeId(0)).err(),
+            Some(Reject::NoRoute)
+        );
+    }
+
+    #[test]
+    fn concurrent_admission_respects_budget() {
+        let (ctrl, shared) = setup(0.32);
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let ctrl = ctrl.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut held = Vec::new();
+                for _ in 0..5 {
+                    if let Ok(h) = ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)) {
+                        held.push(h);
+                    }
+                }
+                // Keep the handles alive until the main thread has counted
+                // them, so freed capacity cannot be re-admitted mid-test.
+                held
+            }));
+        }
+        let all: Vec<Vec<FlowHandle>> =
+            threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let admitted: usize = all.iter().map(Vec::len).sum();
+        assert_eq!(admitted, 10, "exactly the link capacity must be admitted");
+        drop(all);
+        assert_eq!(ctrl.reserved(shared, ClassId(0)), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Run-time admission control (Section 4, component 2).
+//!
+//! After configuration has fixed routes and verified a safe utilization
+//! assignment, admitting a flow reduces to: *does every link server on the
+//! flow's route have `α_i·C` headroom left for its class?* This crate
+//! implements that test so it is cheap, concurrent, and exact:
+//!
+//! * [`state`] — per-(server, class) reserved-rate counters as lock-free
+//!   atomics with CAS reservation; the class budget is never exceeded,
+//!   even under concurrent admissions.
+//! * [`table`] — the configured routing table mapping (src, dst, class)
+//!   to the committed route.
+//! * [`controller`] — the utilization-based admission controller with
+//!   RAII flow handles (dropping a handle releases its bandwidth).
+//! * [`baseline`] — an intserv-style comparator that re-runs the
+//!   flow-aware general delay analysis over *all* established flows on
+//!   every admission: the O(flows) cost the paper's design eliminates
+//!   (experiment S-AC).
+//! * [`churn`] — a deterministic flow-churn workload driver for
+//!   benchmarking both policies under identical request sequences.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod churn;
+pub mod controller;
+pub mod state;
+pub mod table;
+
+pub use baseline::PerFlowAdmission;
+pub use churn::{run_churn, ChurnConfig, ChurnStats, Policy};
+pub use controller::{AdmissionController, FlowHandle, Reject};
+pub use state::UtilizationState;
+pub use table::RoutingTable;

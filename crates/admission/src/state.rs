@@ -1,0 +1,243 @@
+//! Lock-free per-(server, class) bandwidth accounting.
+//!
+//! The admission invariant the whole paper rests on: the reserved rate of
+//! class `i` on any link never exceeds `α_i · C`. We enforce it with one
+//! `AtomicU64` per (server, class) and a compare-exchange reservation
+//! loop — admissions from any number of threads can proceed concurrently
+//! without locks, and the budget check is exact (rates are accounted in
+//! integer millibits/second, so no floating-point drift can accumulate).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rates are stored in millibits/second: exact integer accounting with
+/// enough resolution for any practical rate.
+const SCALE: f64 = 1000.0;
+
+fn to_millibits(rate: f64) -> u64 {
+    assert!(rate >= 0.0 && rate.is_finite(), "rate must be >= 0");
+    (rate * SCALE).round() as u64
+}
+
+/// Reserved-rate counters for every (server, class) pair.
+#[derive(Debug)]
+pub struct UtilizationState {
+    servers: usize,
+    classes: usize,
+    /// Budget `α_i · C_k` per (server, class), millibits/s.
+    budgets: Vec<u64>,
+    /// Currently reserved rate per (server, class), millibits/s.
+    reserved: Vec<AtomicU64>,
+}
+
+impl UtilizationState {
+    /// Creates the state from per-server capacities and per-class
+    /// utilization shares: budget of class `i` on server `k` is
+    /// `alphas[i] * capacities[k]`.
+    pub fn new(capacities: &[f64], alphas: &[f64]) -> Self {
+        assert!(!alphas.is_empty(), "need at least one class");
+        for &a in alphas {
+            assert!((0.0..=1.0).contains(&a), "alpha must be in [0, 1]");
+        }
+        let servers = capacities.len();
+        let classes = alphas.len();
+        let mut budgets = Vec::with_capacity(servers * classes);
+        for &c in capacities {
+            assert!(c > 0.0 && c.is_finite(), "capacity must be positive");
+            for &a in alphas {
+                budgets.push(to_millibits(a * c));
+            }
+        }
+        let reserved = (0..servers * classes).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            servers,
+            classes,
+            budgets,
+            reserved,
+        }
+    }
+
+    /// Number of link servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    #[inline]
+    fn idx(&self, server: usize, class: usize) -> usize {
+        debug_assert!(server < self.servers && class < self.classes);
+        server * self.classes + class
+    }
+
+    /// Attempts to reserve `rate` bits/s of class `class` on `server`.
+    /// Returns `true` on success; never overshoots the budget.
+    pub fn try_reserve(&self, server: usize, class: usize, rate: f64) -> bool {
+        let want = to_millibits(rate);
+        let i = self.idx(server, class);
+        let budget = self.budgets[i];
+        let cell = &self.reserved[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let Some(next) = cur.checked_add(want) else {
+                return false;
+            };
+            if next > budget {
+                return false;
+            }
+            match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Releases a previously successful reservation.
+    ///
+    /// # Panics
+    /// Panics if the release exceeds what is currently reserved — that is
+    /// always an accounting bug in the caller.
+    pub fn release(&self, server: usize, class: usize, rate: f64) {
+        let amount = to_millibits(rate);
+        let i = self.idx(server, class);
+        let prev = self.reserved[i].fetch_sub(amount, Ordering::AcqRel);
+        assert!(
+            prev >= amount,
+            "release of {amount} exceeds reservation {prev} on server {server}"
+        );
+    }
+
+    /// Reserved rate of `class` on `server` in bits/s.
+    pub fn reserved(&self, server: usize, class: usize) -> f64 {
+        self.reserved[self.idx(server, class)].load(Ordering::Acquire) as f64 / SCALE
+    }
+
+    /// Budget of `class` on `server` in bits/s.
+    pub fn budget(&self, server: usize, class: usize) -> f64 {
+        self.budgets[self.idx(server, class)] as f64 / SCALE
+    }
+
+    /// Fraction of the class budget in use on `server` (0 when the class
+    /// budget is zero).
+    pub fn occupancy(&self, server: usize, class: usize) -> f64 {
+        let b = self.budgets[self.idx(server, class)];
+        if b == 0 {
+            0.0
+        } else {
+            self.reserved[self.idx(server, class)].load(Ordering::Acquire) as f64 / b as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn state() -> UtilizationState {
+        // Two servers at 1 Mb/s, one class at 50%.
+        UtilizationState::new(&[1e6, 1e6], &[0.5])
+    }
+
+    #[test]
+    fn reserve_until_budget() {
+        let s = state();
+        // Budget 500 kb/s; 15 x 32 kb/s = 480 fits, 16th does not.
+        for i in 0..15 {
+            assert!(s.try_reserve(0, 0, 32_000.0), "reservation {i}");
+        }
+        assert!(!s.try_reserve(0, 0, 32_000.0));
+        // Other server untouched.
+        assert!(s.try_reserve(1, 0, 32_000.0));
+    }
+
+    #[test]
+    fn release_restores_headroom() {
+        let s = state();
+        assert!(s.try_reserve(0, 0, 400_000.0));
+        assert!(!s.try_reserve(0, 0, 200_000.0));
+        s.release(0, 0, 400_000.0);
+        assert!(s.try_reserve(0, 0, 500_000.0));
+        assert_eq!(s.reserved(0, 0), 500_000.0);
+    }
+
+    #[test]
+    fn exact_boundary_admission() {
+        let s = state();
+        assert!(s.try_reserve(0, 0, 500_000.0));
+        assert!(!s.try_reserve(0, 0, 0.001));
+        assert_eq!(s.occupancy(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds reservation")]
+    fn over_release_panics() {
+        let s = state();
+        s.try_reserve(0, 0, 1000.0);
+        s.release(0, 0, 2000.0);
+    }
+
+    #[test]
+    fn per_class_budgets_independent() {
+        let s = UtilizationState::new(&[1e6], &[0.3, 0.2]);
+        assert_eq!(s.budget(0, 0), 300_000.0);
+        assert_eq!(s.budget(0, 1), 200_000.0);
+        assert!(s.try_reserve(0, 0, 300_000.0));
+        // Class 0 full; class 1 unaffected.
+        assert!(!s.try_reserve(0, 0, 1.0));
+        assert!(s.try_reserve(0, 1, 200_000.0));
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_budget() {
+        // 8 threads hammer one counter; at most budget/rate succeed.
+        let s = Arc::new(UtilizationState::new(&[1e6], &[0.5]));
+        let rate = 32_000.0;
+        let max_ok = (500_000.0 / rate) as usize; // 15
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for _ in 0..100 {
+                    if s.try_reserve(0, 0, rate) {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, max_ok);
+        assert!(s.reserved(0, 0) <= 500_000.0);
+    }
+
+    #[test]
+    fn concurrent_reserve_release_balances_to_zero() {
+        let s = Arc::new(UtilizationState::new(&[1e8], &[0.5]));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let rate = 1000.0 + t as f64;
+                for _ in 0..1000 {
+                    if s.try_reserve(0, 0, rate) {
+                        s.release(0, 0, rate);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.reserved(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        UtilizationState::new(&[1e6], &[1.5]);
+    }
+}

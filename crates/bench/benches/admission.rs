@@ -1,0 +1,90 @@
+//! Experiment S-AC — the scalability claim: utilization-based admission
+//! stays O(path length) while intserv-style per-flow admission grows with
+//! the number of established flows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uba::admission::{PerFlowAdmission, RoutingTable};
+use uba::delay::servers::Servers;
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+fn bench_admission(c: &mut Criterion) {
+    let setting = PaperSetting::new();
+    let alpha = 0.45;
+    let sel = select_routes(
+        &setting.g,
+        &setting.servers,
+        &setting.voip,
+        alpha,
+        &setting.pairs,
+        &HeuristicConfig::default(),
+    )
+    .expect("configurable");
+
+    let mut group = c.benchmark_group("admission");
+
+    // Utilization-based controller at several background loads: latency
+    // must stay flat.
+    for &background in &[0usize, 1_000, 10_000, 50_000] {
+        let ctrl = setting.controller(&sel, alpha);
+        let mut held = Vec::with_capacity(background);
+        let mut it = setting.pairs.iter().cycle();
+        while held.len() < background {
+            let p = it.next().unwrap();
+            match ctrl.try_admit(ClassId(0), p.src, p.dst) {
+                Ok(h) => held.push(h),
+                Err(_) => break, // budget exhausted before target load
+            }
+        }
+        let probe = setting.pairs[setting.pairs.len() / 2];
+        group.bench_with_input(
+            BenchmarkId::new("utilization_based", background),
+            &background,
+            |b, _| {
+                b.iter(|| {
+                    // Admit + release one flow (drop releases).
+                    if let Ok(h) = ctrl.try_admit(ClassId(0), probe.src, probe.dst) {
+                        black_box(&h);
+                    }
+                })
+            },
+        );
+        drop(held);
+    }
+
+    // Per-flow baseline: latency grows with established flows. (Reduced
+    // flow counts — each decision re-analyzes the whole network.)
+    group.sample_size(10);
+    for &background in &[0usize, 50, 200, 800] {
+        let mut table = RoutingTable::new();
+        table.insert_all(ClassId(0), sel.paths.iter());
+        let classes = ClassSet::single(setting.voip.clone());
+        let servers = Servers::uniform(&setting.g, 100e6, 6);
+        let baseline = PerFlowAdmission::new(table, classes, servers);
+        let mut it = setting.pairs.iter().cycle();
+        let mut admitted = 0usize;
+        while admitted < background {
+            let p = it.next().unwrap();
+            if baseline.try_admit(ClassId(0), p.src, p.dst).is_some() {
+                admitted += 1;
+            }
+        }
+        let probe = setting.pairs[setting.pairs.len() / 2];
+        group.bench_with_input(
+            BenchmarkId::new("per_flow_baseline", background),
+            &background,
+            |b, _| {
+                b.iter(|| {
+                    if let Some(id) = baseline.try_admit(ClassId(0), probe.src, probe.dst) {
+                        baseline.release(id);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_admission);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the analytical primitives: envelope algebra,
+//! Theorem 3, the exact binomial tail, and the scenario parser.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uba::delay::bound::theorem3_delay;
+use uba::prelude::*;
+use uba::stat::{binomial_tail, max_flows, OnOffClass};
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+
+    let a = Envelope::leaky_bucket(640.0, 32_000.0, 100e6);
+    let b = Envelope::leaky_bucket(64_000.0, 2e6, 100e6).shift(0.003);
+    group.bench_function("envelope_sum_cap_delay", |be| {
+        be.iter(|| {
+            let agg = black_box(&a).sum(black_box(&b)).min_with_line(10e6);
+            black_box(agg.delay(10e6))
+        })
+    });
+
+    let bucket = LeakyBucket::new(640.0, 32_000.0);
+    group.bench_function("theorem3_delay", |be| {
+        be.iter(|| black_box(theorem3_delay(black_box(0.45), bucket, 6, 0.013)))
+    });
+
+    group.bench_function("binomial_tail_n3000", |be| {
+        be.iter(|| black_box(binomial_tail(3000, 0.4, 1406)))
+    });
+
+    group.sample_size(20);
+    group.bench_function("stat_threshold_search", |be| {
+        be.iter(|| black_box(max_flows(OnOffClass::voip(), 45e6, 1e-5)))
+    });
+
+    let scenario_text = std::fs::read_to_string("../cli/scenarios/multiclass.toml")
+        .unwrap_or_else(|_| {
+            "[topology]\nkind = \"ring\"\nn = 8\n[[class]]\nname = \"v\"\nburst = 640\nrate = 32000\ndeadline = 0.1\n".to_string()
+        });
+    group.bench_function("toml_lite_parse", |be| {
+        be.iter(|| black_box(uba_cli::parse(black_box(&scenario_text))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Experiment P-PAR (solver part) — cost of the Eq. (14) fixed-point
+//! verification: cold vs warm start, serial vs parallel, and scaling with
+//! topology size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uba::delay::fixed_point::{solve_two_class, SolveConfig};
+use uba::delay::routeset::{Route, RouteSet};
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+fn mci_routes(setting: &PaperSetting) -> RouteSet {
+    let paths = sp_selection(&setting.g, &setting.pairs).unwrap();
+    let mut routes = RouteSet::new(setting.g.edge_count());
+    for p in &paths {
+        routes.push(Route::from_path(ClassId(0), p));
+    }
+    routes
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let setting = PaperSetting::new();
+    let routes = mci_routes(&setting);
+    let cfg = SolveConfig::default();
+
+    let mut group = c.benchmark_group("fixed_point");
+    group.bench_function("mci_sp_cold", |b| {
+        b.iter(|| {
+            black_box(solve_two_class(
+                &setting.servers,
+                &setting.voip,
+                0.4,
+                &routes,
+                &cfg,
+                None,
+            ))
+        })
+    });
+
+    // Warm start from a slightly smaller alpha's fixed point.
+    let warm_base = solve_two_class(&setting.servers, &setting.voip, 0.39, &routes, &cfg, None);
+    assert!(warm_base.outcome.is_safe());
+    group.bench_function("mci_sp_warm", |b| {
+        b.iter(|| {
+            black_box(solve_two_class(
+                &setting.servers,
+                &setting.voip,
+                0.4,
+                &routes,
+                &cfg,
+                Some(&warm_base.delays),
+            ))
+        })
+    });
+
+    // Scaling with topology size (random Waxman, SP routes over all
+    // pairs).
+    group.sample_size(10);
+    for &n in &[25usize, 50, 100] {
+        let g = uba::topology::waxman(n, 0.4, 0.4, 42);
+        let servers = Servers::uniform(&g, 100e6, g.max_in_degree().max(2));
+        let pairs = all_ordered_pairs(&g);
+        let paths = sp_selection(&g, &pairs).unwrap();
+        let mut rs = RouteSet::new(g.edge_count());
+        for p in &paths {
+            rs.push(Route::from_path(ClassId(0), p));
+        }
+        group.bench_with_input(BenchmarkId::new("waxman_cold", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(solve_two_class(
+                    &servers,
+                    &TrafficClass::voip(),
+                    0.1,
+                    &rs,
+                    &cfg,
+                    None,
+                ))
+            })
+        });
+        let par_cfg = SolveConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("waxman_cold_par4", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(solve_two_class(
+                    &servers,
+                    &TrafficClass::voip(),
+                    0.1,
+                    &rs,
+                    &par_cfg,
+                    None,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_point);
+criterion_main!(benches);

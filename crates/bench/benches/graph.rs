@@ -1,0 +1,44 @@
+//! Graph substrate microbenchmarks: Dijkstra, Yen, APSP serial vs
+//! parallel, diameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uba::graph::apsp::{apsp, apsp_parallel};
+use uba::graph::{bfs, dijkstra, k_shortest_paths, NodeId};
+
+fn bench_graph(c: &mut Criterion) {
+    let mci = uba::topology::mci();
+    let wax = uba::topology::waxman(300, 0.4, 0.4, 7);
+
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("dijkstra_waxman300", |b| {
+        b.iter(|| black_box(dijkstra::dijkstra(&wax, NodeId(0))))
+    });
+    group.bench_function("yen_k8_mci", |b| {
+        b.iter(|| black_box(k_shortest_paths(&mci, NodeId(12), NodeId(14), 8)))
+    });
+    group.bench_function("diameter_mci", |b| {
+        b.iter(|| black_box(bfs::diameter(&mci)))
+    });
+
+    group.sample_size(20);
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("apsp_waxman300", threads),
+            &threads,
+            |b, &t| {
+                b.iter(|| {
+                    if t == 1 {
+                        black_box(apsp(&wax))
+                    } else {
+                        black_box(apsp_parallel(&wax, t))
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Configuration-time costs: SP selection, the 5.2 heuristic, and the 5.3
+//! binary search (what a network operator pays per reconfiguration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+fn bench_routing(c: &mut Criterion) {
+    let setting = PaperSetting::new();
+
+    let mut group = c.benchmark_group("routing");
+    group.bench_function("sp_selection_342_pairs", |b| {
+        b.iter(|| black_box(sp_selection(&setting.g, &setting.pairs).unwrap()))
+    });
+
+    let subset = setting.pair_subset(6); // 57 pairs
+    group.sample_size(10);
+    group.bench_function("heuristic_57_pairs_alpha0.4", |b| {
+        b.iter(|| {
+            black_box(
+                select_routes(
+                    &setting.g,
+                    &setting.servers,
+                    &setting.voip,
+                    0.4,
+                    &subset,
+                    &HeuristicConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    group.bench_function("max_util_sp_full", |b| {
+        b.iter(|| {
+            black_box(max_utilization(
+                &setting.g,
+                &setting.servers,
+                &setting.voip,
+                &setting.pairs,
+                &Selector::ShortestPath,
+                0.005,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Discrete-event simulator throughput (events/second) on a filled
+//! network.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use uba::prelude::*;
+use uba::sim::{simulate, FlowSpec, SimConfig, SourceModel};
+
+fn filled_ring_flows(alpha: f64, capacity: f64) -> (Vec<f64>, Vec<FlowSpec>) {
+    let g = uba::topology::ring(8);
+    let rate = 32_000.0;
+    let pairs = all_ordered_pairs(&g);
+    let paths = sp_selection(&g, &pairs).unwrap();
+    let mut reserved = vec![0.0f64; g.edge_count()];
+    let mut flows = Vec::new();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (pair, path) in pairs.iter().zip(&paths) {
+            let fits = path
+                .edges
+                .iter()
+                .all(|e| reserved[e.index()] + rate <= alpha * capacity + 1e-9);
+            if fits {
+                for e in &path.edges {
+                    reserved[e.index()] += rate;
+                }
+                flows.push(FlowSpec {
+                    class: 0,
+                    ingress: pair.src.0,
+                    route: path.edges.iter().map(|e| e.0).collect(),
+                    source: SourceModel::voip_greedy(0.0),
+                });
+                progress = true;
+            }
+        }
+    }
+    (vec![capacity; g.edge_count()], flows)
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let (caps, flows) = filled_ring_flows(0.25, 2e6);
+    let cfg = SimConfig {
+        horizon: 0.3,
+        deadlines: vec![0.1],
+            policers: None,
+        };
+    // Count events once for throughput normalization.
+    let probe = simulate(&caps, &flows, &cfg);
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(probe.events));
+    group.sample_size(20);
+    group.bench_function("ring8_filled_events", |b| {
+        b.iter(|| black_box(simulate(&caps, &flows, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment CEN — route-structure census: why SP's achievable
+//! utilization differs across MCI renderings (EXPERIMENTS.md §T1).
+//!
+//! For SP and heuristic route sets on several topologies, prints route
+//! length distribution and mixing depth (mean over a route's hops of the
+//! deepest upstream prefix feeding each hop) next to the achieved α.
+//!
+//! Run with: `cargo run -p uba-bench --release --bin census`
+
+use uba::delay::routeset::{Route, RouteSet};
+use uba::prelude::*;
+use uba::routing::census::census;
+
+fn routes_of(paths: &[Path], edge_count: usize) -> RouteSet {
+    let mut rs = RouteSet::new(edge_count);
+    for p in paths {
+        rs.push(Route::from_path(ClassId(0), p));
+    }
+    rs
+}
+
+fn report(name: &str, g: &Digraph) {
+    let servers = Servers::uniform(g, 100e6, g.max_in_degree().max(2));
+    let voip = TrafficClass::voip();
+    let pairs = all_ordered_pairs(g);
+
+    let sp = max_utilization(g, &servers, &voip, &pairs, &Selector::ShortestPath, 0.005);
+    let sp_paths = sp_selection(g, &pairs).unwrap();
+    let sp_census = census(&routes_of(&sp_paths, g.edge_count()));
+
+    let heur = max_utilization(
+        g,
+        &servers,
+        &voip,
+        &pairs,
+        &Selector::Heuristic(HeuristicConfig::default()),
+        0.005,
+    );
+    let heur_census = heur
+        .selection
+        .as_ref()
+        .map(|sel| census(&sel.routes));
+
+    println!("{name}:");
+    println!(
+        "  SP   : alpha*={:.3}  max_len={}  worst mixing depth={:.2}  lengths={:?}",
+        sp.alpha,
+        sp_census.max_route_length(),
+        sp_census.worst_mixing_depth(),
+        sp_census.route_lengths,
+    );
+    if let Some(hc) = heur_census {
+        println!(
+            "  heur : alpha*={:.3}  max_len={}  worst mixing depth={:.2}  lengths={:?}",
+            heur.alpha,
+            hc.max_route_length(),
+            hc.worst_mixing_depth(),
+            hc.route_lengths,
+        );
+    }
+}
+
+fn main() {
+    println!("# CEN: route census — mixing depth vs achieved utilization");
+    report("mci", &uba::topology::mci());
+    report("nsfnet", &uba::topology::nsfnet());
+    report("grid4x4", &uba::topology::grid(4, 4));
+    println!("# deeper mixing on the worst route => lower verifiable alpha (see EXPERIMENTS.md §T1)");
+}

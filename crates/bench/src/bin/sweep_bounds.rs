@@ -1,0 +1,82 @@
+//! Experiments F-BD/F-BL/F-BN/F-BB — figure-style sweeps of the Theorem 4
+//! utilization bounds.
+//!
+//! The paper presents the bounds as closed forms; these sweeps plot them
+//! (as data series on stdout) over each parameter, holding the Section 6
+//! values for the others: N=6, L=4, T=640 bit, ρ=32 kb/s, D=100 ms.
+//!
+//! Run with: `cargo run -p uba-bench --release --bin sweep_bounds -- [deadline|diameter|fanin|burst|all]`
+
+use uba::prelude::*;
+
+fn voip_with_deadline(d: f64) -> TrafficClass {
+    TrafficClass::new("voip", LeakyBucket::new(640.0, 32_000.0), d)
+}
+
+fn sweep_deadline() {
+    println!("# F-BD: bounds vs end-to-end deadline (N=6, L=4, T/rho=20ms)");
+    println!("# D_ms lower upper");
+    for ms in [20, 40, 60, 80, 100, 150, 200, 300, 500, 1000] {
+        let cls = voip_with_deadline(ms as f64 / 1e3);
+        let (lb, ub) = utilization_bounds(6, 4, &cls);
+        println!("{ms} {lb:.4} {ub:.4}");
+    }
+}
+
+fn sweep_diameter() {
+    println!("# F-BL: bounds vs network diameter (N=6, D=100ms)");
+    println!("# L lower upper");
+    let cls = TrafficClass::voip();
+    for l in 1..=10 {
+        let (lb, ub) = utilization_bounds(6, l, &cls);
+        println!("{l} {lb:.4} {ub:.4}");
+    }
+}
+
+fn sweep_fanin() {
+    println!("# F-BN: bounds vs router fan-in (L=4, D=100ms)");
+    println!("# N lower upper");
+    let cls = TrafficClass::voip();
+    for n in 2..=16 {
+        let (lb, ub) = utilization_bounds(n, 4, &cls);
+        println!("{n} {lb:.4} {ub:.4}");
+    }
+}
+
+fn sweep_burst() {
+    println!("# F-BB: bounds vs burst ratio T/rho (N=6, L=4, D=100ms)");
+    println!("# T_over_rho_ms lower upper");
+    for ms in [1, 2, 5, 10, 20, 40, 80, 160] {
+        let t_over_rho = ms as f64 / 1e3;
+        let cls = TrafficClass::new(
+            "v",
+            LeakyBucket::new(32_000.0 * t_over_rho, 32_000.0),
+            0.1,
+        );
+        let (lb, ub) = utilization_bounds(6, 4, &cls);
+        println!("{ms} {lb:.4} {ub:.4}");
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    match which.as_str() {
+        "deadline" => sweep_deadline(),
+        "diameter" => sweep_diameter(),
+        "fanin" => sweep_fanin(),
+        "burst" => sweep_burst(),
+        "all" => {
+            sweep_deadline();
+            println!();
+            sweep_diameter();
+            println!();
+            sweep_fanin();
+            println!();
+            sweep_burst();
+        }
+        other => {
+            eprintln!("unknown sweep '{other}'; use deadline|diameter|fanin|burst|all");
+            std::process::exit(2);
+        }
+    }
+}

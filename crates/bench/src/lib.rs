@@ -1,0 +1,59 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures
+//! (see `DESIGN.md` §4 for the experiment index); the Criterion benches in
+//! `benches/` measure the run-time claims (admission latency, solver
+//! scaling, parallel speedup).
+
+use uba::admission::{AdmissionController, RoutingTable};
+use uba::prelude::*;
+
+/// The paper's Section 6 setting: MCI topology, uniform 100 Mbit/s links,
+/// fan-in 6, VoIP class, all ordered pairs.
+pub struct PaperSetting {
+    /// The MCI backbone approximation.
+    pub g: Digraph,
+    /// Uniform servers (C = 100 Mb/s, N = 6).
+    pub servers: Servers,
+    /// The VoIP class.
+    pub voip: TrafficClass,
+    /// All 342 ordered router pairs.
+    pub pairs: Vec<Pair>,
+}
+
+impl PaperSetting {
+    /// Builds the setting.
+    pub fn new() -> Self {
+        let g = uba::topology::mci();
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let pairs = all_ordered_pairs(&g);
+        Self {
+            g,
+            servers,
+            voip: TrafficClass::voip(),
+            pairs,
+        }
+    }
+
+    /// A reduced pair set (every `step`-th pair) for cheaper runs.
+    pub fn pair_subset(&self, step: usize) -> Vec<Pair> {
+        self.pairs.iter().copied().step_by(step).collect()
+    }
+
+    /// Stands up a ready-to-use admission controller from a selection.
+    pub fn controller(&self, sel: &Selection, alpha: f64) -> AdmissionController {
+        let mut table = RoutingTable::new();
+        table.insert_all(ClassId(0), sel.paths.iter());
+        let classes = ClassSet::single(self.voip.clone());
+        let caps: Vec<f64> = (0..self.servers.len())
+            .map(|k| self.servers.capacity_at(k))
+            .collect();
+        AdmissionController::new(table, &classes, &caps, &[alpha])
+    }
+}
+
+impl Default for PaperSetting {
+    fn default() -> Self {
+        Self::new()
+    }
+}

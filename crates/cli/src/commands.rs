@@ -1,0 +1,337 @@
+//! CLI command implementations. Each returns its report as a `String`
+//! so the binary stays a thin printer and the logic stays testable.
+
+use crate::scenario::{Scenario, ScenarioError};
+use std::fmt::Write as _;
+use uba::delay::fixed_point::SolveConfig;
+use uba::delay::routeset::{Route, RouteSet};
+use uba::delay::verify::verify;
+use uba::graph::bfs;
+use uba::prelude::*;
+use uba::sim::{simulate, FlowSpec, SimConfig, SourceModel};
+
+/// `bounds`: Theorem 4 window for each class of the scenario.
+pub fn cmd_bounds(sc: &Scenario) -> Result<String, ScenarioError> {
+    let diameter = bfs::diameter(&sc.graph)
+        .ok_or_else(|| ScenarioError("topology is not strongly connected".into()))?;
+    let fan_in = (0..sc.servers.len())
+        .map(|k| sc.servers.fan_in_at(k))
+        .max()
+        .unwrap_or(2)
+        .max(2);
+    let mut out = String::new();
+    writeln!(out, "diameter L = {diameter}, fan-in N = {fan_in}").unwrap();
+    for (_, class) in sc.classes.iter() {
+        let (lb, ub) = utilization_bounds(fan_in, diameter.max(1), class);
+        writeln!(
+            out,
+            "class {:<10} T/rho = {:>6.1} ms, D = {:>6.1} ms  ->  alpha* in [{lb:.3}, {ub:.3}]",
+            class.name,
+            class.burst_time() * 1e3,
+            class.deadline * 1e3
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `verify`: SP routes for every pair and class, Figure 2 verification at
+/// the scenario's alphas.
+pub fn cmd_verify(sc: &Scenario) -> Result<String, ScenarioError> {
+    let paths = sp_selection(&sc.graph, &sc.pairs)
+        .map_err(|p| ScenarioError(format!("no route for pair {p:?}")))?;
+    let mut routes = RouteSet::new(sc.graph.edge_count());
+    for (ci, _) in sc.classes.iter() {
+        for p in &paths {
+            routes.push(Route::from_path(ci, p));
+        }
+    }
+    let report = verify(&sc.servers, &sc.classes, &sc.alphas, &routes, &SolveConfig::default());
+    let mut out = String::new();
+    writeln!(
+        out,
+        "verification: {}",
+        if report.safe { "SUCCESS" } else { "FAILURE" }
+    )
+    .unwrap();
+    writeln!(out, "outcome: {:?}", report.outcome).unwrap();
+    writeln!(out, "iterations: {}", report.iterations).unwrap();
+    if report.worst_slack.is_finite() {
+        writeln!(out, "worst slack: {:.3} ms", report.worst_slack * 1e3).unwrap();
+    }
+    for (i, (_, class)) in sc.classes.iter().enumerate() {
+        let worst = report.server_delays[i]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        writeln!(
+            out,
+            "class {:<10} worst per-server delay {:.3} ms",
+            class.name,
+            worst * 1e3
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `maximize`: Section 5.3 binary search; multi-class scenarios use the
+/// §5.4 trade-off ray (scenario alphas as the weight vector).
+pub fn cmd_maximize(sc: &Scenario, selector_name: &str) -> Result<String, ScenarioError> {
+    if sc.classes.len() != 1 {
+        return cmd_maximize_multiclass(sc);
+    }
+    let (_, class) = sc.classes.iter().next().unwrap();
+    let selector = match selector_name {
+        "sp" => Selector::ShortestPath,
+        "heuristic" => Selector::Heuristic(HeuristicConfig::default()),
+        other => {
+            return Err(ScenarioError(format!(
+                "unknown selector '{other}' (use sp|heuristic)"
+            )))
+        }
+    };
+    let r = max_utilization(&sc.graph, &sc.servers, class, &sc.pairs, &selector, 0.005);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "theorem 4 window: [{:.3}, {:.3}]",
+        r.bounds.0, r.bounds.1
+    )
+    .unwrap();
+    writeln!(out, "selector: {selector_name}").unwrap();
+    writeln!(out, "maximum safe utilization: {:.3}", r.alpha).unwrap();
+    writeln!(out, "probes: {}", r.probes.len()).unwrap();
+    if let Some(sel) = &r.selection {
+        let longest = sel.paths.iter().map(Path::len).max().unwrap_or(0);
+        writeln!(out, "routes committed: {} (longest {longest} hops)", sel.paths.len()).unwrap();
+        writeln!(
+            out,
+            "worst route delay: {:.3} ms (deadline {:.1} ms)",
+            sel.route_delays.iter().cloned().fold(0.0, f64::max) * 1e3,
+            class.deadline * 1e3
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// Multi-class maximize: scale the scenario's alphas as a ray until the
+/// Theorem 5 verification stops succeeding.
+fn cmd_maximize_multiclass(sc: &Scenario) -> Result<String, ScenarioError> {
+    use uba::routing::{max_utilization_ray, Demand};
+    let demands: Vec<Demand> = sc
+        .classes
+        .iter()
+        .flat_map(|(ci, _)| {
+            sc.pairs.iter().map(move |&pair| Demand { class: ci, pair })
+        })
+        .collect();
+    let r = max_utilization_ray(
+        &sc.graph,
+        &sc.servers,
+        &sc.classes,
+        &sc.alphas,
+        &demands,
+        &HeuristicConfig::default(),
+        0.01,
+    );
+    let mut out = String::new();
+    writeln!(out, "trade-off ray weights: {:?}", sc.alphas).unwrap();
+    writeln!(out, "maximum safe scale t = {:.3}", r.t).unwrap();
+    for ((_, class), alpha) in sc.classes.iter().zip(&r.alphas) {
+        writeln!(out, "class {:<10} alpha = {:.3}", class.name, alpha).unwrap();
+    }
+    writeln!(out, "probes: {}", r.probes.len()).unwrap();
+    if let Some(sel) = &r.selection {
+        writeln!(out, "routes committed: {}", sel.paths.len()).unwrap();
+    }
+    Ok(out)
+}
+
+/// `simulate`: SP routes, greedy fill to the class-0 budget, adversarial
+/// sources, packet simulation against the analytic bound.
+pub fn cmd_simulate(sc: &Scenario, horizon: f64) -> Result<String, ScenarioError> {
+    if sc.classes.len() != 1 {
+        return Err(ScenarioError("simulate handles single-class scenarios".into()));
+    }
+    let (_, class) = sc.classes.iter().next().unwrap();
+    let alpha = sc.alphas[0];
+    let paths = sp_selection(&sc.graph, &sc.pairs)
+        .map_err(|p| ScenarioError(format!("no route for pair {p:?}")))?;
+    let mut routes = RouteSet::new(sc.graph.edge_count());
+    for p in &paths {
+        routes.push(Route::from_path(ClassId(0), p));
+    }
+    let analysis = uba::delay::fixed_point::solve_two_class(
+        &sc.servers,
+        class,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
+    if !analysis.outcome.is_safe() {
+        return Err(ScenarioError(format!(
+            "alpha {alpha} does not verify ({:?}); lower it before simulating",
+            analysis.outcome
+        )));
+    }
+    let bound = analysis.route_delays.iter().cloned().fold(0.0, f64::max);
+
+    let mut reserved = vec![0.0f64; sc.servers.len()];
+    let mut flows = Vec::new();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (pair, path) in sc.pairs.iter().zip(&paths) {
+            let fits = path.edges.iter().all(|e| {
+                reserved[e.index()] + class.bucket.rate
+                    <= alpha * sc.servers.capacity_at(e.index()) + 1e-9
+            });
+            if fits {
+                for e in &path.edges {
+                    reserved[e.index()] += class.bucket.rate;
+                }
+                flows.push(FlowSpec {
+                    class: 0,
+                    ingress: pair.src.0,
+                    route: path.edges.iter().map(|e| e.0).collect(),
+                    source: SourceModel::GreedyOnOff {
+                        burst_bits: class.bucket.burst,
+                        rate_bps: class.bucket.rate,
+                        packet_bits: (class.bucket.burst as u64).max(64),
+                        start: 0.0,
+                    },
+                });
+                progress = true;
+            }
+        }
+    }
+    let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    let report = simulate(
+        &caps,
+        &flows,
+        &SimConfig {
+            horizon,
+            deadlines: vec![class.deadline],
+            policers: None,
+        },
+    );
+    let mut out = String::new();
+    writeln!(out, "flows admitted by greedy fill: {}", flows.len()).unwrap();
+    writeln!(out, "packets delivered: {}", report.total_packets).unwrap();
+    writeln!(out, "analytic bound: {:.3} ms", bound * 1e3).unwrap();
+    writeln!(
+        out,
+        "simulated max / mean delay: {:.3} / {:.3} ms",
+        report.max_delay() * 1e3,
+        report.classes[0].mean_delay * 1e3
+    )
+    .unwrap();
+    writeln!(out, "deadline misses: {}", report.total_misses()).unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_scenario() -> Scenario {
+        Scenario::from_str(
+            r#"
+            [topology]
+            kind = "ring"
+            n = 6
+            [network]
+            capacity = 1e6
+            fan_in = 3
+            [[class]]
+            name = "voip"
+            burst = 640
+            rate = 32000
+            deadline = 0.1
+            alpha = 0.2
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bounds_report() {
+        let out = cmd_bounds(&ring_scenario()).unwrap();
+        assert!(out.contains("diameter L = 3"));
+        assert!(out.contains("alpha* in ["));
+    }
+
+    #[test]
+    fn verify_report_safe() {
+        let out = cmd_verify(&ring_scenario()).unwrap();
+        assert!(out.contains("SUCCESS"), "{out}");
+        assert!(out.contains("worst slack"));
+    }
+
+    #[test]
+    fn verify_report_failure() {
+        let mut sc = ring_scenario();
+        sc.alphas = vec![0.99];
+        let out = cmd_verify(&sc).unwrap();
+        assert!(out.contains("FAILURE"), "{out}");
+    }
+
+    #[test]
+    fn maximize_both_selectors() {
+        let sc = ring_scenario();
+        for sel in ["sp", "heuristic"] {
+            let out = cmd_maximize(&sc, sel).unwrap();
+            assert!(out.contains("maximum safe utilization"), "{out}");
+        }
+        assert!(cmd_maximize(&sc, "magic").is_err());
+    }
+
+    #[test]
+    fn maximize_multiclass_uses_ray() {
+        let sc = Scenario::from_str(
+            r#"
+            [topology]
+            kind = "ring"
+            n = 5
+            [network]
+            fan_in = 3
+            [[class]]
+            name = "voip"
+            burst = 640
+            rate = 32000
+            deadline = 0.1
+            alpha = 1.0
+            [[class]]
+            name = "video"
+            burst = 64000
+            rate = 2e6
+            deadline = 0.3
+            alpha = 2.0
+            [pairs]
+            mode = "all"
+            step = 2
+            "#,
+        )
+        .unwrap();
+        let out = cmd_maximize(&sc, "heuristic").unwrap();
+        assert!(out.contains("maximum safe scale"), "{out}");
+        assert!(out.contains("class voip"));
+        assert!(out.contains("class video"));
+    }
+
+    #[test]
+    fn simulate_respects_bound() {
+        let out = cmd_simulate(&ring_scenario(), 0.2).unwrap();
+        assert!(out.contains("deadline misses: 0"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_unsafe_alpha() {
+        let mut sc = ring_scenario();
+        sc.alphas = vec![0.99];
+        assert!(cmd_simulate(&sc, 0.1).is_err());
+    }
+}

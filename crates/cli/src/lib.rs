@@ -1,0 +1,11 @@
+//! Library side of the `uba-cli` binary: scenario files and command
+//! implementations (kept in a lib so they are unit-testable).
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod scenario;
+pub mod toml_lite;
+
+pub use scenario::Scenario;
+pub use toml_lite::{parse, Document, Value};

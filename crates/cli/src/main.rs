@@ -1,0 +1,58 @@
+//! `uba-cli` — scenario-driven interface to the uba library.
+//!
+//! ```text
+//! uba-cli bounds   <scenario.toml>
+//! uba-cli verify   <scenario.toml>
+//! uba-cli maximize <scenario.toml> [sp|heuristic]
+//! uba-cli simulate <scenario.toml> [horizon_seconds]
+//! ```
+
+use uba_cli::commands::{cmd_bounds, cmd_maximize, cmd_simulate, cmd_verify};
+use uba_cli::Scenario;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: uba-cli <bounds|verify|maximize|simulate> <scenario.toml> [args]\n\
+         \n\
+         bounds   — Theorem 4 utilization window for each class\n\
+         verify   — Figure 2 verification of the scenario's alphas on SP routes\n\
+         maximize — Section 5.3 binary search; optional selector sp|heuristic (default heuristic)\n\
+         simulate — packet-level validation; optional horizon in seconds (default 0.3)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let command = args[0].as_str();
+    let scenario = match Scenario::from_path(&args[1]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenario error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match command {
+        "bounds" => cmd_bounds(&scenario),
+        "verify" => cmd_verify(&scenario),
+        "maximize" => cmd_maximize(&scenario, args.get(2).map(String::as_str).unwrap_or("heuristic")),
+        "simulate" => {
+            let horizon = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.3);
+            cmd_simulate(&scenario, horizon)
+        }
+        _ => usage(),
+    };
+    match result {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Scenario files: a declarative description of a network, its traffic
+//! classes, and the pair demand, loadable by every CLI command.
+
+use crate::toml_lite::{parse, Document, Table, Value};
+use uba::graph::{Digraph, NodeId};
+use uba::prelude::*;
+
+/// A fully resolved scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The router-level topology.
+    pub graph: Digraph,
+    /// Per-server parameters.
+    pub servers: Servers,
+    /// Real-time classes, priority order.
+    pub classes: ClassSet,
+    /// Per-class utilization shares (used by `verify`).
+    pub alphas: Vec<f64>,
+    /// Demanded pairs.
+    pub pairs: Vec<Pair>,
+}
+
+/// Scenario loading error: parse error or semantic problem.
+#[derive(Debug)]
+pub struct ScenarioError(pub String);
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn bad(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError(msg.into())
+}
+
+fn num(t: &Table, key: &str) -> Result<f64, ScenarioError> {
+    t.get(key)
+        .and_then(Value::as_number)
+        .ok_or_else(|| bad(format!("missing numeric key '{key}'")))
+}
+
+fn num_or(t: &Table, key: &str, default: f64) -> Result<f64, ScenarioError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_number()
+            .ok_or_else(|| bad(format!("key '{key}' must be numeric"))),
+    }
+}
+
+fn string_or<'a>(t: &'a Table, key: &str, default: &'a str) -> Result<&'a str, ScenarioError> {
+    match t.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| bad(format!("key '{key}' must be a string"))),
+    }
+}
+
+fn build_topology(t: &Table) -> Result<Digraph, ScenarioError> {
+    let kind = string_or(t, "kind", "mci")?;
+    let n = num_or(t, "n", 8.0)? as usize;
+    Ok(match kind {
+        "mci" => uba::topology::mci(),
+        "nsfnet" => uba::topology::nsfnet(),
+        "ring" => uba::topology::ring(n),
+        "line" => uba::topology::line(n),
+        "star" => uba::topology::star(n),
+        "mesh" => uba::topology::full_mesh(n),
+        "grid" => uba::topology::grid(
+            num_or(t, "w", 4.0)? as usize,
+            num_or(t, "h", 4.0)? as usize,
+        ),
+        "torus" => uba::topology::torus(
+            num_or(t, "w", 4.0)? as usize,
+            num_or(t, "h", 4.0)? as usize,
+        ),
+        "waxman" => uba::topology::waxman(
+            n,
+            num_or(t, "alpha", 0.4)?,
+            num_or(t, "beta", 0.5)?,
+            num_or(t, "seed", 1.0)? as u64,
+        ),
+        "dumbbell" => uba::topology::dumbbell(
+            num_or(t, "leaves", 3.0)? as usize,
+            num_or(t, "bottleneck", 1.0)? as usize,
+        ),
+        "fat_tree" => uba::topology::fat_tree(
+            num_or(t, "cores", 2.0)? as usize,
+            num_or(t, "pods", 3.0)? as usize,
+            num_or(t, "hosts", 2.0)? as usize,
+        ),
+        other => return Err(bad(format!("unknown topology kind '{other}'"))),
+    })
+}
+
+impl Scenario {
+    /// Loads a scenario from TOML-subset text.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(input: &str) -> Result<Self, ScenarioError> {
+        let doc: Document = parse(input).map_err(|e| bad(e.to_string()))?;
+
+        let topo_table = doc.table("topology").cloned().unwrap_or_default();
+        let graph = build_topology(&topo_table)?;
+
+        let net = doc.table("network").cloned().unwrap_or_default();
+        let capacity = num_or(&net, "capacity", 100e6)?;
+        let fan_in = num_or(&net, "fan_in", 0.0)? as usize;
+        let servers = if fan_in == 0 {
+            Servers::uniform(&graph, capacity, graph.max_in_degree().max(1))
+        } else {
+            Servers::uniform(&graph, capacity, fan_in)
+        };
+
+        let mut classes = ClassSet::new();
+        let mut alphas = Vec::new();
+        let class_tables = doc.array("class");
+        if class_tables.is_empty() {
+            classes.push(TrafficClass::voip());
+            alphas.push(0.3);
+        } else {
+            for ct in class_tables {
+                let name = string_or(ct, "name", "class")?.to_string();
+                let burst = num(ct, "burst")?;
+                let rate = num(ct, "rate")?;
+                let deadline = num(ct, "deadline")?;
+                classes.push(TrafficClass::new(name, LeakyBucket::new(burst, rate), deadline));
+                alphas.push(num_or(ct, "alpha", 0.1)?);
+            }
+        }
+
+        let pt = doc.table("pairs").cloned().unwrap_or_default();
+        let mode = string_or(&pt, "mode", "all")?;
+        let pairs = match mode {
+            "all" => {
+                let step = num_or(&pt, "step", 1.0)? as usize;
+                all_ordered_pairs(&graph)
+                    .into_iter()
+                    .step_by(step.max(1))
+                    .collect()
+            }
+            "list" => {
+                let list = pt
+                    .get("list")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| bad("pairs.mode = \"list\" needs pairs.list"))?;
+                let mut out = Vec::new();
+                for v in list {
+                    let s = v.as_str().ok_or_else(|| bad("pair entries are strings"))?;
+                    let (a, b) = s
+                        .split_once('-')
+                        .ok_or_else(|| bad(format!("pair '{s}' is not 'src-dst'")))?;
+                    let parse_node = |x: &str| -> Result<NodeId, ScenarioError> {
+                        let id: u32 = x
+                            .trim()
+                            .parse()
+                            .map_err(|_| bad(format!("bad router id '{x}'")))?;
+                        if (id as usize) < graph.node_count() {
+                            Ok(NodeId(id))
+                        } else {
+                            Err(bad(format!("router {id} outside topology")))
+                        }
+                    };
+                    out.push(Pair {
+                        src: parse_node(a)?,
+                        dst: parse_node(b)?,
+                    });
+                }
+                out
+            }
+            other => return Err(bad(format!("unknown pairs mode '{other}'"))),
+        };
+
+        Ok(Scenario {
+            graph,
+            servers,
+            classes,
+            alphas,
+            pairs,
+        })
+    }
+
+    /// Loads a scenario from a file path.
+    pub fn from_path(path: &str) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| bad(format!("cannot read '{path}': {e}")))?;
+        Self::from_str(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_give_paper_setting() {
+        let s = Scenario::from_str("").unwrap();
+        assert_eq!(s.graph.node_count(), 19);
+        assert_eq!(s.classes.len(), 1);
+        assert_eq!(s.pairs.len(), 342);
+        assert_eq!(s.servers.fan_in_at(0), 6);
+    }
+
+    #[test]
+    fn explicit_scenario() {
+        let s = Scenario::from_str(
+            r#"
+            [topology]
+            kind = "ring"
+            n = 6
+            [network]
+            capacity = 1e6
+            fan_in = 4
+            [[class]]
+            name = "voip"
+            burst = 640
+            rate = 32000
+            deadline = 0.1
+            alpha = 0.25
+            [pairs]
+            mode = "list"
+            list = ["0-3", "2-5"]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.graph.node_count(), 6);
+        assert_eq!(s.servers.capacity_at(0), 1e6);
+        assert_eq!(s.servers.fan_in_at(0), 4);
+        assert_eq!(s.alphas, vec![0.25]);
+        assert_eq!(s.pairs.len(), 2);
+        assert_eq!(s.pairs[0].src, NodeId(0));
+        assert_eq!(s.pairs[0].dst, NodeId(3));
+    }
+
+    #[test]
+    fn pair_step_subsamples() {
+        let s = Scenario::from_str("[pairs]\nmode = \"all\"\nstep = 10").unwrap();
+        assert_eq!(s.pairs.len(), 35);
+    }
+
+    #[test]
+    fn bad_pair_rejected() {
+        let e = Scenario::from_str("[pairs]\nmode = \"list\"\nlist = [\"0-99\"]").unwrap_err();
+        assert!(e.0.contains("outside topology"));
+    }
+
+    #[test]
+    fn multiclass_scenario() {
+        let s = Scenario::from_str(
+            r#"
+            [[class]]
+            name = "voip"
+            burst = 640
+            rate = 32000
+            deadline = 0.1
+            alpha = 0.1
+            [[class]]
+            name = "video"
+            burst = 64000
+            rate = 2e6
+            deadline = 0.3
+            alpha = 0.2
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.classes.len(), 2);
+        assert_eq!(s.alphas, vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn unknown_topology_rejected() {
+        let e = Scenario::from_str("[topology]\nkind = \"hypercube\"").unwrap_err();
+        assert!(e.0.contains("unknown topology"));
+    }
+}

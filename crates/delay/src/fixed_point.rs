@@ -1,0 +1,423 @@
+//! Iterative solution of the delay vector equation `d = Z(d)` (Eq. 11–14).
+//!
+//! Theorem 3 gives each server's delay bound as a function of `Y_k`, which
+//! by Eq. (6) is a function of the other servers' delays — a circular
+//! dependency the paper resolves with "an iterative procedure". We iterate
+//! from `d = 0` (or a warm start): `Z` is monotone in `d`, so the iterates
+//! increase toward the *least* fixed point when one exists, and grow
+//! without bound when the utilization is infeasible.
+//!
+//! Soundness of the stopping rules:
+//!
+//! * **Convergence** — sup-norm change below tolerance; the limit is the
+//!   least fixed point, i.e. the tightest bound this analysis yields.
+//! * **Early deadline exit** — because iterates only increase, a route's
+//!   end-to-end delay exceeding its class deadline at *any* iterate
+//!   already proves the final answer would too.
+//! * **Iteration cap** — treated as unsafe (conservative).
+
+use crate::bound::theorem3_delay;
+use crate::routeset::RouteSet;
+use crate::servers::Servers;
+use uba_graph::par::par_map;
+use uba_traffic::{ClassId, TrafficClass};
+
+/// Tunables for the fixed-point iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveConfig {
+    /// Absolute sup-norm convergence tolerance in seconds.
+    pub tol: f64,
+    /// Iteration cap; hitting it is reported as [`Outcome::IterationLimit`].
+    pub max_iters: usize,
+    /// Worker threads for the per-iteration sweeps (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            max_iters: 20_000,
+            threads: 1,
+        }
+    }
+}
+
+/// How a solve ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Converged and every route meets its class deadline.
+    Safe,
+    /// Some route provably misses its deadline (index into the route set).
+    DeadlineExceeded {
+        /// Index of the first offending route.
+        route: usize,
+    },
+    /// No convergence within the iteration cap — treated as unsafe.
+    IterationLimit,
+    /// Parameters outside the theorems' domain (e.g. `α ∉ (0, 1)`).
+    InvalidParams,
+}
+
+impl Outcome {
+    /// True only for [`Outcome::Safe`].
+    pub fn is_safe(self) -> bool {
+        matches!(self, Outcome::Safe)
+    }
+}
+
+/// Result of a fixed-point solve.
+#[derive(Clone, Debug)]
+pub struct SolveResult {
+    /// Verdict.
+    pub outcome: Outcome,
+    /// Per-server delay bounds at the last iterate (the least fixed point
+    /// when `outcome` is `Safe`).
+    pub delays: Vec<f64>,
+    /// Per-route end-to-end delays at the last iterate.
+    pub route_delays: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+const DEADLINE_SLACK: f64 = 1e-12;
+
+/// Solves the two-class system (one real-time class + implicit best
+/// effort): all routes in `routes` must carry [`ClassId`]`(0)`.
+///
+/// `warm` may carry the least fixed point of a *smaller* problem (fewer
+/// routes, or lower `alpha`, with everything else equal): `Z` only grows
+/// under those changes, so iterates stay monotone and all stopping rules
+/// remain sound. Passing anything above the new least fixed point would
+/// be unsound; callers stick to the shrink-to-grow discipline.
+pub fn solve_two_class(
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    routes: &RouteSet,
+    cfg: &SolveConfig,
+    warm: Option<&[f64]>,
+) -> SolveResult {
+    solve_two_class_nonuniform(
+        servers,
+        class,
+        &vec![alpha; servers.len()],
+        routes,
+        cfg,
+        warm,
+    )
+}
+
+/// [`solve_two_class`] with a *per-server* utilization assignment — the
+/// general form of the paper's "utilization assignment": the run-time
+/// admission test is per-link anyway, so nothing forces every link to the
+/// same `α`. Only the `α_k` of servers that actually carry routes are
+/// validated; unused entries may be anything.
+pub fn solve_two_class_nonuniform(
+    servers: &Servers,
+    class: &TrafficClass,
+    alphas: &[f64],
+    routes: &RouteSet,
+    cfg: &SolveConfig,
+    warm: Option<&[f64]>,
+) -> SolveResult {
+    let s = servers.len();
+    assert_eq!(routes.server_count(), s, "route set / servers mismatch");
+    assert_eq!(alphas.len(), s, "one alpha per server");
+    let class0 = ClassId(0);
+    debug_assert!(
+        routes.routes().iter().all(|r| r.class == class0),
+        "solve_two_class expects single-class routes"
+    );
+
+    // Static domain check on the servers that matter.
+    let used_static = routes.used_servers(class0);
+    if (0..s).any(|k| used_static[k] && !(alphas[k] > 0.0 && alphas[k] < 1.0 && alphas[k].is_finite()))
+    {
+        return SolveResult {
+            outcome: Outcome::InvalidParams,
+            delays: vec![0.0; s],
+            route_delays: vec![0.0; routes.len()],
+            iterations: 0,
+        };
+    }
+
+    // Constant (propagation) delay per route: consumes deadline budget
+    // but adds no jitter, so it enters the checks, never `Y_k`.
+    let prop: Vec<f64> = routes
+        .routes()
+        .iter()
+        .map(|r| servers.route_const_delay(&r.servers))
+        .collect();
+
+    let used = routes.used_servers(class0);
+    let mut d: Vec<f64> = match warm {
+        Some(w) => {
+            assert_eq!(w.len(), s, "warm start length mismatch");
+            w.to_vec()
+        }
+        None => vec![0.0; s],
+    };
+    let mut y = vec![0.0; s];
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let mut route_delays = routes.upstream_max_and_route_delays(class0, &d, &mut y);
+        for (rd, p) in route_delays.iter_mut().zip(&prop) {
+            *rd += p;
+        }
+        if let Some(ri) = route_delays
+            .iter()
+            .position(|&rd| rd > class.deadline + DEADLINE_SLACK)
+        {
+            return SolveResult {
+                outcome: Outcome::DeadlineExceeded { route: ri },
+                delays: d,
+                route_delays,
+                iterations,
+            };
+        }
+
+        let step = |k: usize| -> Option<f64> {
+            if !used[k] {
+                return Some(0.0);
+            }
+            theorem3_delay(alphas[k], class.bucket, servers.fan_in_at(k), y[k])
+        };
+        let d_new: Vec<Option<f64>> = if cfg.threads > 1 && s > 256 {
+            par_map(s, cfg.threads, step)
+        } else {
+            (0..s).map(step).collect()
+        };
+        let mut max_diff: f64 = 0.0;
+        for k in 0..s {
+            match d_new[k] {
+                Some(v) => {
+                    max_diff = max_diff.max((v - d[k]).abs());
+                    d[k] = v;
+                }
+                None => {
+                    return SolveResult {
+                        outcome: Outcome::InvalidParams,
+                        delays: d,
+                        route_delays,
+                        iterations,
+                    }
+                }
+            }
+        }
+
+        if max_diff <= cfg.tol {
+            // Converged: one final pass for route delays at the fixed point.
+            let mut route_delays = routes.upstream_max_and_route_delays(class0, &d, &mut y);
+            for (rd, p) in route_delays.iter_mut().zip(&prop) {
+                *rd += p;
+            }
+            let outcome = match route_delays
+                .iter()
+                .position(|&rd| rd > class.deadline + DEADLINE_SLACK)
+            {
+                Some(ri) => Outcome::DeadlineExceeded { route: ri },
+                None => Outcome::Safe,
+            };
+            return SolveResult {
+                outcome,
+                delays: d,
+                route_delays,
+                iterations,
+            };
+        }
+        if iterations >= cfg.max_iters {
+            return SolveResult {
+                outcome: Outcome::IterationLimit,
+                delays: d,
+                route_delays,
+                iterations,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routeset::Route;
+    use uba_graph::{Digraph, NodeId};
+    use uba_traffic::TrafficClass;
+
+    fn voip() -> TrafficClass {
+        TrafficClass::voip()
+    }
+
+    /// A 5-router line; routes along it in both directions.
+    fn line_setup(hops: usize) -> (Digraph, Servers, RouteSet) {
+        let n = hops + 1;
+        let mut g = Digraph::with_nodes(n);
+        for i in 0..hops {
+            g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), 1.0);
+        }
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let mut routes = RouteSet::new(g.edge_count());
+        // Forward edges are even indices (add_link adds fwd then back).
+        let fwd: Vec<u32> = (0..hops as u32).map(|i| 2 * i).collect();
+        let back: Vec<u32> = (0..hops as u32).rev().map(|i| 2 * i + 1).collect();
+        routes.push(Route {
+            class: ClassId(0),
+            servers: fwd,
+        });
+        routes.push(Route {
+            class: ClassId(0),
+            servers: back,
+        });
+        (g, servers, routes)
+    }
+
+    #[test]
+    fn empty_route_set_safe_immediately() {
+        let (_, servers, _) = line_setup(3);
+        let routes = RouteSet::new(servers.len());
+        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        assert_eq!(r.outcome, Outcome::Safe);
+        assert!(r.delays.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn feedforward_line_converges_to_closed_form() {
+        // On a one-direction line, Y at hop p is the sum of delays of hops
+        // before it; the fixed point is the Theorem-4-upper-bound
+        // recurrence S_k = (1+β)S_{k-1} + βT/ρ.
+        let hops = 4;
+        let n = hops + 1;
+        let mut g = Digraph::with_nodes(n);
+        let mut fwd = Vec::new();
+        for i in 0..hops {
+            // Directed only: pure feed-forward.
+            fwd.push(g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1.0).0);
+        }
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let mut routes = RouteSet::new(g.edge_count());
+        routes.push(Route {
+            class: ClassId(0),
+            servers: fwd,
+        });
+        let alpha = 0.3;
+        let cls = voip();
+        let r = solve_two_class(&servers, &cls, alpha, &routes, &SolveConfig::default(), None);
+        assert_eq!(r.outcome, Outcome::Safe);
+        let beta = alpha * 5.0 / (6.0 - alpha);
+        let t_over_rho = 0.02;
+        let expect_total = t_over_rho * ((1.0 + beta).powi(hops as i32) - 1.0);
+        assert!(
+            (r.route_delays[0] - expect_total).abs() < 1e-9,
+            "got {}, expect {expect_total}",
+            r.route_delays[0]
+        );
+    }
+
+    #[test]
+    fn bidirectional_line_safe_at_moderate_alpha() {
+        let (_, servers, routes) = line_setup(4);
+        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        assert_eq!(r.outcome, Outcome::Safe);
+        assert!(r.route_delays.iter().all(|&rd| rd <= 0.1));
+        assert!(r.route_delays.iter().all(|&rd| rd > 0.0));
+    }
+
+    #[test]
+    fn high_alpha_rejected() {
+        let (_, servers, routes) = line_setup(4);
+        // α close to 1 on a 4-hop path with N=6 blows past 100 ms.
+        let r = solve_two_class(&servers, &voip(), 0.95, &routes, &SolveConfig::default(), None);
+        assert!(matches!(
+            r.outcome,
+            Outcome::DeadlineExceeded { .. } | Outcome::IterationLimit
+        ));
+    }
+
+    #[test]
+    fn invalid_alpha_reported() {
+        let (_, servers, routes) = line_setup(2);
+        for &bad in &[0.0, 1.0, -0.5, f64::NAN] {
+            let r =
+                solve_two_class(&servers, &voip(), bad, &routes, &SolveConfig::default(), None);
+            assert_eq!(r.outcome, Outcome::InvalidParams);
+        }
+    }
+
+    #[test]
+    fn monotone_in_alpha() {
+        let (_, servers, routes) = line_setup(4);
+        let lo = solve_two_class(&servers, &voip(), 0.2, &routes, &SolveConfig::default(), None);
+        let hi = solve_two_class(&servers, &voip(), 0.4, &routes, &SolveConfig::default(), None);
+        assert_eq!(lo.outcome, Outcome::Safe);
+        assert_eq!(hi.outcome, Outcome::Safe);
+        for (a, b) in lo.route_delays.iter().zip(&hi.route_delays) {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn warm_start_reaches_same_fixed_point() {
+        let (_, servers, mut routes) = line_setup(4);
+        let cls = voip();
+        let cfg = SolveConfig::default();
+        // Solve a smaller problem (one route), then add the second route
+        // and warm start.
+        let second = routes.pop().unwrap();
+        let small = solve_two_class(&servers, &cls, 0.3, &routes, &cfg, None);
+        assert_eq!(small.outcome, Outcome::Safe);
+        routes.push(second);
+        let warm = solve_two_class(&servers, &cls, 0.3, &routes, &cfg, Some(&small.delays));
+        let cold = solve_two_class(&servers, &cls, 0.3, &routes, &cfg, None);
+        assert_eq!(warm.outcome, Outcome::Safe);
+        for (a, b) in warm.delays.iter().zip(&cold.delays) {
+            assert!((a - b).abs() < 1e-9, "warm {a} vs cold {b}");
+        }
+        assert!(warm.iterations <= cold.iterations);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (_, servers, routes) = line_setup(4);
+        let cls = voip();
+        let serial = solve_two_class(&servers, &cls, 0.35, &routes, &SolveConfig::default(), None);
+        let par_cfg = SolveConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let parallel = solve_two_class(&servers, &cls, 0.35, &routes, &par_cfg, None);
+        assert_eq!(serial.outcome, parallel.outcome);
+        for (a, b) in serial.delays.iter().zip(&parallel.delays) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unused_servers_keep_zero_delay() {
+        let (_, servers, mut routes) = line_setup(4);
+        routes.pop(); // keep only the forward route
+        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        assert_eq!(r.outcome, Outcome::Safe);
+        let used = routes.used_servers(ClassId(0));
+        for (k, &u) in used.iter().enumerate() {
+            if !u {
+                assert_eq!(r.delays[k], 0.0);
+            } else {
+                assert!(r.delays[k] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_cap_is_conservative() {
+        let (_, servers, routes) = line_setup(4);
+        let cfg = SolveConfig {
+            max_iters: 1,
+            ..Default::default()
+        };
+        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &cfg, None);
+        assert_eq!(r.outcome, Outcome::IterationLimit);
+        assert!(!r.outcome.is_safe());
+    }
+}

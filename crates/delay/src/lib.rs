@@ -1,0 +1,45 @@
+//! Configuration-time worst-case delay analysis (Section 5.1 of the paper).
+//!
+//! This crate turns the paper's delay theory into executable form:
+//!
+//! * [`servers`] — per-link-server parameters: capacity `C` and fan-in `N`.
+//! * [`routeset`] — the set of committed routes, with the per-server
+//!   upstream-delay maximization `Y_k` of Eq. (6).
+//! * [`bound`] — the flow-independent per-server delay bounds: Theorem 1's
+//!   jittered envelope `H_k`, Lemma 1/2's `τ`, and Theorem 3's closed form
+//!   (Eq. 10).
+//! * [`fixed_point`] — the iterative solution of the vector equation
+//!   `d = Z(d)` (Eq. 11–14) for the two-class system, with warm starting
+//!   and sound early divergence detection.
+//! * [`multiclass`] — the Theorem 5 extension to ≥3 classes (Section 5.4).
+//! * [`general`] — the *flow-aware* general delay formula (Eq. 2–3 and
+//!   Eq. 24): exact given the current flow set, usable only at run time;
+//!   serves as the intserv-style baseline and as the reference the
+//!   configuration-time bounds are property-tested against.
+//! * [`verify`] — the Figure 2 procedure: verification of a safe
+//!   utilization assignment, producing a detailed report.
+//!
+//! # Formula provenance
+//!
+//! The OCR'd paper text corrupts parts of Theorem 5; the closed forms used
+//! here are re-derived in `DESIGN.md` §2 and validated against the paper's
+//! own Table 1 numbers plus degeneracy checks (Theorem 5 with one class
+//! must equal Theorem 3 — enforced by unit tests).
+
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod fixed_point;
+pub mod general;
+pub mod multiclass;
+pub mod routeset;
+pub mod servers;
+pub mod verify;
+
+pub use bound::theorem3_delay;
+pub use fixed_point::{
+    solve_two_class, solve_two_class_nonuniform, Outcome, SolveConfig, SolveResult,
+};
+pub use routeset::{Route, RouteSet};
+pub use servers::Servers;
+pub use verify::{verify, VerifyReport};

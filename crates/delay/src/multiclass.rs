@@ -1,0 +1,370 @@
+//! Multi-class delay bounds (Section 5.4, Theorem 5).
+//!
+//! Under class-based static priority, a class-`i` packet waits for (a) the
+//! backlog of classes `1..=i` and (b) the higher-priority traffic that
+//! keeps arriving while it waits. Re-deriving the closed form in the style
+//! of Theorem 3 (the printed Theorem 5 has OCR-corrupted index ranges —
+//! see `DESIGN.md` §2):
+//!
+//! ```text
+//!            Σ_{l≤i} α_l·(T_l/ρ_l + Y_{l,k})  +  (Σ_{l≤i} α_l − 1)·τ_i
+//! d_{i,k} = ───────────────────────────────────────────────────────────
+//!                             1 − Σ_{l<i} α_l
+//!
+//! τ_i = α_i·(T_i + ρ_i·Y_{i,k}) / (ρ_i·(N − α_i))
+//! ```
+//!
+//! With a single class this degenerates *exactly* to Theorem 3, which the
+//! tests enforce.
+
+use crate::fixed_point::{Outcome, SolveConfig};
+use crate::routeset::RouteSet;
+use crate::servers::Servers;
+use uba_traffic::{ClassId, ClassSet, LeakyBucket};
+
+/// Per-class configuration handed to the Theorem 5 formula: utilization
+/// share and bucket, in priority order.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassSpec {
+    /// Bandwidth fraction `α_l` reserved for the class.
+    pub alpha: f64,
+    /// The class's per-flow leaky bucket.
+    pub bucket: LeakyBucket,
+}
+
+/// Theorem 5: worst-case queueing delay of class `i` (0-based, 0 =
+/// highest priority) at a server with `fan_in` input links, given each
+/// class's current upstream delay `y[l]`.
+///
+/// Returns `None` outside the domain: any `α_l ∉ (0,1)`,
+/// `Σ_{l≤i} α_l > 1`, or `α_i ≥ N`.
+pub fn theorem5_delay(specs: &[ClassSpec], i: usize, fan_in: usize, y: &[f64]) -> Option<f64> {
+    assert!(i < specs.len(), "class index out of range");
+    assert!(y.len() >= specs.len(), "need one upstream delay per class");
+    let n = fan_in as f64;
+    let mut sum_le = 0.0; // Σ_{l≤i} α_l
+    let mut num = 0.0;
+    for (l, spec) in specs.iter().enumerate().take(i + 1) {
+        if !(spec.alpha > 0.0 && spec.alpha < 1.0 && spec.alpha.is_finite()) {
+            return None;
+        }
+        sum_le += spec.alpha;
+        num += spec.alpha * (spec.bucket.burst / spec.bucket.rate + y[l]);
+    }
+    let sum_lt = sum_le - specs[i].alpha; // Σ_{l<i} α_l
+    if sum_le > 1.0 + 1e-12 || sum_lt >= 1.0 {
+        return None;
+    }
+    let si = specs[i];
+    if n <= si.alpha {
+        return None;
+    }
+    let tau_i = si.alpha * (si.bucket.burst + si.bucket.rate * y[i])
+        / (si.bucket.rate * (n - si.alpha));
+    let d = (num + (sum_le - 1.0) * tau_i) / (1.0 - sum_lt);
+    Some(d.max(0.0))
+}
+
+/// Result of a multi-class fixed-point solve.
+#[derive(Clone, Debug)]
+pub struct MulticlassResult {
+    /// Verdict (deadline-exceeded routes are indices into the route set).
+    pub outcome: Outcome,
+    /// `delays[class][server]` at the last iterate.
+    pub delays: Vec<Vec<f64>>,
+    /// Per-route end-to-end delays at the last iterate.
+    pub route_delays: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+const DEADLINE_SLACK: f64 = 1e-12;
+
+/// Solves the multi-class system `d_{i,k} = Z_{i,k}(d)` by monotone
+/// iteration from zero (or a warm start with the same shrink-to-grow
+/// discipline as [`crate::fixed_point::solve_two_class`]).
+pub fn solve_multiclass(
+    servers: &Servers,
+    classes: &ClassSet,
+    alphas: &[f64],
+    routes: &RouteSet,
+    cfg: &SolveConfig,
+    warm: Option<&[Vec<f64>]>,
+) -> MulticlassResult {
+    let s = servers.len();
+    let nc = classes.len();
+    assert_eq!(alphas.len(), nc, "one alpha per class");
+    assert_eq!(routes.server_count(), s, "route set / servers mismatch");
+
+    let specs: Vec<ClassSpec> = classes
+        .iter()
+        .zip(alphas)
+        .map(|((_, c), &alpha)| ClassSpec {
+            alpha,
+            bucket: c.bucket,
+        })
+        .collect();
+
+    // Static domain check (also catches Σα > 1 up front).
+    let total: f64 = alphas.iter().sum();
+    if total > 1.0 + 1e-12 || alphas.iter().any(|&a| !(a > 0.0 && a < 1.0)) {
+        return MulticlassResult {
+            outcome: Outcome::InvalidParams,
+            delays: vec![vec![0.0; s]; nc],
+            route_delays: vec![0.0; routes.len()],
+            iterations: 0,
+        };
+    }
+
+    // Constant (propagation) delay per route: deadline budget only.
+    let prop: Vec<f64> = routes
+        .routes()
+        .iter()
+        .map(|r| servers.route_const_delay(&r.servers))
+        .collect();
+
+    let used: Vec<Vec<bool>> = (0..nc).map(|i| routes.used_servers(ClassId(i))).collect();
+    let mut d: Vec<Vec<f64>> = match warm {
+        Some(w) => {
+            assert_eq!(w.len(), nc, "warm start class count mismatch");
+            w.to_vec()
+        }
+        None => vec![vec![0.0; s]; nc],
+    };
+    let mut y = vec![vec![0.0; s]; nc];
+
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        // Per-class upstream maxima and route delays.
+        let mut route_delays = prop.clone();
+        for i in 0..nc {
+            let rd = routes.upstream_max_and_route_delays(ClassId(i), &d[i], &mut y[i]);
+            for (ri, &v) in rd.iter().enumerate() {
+                if v != 0.0 {
+                    route_delays[ri] += v;
+                }
+            }
+        }
+        // Early deadline exit (sound: iterates are monotone increasing).
+        for (ri, r) in routes.routes().iter().enumerate() {
+            let deadline = classes.get(r.class).deadline;
+            if route_delays[ri] > deadline + DEADLINE_SLACK {
+                return MulticlassResult {
+                    outcome: Outcome::DeadlineExceeded { route: ri },
+                    delays: d,
+                    route_delays,
+                    iterations,
+                };
+            }
+        }
+
+        let mut max_diff: f64 = 0.0;
+        for i in 0..nc {
+            for k in 0..s {
+                if !used[i][k] {
+                    continue;
+                }
+                let yk: Vec<f64> = (0..nc).map(|l| y[l][k]).collect();
+                match theorem5_delay(&specs, i, servers.fan_in_at(k), &yk) {
+                    Some(v) => {
+                        max_diff = max_diff.max((v - d[i][k]).abs());
+                        d[i][k] = v;
+                    }
+                    None => {
+                        return MulticlassResult {
+                            outcome: Outcome::InvalidParams,
+                            delays: d,
+                            route_delays,
+                            iterations,
+                        }
+                    }
+                }
+            }
+        }
+
+        if max_diff <= cfg.tol {
+            let mut route_delays = prop.clone();
+            for i in 0..nc {
+                let rd = routes.upstream_max_and_route_delays(ClassId(i), &d[i], &mut y[i]);
+                for (ri, &v) in rd.iter().enumerate() {
+                    if v != 0.0 {
+                        route_delays[ri] += v;
+                    }
+                }
+            }
+            let violation = routes.routes().iter().enumerate().find(|(ri, r)| {
+                route_delays[*ri] > classes.get(r.class).deadline + DEADLINE_SLACK
+            });
+            let outcome = match violation {
+                Some((ri, _)) => Outcome::DeadlineExceeded { route: ri },
+                None => Outcome::Safe,
+            };
+            return MulticlassResult {
+                outcome,
+                delays: d,
+                route_delays,
+                iterations,
+            };
+        }
+        if iterations >= cfg.max_iters {
+            return MulticlassResult {
+                outcome: Outcome::IterationLimit,
+                delays: d,
+                route_delays,
+                iterations,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::theorem3_delay;
+    use crate::fixed_point::solve_two_class;
+    use crate::routeset::Route;
+    use uba_graph::{Digraph, NodeId};
+    use uba_traffic::TrafficClass;
+
+    fn voip_spec(alpha: f64) -> ClassSpec {
+        ClassSpec {
+            alpha,
+            bucket: LeakyBucket::new(640.0, 32_000.0),
+        }
+    }
+
+    #[test]
+    fn single_class_degenerates_to_theorem3() {
+        let specs = [voip_spec(0.3)];
+        for &y in &[0.0, 0.005, 0.02] {
+            for &n in &[2usize, 6, 12] {
+                let t5 = theorem5_delay(&specs, 0, n, &[y]).unwrap();
+                let t3 = theorem3_delay(0.3, specs[0].bucket, n, y).unwrap();
+                assert!(
+                    (t5 - t3).abs() <= 1e-12 * (1.0 + t3.abs()),
+                    "n={n}, y={y}: t5={t5} t3={t3}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_priority_sees_larger_delay() {
+        let specs = [voip_spec(0.2), voip_spec(0.2)];
+        let y = [0.0, 0.0];
+        let d0 = theorem5_delay(&specs, 0, 6, &y).unwrap();
+        let d1 = theorem5_delay(&specs, 1, 6, &y).unwrap();
+        assert!(d1 > d0, "d1={d1} should exceed d0={d0}");
+    }
+
+    #[test]
+    fn domain_guards() {
+        let specs = [voip_spec(0.6), voip_spec(0.6)];
+        // Σ α = 1.2 > 1 for class 1.
+        assert!(theorem5_delay(&specs, 1, 6, &[0.0, 0.0]).is_none());
+        // Class 0 alone is fine.
+        assert!(theorem5_delay(&specs, 0, 6, &[0.0, 0.0]).is_some());
+        let bad = [voip_spec(1.5)];
+        assert!(theorem5_delay(&bad, 0, 6, &[0.0]).is_none());
+    }
+
+    #[test]
+    fn delay_grows_with_higher_priority_jitter() {
+        let specs = [voip_spec(0.2), voip_spec(0.2)];
+        let base = theorem5_delay(&specs, 1, 6, &[0.0, 0.0]).unwrap();
+        let jittered = theorem5_delay(&specs, 1, 6, &[0.05, 0.0]).unwrap();
+        assert!(jittered > base);
+    }
+
+    /// Bidirectional 3-hop line with both-direction routes per class.
+    fn line_routes(nc: usize) -> (Servers, RouteSet) {
+        let hops = 3;
+        let mut g = Digraph::with_nodes(hops + 1);
+        for i in 0..hops {
+            g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), 1.0);
+        }
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let mut routes = RouteSet::new(g.edge_count());
+        let fwd: Vec<u32> = (0..hops as u32).map(|i| 2 * i).collect();
+        let back: Vec<u32> = (0..hops as u32).rev().map(|i| 2 * i + 1).collect();
+        for c in 0..nc {
+            routes.push(Route {
+                class: ClassId(c),
+                servers: fwd.clone(),
+            });
+            routes.push(Route {
+                class: ClassId(c),
+                servers: back.clone(),
+            });
+        }
+        (servers, routes)
+    }
+
+    #[test]
+    fn multiclass_solver_matches_two_class_for_one_class() {
+        let (servers, routes) = line_routes(1);
+        let classes = ClassSet::single(TrafficClass::voip());
+        let cfg = SolveConfig::default();
+        let multi = solve_multiclass(&servers, &classes, &[0.3], &routes, &cfg, None);
+        let two = solve_two_class(&servers, &TrafficClass::voip(), 0.3, &routes, &cfg, None);
+        assert_eq!(multi.outcome, two.outcome);
+        for (a, b) in multi.delays[0].iter().zip(&two.delays) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_class_system_converges() {
+        let (servers, routes) = line_routes(3);
+        let mut classes = ClassSet::new();
+        classes.push(TrafficClass::voip());
+        classes.push(TrafficClass::new(
+            "video",
+            LeakyBucket::new(16_000.0, 1_000_000.0),
+            0.4,
+        ));
+        classes.push(TrafficClass::new(
+            "bulk-rt",
+            LeakyBucket::new(64_000.0, 2_000_000.0),
+            1.5,
+        ));
+        let alphas = [0.1, 0.2, 0.2];
+        let cfg = SolveConfig::default();
+        let r = solve_multiclass(&servers, &classes, &alphas, &routes, &cfg, None);
+        assert_eq!(r.outcome, Outcome::Safe, "delays: {:?}", r.route_delays);
+        // Priority ordering visible per server on used servers.
+        for k in 0..servers.len() {
+            if r.delays[0][k] > 0.0 && r.delays[2][k] > 0.0 {
+                assert!(r.delays[0][k] < r.delays[2][k]);
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_alphas_invalid() {
+        let (servers, routes) = line_routes(2);
+        let mut classes = ClassSet::new();
+        classes.push(TrafficClass::voip());
+        classes.push(TrafficClass::voip());
+        let cfg = SolveConfig::default();
+        let r = solve_multiclass(&servers, &classes, &[0.7, 0.7], &routes, &cfg, None);
+        assert_eq!(r.outcome, Outcome::InvalidParams);
+    }
+
+    #[test]
+    fn tight_deadline_caught() {
+        let (servers, routes) = line_routes(2);
+        let mut classes = ClassSet::new();
+        classes.push(TrafficClass::voip());
+        // Second class with an impossible deadline.
+        classes.push(TrafficClass::new(
+            "impossible",
+            LeakyBucket::new(640.0, 32_000.0),
+            1e-9,
+        ));
+        let cfg = SolveConfig::default();
+        let r = solve_multiclass(&servers, &classes, &[0.2, 0.2], &routes, &cfg, None);
+        assert!(matches!(r.outcome, Outcome::DeadlineExceeded { .. }));
+    }
+}

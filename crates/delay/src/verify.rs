@@ -1,0 +1,218 @@
+//! Verification of a safe utilization assignment (Figure 2).
+//!
+//! Given the topology's servers, the traffic classes with their
+//! utilization assignment `α_i`, and the committed routes, decide whether
+//! every route of every class meets its class deadline under the
+//! configuration-time delay bounds — i.e. whether the assignment is *safe*
+//! to enforce with run-time utilization tests alone.
+
+use crate::fixed_point::{solve_two_class, Outcome, SolveConfig};
+use crate::multiclass::solve_multiclass;
+use crate::routeset::RouteSet;
+use crate::servers::Servers;
+use uba_traffic::ClassSet;
+
+/// Detailed verification report (Figure 2's SUCCESS/FAILURE plus the
+/// evidence).
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Figure 2's verdict: SUCCESS iff `outcome == Safe`.
+    pub safe: bool,
+    /// Detailed verdict from the solver.
+    pub outcome: Outcome,
+    /// `server_delays[class][server]` — the per-server bounds `d_{i,k}`.
+    pub server_delays: Vec<Vec<f64>>,
+    /// Per-route end-to-end delays.
+    pub route_delays: Vec<f64>,
+    /// Smallest `deadline − route_delay` over all routes (`+∞` if there
+    /// are no routes). Negative iff unsafe by deadline.
+    pub worst_slack: f64,
+    /// Fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl VerifyReport {
+    /// Worst-case backlog (buffer occupancy) bound per server, in bits:
+    /// a work-conserving server of capacity `C` with worst-case delay `d`
+    /// never holds more than `C·d` bits, so routers can size class
+    /// buffers from the verification output and the no-loss assumption
+    /// of the analysis becomes an engineering statement.
+    ///
+    /// `capacities[k]` must match the servers the report was computed
+    /// for. Returns the max over classes per server.
+    pub fn backlog_bounds(&self, capacities: &[f64]) -> Vec<f64> {
+        let s = self
+            .server_delays
+            .first()
+            .map(Vec::len)
+            .unwrap_or(0);
+        assert_eq!(capacities.len(), s, "capacity per server");
+        (0..s)
+            .map(|k| {
+                let d = self
+                    .server_delays
+                    .iter()
+                    .map(|per_class| per_class[k])
+                    .fold(0.0, f64::max);
+                d * capacities[k]
+            })
+            .collect()
+    }
+}
+
+/// Runs the Figure 2 verification procedure.
+///
+/// Dispatches to the specialized two-class solver when there is a single
+/// real-time class, and to the Theorem 5 multi-class solver otherwise.
+pub fn verify(
+    servers: &Servers,
+    classes: &ClassSet,
+    alphas: &[f64],
+    routes: &RouteSet,
+    cfg: &SolveConfig,
+) -> VerifyReport {
+    assert!(!classes.is_empty(), "need at least one real-time class");
+    assert_eq!(alphas.len(), classes.len(), "one alpha per class");
+
+    let (outcome, server_delays, route_delays, iterations) = if classes.len() == 1 {
+        let (_, class) = classes.iter().next().unwrap();
+        let r = solve_two_class(servers, class, alphas[0], routes, cfg, None);
+        (r.outcome, vec![r.delays], r.route_delays, r.iterations)
+    } else {
+        let r = solve_multiclass(servers, classes, alphas, routes, cfg, None);
+        (r.outcome, r.delays, r.route_delays, r.iterations)
+    };
+
+    let worst_slack = routes
+        .routes()
+        .iter()
+        .zip(&route_delays)
+        .map(|(r, &rd)| classes.get(r.class).deadline - rd)
+        .fold(f64::INFINITY, f64::min);
+
+    VerifyReport {
+        safe: outcome.is_safe(),
+        outcome,
+        server_delays,
+        route_delays,
+        worst_slack,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routeset::Route;
+    use uba_graph::{Digraph, NodeId};
+    use uba_traffic::{ClassId, LeakyBucket, TrafficClass};
+
+    fn ring_setup(n: usize) -> (Servers, RouteSet) {
+        let mut g = Digraph::with_nodes(n);
+        for i in 0..n {
+            g.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), 1.0);
+        }
+        let servers = Servers::uniform(&g, 100e6, 6);
+        // One clockwise route per adjacent pair (forward edges have even
+        // ids).
+        let mut routes = RouteSet::new(g.edge_count());
+        for i in 0..n {
+            routes.push(Route {
+                class: ClassId(0),
+                servers: vec![2 * i as u32],
+            });
+        }
+        (servers, routes)
+    }
+
+    #[test]
+    fn single_hop_ring_is_safe() {
+        let (servers, routes) = ring_setup(6);
+        let classes = ClassSet::single(TrafficClass::voip());
+        let rep = verify(&servers, &classes, &[0.3], &routes, &SolveConfig::default());
+        assert!(rep.safe);
+        assert_eq!(rep.outcome, Outcome::Safe);
+        assert!(rep.worst_slack > 0.0 && rep.worst_slack < 0.1);
+        assert_eq!(rep.server_delays.len(), 1);
+        assert_eq!(rep.route_delays.len(), 6);
+    }
+
+    #[test]
+    fn worst_slack_matches_route_delays() {
+        let (servers, routes) = ring_setup(4);
+        let classes = ClassSet::single(TrafficClass::voip());
+        let rep = verify(&servers, &classes, &[0.2], &routes, &SolveConfig::default());
+        let max_rd = rep.route_delays.iter().cloned().fold(0.0, f64::max);
+        assert!((rep.worst_slack - (0.1 - max_rd)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsafe_assignment_detected() {
+        let (servers, routes) = ring_setup(6);
+        let mut tight = TrafficClass::voip();
+        tight.deadline = 1e-6;
+        let classes = ClassSet::single(tight);
+        let rep = verify(&servers, &classes, &[0.3], &routes, &SolveConfig::default());
+        assert!(!rep.safe);
+        assert!(matches!(rep.outcome, Outcome::DeadlineExceeded { .. }));
+        assert!(rep.worst_slack < 0.0);
+    }
+
+    #[test]
+    fn empty_routes_trivially_safe_with_infinite_slack() {
+        let (servers, _) = ring_setup(4);
+        let routes = RouteSet::new(servers.len());
+        let classes = ClassSet::single(TrafficClass::voip());
+        let rep = verify(&servers, &classes, &[0.5], &routes, &SolveConfig::default());
+        assert!(rep.safe);
+        assert_eq!(rep.worst_slack, f64::INFINITY);
+    }
+
+    #[test]
+    fn multiclass_dispatch() {
+        let (servers, mut routes) = ring_setup(6);
+        routes.push(Route {
+            class: ClassId(1),
+            servers: vec![0, 2],
+        });
+        let mut classes = ClassSet::new();
+        classes.push(TrafficClass::voip());
+        classes.push(TrafficClass::new(
+            "video",
+            LeakyBucket::new(16_000.0, 1_000_000.0),
+            0.5,
+        ));
+        let rep = verify(
+            &servers,
+            &classes,
+            &[0.2, 0.2],
+            &routes,
+            &SolveConfig::default(),
+        );
+        assert!(rep.safe, "route delays: {:?}", rep.route_delays);
+        assert_eq!(rep.server_delays.len(), 2);
+    }
+
+    #[test]
+    fn backlog_bounds_are_capacity_times_delay() {
+        let (servers, routes) = ring_setup(4);
+        let classes = ClassSet::single(TrafficClass::voip());
+        let rep = verify(&servers, &classes, &[0.3], &routes, &SolveConfig::default());
+        let caps: Vec<f64> = (0..servers.len()).map(|k| servers.capacity_at(k)).collect();
+        let backlogs = rep.backlog_bounds(&caps);
+        for (k, &b) in backlogs.iter().enumerate() {
+            assert!((b - rep.server_delays[0][k] * caps[k]).abs() < 1e-9);
+        }
+        // Every used server's buffer bound is positive and finite.
+        assert!(backlogs.iter().any(|&b| b > 0.0));
+        assert!(backlogs.iter().all(|&b| b.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "one alpha per class")]
+    fn alpha_count_mismatch_panics() {
+        let (servers, routes) = ring_setup(4);
+        let classes = ClassSet::single(TrafficClass::voip());
+        verify(&servers, &classes, &[0.3, 0.1], &routes, &SolveConfig::default());
+    }
+}

@@ -1,0 +1,105 @@
+//! Constant (propagation) delay semantics: consumed from the deadline
+//! budget, invisible to the jitter term `Y_k` (Section 3's "appropriately
+//! subtracting constant delays ... from the deadline requirements").
+
+use uba_delay::fixed_point::{solve_two_class, Outcome, SolveConfig};
+use uba_delay::routeset::{Route, RouteSet};
+use uba_delay::servers::Servers;
+use uba_graph::{Digraph, EdgeId, NodeId};
+use uba_traffic::{ClassId, TrafficClass};
+
+fn line_setup(hops: usize) -> (Digraph, Servers, RouteSet) {
+    let n = hops + 1;
+    let mut g = Digraph::with_nodes(n);
+    for i in 0..hops {
+        g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), 1.0);
+    }
+    let servers = Servers::uniform(&g, 100e6, 6);
+    let mut routes = RouteSet::new(g.edge_count());
+    let fwd: Vec<u32> = (0..hops as u32).map(|i| 2 * i).collect();
+    let back: Vec<u32> = (0..hops as u32).rev().map(|i| 2 * i + 1).collect();
+    routes.push(Route {
+        class: ClassId(0),
+        servers: fwd,
+    });
+    routes.push(Route {
+        class: ClassId(0),
+        servers: back,
+    });
+    (g, servers, routes)
+}
+
+#[test]
+fn propagation_adds_to_route_delay_not_jitter() {
+    let (g, mut servers, routes) = line_setup(4);
+    let voip = TrafficClass::voip();
+    let cfg = SolveConfig::default();
+    let base = solve_two_class(&servers, &voip, 0.3, &routes, &cfg, None);
+    assert_eq!(base.outcome, Outcome::Safe);
+
+    // 2 ms of propagation on every server.
+    for e in g.edges() {
+        servers.set_const_delay(e, 0.002);
+    }
+    let with_prop = solve_two_class(&servers, &voip, 0.3, &routes, &cfg, None);
+    assert_eq!(with_prop.outcome, Outcome::Safe);
+    // The queueing fixed point is untouched (no jitter contribution)...
+    for (a, b) in base.delays.iter().zip(&with_prop.delays) {
+        assert!((a - b).abs() < 1e-12);
+    }
+    // ...while each 4-hop route gains exactly 8 ms.
+    for (a, b) in base.route_delays.iter().zip(&with_prop.route_delays) {
+        assert!((b - a - 0.008).abs() < 1e-12, "a={a}, b={b}");
+    }
+}
+
+#[test]
+fn propagation_can_make_a_safe_assignment_unsafe() {
+    let (g, mut servers, routes) = line_setup(4);
+    let voip = TrafficClass::voip();
+    let cfg = SolveConfig::default();
+    let base = solve_two_class(&servers, &voip, 0.45, &routes, &cfg, None);
+    assert_eq!(base.outcome, Outcome::Safe);
+    let slack = voip.deadline
+        - base
+            .route_delays
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+    assert!(slack > 0.0);
+    // Propagation exceeding the remaining slack flips the verdict.
+    let per_hop = slack / 4.0 + 1e-4;
+    for e in g.edges() {
+        servers.set_const_delay(e, per_hop);
+    }
+    let with_prop = solve_two_class(&servers, &voip, 0.45, &routes, &cfg, None);
+    assert!(matches!(with_prop.outcome, Outcome::DeadlineExceeded { .. }));
+}
+
+#[test]
+fn route_const_delay_sums_selected_servers() {
+    let (g, mut servers, _) = line_setup(3);
+    servers.set_const_delay(EdgeId(0), 0.001);
+    servers.set_const_delay(EdgeId(2), 0.003);
+    assert!((servers.route_const_delay(&[0, 2]) - 0.004).abs() < 1e-15);
+    assert_eq!(servers.route_const_delay(&[]), 0.0);
+    let _ = g;
+}
+
+#[test]
+fn multiclass_includes_propagation() {
+    use uba_delay::multiclass::solve_multiclass;
+    use uba_traffic::ClassSet;
+    let (g, mut servers, routes) = line_setup(3);
+    for e in g.edges() {
+        servers.set_const_delay(e, 0.005);
+    }
+    let classes = ClassSet::single(TrafficClass::voip());
+    let cfg = SolveConfig::default();
+    let r = solve_multiclass(&servers, &classes, &[0.2], &routes, &cfg, None);
+    assert_eq!(r.outcome, Outcome::Safe);
+    // 3-hop routes carry 15 ms of propagation.
+    for &rd in &r.route_delays {
+        assert!(rd >= 0.015);
+    }
+}

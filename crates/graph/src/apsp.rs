@@ -1,0 +1,143 @@
+//! All-pairs shortest paths by repeated Dijkstra, serial and parallel.
+//!
+//! Route selection orders source/destination pairs by decreasing shortest
+//! distance (heuristic (1) of Section 5.2), which needs the full distance
+//! matrix. The per-source runs are independent, so the parallel variant
+//! farms them out with [`crate::par::par_map`].
+
+use crate::digraph::{Digraph, NodeId};
+use crate::dijkstra::{dijkstra, ShortestPaths};
+use crate::par::par_map;
+
+/// Dense all-pairs shortest-path distance matrix.
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Distance from `a` to `b` (`INFINITY` if unreachable).
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> f64 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Largest finite distance in the matrix (weighted diameter), or `None`
+    /// if any pair is unreachable or the matrix is empty.
+    pub fn weighted_diameter(&self) -> Option<f64> {
+        let mut m: f64 = 0.0;
+        if self.n == 0 {
+            return None;
+        }
+        for &d in &self.dist {
+            if !d.is_finite() {
+                return None;
+            }
+            m = m.max(d);
+        }
+        Some(m)
+    }
+
+    fn from_trees(n: usize, trees: &[ShortestPaths]) -> Self {
+        let mut dist = Vec::with_capacity(n * n);
+        for t in trees {
+            for j in 0..n {
+                dist.push(t.dist(NodeId(j as u32)));
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+}
+
+/// Serial all-pairs shortest paths.
+pub fn apsp(g: &Digraph) -> DistanceMatrix {
+    let n = g.node_count();
+    let trees: Vec<ShortestPaths> = (0..n).map(|i| dijkstra(g, NodeId(i as u32))).collect();
+    DistanceMatrix::from_trees(n, &trees)
+}
+
+/// Parallel all-pairs shortest paths using `threads` workers.
+pub fn apsp_parallel(g: &Digraph, threads: usize) -> DistanceMatrix {
+    let n = g.node_count();
+    let trees = par_map(n, threads, |i| dijkstra(g, NodeId(i as u32)));
+    DistanceMatrix::from_trees(n, &trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: u32) -> Digraph {
+        let mut g = Digraph::with_nodes(n as usize);
+        for i in 0..n {
+            g.add_link(NodeId(i), NodeId((i + 1) % n), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn ring_distances_symmetric() {
+        let g = ring(8);
+        let m = apsp(&g);
+        assert_eq!(m.get(NodeId(0), NodeId(4)), 4.0);
+        assert_eq!(m.get(NodeId(0), NodeId(7)), 1.0);
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                assert_eq!(m.get(NodeId(a), NodeId(b)), m.get(NodeId(b), NodeId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let m = apsp(&ring(5));
+        for i in 0..5u32 {
+            assert_eq!(m.get(NodeId(i), NodeId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = ring(16);
+        let a = apsp(&g);
+        let b = apsp_parallel(&g, 4);
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                assert_eq!(a.get(NodeId(i), NodeId(j)), b.get(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_diameter_of_ring() {
+        let m = apsp(&ring(8));
+        assert_eq!(m.weighted_diameter(), Some(4.0));
+    }
+
+    #[test]
+    fn disconnected_has_no_weighted_diameter() {
+        let mut g = ring(4);
+        g.add_node("island");
+        let m = apsp(&g);
+        assert_eq!(m.weighted_diameter(), None);
+        assert!(!m.get(NodeId(0), NodeId(4)).is_finite());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = apsp(&Digraph::new());
+        assert!(m.is_empty());
+        assert_eq!(m.weighted_diameter(), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Unweighted (hop-count) breadth-first search utilities.
+//!
+//! The paper's Theorem 4 bounds depend on the network diameter `L` — "the
+//! maximum length of the shortest paths in G between any pair of hosts"
+//! (Section 3) — which is a hop-count quantity, computed here.
+
+use crate::digraph::{Digraph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distances from `source` to every node; `usize::MAX` if unreachable.
+pub fn hop_distances(g: &Digraph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut q = VecDeque::new();
+    dist[source.index()] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for v in g.successors(u) {
+            if dist[v.index()] == usize::MAX {
+                dist[v.index()] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source`: the maximum finite hop distance from it.
+///
+/// Returns `None` if some node is unreachable from `source`.
+pub fn eccentricity(g: &Digraph, source: NodeId) -> Option<usize> {
+    let dist = hop_distances(g, source);
+    let mut ecc = 0;
+    for &d in &dist {
+        if d == usize::MAX {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc)
+}
+
+/// The diameter `L` of the graph in hops.
+///
+/// Returns `None` for an empty or non-strongly-connected graph.
+pub fn diameter(g: &Digraph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    let mut diam = 0;
+    for n in g.nodes() {
+        diam = diam.max(eccentricity(g, n)?);
+    }
+    Some(diam)
+}
+
+/// True if every node can reach every other node.
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    if g.node_count() == 0 {
+        return true;
+    }
+    g.nodes()
+        .all(|n| hop_distances(g, n).iter().all(|&d| d != usize::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Digraph {
+        let mut g = Digraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn line_distances() {
+        let g = line(5);
+        let d = hop_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn line_diameter() {
+        assert_eq!(diameter(&line(5)), Some(4));
+        assert_eq!(diameter(&line(2)), Some(1));
+    }
+
+    #[test]
+    fn single_node_diameter_zero() {
+        let g = Digraph::with_nodes(1);
+        assert_eq!(diameter(&g), Some(0));
+    }
+
+    #[test]
+    fn empty_graph_has_no_diameter() {
+        assert_eq!(diameter(&Digraph::new()), None);
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_diameter() {
+        let mut g = line(3);
+        g.add_node("island");
+        assert_eq!(diameter(&g), None);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn directed_cycle_is_strongly_connected() {
+        let mut g = Digraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(0), 1.0);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn one_way_edge_breaks_strong_connectivity() {
+        let mut g = Digraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        assert!(!is_strongly_connected(&g));
+        assert_eq!(eccentricity(&g, NodeId(1)), None);
+    }
+
+    #[test]
+    fn eccentricity_of_line_center() {
+        let g = line(5);
+        assert_eq!(eccentricity(&g, NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn ring_diameter_is_half() {
+        let mut g = Digraph::with_nodes(6);
+        for i in 0..6u32 {
+            g.add_link(NodeId(i), NodeId((i + 1) % 6), 1.0);
+        }
+        assert_eq!(diameter(&g), Some(3));
+    }
+}

@@ -1,0 +1,250 @@
+//! Dynamic overlay digraph with reference-counted edges and cycle queries.
+//!
+//! Heuristic (2) of Section 5.2 prefers candidate routes that "form a
+//! noncyclic graph with existing routes": cycles in the *route-dependency
+//! graph* (link servers as vertices, consecutive servers of a route as
+//! edges) create queuing feedback and inflate the delay fixed point. The
+//! route set evolves one route at a time, so this structure supports
+//! incremental edge insertion/removal with multiplicities and a
+//! would-adding-these-edges-create-a-cycle query.
+
+use std::collections::HashMap;
+
+/// A dynamic directed graph over `usize` vertices with edge multiplicities.
+#[derive(Clone, Debug, Default)]
+pub struct DynDigraph {
+    n: usize,
+    /// out[u] maps v -> multiplicity of edge (u, v).
+    out: Vec<HashMap<usize, usize>>,
+}
+
+impl DynDigraph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            out: vec![HashMap::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Multiplicity of edge `(u, v)`.
+    pub fn multiplicity(&self, u: usize, v: usize) -> usize {
+        self.out[u].get(&v).copied().unwrap_or(0)
+    }
+
+    /// Adds one instance of edge `(u, v)`.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n, "vertex out of range");
+        *self.out[u].entry(v).or_insert(0) += 1;
+    }
+
+    /// Removes one instance of edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics if the edge is not present.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        let m = self
+            .out[u]
+            .get_mut(&v)
+            .expect("removing edge that is not present");
+        *m -= 1;
+        if *m == 0 {
+            self.out[u].remove(&v);
+        }
+    }
+
+    /// Adds the consecutive-pair edges of a vertex sequence (a route).
+    pub fn add_chain(&mut self, chain: &[usize]) {
+        for w in chain.windows(2) {
+            self.add_edge(w[0], w[1]);
+        }
+    }
+
+    /// Removes the consecutive-pair edges of a vertex sequence.
+    pub fn remove_chain(&mut self, chain: &[usize]) {
+        for w in chain.windows(2) {
+            self.remove_edge(w[0], w[1]);
+        }
+    }
+
+    /// True if a directed path from `from` to `to` exists (iterative DFS).
+    pub fn has_path(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut visited = vec![false; self.n];
+        let mut stack = vec![from];
+        visited[from] = true;
+        while let Some(u) = stack.pop() {
+            for &v in self.out[u].keys() {
+                if v == to {
+                    return true;
+                }
+                if !visited[v] {
+                    visited[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// True if the graph currently contains a directed cycle (Kahn).
+    pub fn has_cycle(&self) -> bool {
+        let mut indeg = vec![0usize; self.n];
+        for u in 0..self.n {
+            for (&v, &m) in &self.out[u] {
+                // Self-loops are cycles regardless of the topological order.
+                if u == v && m > 0 {
+                    return true;
+                }
+                indeg[v] += m.min(1);
+            }
+        }
+        let mut stack: Vec<usize> = (0..self.n).filter(|&v| indeg[v] == 0).collect();
+        let mut removed = 0;
+        let mut alive = vec![true; self.n];
+        while let Some(u) = stack.pop() {
+            alive[u] = false;
+            removed += 1;
+            for &v in self.out[u].keys() {
+                if alive[v] {
+                    indeg[v] -= 1;
+                    if indeg[v] == 0 {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        removed != self.n
+    }
+
+    /// True if adding the consecutive-pair edges of `chain` would create a
+    /// directed cycle. The graph is not modified.
+    ///
+    /// Assumes the current graph is acyclic (the intended usage: routes are
+    /// only committed while acyclicity is preserved, or the caller has
+    /// already given up on acyclicity and stops calling this).
+    pub fn chain_would_create_cycle(&mut self, chain: &[usize]) -> bool {
+        // A chain may itself revisit vertices; simplest correct check:
+        // temporarily insert, run has_cycle, remove.
+        self.add_chain(chain);
+        let cyc = self.has_cycle();
+        self.remove_chain(chain);
+        cyc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_acyclic() {
+        let g = DynDigraph::new(4);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let mut g = DynDigraph::new(4);
+        g.add_chain(&[0, 1, 2, 3]);
+        assert!(!g.has_cycle());
+        assert!(g.has_path(0, 3));
+        assert!(!g.has_path(3, 0));
+    }
+
+    #[test]
+    fn back_edge_creates_cycle() {
+        let mut g = DynDigraph::new(3);
+        g.add_chain(&[0, 1, 2]);
+        // A forward shortcut 0 -> 2 keeps the graph a DAG.
+        assert!(!g.chain_would_create_cycle(&[0, 2]));
+        // 2 -> 0 closes the loop through 0 -> 1 -> 2.
+        assert!(g.chain_would_create_cycle(&[2, 0]));
+        assert!(!g.has_cycle(), "query must not mutate");
+    }
+
+    #[test]
+    fn would_create_cycle_is_side_effect_free() {
+        let mut g = DynDigraph::new(3);
+        g.add_chain(&[0, 1]);
+        let before = g.multiplicity(0, 1);
+        let _ = g.chain_would_create_cycle(&[1, 2, 0]);
+        assert_eq!(g.multiplicity(0, 1), before);
+        assert_eq!(g.multiplicity(1, 2), 0);
+    }
+
+    #[test]
+    fn multiplicity_tracked_and_removal_exact() {
+        let mut g = DynDigraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.multiplicity(0, 1), 2);
+        g.remove_edge(0, 1);
+        assert_eq!(g.multiplicity(0, 1), 1);
+        g.remove_edge(0, 1);
+        assert_eq!(g.multiplicity(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn removing_absent_edge_panics() {
+        let mut g = DynDigraph::new(2);
+        g.remove_edge(0, 1);
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g = DynDigraph::new(2);
+        g.add_edge(1, 1);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn two_node_cycle() {
+        let mut g = DynDigraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert!(g.has_cycle());
+        g.remove_edge(1, 0);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn parallel_edges_do_not_fake_acyclicity() {
+        let mut g = DynDigraph::new(3);
+        g.add_chain(&[0, 1, 2]);
+        g.add_chain(&[0, 1, 2]);
+        assert!(!g.has_cycle());
+        g.add_chain(&[2, 0]);
+        assert!(g.has_cycle());
+        g.remove_chain(&[2, 0]);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn chain_revisiting_vertices_detected() {
+        let mut g = DynDigraph::new(4);
+        // The chain itself contains a cycle: 0 -> 1 -> 0.
+        assert!(g.chain_would_create_cycle(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn remove_chain_restores_acyclicity_queries() {
+        let mut g = DynDigraph::new(5);
+        g.add_chain(&[0, 1, 2, 3, 4]);
+        g.remove_chain(&[0, 1, 2, 3, 4]);
+        assert!(!g.has_path(0, 4));
+        for u in 0..5 {
+            for v in 0..5 {
+                assert_eq!(g.multiplicity(u, v), 0);
+            }
+        }
+    }
+}

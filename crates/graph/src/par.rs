@@ -1,0 +1,99 @@
+//! Minimal chunked parallel map built on crossbeam scoped threads.
+//!
+//! The workspace's data-parallel loops (per-server delay updates in the
+//! fixed-point solver, per-source Dijkstra in APSP, candidate-route
+//! evaluation) are all "map an index range through a pure function". This
+//! helper covers that shape without pulling in a full work-stealing
+//! runtime: each worker owns a disjoint chunk of the output vector
+//! (`chunks_mut`), so no locks or unsafe code are needed.
+
+/// Maps `0..n` through `f` in parallel using up to `threads` workers.
+///
+/// Falls back to a serial loop when `n` is small or `threads <= 1`, so it
+/// is safe to call unconditionally from inner loops. Output order matches
+/// index order. `f` must be freely callable from multiple threads.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    const SERIAL_CUTOFF: usize = 32;
+    if threads <= 1 || n <= SERIAL_CUTOFF {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (ci, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let base = ci * chunk;
+            s.spawn(move |_| {
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + j));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|o| o.expect("par_map slot unfilled"))
+        .collect()
+}
+
+/// A reasonable default worker count: available parallelism, capped.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn matches_serial_map() {
+        let serial: Vec<u64> = (0..1000).map(|i| (i * i) as u64).collect();
+        let parallel = par_map(1000, 4, |i| (i * i) as u64);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_elements() {
+        let v: Vec<u32> = par_map(0, 4, |_| unreachable!());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn one_thread_is_serial() {
+        let v = par_map(100, 1, |i| i + 1);
+        assert_eq!(v[99], 100);
+    }
+
+    #[test]
+    fn every_index_called_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let v = par_map(5000, 8, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 5000);
+        assert_eq!(v.len(), 5000);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(i, x);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let v = par_map(40, 64, |i| i * 2);
+        assert_eq!(v[39], 78);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Theorem 4: bounds on the maximum assignable utilization `α*`.
+//!
+//! For a two-class network of diameter `L`, fan-in `N`, and real-time
+//! class `(T, ρ, D)`:
+//!
+//! * **Lower bound** — at most `L` hops per SP route and `Y ≤ (L−1)·d`
+//!   give the per-server recursion `d = β·(T/ρ + (L−1)·d)` with
+//!   `β = α(N−1)/(N−α)`; imposing `d·L ≤ D` yields
+//!   `α* ≥ N / ((L·T/(ρD) + L−1)(N−1) + 1)`.
+//! * **Upper bound** — along a feedback-free route the cumulative delay
+//!   satisfies `S_k = (1+β)S_{k−1} + β·T/ρ`, so
+//!   `S_L = (T/ρ)((1+β)^L − 1) ≤ D` gives `β ≤ (Dρ/T + 1)^{1/L} − 1`,
+//!   hence `α* ≤ N(g−1)/(N+g−2)` with `g = (Dρ/T + 1)^{1/L}`.
+//!
+//! Both closed forms reproduce the paper's Table 1 (0.30 and 0.61 for the
+//! Section 6 parameters); see `DESIGN.md` §2 for the OCR-correction notes.
+//! Values are clamped to `[0, 1]` since `α` is a bandwidth fraction.
+
+use uba_traffic::TrafficClass;
+
+/// Converts a `β = α(N−1)/(N−α)` cap into the corresponding `α` cap:
+/// `α = β·N / (N−1+β)`.
+fn alpha_from_beta(beta: f64, n: f64) -> f64 {
+    (beta * n / (n - 1.0 + beta)).clamp(0.0, 1.0)
+}
+
+/// Theorem 4 lower bound on `α*` (guaranteed achievable by shortest-path
+/// routing in any topology of diameter `L` and fan-in `N`).
+pub fn alpha_lower_bound(fan_in: usize, diameter: usize, class: &TrafficClass) -> f64 {
+    assert!(fan_in >= 2, "bounds need N >= 2");
+    assert!(diameter >= 1, "bounds need L >= 1");
+    let n = fan_in as f64;
+    let l = diameter as f64;
+    let x = l * class.burst_time() / class.deadline + (l - 1.0);
+    // β cap: β ≤ 1/x; α = βN/(N−1+β).
+    alpha_from_beta(1.0 / x, n)
+}
+
+/// Theorem 4 upper bound on `α*` (no route selection can exceed this).
+pub fn alpha_upper_bound(fan_in: usize, diameter: usize, class: &TrafficClass) -> f64 {
+    assert!(fan_in >= 2, "bounds need N >= 2");
+    assert!(diameter >= 1, "bounds need L >= 1");
+    let n = fan_in as f64;
+    let l = diameter as f64;
+    let g = (class.deadline / class.burst_time() + 1.0).powf(1.0 / l);
+    alpha_from_beta(g - 1.0, n)
+}
+
+/// Both Theorem 4 bounds as `(lower, upper)`.
+///
+/// # Examples
+/// ```
+/// use uba_routing::bounds::utilization_bounds;
+/// use uba_traffic::TrafficClass;
+/// // The paper's Table 1 bounds for the MCI/VoIP setting.
+/// let (lb, ub) = utilization_bounds(6, 4, &TrafficClass::voip());
+/// assert!((lb - 0.30).abs() < 0.005);
+/// assert!((ub - 0.61).abs() < 0.005);
+/// ```
+pub fn utilization_bounds(fan_in: usize, diameter: usize, class: &TrafficClass) -> (f64, f64) {
+    (
+        alpha_lower_bound(fan_in, diameter, class),
+        alpha_upper_bound(fan_in, diameter, class),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_traffic::{LeakyBucket, TrafficClass};
+
+    /// The paper's Section 6 parameters reproduce Table 1's bounds.
+    #[test]
+    fn table1_bounds() {
+        let voip = TrafficClass::voip();
+        let (lb, ub) = utilization_bounds(6, 4, &voip);
+        assert!((lb - 0.30).abs() < 0.005, "lower bound {lb} != 0.30");
+        assert!((ub - 0.61).abs() < 0.005, "upper bound {ub} != 0.61");
+    }
+
+    #[test]
+    fn lower_below_upper() {
+        let voip = TrafficClass::voip();
+        for n in 2..12 {
+            for l in 1..8 {
+                let (lb, ub) = utilization_bounds(n, l, &voip);
+                assert!(
+                    lb <= ub + 1e-12,
+                    "lb {lb} > ub {ub} at N={n}, L={l}"
+                );
+                assert!((0.0..=1.0).contains(&lb));
+                assert!((0.0..=1.0).contains(&ub));
+            }
+        }
+    }
+
+    /// At L = 1 the two derivations coincide: a single hop has no jitter
+    /// and no feedback, so the bound is exact.
+    #[test]
+    fn bounds_coincide_at_diameter_one() {
+        let voip = TrafficClass::voip();
+        for n in 2..10 {
+            let (lb, ub) = utilization_bounds(n, 1, &voip);
+            assert!(
+                (lb - ub).abs() < 1e-12,
+                "N={n}: lb {lb} != ub {ub}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_shrink_with_diameter() {
+        let voip = TrafficClass::voip();
+        let mut prev_lb = f64::INFINITY;
+        let mut prev_ub = f64::INFINITY;
+        for l in 1..10 {
+            let (lb, ub) = utilization_bounds(6, l, &voip);
+            assert!(lb <= prev_lb + 1e-12);
+            assert!(ub <= prev_ub + 1e-12);
+            prev_lb = lb;
+            prev_ub = ub;
+        }
+    }
+
+    #[test]
+    fn bounds_grow_with_deadline() {
+        let mk = |d: f64| TrafficClass::new("v", LeakyBucket::new(640.0, 32_000.0), d);
+        let (lb1, ub1) = utilization_bounds(6, 4, &mk(0.05));
+        let (lb2, ub2) = utilization_bounds(6, 4, &mk(0.2));
+        assert!(lb2 > lb1);
+        assert!(ub2 > ub1);
+    }
+
+    #[test]
+    fn generous_deadline_saturates_at_one() {
+        let cls = TrafficClass::new("slow", LeakyBucket::new(64.0, 64_000.0), 100.0);
+        let (lb, ub) = utilization_bounds(6, 1, &cls);
+        assert_eq!(ub, 1.0);
+        assert_eq!(lb, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= 2")]
+    fn fan_in_one_rejected() {
+        alpha_lower_bound(1, 4, &TrafficClass::voip());
+    }
+}

@@ -1,0 +1,342 @@
+//! Safe route selection (Section 5.2).
+//!
+//! A no-backtrack greedy search over source/destination pairs:
+//!
+//! 1. pairs are visited in decreasing order of shortest-path distance;
+//! 2. for each pair, up to `k` candidate routes come from Yen's
+//!    k-shortest-paths; candidates that keep the route-dependency graph
+//!    acyclic are preferred (queueing feedback inflates delays — Section
+//!    5.2's "noncyclic graph with existing routes");
+//! 3. among candidates that verify *safe* (every committed route still
+//!    meets its deadline under the Theorem 3 fixed point), the one with
+//!    the minimum own end-to-end delay is committed.
+//!
+//! If no candidate is safe, the algorithm declares failure (the paper's
+//! FAILURE outcome) — safe route selection is NP-hard, so this heuristic
+//! is deliberately greedy.
+//!
+//! Every sub-heuristic can be disabled independently (experiment A-RS),
+//! and candidate verification fans out across threads: each candidate's
+//! fixed-point solve is independent, warm-started from the committed
+//! routes' fixed point (sound: adding a route only grows `Z`).
+
+use crate::pairs::{order_pairs_by_distance, Pair};
+use uba_delay::fixed_point::{solve_two_class, SolveConfig};
+use uba_delay::routeset::{Route, RouteSet};
+use uba_delay::servers::Servers;
+use uba_graph::par::par_map;
+use uba_graph::{k_shortest_paths_filtered, Digraph, DynDigraph, EdgeId, Path};
+use uba_traffic::{ClassId, TrafficClass};
+
+/// A verified candidate outcome: (own route delay, per-server delays,
+/// per-route delays).
+type CandidateFit = (f64, Vec<f64>, Vec<f64>);
+
+/// Tunables for the safe-route-selection heuristic.
+#[derive(Clone, Debug)]
+pub struct HeuristicConfig {
+    /// Candidate routes per pair (Yen's k). Default 8.
+    pub k_candidates: usize,
+    /// Heuristic (1): visit pairs in decreasing distance order.
+    pub order_by_distance: bool,
+    /// Heuristic (2): prefer candidates keeping the route-dependency
+    /// graph acyclic.
+    pub prefer_acyclic: bool,
+    /// Heuristic (3): among safe candidates pick the minimum-delay one
+    /// (`false` = first safe candidate, i.e. shortest).
+    pub min_delay_choice: bool,
+    /// Fixed-point solver settings.
+    pub solver: SolveConfig,
+    /// Threads for parallel candidate verification.
+    pub threads: usize,
+}
+
+impl Default for HeuristicConfig {
+    fn default() -> Self {
+        Self {
+            k_candidates: 8,
+            order_by_distance: true,
+            prefer_acyclic: true,
+            min_delay_choice: true,
+            solver: SolveConfig::default(),
+            threads: 1,
+        }
+    }
+}
+
+/// Why selection failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SelectionError {
+    /// The topology has no route at all for this pair.
+    NoRoute(Pair),
+    /// Routes exist but none verifies safe at this utilization.
+    NoSafeRoute(Pair),
+}
+
+/// A successful route selection.
+#[derive(Clone, Debug)]
+pub struct Selection {
+    /// Pairs in the order they were routed.
+    pub pairs: Vec<Pair>,
+    /// Chosen route per pair (same order).
+    pub paths: Vec<Path>,
+    /// The committed route set (class 0, same order).
+    pub routes: RouteSet,
+    /// Per-server delay bounds at the final fixed point.
+    pub delays: Vec<f64>,
+    /// Per-route end-to-end delays at the final fixed point.
+    pub route_delays: Vec<f64>,
+}
+
+impl Selection {
+    /// Worst route slack `min(D − delay)`; `+∞` with no routes.
+    pub fn worst_slack(&self, deadline: f64) -> f64 {
+        self.route_delays
+            .iter()
+            .map(|&rd| deadline - rd)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Chooses one pair's route against the committed state, per the three
+/// sub-heuristics; on success returns the chosen path together with the
+/// resulting per-server delays and per-route delays (the new fixed
+/// point). Shared by bulk selection and incremental reconfiguration.
+///
+/// `edge_ok` restricts candidate routes (used to avoid failed links);
+/// the overlay is only *read* (cycle queries), never committed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn choose_route(
+    g: &Digraph,
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    routes: &RouteSet,
+    overlay: &mut DynDigraph,
+    base_delays: &[f64],
+    pair: Pair,
+    cfg: &HeuristicConfig,
+    edge_ok: &(dyn Fn(EdgeId) -> bool + Sync),
+) -> Result<(Path, Vec<f64>, Vec<f64>), SelectionError> {
+    let candidates = k_shortest_paths_filtered(g, pair.src, pair.dst, cfg.k_candidates, edge_ok);
+    if candidates.is_empty() {
+        return Err(SelectionError::NoRoute(pair));
+    }
+    // Heuristic (2): keep only feedback-free candidates when possible.
+    let chains: Vec<Vec<usize>> = candidates
+        .iter()
+        .map(|p| p.edges.iter().map(|e| e.index()).collect())
+        .collect();
+    let pool: Vec<usize> = if cfg.prefer_acyclic {
+        let acyclic: Vec<usize> = (0..candidates.len())
+            .filter(|&i| !overlay.chain_would_create_cycle(&chains[i]))
+            .collect();
+        if acyclic.is_empty() {
+            (0..candidates.len()).collect()
+        } else {
+            acyclic
+        }
+    } else {
+        (0..candidates.len()).collect()
+    };
+
+    // Verify candidates (in parallel when configured); each evaluation is
+    // a warm-started fixed-point solve with the candidate appended.
+    let evaluate = |pi: usize| -> Option<CandidateFit> {
+        let ci = pool[pi];
+        let mut trial = routes.clone();
+        trial.push(Route::from_path(ClassId(0), &candidates[ci]));
+        let r = solve_two_class(servers, class, alpha, &trial, &cfg.solver, Some(base_delays));
+        if r.outcome.is_safe() {
+            let own = *r.route_delays.last().unwrap();
+            Some((own, r.delays, r.route_delays))
+        } else {
+            None
+        }
+    };
+    let results: Vec<Option<CandidateFit>> = if cfg.threads > 1 {
+        par_map(pool.len(), cfg.threads.min(pool.len()), evaluate)
+    } else {
+        (0..pool.len()).map(evaluate).collect()
+    };
+
+    let chosen = if cfg.min_delay_choice {
+        results
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, r)| r.as_ref().map(|r| (pi, r.0)))
+            .min_by(|(ia, da), (ib, db)| da.total_cmp(db).then_with(|| ia.cmp(ib)))
+            .map(|(pi, _)| pi)
+    } else {
+        results.iter().position(Option::is_some)
+    };
+    let Some(pi) = chosen else {
+        return Err(SelectionError::NoSafeRoute(pair));
+    };
+    let ci = pool[pi];
+    let (_, delays, route_delays) = results[pi].clone().unwrap();
+    Ok((candidates[ci].clone(), delays, route_delays))
+}
+
+/// Runs safe route selection for the two-class system at utilization
+/// `alpha`.
+pub fn select_routes(
+    g: &Digraph,
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    pairs: &[Pair],
+    cfg: &HeuristicConfig,
+) -> Result<Selection, SelectionError> {
+    let ordered: Vec<Pair> = if cfg.order_by_distance {
+        order_pairs_by_distance(g, pairs)
+    } else {
+        pairs.to_vec()
+    };
+
+    let mut routes = RouteSet::new(g.edge_count());
+    let mut overlay = DynDigraph::new(g.edge_count());
+    let mut base_delays = vec![0.0f64; g.edge_count()];
+    let mut base_route_delays: Vec<f64> = Vec::new();
+    let mut out_pairs = Vec::with_capacity(ordered.len());
+    let mut out_paths = Vec::with_capacity(ordered.len());
+
+    for pair in ordered {
+        let (path, delays, route_delays) = choose_route(
+            g,
+            servers,
+            class,
+            alpha,
+            &routes,
+            &mut overlay,
+            &base_delays,
+            pair,
+            cfg,
+            &|_| true,
+        )?;
+        routes.push(Route::from_path(ClassId(0), &path));
+        let chain: Vec<usize> = path.edges.iter().map(|e| e.index()).collect();
+        overlay.add_chain(&chain);
+        base_delays = delays;
+        base_route_delays = route_delays;
+        out_pairs.push(pair);
+        out_paths.push(path);
+    }
+
+    Ok(Selection {
+        pairs: out_pairs,
+        paths: out_paths,
+        routes,
+        delays: base_delays,
+        route_delays: base_route_delays,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::all_ordered_pairs;
+    use uba_topology::{mci, ring};
+
+    fn voip() -> TrafficClass {
+        TrafficClass::voip()
+    }
+
+    fn mci_setup() -> (Digraph, Servers) {
+        let g = mci();
+        let servers = Servers::uniform(&g, 100e6, 6);
+        (g, servers)
+    }
+
+    #[test]
+    fn selects_all_pairs_at_low_alpha() {
+        let (g, servers) = mci_setup();
+        let pairs = all_ordered_pairs(&g);
+        let sel = select_routes(&g, &servers, &voip(), 0.1, &pairs, &HeuristicConfig::default())
+            .expect("low alpha must be routable");
+        assert_eq!(sel.paths.len(), pairs.len());
+        assert!(sel.worst_slack(0.1) > 0.0);
+        for (p, path) in sel.pairs.iter().zip(&sel.paths) {
+            assert_eq!(path.source(), Some(p.src));
+            assert_eq!(path.target(), Some(p.dst));
+        }
+    }
+
+    #[test]
+    fn fails_at_absurd_alpha() {
+        let (g, servers) = mci_setup();
+        let pairs = all_ordered_pairs(&g);
+        let r = select_routes(&g, &servers, &voip(), 0.99, &pairs, &HeuristicConfig::default());
+        assert!(matches!(r, Err(SelectionError::NoSafeRoute(_))));
+    }
+
+    #[test]
+    fn no_route_reported_for_disconnected_pair() {
+        let mut g = ring(4);
+        let island = g.add_node("island");
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let pairs = vec![Pair {
+            src: uba_graph::NodeId(0),
+            dst: island,
+        }];
+        let r = select_routes(&g, &servers, &voip(), 0.1, &pairs, &HeuristicConfig::default());
+        assert!(matches!(r, Err(SelectionError::NoRoute(_))));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (g, servers) = mci_setup();
+        // A manageable subset of pairs.
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(9).collect();
+        let serial = select_routes(&g, &servers, &voip(), 0.3, &pairs, &HeuristicConfig::default())
+            .unwrap();
+        let cfg = HeuristicConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let parallel = select_routes(&g, &servers, &voip(), 0.3, &pairs, &cfg).unwrap();
+        assert_eq!(serial.paths, parallel.paths);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, servers) = mci_setup();
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(7).collect();
+        let a = select_routes(&g, &servers, &voip(), 0.25, &pairs, &HeuristicConfig::default())
+            .unwrap();
+        let b = select_routes(&g, &servers, &voip(), 0.25, &pairs, &HeuristicConfig::default())
+            .unwrap();
+        assert_eq!(a.paths, b.paths);
+    }
+
+    #[test]
+    fn ablated_config_still_routes_low_alpha() {
+        let (g, servers) = mci_setup();
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(11).collect();
+        let cfg = HeuristicConfig {
+            order_by_distance: false,
+            prefer_acyclic: false,
+            min_delay_choice: false,
+            k_candidates: 1,
+            ..Default::default()
+        };
+        let sel = select_routes(&g, &servers, &voip(), 0.1, &pairs, &cfg).unwrap();
+        assert_eq!(sel.paths.len(), pairs.len());
+        // k=1 without min-delay is exactly shortest-path routing.
+        for path in &sel.paths {
+            assert!(path.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn committed_routes_meet_deadline() {
+        let (g, servers) = mci_setup();
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(5).collect();
+        let sel =
+            select_routes(&g, &servers, &voip(), 0.35, &pairs, &HeuristicConfig::default())
+                .unwrap();
+        for &rd in &sel.route_delays {
+            assert!(rd <= 0.1 + 1e-9, "route delay {rd} exceeds deadline");
+        }
+    }
+}

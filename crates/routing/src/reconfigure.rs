@@ -1,0 +1,406 @@
+//! Incremental reconfiguration of a committed configuration.
+//!
+//! The paper invokes configuration "at system startup or after
+//! renegotiation of service level agreements" (Section 4). In operation
+//! that renegotiation is rarely a from-scratch rerun: pairs are added or
+//! retired one at a time, and links fail. This module maintains a live
+//! [`Configuration`] that supports:
+//!
+//! * [`Configuration::add_pair`] — route one more pair, warm-started from
+//!   the committed fixed point (sound: adding a route only grows `Z`);
+//! * [`Configuration::remove_pair`] — retire a pair (delays re-solved
+//!   from scratch: shrinking the route set shrinks the least fixed point,
+//!   so the old delays are *not* a valid warm start);
+//! * [`Configuration::fail_link`] — withdraw a physical link and re-route
+//!   every affected pair around it, re-verifying safety.
+//!
+//! Edge (server) ids never change across reconfigurations — failures are
+//! expressed as an avoid-set, keeping `Servers`, route sets, and the
+//! admission controller's counters stable.
+
+use crate::heuristic::{choose_route, HeuristicConfig, Selection, SelectionError};
+use crate::pairs::Pair;
+use std::collections::HashSet;
+use uba_delay::fixed_point::{solve_two_class, SolveConfig};
+use uba_delay::routeset::{Route, RouteSet};
+use uba_delay::servers::Servers;
+use uba_graph::{Digraph, DynDigraph, EdgeId, NodeId, Path};
+use uba_traffic::{ClassId, TrafficClass};
+
+/// A live, incrementally maintained single-class configuration.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    g: Digraph,
+    servers: Servers,
+    class: TrafficClass,
+    alpha: f64,
+    cfg: HeuristicConfig,
+    pairs: Vec<Pair>,
+    paths: Vec<Path>,
+    routes: RouteSet,
+    overlay: DynDigraph,
+    delays: Vec<f64>,
+    route_delays: Vec<f64>,
+    failed: HashSet<EdgeId>,
+}
+
+/// What a link failure recovery did.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Pairs whose routes crossed the failed link and were re-routed.
+    pub rerouted: Vec<Pair>,
+    /// Worst route delay after recovery.
+    pub worst_route_delay: f64,
+}
+
+impl Configuration {
+    /// Adopts a bulk [`Selection`] as the starting configuration.
+    pub fn from_selection(
+        g: Digraph,
+        servers: Servers,
+        class: TrafficClass,
+        alpha: f64,
+        cfg: HeuristicConfig,
+        sel: Selection,
+    ) -> Self {
+        let mut overlay = DynDigraph::new(g.edge_count());
+        for p in &sel.paths {
+            let chain: Vec<usize> = p.edges.iter().map(|e| e.index()).collect();
+            overlay.add_chain(&chain);
+        }
+        Self {
+            g,
+            servers,
+            class,
+            alpha,
+            cfg,
+            pairs: sel.pairs,
+            paths: sel.paths,
+            routes: sel.routes,
+            overlay,
+            delays: sel.delays,
+            route_delays: sel.route_delays,
+            failed: HashSet::new(),
+        }
+    }
+
+    /// The committed pairs.
+    pub fn pairs(&self) -> &[Pair] {
+        &self.pairs
+    }
+
+    /// The committed route of each pair (same order as [`Self::pairs`]).
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Per-route end-to-end delay bounds.
+    pub fn route_delays(&self) -> &[f64] {
+        &self.route_delays
+    }
+
+    /// Links currently marked failed (directed edge ids).
+    pub fn failed_links(&self) -> &HashSet<EdgeId> {
+        &self.failed
+    }
+
+    /// Routes one additional pair; the committed configuration is
+    /// untouched on failure.
+    pub fn add_pair(&mut self, pair: Pair) -> Result<(), SelectionError> {
+        let edge_ok = {
+            let failed = self.failed.clone();
+            move |e: EdgeId| !failed.contains(&e)
+        };
+        let (path, delays, route_delays) = choose_route(
+            &self.g,
+            &self.servers,
+            &self.class,
+            self.alpha,
+            &self.routes,
+            &mut self.overlay,
+            &self.delays,
+            pair,
+            &self.cfg,
+            &edge_ok,
+        )?;
+        self.commit(pair, path, delays, route_delays);
+        Ok(())
+    }
+
+    fn commit(&mut self, pair: Pair, path: Path, delays: Vec<f64>, route_delays: Vec<f64>) {
+        self.routes.push(Route::from_path(ClassId(0), &path));
+        let chain: Vec<usize> = path.edges.iter().map(|e| e.index()).collect();
+        self.overlay.add_chain(&chain);
+        self.pairs.push(pair);
+        self.paths.push(path);
+        self.delays = delays;
+        self.route_delays = route_delays;
+    }
+
+    /// Retires every committed route of `pair` (there is normally one).
+    /// Returns how many routes were removed. Delays are re-solved from
+    /// scratch (the fixed point shrinks, so the old vector would be an
+    /// over-estimate, not a warm start).
+    pub fn remove_pair(&mut self, pair: Pair) -> usize {
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.pairs.len() {
+            if self.pairs[i] == pair {
+                let path = self.paths.remove(i);
+                self.pairs.remove(i);
+                let chain: Vec<usize> = path.edges.iter().map(|e| e.index()).collect();
+                self.overlay.remove_chain(&chain);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if removed > 0 {
+            self.rebuild_routes_and_solve();
+        }
+        removed
+    }
+
+    fn rebuild_routes_and_solve(&mut self) {
+        let mut routes = RouteSet::new(self.g.edge_count());
+        for p in &self.paths {
+            routes.push(Route::from_path(ClassId(0), p));
+        }
+        self.routes = routes;
+        let r = solve_two_class(
+            &self.servers,
+            &self.class,
+            self.alpha,
+            &self.routes,
+            &SolveConfig::default(),
+            None,
+        );
+        debug_assert!(
+            r.outcome.is_safe(),
+            "shrinking a safe configuration cannot make it unsafe"
+        );
+        self.delays = r.delays;
+        self.route_delays = r.route_delays;
+    }
+
+    /// Fails the physical link between routers `a` and `b` (both directed
+    /// edges) and re-routes every pair whose committed route crossed it.
+    ///
+    /// Re-routing goes in decreasing-distance order through the same
+    /// safety oracle as initial selection. On `Err`, the configuration is
+    /// left with the failure applied and the *unaffected* routes intact;
+    /// the offending pair is reported so the operator can shed it.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) -> Result<FailureReport, SelectionError> {
+        let mut newly_failed = Vec::new();
+        for e in self.g.edges() {
+            let (s, t) = (self.g.src(e), self.g.dst(e));
+            if (s == a && t == b) || (s == b && t == a) {
+                newly_failed.push(e);
+            }
+        }
+        for &e in &newly_failed {
+            self.failed.insert(e);
+        }
+
+        // Detach affected pairs.
+        let mut affected: Vec<Pair> = Vec::new();
+        let mut i = 0;
+        while i < self.paths.len() {
+            if self.paths[i].edges.iter().any(|e| self.failed.contains(e)) {
+                let path = self.paths.remove(i);
+                affected.push(self.pairs.remove(i));
+                let chain: Vec<usize> = path.edges.iter().map(|e| e.index()).collect();
+                self.overlay.remove_chain(&chain);
+            } else {
+                i += 1;
+            }
+        }
+        self.rebuild_routes_and_solve();
+
+        // Re-route, longest pairs first (same ordering heuristic).
+        let ordered = crate::pairs::order_pairs_by_distance(&self.g, &affected);
+        let mut rerouted = Vec::with_capacity(ordered.len());
+        for pair in ordered {
+            let edge_ok = {
+                let failed = self.failed.clone();
+                move |e: EdgeId| !failed.contains(&e)
+            };
+            let (path, delays, route_delays) = choose_route(
+                &self.g,
+                &self.servers,
+                &self.class,
+                self.alpha,
+                &self.routes,
+                &mut self.overlay,
+                &self.delays,
+                pair,
+                &self.cfg,
+                &edge_ok,
+            )?;
+            self.commit(pair, path, delays, route_delays);
+            rerouted.push(pair);
+        }
+        Ok(FailureReport {
+            rerouted,
+            worst_route_delay: self.route_delays.iter().cloned().fold(0.0, f64::max),
+        })
+    }
+
+    /// Restores a previously failed physical link (both directions).
+    /// Existing routes are kept (they are verified and stable); the link
+    /// simply becomes available again for future routing. Returns how
+    /// many directed edges were restored.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) -> usize {
+        let mut restored = 0;
+        for e in self.g.edges() {
+            let (s, t) = (self.g.src(e), self.g.dst(e));
+            if ((s == a && t == b) || (s == b && t == a)) && self.failed.remove(&e) {
+                restored += 1;
+            }
+        }
+        restored
+    }
+
+    /// Re-verifies the whole committed configuration from scratch.
+    pub fn verify(&self) -> bool {
+        solve_two_class(
+            &self.servers,
+            &self.class,
+            self.alpha,
+            &self.routes,
+            &SolveConfig::default(),
+            None,
+        )
+        .outcome
+        .is_safe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::select_routes;
+    use crate::pairs::all_ordered_pairs;
+    use uba_topology::mci;
+
+    fn base_config(alpha: f64, step: usize) -> Configuration {
+        let g = mci();
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let voip = TrafficClass::voip();
+        let cfg = HeuristicConfig::default();
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(step).collect();
+        let sel = select_routes(&g, &servers, &voip, alpha, &pairs, &cfg).unwrap();
+        Configuration::from_selection(g, servers, voip, alpha, cfg, sel)
+    }
+
+    #[test]
+    fn add_pair_extends_configuration() {
+        let mut c = base_config(0.3, 20);
+        let before = c.pairs().len();
+        let extra = Pair {
+            src: NodeId(12),
+            dst: NodeId(14),
+        };
+        c.add_pair(extra).unwrap();
+        assert_eq!(c.pairs().len(), before + 1);
+        assert!(c.verify());
+        assert_eq!(*c.pairs().last().unwrap(), extra);
+    }
+
+    #[test]
+    fn remove_pair_shrinks_delays() {
+        let mut c = base_config(0.35, 12);
+        let victim = c.pairs()[0];
+        let worst_before = c.route_delays().iter().cloned().fold(0.0, f64::max);
+        assert_eq!(c.remove_pair(victim), 1);
+        assert!(!c.pairs().contains(&victim));
+        let worst_after = c.route_delays().iter().cloned().fold(0.0, f64::max);
+        assert!(worst_after <= worst_before + 1e-12);
+        assert!(c.verify());
+    }
+
+    #[test]
+    fn remove_missing_pair_noop() {
+        let mut c = base_config(0.3, 30);
+        let ghost = Pair {
+            src: NodeId(0),
+            dst: NodeId(1),
+        };
+        let present = c.pairs().contains(&ghost);
+        if !present {
+            assert_eq!(c.remove_pair(ghost), 0);
+        }
+    }
+
+    #[test]
+    fn link_failure_reroutes_around() {
+        let mut c = base_config(0.25, 6);
+        // Fail a core diagonal (SF—Atlanta): heavily used by SP-ish
+        // routes.
+        let report = c.fail_link(NodeId(0), NodeId(3)).expect("reroutable");
+        assert!(c.verify());
+        // No surviving route crosses the failed link.
+        for p in c.paths() {
+            for e in &p.edges {
+                assert!(!c.failed_links().contains(e));
+            }
+        }
+        assert!(report.worst_route_delay <= 0.1);
+        // Every pair is still served.
+        assert!(!report.rerouted.is_empty());
+    }
+
+    #[test]
+    fn cascading_failures_eventually_unroutable() {
+        // Isolating router 12 (single-homed Sacramento) makes its pairs
+        // unroutable.
+        let mut c = base_config(0.2, 18);
+        let has_12 = c
+            .pairs()
+            .iter()
+            .any(|p| p.src == NodeId(12) || p.dst == NodeId(12));
+        let r = c.fail_link(NodeId(12), NodeId(0));
+        if has_12 {
+            assert!(matches!(r, Err(SelectionError::NoRoute(_))), "{r:?}");
+        } else {
+            assert!(r.is_ok());
+        }
+    }
+
+    #[test]
+    fn restore_link_reopens_routing() {
+        let mut c = base_config(0.25, 40);
+        c.fail_link(NodeId(0), NodeId(3)).unwrap();
+        assert!(!c.failed_links().is_empty());
+        assert_eq!(c.restore_link(NodeId(0), NodeId(3)), 2);
+        assert!(c.failed_links().is_empty());
+        // A pair whose SP uses the diagonal can now take it again.
+        let pair = Pair {
+            src: NodeId(12),
+            dst: NodeId(15),
+        };
+        if !c.pairs().contains(&pair) {
+            c.add_pair(pair).unwrap();
+        }
+        assert!(c.verify());
+        // Restoring an intact link is a no-op.
+        assert_eq!(c.restore_link(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn failure_then_add_pair_avoids_failed_link() {
+        let mut c = base_config(0.25, 40);
+        c.fail_link(NodeId(1), NodeId(4)).unwrap();
+        let pair = Pair {
+            src: NodeId(13),
+            dst: NodeId(16),
+        };
+        if !c.pairs().contains(&pair) {
+            c.add_pair(pair).unwrap();
+            let p = c.paths().last().unwrap();
+            for e in &p.edges {
+                assert!(!c.failed_links().contains(e));
+            }
+        }
+    }
+}

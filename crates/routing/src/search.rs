@@ -1,0 +1,214 @@
+//! Maximizing utilization by safe route selection (Section 5.3).
+//!
+//! Binary search on the assigned utilization `α`, with the search space
+//! initialized to Theorem 4's `[lower, upper]` bounds. Each probe runs the
+//! chosen route selector and keeps the bisection half according to
+//! success/failure; the best feasible `α` and its route set are returned.
+
+use crate::bounds::utilization_bounds;
+use crate::heuristic::{select_routes, HeuristicConfig, Selection};
+use crate::pairs::Pair;
+use crate::sp::sp_selection;
+use uba_delay::fixed_point::{solve_two_class, SolveConfig};
+use uba_delay::routeset::{Route, RouteSet};
+use uba_delay::servers::Servers;
+use uba_graph::{bfs, Digraph};
+use uba_traffic::{ClassId, TrafficClass};
+
+/// Which route-selection strategy the search drives.
+#[derive(Clone, Debug)]
+pub enum Selector {
+    /// Fixed shortest-path routes; only the verification depends on `α`.
+    ShortestPath,
+    /// The Section 5.2 heuristic, re-run per probe.
+    Heuristic(HeuristicConfig),
+}
+
+/// Result of the maximum-utilization search.
+#[derive(Clone, Debug)]
+pub struct MaxUtilResult {
+    /// Largest verified-safe utilization found (`0` if even the Theorem 4
+    /// lower bound failed).
+    pub alpha: f64,
+    /// The route selection achieving `alpha` (`None` iff `alpha == 0`).
+    pub selection: Option<Selection>,
+    /// Theorem 4 bounds that seeded the search.
+    pub bounds: (f64, f64),
+    /// Every probe as `(alpha, feasible)`, in order.
+    pub probes: Vec<(f64, bool)>,
+}
+
+/// Runs the Section 5.3 binary search to tolerance `tol` (the paper's
+/// experiment reports two decimals; `tol = 0.005` reproduces that).
+pub fn max_utilization(
+    g: &Digraph,
+    servers: &Servers,
+    class: &TrafficClass,
+    pairs: &[Pair],
+    selector: &Selector,
+    tol: f64,
+) -> MaxUtilResult {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let diameter = bfs::diameter(g).expect("topology must be strongly connected");
+    let fan_in = (0..servers.len())
+        .map(|k| servers.fan_in_at(k))
+        .max()
+        .expect("need at least one server");
+    let (lb, ub) = utilization_bounds(fan_in, diameter.max(1), class);
+
+    // Pre-compute SP routes once; they do not depend on alpha.
+    let sp_fixed: Option<(Vec<uba_graph::Path>, RouteSet)> = match selector {
+        Selector::ShortestPath => {
+            let paths = sp_selection(g, pairs).expect("pairs must be connected");
+            let mut rs = RouteSet::new(g.edge_count());
+            for p in &paths {
+                rs.push(Route::from_path(ClassId(0), p));
+            }
+            Some((paths, rs))
+        }
+        Selector::Heuristic(_) => None,
+    };
+
+    let mut probes = Vec::new();
+    let mut probe = |alpha: f64| -> Option<Selection> {
+        let result = match selector {
+            Selector::ShortestPath => {
+                let (paths, rs) = sp_fixed.as_ref().unwrap();
+                let r = solve_two_class(servers, class, alpha, rs, &SolveConfig::default(), None);
+                r.outcome.is_safe().then(|| Selection {
+                    pairs: pairs.to_vec(),
+                    paths: paths.clone(),
+                    routes: rs.clone(),
+                    delays: r.delays,
+                    route_delays: r.route_delays,
+                })
+            }
+            Selector::Heuristic(cfg) => select_routes(g, servers, class, alpha, pairs, cfg).ok(),
+        };
+        probes.push((alpha, result.is_some()));
+        result
+    };
+
+    let hi_cap = ub.min(1.0 - 1e-9);
+    let mut best: Option<(f64, Selection)> = None;
+    let (mut lo, mut hi);
+    match probe(lb.min(hi_cap)) {
+        Some(sel) => {
+            lo = lb.min(hi_cap);
+            hi = hi_cap;
+            best = Some((lo, sel));
+        }
+        None => {
+            lo = 0.0;
+            hi = lb.min(hi_cap);
+        }
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        match probe(mid) {
+            Some(sel) => {
+                lo = mid;
+                best = Some((mid, sel));
+            }
+            None => hi = mid,
+        }
+    }
+
+    match best {
+        Some((alpha, selection)) => MaxUtilResult {
+            alpha,
+            selection: Some(selection),
+            bounds: (lb, ub),
+            probes,
+        },
+        None => MaxUtilResult {
+            alpha: 0.0,
+            selection: None,
+            bounds: (lb, ub),
+            probes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::all_ordered_pairs;
+    use uba_topology::{mci, ring};
+
+    fn voip() -> TrafficClass {
+        TrafficClass::voip()
+    }
+
+    #[test]
+    fn sp_on_ring_within_bounds() {
+        let g = ring(6);
+        let servers = Servers::uniform(&g, 100e6, 2);
+        let pairs = all_ordered_pairs(&g);
+        let r = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.01);
+        let (lb, ub) = r.bounds;
+        assert!(r.alpha > 0.0, "search found nothing");
+        assert!(r.alpha + 1e-9 >= lb, "alpha {} below lower bound {lb}", r.alpha);
+        assert!(r.alpha <= ub + 0.01, "alpha {} above upper bound {ub}", r.alpha);
+        assert!(r.selection.is_some());
+    }
+
+    #[test]
+    fn heuristic_beats_or_matches_sp_on_mci_subset() {
+        let g = mci();
+        let servers = Servers::uniform(&g, 100e6, 6);
+        // A subset keeps the test fast; the full experiment is the
+        // `table1` bench binary.
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(6).collect();
+        let sp = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.01);
+        let heur = max_utilization(
+            &g,
+            &servers,
+            &voip(),
+            &pairs,
+            &Selector::Heuristic(HeuristicConfig::default()),
+            0.01,
+        );
+        assert!(sp.alpha > 0.0 && heur.alpha > 0.0);
+        assert!(
+            heur.alpha + 1e-9 >= sp.alpha,
+            "heuristic {} worse than SP {}",
+            heur.alpha,
+            sp.alpha
+        );
+    }
+
+    #[test]
+    fn probes_bracket_the_answer() {
+        let g = ring(5);
+        let servers = Servers::uniform(&g, 100e6, 3);
+        let pairs = all_ordered_pairs(&g);
+        let r = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.01);
+        // Feasible probes are all <= alpha; infeasible all > alpha - tol.
+        for &(a, ok) in &r.probes {
+            if ok {
+                assert!(a <= r.alpha + 1e-12);
+            } else {
+                assert!(a > r.alpha);
+            }
+        }
+    }
+
+    #[test]
+    fn result_selection_verifies_at_alpha() {
+        let g = ring(6);
+        let servers = Servers::uniform(&g, 100e6, 2);
+        let pairs = all_ordered_pairs(&g);
+        let r = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.02);
+        let sel = r.selection.unwrap();
+        let check = solve_two_class(
+            &servers,
+            &voip(),
+            r.alpha,
+            &sel.routes,
+            &SolveConfig::default(),
+            None,
+        );
+        assert!(check.outcome.is_safe());
+    }
+}

@@ -1,0 +1,79 @@
+//! Shortest-path route selection — the paper's comparison baseline.
+//!
+//! One Dijkstra tree per distinct source, deterministic tie-breaks, hop
+//! metric (all topology links have unit weight).
+
+use crate::pairs::Pair;
+use uba_graph::{dijkstra, Digraph, Path};
+
+/// Shortest-path routes for the given pairs, in pair order.
+///
+/// Returns `Err(pair)` for the first pair with no route at all.
+pub fn sp_selection(g: &Digraph, pairs: &[Pair]) -> Result<Vec<Path>, Pair> {
+    let mut tree_by_src: Vec<Option<dijkstra::ShortestPaths>> = vec![None; g.node_count()];
+    let mut out = Vec::with_capacity(pairs.len());
+    for p in pairs {
+        let slot = &mut tree_by_src[p.src.index()];
+        if slot.is_none() {
+            *slot = Some(dijkstra::dijkstra(g, p.src));
+        }
+        match slot.as_ref().unwrap().path_to(g, p.dst) {
+            Some(path) => out.push(path),
+            None => return Err(*p),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::all_ordered_pairs;
+    use uba_graph::NodeId;
+    use uba_topology::{mci, ring};
+
+    #[test]
+    fn routes_cover_all_pairs() {
+        let g = mci();
+        let pairs = all_ordered_pairs(&g);
+        let routes = sp_selection(&g, &pairs).unwrap();
+        assert_eq!(routes.len(), pairs.len());
+        for (p, r) in pairs.iter().zip(&routes) {
+            assert_eq!(r.source(), Some(p.src));
+            assert_eq!(r.target(), Some(p.dst));
+            assert!(r.len() <= 4, "SP route longer than the diameter");
+            assert!(r.is_simple());
+        }
+    }
+
+    #[test]
+    fn ring_routes_take_short_side() {
+        let g = ring(6);
+        let pairs = vec![Pair {
+            src: NodeId(0),
+            dst: NodeId(2),
+        }];
+        let routes = sp_selection(&g, &pairs).unwrap();
+        assert_eq!(routes[0].len(), 2);
+    }
+
+    #[test]
+    fn unreachable_pair_reported() {
+        let mut g = ring(4);
+        let island = g.add_node("island");
+        let bad = Pair {
+            src: NodeId(0),
+            dst: island,
+        };
+        assert_eq!(sp_selection(&g, &[bad]), Err(bad));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = mci();
+        let pairs = all_ordered_pairs(&g);
+        let a = sp_selection(&g, &pairs).unwrap();
+        let b = sp_selection(&g, &pairs).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Exact response-time analysis for fixed-priority preemptive scheduling
+//! (Joseph & Pandya / Audsley).
+//!
+//! The utilization-bound tests are sufficient only; RTA is exact for the
+//! periodic implicit-deadline model and serves as the ground truth the
+//! bounds are property-tested against — the same bound-vs-exact
+//! relationship the network crate has between Theorem 3 and the general
+//! delay formula.
+
+use crate::task::TaskSet;
+
+/// Worst-case response time of every task under the set's priority
+/// order, or `None` if some response time exceeds its deadline (period)
+/// or the iteration diverges (utilization ≥ 1 at some level).
+pub fn response_times(set: &TaskSet) -> Option<Vec<f64>> {
+    let tasks = set.tasks();
+    let mut out = Vec::with_capacity(tasks.len());
+    for (i, t) in tasks.iter().enumerate() {
+        // Fixed point R = C_i + Σ_{j<i} ceil(R/T_j)·C_j, from R = C_i.
+        let mut r = t.wcet;
+        loop {
+            let mut next = t.wcet;
+            for hp in &tasks[..i] {
+                next += (r / hp.period).ceil() * hp.wcet;
+            }
+            if next > t.period + 1e-9 {
+                return None; // deadline miss
+            }
+            if (next - r).abs() <= 1e-9 {
+                r = next;
+                break;
+            }
+            r = next;
+        }
+        out.push(r);
+    }
+    Some(out)
+}
+
+/// Exact fixed-priority schedulability: every response time within its
+/// deadline.
+pub fn rta_schedulable(set: &TaskSet) -> bool {
+    response_times(set).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    #[test]
+    fn single_task_response_is_wcet() {
+        let set = TaskSet::from_tasks(vec![Task::new(3.0, 10.0)]);
+        assert_eq!(response_times(&set), Some(vec![3.0]));
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic: (C,T) = (3,7), (2,12), (5,20).
+        let set = TaskSet::from_tasks(vec![
+            Task::new(3.0, 7.0),
+            Task::new(2.0, 12.0),
+            Task::new(5.0, 20.0),
+        ]);
+        let r = response_times(&set).expect("schedulable");
+        assert_eq!(r[0], 3.0);
+        assert_eq!(r[1], 5.0);
+        // R3 = 5 + ceil(R/7)*3 + ceil(R/12)*2 -> 18.
+        assert_eq!(r[2], 18.0);
+    }
+
+    #[test]
+    fn full_utilization_harmonic_set_schedulable() {
+        // Harmonic periods reach U = 1 under RM.
+        let set = TaskSet::from_tasks(vec![
+            Task::new(1.0, 2.0),
+            Task::new(1.0, 4.0),
+            Task::new(1.0, 8.0),
+            Task::new(1.0, 8.0),
+        ]);
+        assert!((set.utilization() - 1.0).abs() < 1e-12);
+        assert!(rta_schedulable(&set));
+    }
+
+    #[test]
+    fn unschedulable_detected() {
+        // U = 1.0 with non-harmonic periods: lowest task misses.
+        let set = TaskSet::from_tasks(vec![
+            Task::new(3.0, 6.0),
+            Task::new(3.0, 7.0),
+            Task::new(1.0, 14.0),
+        ]);
+        assert!(!rta_schedulable(&set));
+    }
+
+    #[test]
+    fn rta_confirms_ll_bound() {
+        // Anything accepted by the LL bound must be RTA-schedulable.
+        let set = TaskSet::from_tasks(vec![
+            Task::new(20.0, 100.0),
+            Task::new(40.0, 150.0),
+            Task::new(100.0, 350.0),
+        ]);
+        assert!(crate::wcau::rm_schedulable_by_bound(&set));
+        assert!(rta_schedulable(&set));
+    }
+
+    #[test]
+    fn empty_set() {
+        assert_eq!(response_times(&TaskSet::new()), Some(vec![]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Periodic task model (Liu & Layland).
+
+/// A periodic task: worst-case computation time `C` and period `T`
+/// (implicit deadline `D = T`), both in the same time unit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Task {
+    /// Worst-case execution time per job.
+    pub wcet: f64,
+    /// Activation period (= deadline).
+    pub period: f64,
+}
+
+impl Task {
+    /// Creates a task, validating `0 < C ≤ T`.
+    pub fn new(wcet: f64, period: f64) -> Self {
+        assert!(wcet > 0.0 && wcet.is_finite(), "wcet must be positive");
+        assert!(
+            period >= wcet && period.is_finite(),
+            "period must be at least the wcet"
+        );
+        Self { wcet, period }
+    }
+
+    /// The task's utilization `C/T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+}
+
+/// A set of periodic tasks. For fixed-priority analysis the order is the
+/// priority order (index 0 highest); rate-monotonic order is shortest
+/// period first.
+#[derive(Clone, Debug, Default)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from tasks, keeping the given priority order.
+    pub fn from_tasks(tasks: Vec<Task>) -> Self {
+        Self { tasks }
+    }
+
+    /// Appends a task at the lowest priority.
+    pub fn push(&mut self, t: Task) {
+        self.tasks.push(t);
+    }
+
+    /// The tasks in priority order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total utilization `Σ C_i/T_i`.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Re-sorts into rate-monotonic priority order (shortest period
+    /// first; stable).
+    pub fn sort_rate_monotonic(&mut self) {
+        self.tasks.sort_by(|a, b| a.period.total_cmp(&b.period));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_sums() {
+        let mut s = TaskSet::new();
+        s.push(Task::new(1.0, 4.0));
+        s.push(Task::new(1.0, 2.0));
+        assert!((s.utilization() - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rm_sort_orders_by_period() {
+        let mut s = TaskSet::new();
+        s.push(Task::new(1.0, 10.0));
+        s.push(Task::new(1.0, 2.0));
+        s.push(Task::new(1.0, 5.0));
+        s.sort_rate_monotonic();
+        let periods: Vec<f64> = s.tasks().iter().map(|t| t.period).collect();
+        assert_eq!(periods, vec![2.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be at least")]
+    fn over_utilized_task_rejected() {
+        Task::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Utilization-based schedulability tests (the WCAU pattern itself).
+
+use crate::task::TaskSet;
+
+/// The Liu & Layland rate-monotonic WCAU for `n` tasks:
+/// `n(2^{1/n} − 1)` — `1.0` for one task, → `ln 2 ≈ 0.693` ("69%").
+///
+/// # Examples
+/// ```
+/// use uba_sched::rm_bound;
+/// assert_eq!(rm_bound(1), 1.0);
+/// assert!((rm_bound(2) - 0.8284).abs() < 1e-4);
+/// assert!((rm_bound(100) - 2f64.ln()).abs() < 0.003); // the "69%"
+/// ```
+pub fn rm_bound(n: usize) -> f64 {
+    assert!(n >= 1, "need at least one task");
+    let nf = n as f64;
+    nf * ((2.0f64).powf(1.0 / nf) - 1.0)
+}
+
+/// Sufficient RM test: total utilization against [`rm_bound`].
+pub fn rm_schedulable_by_bound(set: &TaskSet) -> bool {
+    if set.is_empty() {
+        return true;
+    }
+    set.utilization() <= rm_bound(set.len()) + 1e-12
+}
+
+/// The hyperbolic bound (Bini–Buttazzo): RM-schedulable if
+/// `Π (U_i + 1) ≤ 2`. Strictly dominates the Liu & Layland test.
+pub fn hyperbolic_schedulable(set: &TaskSet) -> bool {
+    set.tasks()
+        .iter()
+        .map(|t| t.utilization() + 1.0)
+        .product::<f64>()
+        <= 2.0 + 1e-12
+}
+
+/// EDF with implicit deadlines: schedulable iff `Σ U_i ≤ 1` — the "100%"
+/// WCAU of Section 1.2.
+pub fn edf_schedulable(set: &TaskSet) -> bool {
+    set.utilization() <= 1.0 + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    #[test]
+    fn rm_bound_values() {
+        assert!((rm_bound(1) - 1.0).abs() < 1e-15);
+        assert!((rm_bound(2) - 0.8284271247461903).abs() < 1e-12);
+        // Monotone decreasing toward ln 2.
+        let mut prev = rm_bound(1);
+        for n in 2..100 {
+            let b = rm_bound(n);
+            assert!(b < prev);
+            prev = b;
+        }
+        assert!((rm_bound(10_000) - (2.0f64).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn classic_threetask_example() {
+        // Liu & Layland's own example: U = 0.753 <= bound(3) = 0.7798.
+        let set = TaskSet::from_tasks(vec![
+            Task::new(20.0, 100.0),
+            Task::new(40.0, 150.0),
+            Task::new(100.0, 350.0),
+        ]);
+        assert!(rm_schedulable_by_bound(&set));
+        assert!(hyperbolic_schedulable(&set));
+        assert!(edf_schedulable(&set));
+    }
+
+    #[test]
+    fn hyperbolic_dominates_ll() {
+        // U = 0.5 + 0.33 = 0.83 > LL bound 0.8284, but
+        // (1.5)(1.33) = 1.995 <= 2: hyperbolic accepts what LL rejects.
+        let set = TaskSet::from_tasks(vec![Task::new(1.0, 2.0), Task::new(0.99, 3.0)]);
+        assert!(!rm_schedulable_by_bound(&set));
+        assert!(hyperbolic_schedulable(&set));
+    }
+
+    #[test]
+    fn edf_exactly_at_one() {
+        let set = TaskSet::from_tasks(vec![Task::new(1.0, 2.0), Task::new(1.0, 2.0)]);
+        assert!(edf_schedulable(&set));
+        assert!(!rm_schedulable_by_bound(&set));
+    }
+
+    #[test]
+    fn empty_set_schedulable() {
+        let set = TaskSet::new();
+        assert!(rm_schedulable_by_bound(&set));
+        assert!(edf_schedulable(&set));
+        assert!(hyperbolic_schedulable(&set));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests: the sufficiency chain of the classical tests.
+//!
+//! For rate-monotonic priority order:
+//! `LL bound ⇒ hyperbolic ⇒ RTA-schedulable`, and everything
+//! fixed-priority-schedulable is EDF-schedulable (U ≤ 1).
+
+use proptest::prelude::*;
+use uba_sched::{
+    edf_schedulable, hyperbolic_schedulable, response_times, rm_schedulable_by_bound,
+    rta_schedulable, Task, TaskSet,
+};
+
+/// Random task set in RM order with bounded size/periods.
+fn arb_taskset() -> impl Strategy<Value = TaskSet> {
+    proptest::collection::vec((1.0f64..100.0, 1.0f64..10.0), 1..8).prop_map(|raw| {
+        let mut s = TaskSet::new();
+        for (period, ratio) in raw {
+            // wcet <= period via ratio in (1, 10]: wcet = period/ratio/k.
+            let wcet = (period / ratio / 4.0).max(1e-3).min(period);
+            s.push(Task::new(wcet, period));
+        }
+        s.sort_rate_monotonic();
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn ll_bound_implies_hyperbolic(set in arb_taskset()) {
+        if rm_schedulable_by_bound(&set) {
+            prop_assert!(hyperbolic_schedulable(&set));
+        }
+    }
+
+    #[test]
+    fn hyperbolic_implies_rta(set in arb_taskset()) {
+        if hyperbolic_schedulable(&set) {
+            prop_assert!(rta_schedulable(&set), "U = {}", set.utilization());
+        }
+    }
+
+    #[test]
+    fn rta_implies_edf(set in arb_taskset()) {
+        if rta_schedulable(&set) {
+            prop_assert!(edf_schedulable(&set));
+        }
+    }
+
+    #[test]
+    fn response_times_at_least_wcet(set in arb_taskset()) {
+        if let Some(rs) = response_times(&set) {
+            for (t, r) in set.tasks().iter().zip(&rs) {
+                prop_assert!(*r + 1e-12 >= t.wcet);
+                prop_assert!(*r <= t.period + 1e-9);
+            }
+            // Highest-priority task's response time is exactly its wcet.
+            prop_assert!((rs[0] - set.tasks()[0].wcet).abs() < 1e-12);
+        }
+    }
+
+    /// Scale invariance: multiplying all times by a constant changes
+    /// nothing about schedulability.
+    #[test]
+    fn scale_invariance(set in arb_taskset(), k in 0.1f64..100.0) {
+        let scaled = TaskSet::from_tasks(
+            set.tasks()
+                .iter()
+                .map(|t| Task::new(t.wcet * k, t.period * k))
+                .collect(),
+        );
+        prop_assert_eq!(rta_schedulable(&set), rta_schedulable(&scaled));
+        prop_assert_eq!(rm_schedulable_by_bound(&set), rm_schedulable_by_bound(&scaled));
+    }
+}

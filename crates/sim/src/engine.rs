@@ -1,0 +1,706 @@
+//! The discrete-event engine.
+//!
+//! Stations = real link servers plus one virtual access shaper per
+//! (ingress router, first server) pair. Each station is a non-preemptive
+//! class-based static-priority queue (FIFO within a class) — the paper's
+//! packet forwarding module. Events are processed in (time, sequence)
+//! order, so runs are bit-for-bit deterministic.
+
+use crate::report::{SimReport, StatsAccumulator};
+use crate::sched::{Discipline, SchedJob, Scheduler};
+use crate::source::SourceModel;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One flow to simulate.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Class index (0 = highest priority).
+    pub class: usize,
+    /// Ingress router id — flows sharing (ingress, first server) share an
+    /// access shaper.
+    pub ingress: u32,
+    /// Real link servers traversed, in order.
+    pub route: Vec<u32>,
+    /// Emission model.
+    pub source: SourceModel,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Sources emit packets up to this time (seconds); the run then
+    /// drains until every packet is delivered.
+    pub horizon: f64,
+    /// Per-class deadlines, for miss counting.
+    pub deadlines: Vec<f64>,
+    /// Optional per-class ingress policers `(burst bits, rate bits/s)`:
+    /// non-conforming packets are dropped at the network entrance, as the
+    /// paper's edge routers do. `None` disables policing (sources are
+    /// then trusted to conform).
+    pub policers: Option<Vec<(f64, f64)>>,
+}
+
+impl SimConfig {
+    /// Config with the given horizon and deadlines, no policing.
+    pub fn new(horizon: f64, deadlines: Vec<f64>) -> Self {
+        Self {
+            horizon,
+            deadlines,
+            policers: None,
+        }
+    }
+}
+
+const NS: f64 = 1e9;
+
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    flow: u32,
+    hop: u16,
+    /// Measurement start (ns): arrival at the first real server.
+    t0: u64,
+}
+
+enum Event {
+    Arrive(Job),
+    Complete { station: u32 },
+}
+
+struct Station {
+    capacity: f64,
+    sched: Scheduler<Job>,
+    current: Option<Job>,
+    backlog: usize,
+}
+
+impl Station {
+    fn new(capacity: f64, classes: usize, discipline: &Discipline) -> Self {
+        Self {
+            capacity,
+            sched: Scheduler::new(discipline.clone(), classes),
+            current: None,
+            backlog: 0,
+        }
+    }
+}
+
+/// Runs the simulation under the paper's class-based static-priority
+/// forwarding. See [`simulate_with`] to choose another discipline.
+///
+/// `capacities[k]` is the capacity of real link server `k`; flows' routes
+/// index into it. Every flow must have a non-empty route.
+pub fn simulate(capacities: &[f64], flows: &[FlowSpec], cfg: &SimConfig) -> SimReport {
+    simulate_with(capacities, flows, cfg, &Discipline::StaticPriority)
+}
+
+/// Runs the simulation under an arbitrary scheduling discipline.
+pub fn simulate_with(
+    capacities: &[f64],
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    discipline: &Discipline,
+) -> SimReport {
+    let classes = cfg.deadlines.len();
+    assert!(classes > 0, "need at least one class deadline");
+    for f in flows {
+        assert!(!f.route.is_empty(), "flow route must be non-empty");
+        assert!(f.class < classes, "flow class out of range");
+        for &k in &f.route {
+            assert!((k as usize) < capacities.len(), "route server out of range");
+        }
+    }
+
+    // Build stations: real servers first, then shapers.
+    let mut stations: Vec<Station> = capacities
+        .iter()
+        .map(|&c| Station::new(c, classes, discipline))
+        .collect();
+    let mut shaper_of: HashMap<(u32, u32), u32> = HashMap::new();
+    // Sim-route per flow: shaper followed by the real route.
+    let mut sim_routes: Vec<Vec<u32>> = Vec::with_capacity(flows.len());
+    for f in flows {
+        let key = (f.ingress, f.route[0]);
+        let station = *shaper_of.entry(key).or_insert_with(|| {
+            let id = stations.len() as u32;
+            let cap = capacities[f.route[0] as usize];
+            stations.push(Station::new(cap, classes, discipline));
+            id
+        });
+        let mut r = Vec::with_capacity(f.route.len() + 1);
+        r.push(station);
+        r.extend_from_slice(&f.route);
+        sim_routes.push(r);
+    }
+
+    // Event heap ordered by (time, seq).
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut payloads: HashMap<u64, Event> = HashMap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    payloads: &mut HashMap<u64, Event>,
+                    seq: &mut u64,
+                    t: u64,
+                    e: Event| {
+        *seq += 1;
+        heap.push(Reverse((t, *seq)));
+        payloads.insert(*seq, e);
+    };
+
+    // Source emissions, through the per-flow ingress policer when
+    // configured: a token bucket that silently drops non-conforming
+    // packets (edge-router policing, Section 3).
+    let mut policed_drops = vec![0u64; classes];
+    for (fi, f) in flows.iter().enumerate() {
+        let bits = f.source.packet_bits() as f64;
+        let mut tokens;
+        let mut last_t = 0.0f64;
+        let policer = cfg.policers.as_ref().map(|p| p[f.class]);
+        tokens = policer.map(|(burst, _)| burst).unwrap_or(0.0);
+        for t in f.source.emissions(cfg.horizon) {
+            if let Some((burst, rate)) = policer {
+                tokens = (tokens + rate * (t - last_t)).min(burst);
+                last_t = t;
+                if tokens + 1e-9 < bits {
+                    policed_drops[f.class] += 1;
+                    continue;
+                }
+                tokens -= bits;
+            }
+            let tns = (t * NS).round() as u64;
+            push(
+                &mut heap,
+                &mut payloads,
+                &mut seq,
+                tns,
+                Event::Arrive(Job {
+                    flow: fi as u32,
+                    hop: 0,
+                    t0: tns,
+                }),
+            );
+        }
+    }
+
+    let mut acc: Vec<StatsAccumulator> = vec![StatsAccumulator::default(); classes];
+    let mut histograms = vec![crate::report::DelayHistogram::default(); classes];
+    let mut total_packets = 0u64;
+    let mut events = 0u64;
+    let mut peak_backlog = 0usize;
+
+    while let Some(Reverse((t, s))) = heap.pop() {
+        events += 1;
+        let ev = payloads.remove(&s).expect("payload for event");
+        match ev {
+            Event::Arrive(job) => {
+                let f = &flows[job.flow as usize];
+                let st_id = sim_routes[job.flow as usize][job.hop as usize] as usize;
+                let st = &mut stations[st_id];
+                st.sched.enqueue(
+                    f.class,
+                    SchedJob {
+                        payload: job,
+                        bits: f.source.packet_bits(),
+                        seq: s,
+                    },
+                    t as f64 / NS,
+                );
+                st.backlog += 1;
+                peak_backlog = peak_backlog.max(st.backlog);
+                if st.current.is_none() {
+                    let next = st.sched.dequeue().unwrap().payload;
+                    let bits = flows[next.flow as usize].source.packet_bits();
+                    let dur = (bits as f64 / st.capacity * NS).round() as u64;
+                    st.current = Some(next);
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        &mut seq,
+                        t + dur.max(1),
+                        Event::Complete {
+                            station: st_id as u32,
+                        },
+                    );
+                }
+            }
+            Event::Complete { station } => {
+                let st_id = station as usize;
+                let mut job = {
+                    let st = &mut stations[st_id];
+                    st.backlog -= 1;
+                    st.current.take().expect("completion without job")
+                };
+                let f = &flows[job.flow as usize];
+                let route = &sim_routes[job.flow as usize];
+                if job.hop == 0 {
+                    // Leaving the access shaper: the guarantee clock
+                    // starts now.
+                    job.t0 = t;
+                }
+                if (job.hop as usize) + 1 < route.len() {
+                    job.hop += 1;
+                    push(&mut heap, &mut payloads, &mut seq, t, Event::Arrive(job));
+                } else {
+                    let delay = (t - job.t0) as f64 / NS;
+                    acc[f.class].record(delay, cfg.deadlines[f.class]);
+                    histograms[f.class].record(delay);
+                    total_packets += 1;
+                }
+                // Start the next queued packet, if any.
+                let st = &mut stations[st_id];
+                if let Some(next) = st.sched.dequeue().map(|j| j.payload) {
+                    let bits = flows[next.flow as usize].source.packet_bits();
+                    let dur = (bits as f64 / st.capacity * NS).round() as u64;
+                    st.current = Some(next);
+                    push(
+                        &mut heap,
+                        &mut payloads,
+                        &mut seq,
+                        t + dur.max(1),
+                        Event::Complete {
+                            station: st_id as u32,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    SimReport {
+        classes: acc
+            .iter()
+            .zip(&policed_drops)
+            .map(|(a, &d)| a.finish_with_drops(d))
+            .collect(),
+        histograms,
+        total_packets,
+        events,
+        peak_backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 1e6; // 1 Mb/s links for visible delays
+
+    fn cfg(classes: usize) -> SimConfig {
+        SimConfig {
+            horizon: 0.2,
+            deadlines: vec![0.1; classes],
+            policers: None,
+        }
+    }
+
+    #[test]
+    fn single_flow_single_hop_transmission_only() {
+        // One CBR flow over one server: per-packet delay = one
+        // transmission time (the shaper hands packets over serially).
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let r = simulate(&[C], &flows, &cfg(1));
+        assert!(r.total_packets > 0);
+        let tx = 640.0 / C;
+        assert!(
+            (r.classes[0].max_delay - tx).abs() < 2e-9,
+            "max {} vs tx {tx}",
+            r.classes[0].max_delay
+        );
+        assert_eq!(r.total_misses(), 0);
+    }
+
+    #[test]
+    fn two_greedy_flows_collide_at_merge() {
+        // Flows from different ingresses merge on server 0: the second
+        // packet waits one transmission.
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::voip_greedy(0.0),
+            },
+        ];
+        let r = simulate(&[C], &flows, &cfg(1));
+        let tx = 640.0 / C;
+        assert!(r.classes[0].max_delay >= 1.9 * tx);
+        assert!(r.classes[0].max_delay <= 2.1 * tx);
+    }
+
+    #[test]
+    fn same_ingress_flows_are_shaped() {
+        // Same ingress, same first server: the shaper serializes them, so
+        // the real server never queues; per-packet delay stays one tx.
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 7,
+                route: vec![0],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 7,
+                route: vec![0],
+                source: SourceModel::voip_greedy(0.0),
+            },
+        ];
+        let r = simulate(&[C], &flows, &cfg(1));
+        let tx = 640.0 / C;
+        assert!(
+            r.classes[0].max_delay <= tx + 2e-9,
+            "max {} vs tx {tx}",
+            r.classes[0].max_delay
+        );
+    }
+
+    #[test]
+    fn high_priority_unaffected_by_low() {
+        // A saturating low-priority flow shares the link with one
+        // high-priority CBR flow; the high class sees at most one
+        // packet of non-preemption blocking per hop.
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.001),
+            },
+            FlowSpec {
+                class: 1,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::GreedyOnOff {
+                    burst_bits: 64_000.0,
+                    rate_bps: 0.9 * C,
+                    packet_bits: 8000,
+                    start: 0.0,
+                },
+            },
+        ];
+        let r = simulate(&[C], &flows, &cfg(2));
+        let blocking = 8000.0 / C; // one low-priority packet
+        let tx = 640.0 / C;
+        assert!(
+            r.classes[0].max_delay <= blocking + tx + 1e-9,
+            "high-priority delay {} exceeds non-preemption bound",
+            r.classes[0].max_delay
+        );
+        // The low class, by contrast, queues heavily.
+        assert!(r.classes[1].max_delay > r.classes[0].max_delay);
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        // Two same-class CBR flows, phase-shifted; delivery order at the
+        // sink must follow arrival order => delays stay bounded by one
+        // extra transmission.
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.01),
+            },
+        ];
+        let r = simulate(&[C], &flows, &cfg(1));
+        let tx = 640.0 / C;
+        assert!(r.classes[0].max_delay <= tx + 1e-9);
+    }
+
+    #[test]
+    fn multi_hop_route_accumulates_transmissions() {
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0, 1, 2],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let r = simulate(&[C, C, C], &flows, &cfg(1));
+        let tx = 640.0 / C;
+        assert!((r.classes[0].max_delay - 3.0 * tx).abs() < 3e-9);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+        ];
+        let a = simulate(&[C, C], &flows, &cfg(1));
+        let b = simulate(&[C, C], &flows, &cfg(1));
+        assert_eq!(a.total_packets, b.total_packets);
+        assert_eq!(a.classes[0].max_delay, b.classes[0].max_delay);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn deadline_misses_counted() {
+        // Deadline of ~0: every packet misses.
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let cfg = SimConfig {
+            horizon: 0.1,
+            deadlines: vec![1e-12],
+            policers: None,
+        };
+        let r = simulate(&[C], &flows, &cfg);
+        assert_eq!(r.total_misses(), r.total_packets);
+        assert!(r.total_packets > 0);
+    }
+
+    #[test]
+    fn fifo_lets_low_priority_hurt_high() {
+        // Two bulk ingresses merge on server 0 (joint arrival rate up to
+        // 2C), so a real backlog builds; under FIFO the voice packets
+        // wait inside it, under priority they jump it.
+        let mut flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.001),
+        }];
+        for ingress in [1, 2] {
+            flows.push(FlowSpec {
+                class: 1,
+                ingress,
+                route: vec![0],
+                source: SourceModel::GreedyOnOff {
+                    burst_bits: 64_000.0,
+                    rate_bps: 0.45 * C,
+                    packet_bits: 8000,
+                    start: 0.0,
+                },
+            });
+        }
+        let pri = simulate(&[C], &flows, &cfg(2));
+        let fifo = simulate_with(&[C], &flows, &cfg(2), &Discipline::Fifo);
+        assert!(
+            fifo.classes[0].max_delay > 3.0 * pri.classes[0].max_delay,
+            "FIFO {} vs priority {}",
+            fifo.classes[0].max_delay,
+            pri.classes[0].max_delay
+        );
+    }
+
+    #[test]
+    fn wfq_isolates_better_than_fifo() {
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.001),
+            },
+            FlowSpec {
+                class: 1,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::GreedyOnOff {
+                    burst_bits: 64_000.0,
+                    rate_bps: 0.9 * C,
+                    packet_bits: 8000,
+                    start: 0.0,
+                },
+            },
+        ];
+        let fifo = simulate_with(&[C], &flows, &cfg(2), &Discipline::Fifo);
+        let wfq = simulate_with(
+            &[C],
+            &flows,
+            &cfg(2),
+            &Discipline::Wfq {
+                weights: vec![1.0, 1.0],
+            },
+        );
+        assert!(wfq.classes[0].max_delay < fifo.classes[0].max_delay);
+    }
+
+    #[test]
+    fn virtual_clock_bounds_voice_delay() {
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.001),
+            },
+            FlowSpec {
+                class: 1,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::GreedyOnOff {
+                    burst_bits: 64_000.0,
+                    rate_bps: 0.5 * C,
+                    packet_bits: 8000,
+                    start: 0.0,
+                },
+            },
+        ];
+        let vc = simulate_with(
+            &[C],
+            &flows,
+            &cfg(2),
+            &Discipline::VirtualClock {
+                rates: vec![0.1 * C, 0.9 * C],
+            },
+        );
+        // Voice is light against its clock; it never waits for more than
+        // a couple of bulk packets.
+        assert!(vc.classes[0].max_delay <= 3.0 * 8000.0 / C);
+        assert_eq!(vc.total_misses(), 0);
+    }
+
+    #[test]
+    fn all_disciplines_conserve_packets() {
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 1,
+                ingress: 1,
+                route: vec![1, 0],
+                source: SourceModel::voip_cbr(0.003),
+            },
+        ];
+        let disciplines = [
+            Discipline::StaticPriority,
+            Discipline::Fifo,
+            Discipline::Wfq {
+                weights: vec![1.0, 2.0],
+            },
+            Discipline::VirtualClock {
+                rates: vec![0.2 * C, 0.2 * C],
+            },
+        ];
+        let reference = simulate(&[C, C], &flows, &cfg(2)).total_packets;
+        for d in disciplines {
+            let r = simulate_with(&[C, C], &flows, &cfg(2), &d);
+            assert_eq!(r.total_packets, reference, "discipline {d:?}");
+        }
+    }
+
+    #[test]
+    fn policer_passes_conforming_traffic() {
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let mut c = cfg(1);
+        c.policers = Some(vec![(640.0, 32_000.0)]);
+        let policed = simulate(&[C], &flows, &c);
+        let open = simulate(&[C], &flows, &cfg(1));
+        assert_eq!(policed.total_packets, open.total_packets);
+        assert_eq!(policed.classes[0].policed_drops, 0);
+    }
+
+    #[test]
+    fn policer_drops_rogue_excess() {
+        // Rogue at 4x the contract: ~3/4 of its packets must be dropped.
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::Rogue {
+                period: 0.02,
+                packet_bits: 640,
+                factor: 4.0,
+            },
+        }];
+        let mut c = cfg(1);
+        c.policers = Some(vec![(640.0, 32_000.0)]);
+        let r = simulate(&[C], &flows, &c);
+        let emitted = flows[0].source.emissions(0.2).len() as u64;
+        assert_eq!(r.total_packets + r.classes[0].policed_drops, emitted);
+        assert!(
+            r.classes[0].policed_drops as f64 >= 0.6 * emitted as f64,
+            "only {} of {emitted} dropped",
+            r.classes[0].policed_drops
+        );
+    }
+
+    #[test]
+    fn policing_isolates_conforming_flows_from_a_rogue() {
+        // A rogue same-class source shares the link with a conforming
+        // flow. Without policing the conforming flow's delay explodes;
+        // with policing it stays at the two-flow contention level.
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::Rogue {
+                    period: 0.02,
+                    packet_bits: 640,
+                    factor: 40.0, // 1.28 Mb/s > link rate
+                },
+            },
+        ];
+        let unpoliced = simulate(&[C], &flows, &cfg(1));
+        let mut c = cfg(1);
+        c.policers = Some(vec![(640.0, 32_000.0)]);
+        let policed = simulate(&[C], &flows, &c);
+        assert!(
+            policed.classes[0].max_delay * 5.0 < unpoliced.classes[0].max_delay,
+            "policed {} vs unpoliced {}",
+            policed.classes[0].max_delay,
+            unpoliced.classes[0].max_delay
+        );
+        assert!(policed.classes[0].policed_drops > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_route_rejected() {
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        simulate(&[C], &flows, &cfg(1));
+    }
+}

@@ -1,0 +1,254 @@
+//! Experiment V-SIM (integration): simulated worst-case delays never
+//! exceed the configuration-time analytic bounds.
+//!
+//! Pipeline under test, end to end: topology → SP routes → Figure 2
+//! verification at utilization α → greedy admission fill to the per-link
+//! budgets → packet-level simulation with adversarial (synchronized
+//! greedy) sources → observed max delay ≤ analytic bound, zero deadline
+//! misses.
+
+use uba_delay::fixed_point::{solve_two_class, SolveConfig};
+use uba_delay::routeset::{Route, RouteSet};
+use uba_delay::servers::Servers;
+use uba_graph::Path;
+use uba_routing::pairs::all_ordered_pairs;
+use uba_routing::sp::sp_selection;
+use uba_sim::{simulate, FlowSpec, SimConfig, SourceModel};
+use uba_topology::{grid, ring};
+use uba_traffic::{ClassId, TrafficClass};
+
+/// Greedy fill: admit flows round-robin over routes while every link on
+/// the route has `alpha*C` headroom for the class. Returns per-route flow
+/// counts.
+fn greedy_fill(paths: &[Path], servers: &Servers, alpha: f64, rate: f64) -> Vec<usize> {
+    let mut reserved = vec![0.0f64; servers.len()];
+    let mut counts = vec![0usize; paths.len()];
+    let mut progress = true;
+    while progress {
+        progress = false;
+        for (ri, p) in paths.iter().enumerate() {
+            let fits = p.edges.iter().all(|e| {
+                reserved[e.index()] + rate <= alpha * servers.capacity_at(e.index()) + 1e-9
+            });
+            if fits {
+                for e in &p.edges {
+                    reserved[e.index()] += rate;
+                }
+                counts[ri] += 1;
+                progress = true;
+            }
+        }
+    }
+    counts
+}
+
+/// Runs the full validation on one topology; returns (sim max, bound).
+fn validate(g: &uba_graph::Digraph, alpha: f64, capacity: f64, horizon: f64) -> (f64, f64) {
+    let voip = TrafficClass::voip();
+    // Fan-in from actual topology (+1 access link) so the analysis covers
+    // exactly the feeding channels the simulator materializes.
+    let servers = Servers::from_topology(g, capacity);
+    let pairs = all_ordered_pairs(g);
+    let paths = sp_selection(g, &pairs).expect("connected");
+    let mut routes = RouteSet::new(g.edge_count());
+    for p in &paths {
+        routes.push(Route::from_path(ClassId(0), p));
+    }
+    let analysis = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+    assert!(
+        analysis.outcome.is_safe(),
+        "choose alpha so the configuration verifies; outcome {:?}",
+        analysis.outcome
+    );
+    let bound = analysis
+        .route_delays
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+
+    // Fill to the admission limit and simulate adversarial sources.
+    let counts = greedy_fill(&paths, &servers, alpha, voip.bucket.rate);
+    let mut flows = Vec::new();
+    for ((pair, path), &n) in pairs.iter().zip(&paths).zip(&counts) {
+        for _ in 0..n {
+            flows.push(FlowSpec {
+                class: 0,
+                ingress: pair.src.0,
+                route: path.edges.iter().map(|e| e.0).collect(),
+                source: SourceModel::voip_greedy(0.0),
+            });
+        }
+    }
+    assert!(!flows.is_empty(), "fill admitted nothing");
+    let report = simulate(
+        &(0..servers.len()).map(|k| servers.capacity_at(k)).collect::<Vec<_>>(),
+        &flows,
+        &SimConfig {
+            horizon,
+            deadlines: vec![voip.deadline],
+            policers: None,
+        },
+    );
+    assert!(report.total_packets > 0);
+    assert_eq!(
+        report.total_misses(),
+        0,
+        "verified configuration must never miss a deadline (max {} vs D=0.1)",
+        report.max_delay()
+    );
+    (report.max_delay(), bound)
+}
+
+/// Packetization slack: per hop one non-preemption block plus one
+/// quantization packet.
+fn slack(hops: usize, packet_bits: f64, capacity: f64) -> f64 {
+    hops as f64 * 2.0 * packet_bits / capacity
+}
+
+#[test]
+fn ring_simulation_below_bound() {
+    let g = ring(6);
+    let c = 1e6;
+    let (sim_max, bound) = validate(&g, 0.25, c, 0.3);
+    assert!(sim_max > 0.0);
+    assert!(
+        sim_max <= bound + slack(3, 640.0, c),
+        "sim {sim_max} exceeds analytic bound {bound}"
+    );
+}
+
+#[test]
+fn grid_simulation_below_bound() {
+    let g = grid(3, 3);
+    let c = 1e6;
+    let (sim_max, bound) = validate(&g, 0.2, c, 0.3);
+    assert!(
+        sim_max <= bound + slack(4, 640.0, c),
+        "sim {sim_max} exceeds analytic bound {bound}"
+    );
+}
+
+#[test]
+fn mci_subset_simulation_below_bound() {
+    // The real experiment topology at reduced capacity so the flow count
+    // stays test-sized.
+    let g = uba_topology::mci();
+    let c = 1e6;
+    let (sim_max, bound) = validate(&g, 0.15, c, 0.25);
+    assert!(
+        sim_max <= bound + slack(4, 640.0, c),
+        "sim {sim_max} exceeds analytic bound {bound}"
+    );
+}
+
+/// V-SIM2: the Theorem 5 multi-class bounds also dominate simulation.
+/// Two real-time classes (voice above video) fill a ring to their
+/// per-class budgets; per-class observed maxima stay below the per-class
+/// configuration-time bounds.
+#[test]
+fn multiclass_simulation_below_theorem5_bounds() {
+    use uba_delay::multiclass::solve_multiclass;
+    use uba_traffic::{ClassSet, LeakyBucket};
+
+    let g = ring(6);
+    let capacity = 4e6;
+    let servers = Servers::from_topology(&g, capacity);
+    let mut classes = ClassSet::new();
+    classes.push(TrafficClass::voip());
+    classes.push(TrafficClass::new(
+        "video",
+        LeakyBucket::new(16_000.0, 400_000.0),
+        0.3,
+    ));
+    let alphas = [0.15, 0.25];
+
+    let pairs = all_ordered_pairs(&g);
+    let paths = sp_selection(&g, &pairs).expect("connected");
+    let mut routes = RouteSet::new(g.edge_count());
+    for class in 0..2usize {
+        for p in &paths {
+            routes.push(Route::from_path(ClassId(class), p));
+        }
+    }
+    let analysis = solve_multiclass(
+        &servers,
+        &classes,
+        &alphas,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
+    assert!(analysis.outcome.is_safe(), "{:?}", analysis.outcome);
+    // Per-class worst route bound.
+    let mut bounds = [0.0f64; 2];
+    for (rt, &rd) in routes.routes().iter().zip(&analysis.route_delays) {
+        let c = rt.class.index();
+        bounds[c] = bounds[c].max(rd);
+    }
+
+    // Greedy per-class fill.
+    let class_specs = [
+        (0usize, 32_000.0f64, SourceModel::voip_greedy(0.0)),
+        (
+            1usize,
+            400_000.0,
+            SourceModel::GreedyOnOff {
+                burst_bits: 16_000.0,
+                rate_bps: 400_000.0,
+                packet_bits: 4_000,
+                start: 0.0,
+            },
+        ),
+    ];
+    let mut flows = Vec::new();
+    for (class, rate, src) in class_specs {
+        let mut reserved = vec![0.0f64; servers.len()];
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (pair, path) in pairs.iter().zip(&paths) {
+                let fits = path
+                    .edges
+                    .iter()
+                    .all(|e| reserved[e.index()] + rate <= alphas[class] * capacity + 1e-9);
+                if fits {
+                    for e in &path.edges {
+                        reserved[e.index()] += rate;
+                    }
+                    flows.push(FlowSpec {
+                        class,
+                        ingress: pair.src.0,
+                        route: path.edges.iter().map(|e| e.0).collect(),
+                        source: src,
+                    });
+                    progress = true;
+                }
+            }
+        }
+    }
+    assert!(flows.iter().any(|f| f.class == 0));
+    assert!(flows.iter().any(|f| f.class == 1));
+
+    let report = simulate(
+        &(0..servers.len())
+            .map(|k| servers.capacity_at(k))
+            .collect::<Vec<_>>(),
+        &flows,
+        &SimConfig {
+            horizon: 0.3,
+            deadlines: vec![0.1, 0.3],
+            policers: None,
+        },
+    );
+    assert_eq!(report.total_misses(), 0);
+    for (class, &bound) in bounds.iter().enumerate() {
+        let sim_max = report.classes[class].max_delay;
+        // Non-preemption slack: one max-size lower-priority packet per
+        // hop plus own packetization.
+        let s = slack(3, 4_000.0, capacity);
+        assert!(
+            sim_max <= bound + s,
+            "class {class}: sim {sim_max} vs bound {bound}"
+        );
+    }
+}

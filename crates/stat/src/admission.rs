@@ -1,0 +1,154 @@
+//! Configuration-time statistical thresholds and multiplexing gain.
+//!
+//! The run-time mechanism is unchanged from the deterministic system: a
+//! per-link flow counter compared against a configured threshold. This
+//! module computes that threshold for a target violation probability and
+//! quantifies the win over deterministic peak-rate budgeting.
+
+use crate::binomial::binomial_tail;
+use crate::onoff::OnOffClass;
+
+/// A per-link statistical admission threshold.
+#[derive(Clone, Copy, Debug)]
+pub struct StatThreshold {
+    /// Maximum concurrently admitted flows.
+    pub max_flows: usize,
+    /// Exact violation probability at `max_flows` (`≤` the configured ε).
+    pub violation: f64,
+    /// The configured target ε.
+    pub epsilon: f64,
+}
+
+/// Largest `n` such that `P(h·Bin(n, p) > budget) ≤ ε` (exact binomial
+/// tail; the threshold search is a configuration-time cost).
+///
+/// Flows whose peaks fit the budget outright are always admissible, so
+/// the result is at least `⌊budget/h⌋`.
+///
+/// # Examples
+/// ```
+/// use uba_stat::{max_flows, OnOffClass};
+/// let speech = OnOffClass::voip(); // 32 kb/s peak, 40% activity
+/// let budget = 100.0 * speech.peak_rate; // fits 100 always-on calls
+/// let t = max_flows(speech, budget, 1e-6);
+/// assert!(t.max_flows > 100);      // statistical multiplexing gain
+/// assert!(t.violation <= 1e-6);    // at the configured risk
+/// ```
+pub fn max_flows(class: OnOffClass, budget: f64, epsilon: f64) -> StatThreshold {
+    assert!(budget >= 0.0 && budget.is_finite(), "budget");
+    assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+    let k = (budget / class.peak_rate).floor() as usize; // simultaneous talkers that fit
+    let deterministic = k;
+    // The tail P(Bin(n,p) > k) is increasing in n; exponential + binary
+    // search for the crossing point.
+    let tail = |n: usize| binomial_tail(n, class.activity, k);
+    if tail(deterministic.max(1)) > epsilon && deterministic == 0 {
+        return StatThreshold {
+            max_flows: 0,
+            violation: 0.0,
+            epsilon,
+        };
+    }
+    let mut lo = deterministic.max(1);
+    if tail(lo) > epsilon {
+        // Even the deterministic count violates? Impossible: with n = k
+        // flows, Bin(n,p) <= n = k, tail = 0. Guard anyway.
+        return StatThreshold {
+            max_flows: deterministic,
+            violation: 0.0,
+            epsilon,
+        };
+    }
+    let mut hi = lo.max(1);
+    while tail(hi) <= epsilon {
+        hi *= 2;
+        if hi > 10_000_000 {
+            break; // p ~ 0 pathology; cap the search
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if tail(mid) <= epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    StatThreshold {
+        max_flows: lo,
+        violation: tail(lo),
+        epsilon,
+    }
+}
+
+/// Multiplexing gain: statistically admitted flows over deterministically
+/// admitted flows for the same budget.
+pub fn multiplexing_gain(class: OnOffClass, budget: f64, epsilon: f64) -> f64 {
+    let det = (budget / class.peak_rate).floor().max(1.0);
+    max_flows(class, budget, epsilon).max_flows as f64 / det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_at_least_deterministic() {
+        let class = OnOffClass::voip();
+        let budget = 30.0 * class.peak_rate;
+        let t = max_flows(class, budget, 1e-5);
+        assert!(t.max_flows >= 30);
+        assert!(t.violation <= 1e-5);
+    }
+
+    #[test]
+    fn threshold_monotone_in_epsilon() {
+        let class = OnOffClass::voip();
+        let budget = 100.0 * class.peak_rate;
+        let strict = max_flows(class, budget, 1e-9).max_flows;
+        let loose = max_flows(class, budget, 1e-3).max_flows;
+        assert!(loose >= strict);
+    }
+
+    #[test]
+    fn threshold_is_maximal() {
+        // One more flow must break epsilon.
+        let class = OnOffClass::voip();
+        let budget = 50.0 * class.peak_rate;
+        let t = max_flows(class, budget, 1e-6);
+        let k = (budget / class.peak_rate).floor() as usize;
+        let next = crate::binomial::binomial_tail(t.max_flows + 1, class.activity, k);
+        assert!(next > 1e-6, "threshold not maximal: next tail {next}");
+    }
+
+    #[test]
+    fn gain_exceeds_one_and_grows_with_budget() {
+        let class = OnOffClass::voip();
+        let g_small = multiplexing_gain(class, 20.0 * class.peak_rate, 1e-5);
+        let g_large = multiplexing_gain(class, 500.0 * class.peak_rate, 1e-5);
+        assert!(g_small >= 1.0);
+        assert!(g_large > g_small, "law of large numbers: {g_small} -> {g_large}");
+        // Upper limit: 1/activity.
+        assert!(g_large <= 1.0 / class.activity + 1e-9);
+    }
+
+    #[test]
+    fn tiny_budget_admits_nothing() {
+        let class = OnOffClass::voip();
+        // Budget below one peak: zero talkers fit, and even one admitted
+        // flow violates with probability p = 0.4 > eps, so nothing is
+        // admissible.
+        let t = max_flows(class, 0.5 * class.peak_rate, 0.05);
+        assert_eq!(t.max_flows, 0);
+    }
+
+    #[test]
+    fn tiny_budget_with_loose_epsilon_admits_one() {
+        let class = OnOffClass::new(32_000.0, 0.4);
+        // eps above the activity factor: a single flow's violation
+        // probability (0.4) is acceptable.
+        let t = max_flows(class, 0.5 * class.peak_rate, 0.5);
+        assert!(t.max_flows >= 1);
+        assert!(t.violation <= 0.5);
+    }
+}

@@ -1,0 +1,159 @@
+//! Binomial overflow tails: exact, Chernoff, and the KL-divergence form.
+
+/// Kullback–Leibler divergence between Bernoulli(a) and Bernoulli(p),
+/// `D(a‖p) = a·ln(a/p) + (1−a)·ln((1−a)/(1−p))`, in nats.
+///
+/// Defined for `a, p ∈ [0, 1]`; boundary cases use the usual `0·ln 0 = 0`
+/// convention and return `+∞` where the supports separate.
+pub fn kl_bernoulli(a: f64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&p), "probabilities");
+    let term = |x: f64, y: f64| -> f64 {
+        if x == 0.0 {
+            0.0
+        } else if y == 0.0 {
+            f64::INFINITY
+        } else {
+            x * (x / y).ln()
+        }
+    };
+    term(a, p) + term(1.0 - a, 1.0 - p)
+}
+
+/// Exact binomial upper tail `P(Bin(n, p) > k)`, computed in log space
+/// for numerical stability (usable to `n` in the tens of thousands).
+pub fn binomial_tail(n: usize, p: f64, k: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability");
+    if k >= n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return 1.0;
+    }
+    // ln C(n, j) p^j (1-p)^(n-j) accumulated from j = k+1 ..= n via
+    // ln-gamma-free incremental ratios, summed with log-sum-exp.
+    let lp = p.ln();
+    let lq = (1.0 - p).ln();
+    // Start at j0 = k+1: ln C(n, j0) via sum of ln terms.
+    let j0 = k + 1;
+    let mut ln_c = 0.0f64;
+    for i in 0..j0 {
+        ln_c += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    let mut ln_term = ln_c + j0 as f64 * lp + (n - j0) as f64 * lq;
+    let mut max_ln = ln_term;
+    let mut terms = vec![ln_term];
+    for j in j0 + 1..=n {
+        // C(n, j) = C(n, j-1) * (n-j+1)/j
+        ln_term += ((n - j + 1) as f64).ln() - (j as f64).ln() + lp - lq;
+        terms.push(ln_term);
+        if ln_term > max_ln {
+            max_ln = ln_term;
+        }
+    }
+    let sum: f64 = terms.iter().map(|&t| (t - max_ln).exp()).sum();
+    (max_ln + sum.ln()).exp().min(1.0)
+}
+
+/// Chernoff bound on the overflow tail `P(h·Bin(n, p) > c)`:
+/// `exp(−n·D(a‖p))` with `a = c/(n·h)`, valid for `a > p`; returns `1`
+/// when the mean already exceeds the budget (no useful bound).
+pub fn chernoff_tail(n: usize, p: f64, h: f64, c: f64) -> f64 {
+    assert!(h > 0.0 && c >= 0.0, "rates");
+    if n == 0 {
+        return 0.0;
+    }
+    let a = (c / (n as f64 * h)).min(1.0);
+    if a <= p {
+        return 1.0;
+    }
+    (-(n as f64) * kl_bernoulli(a, p)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_zero_at_equal() {
+        for p in [0.1, 0.4, 0.9] {
+            assert!(kl_bernoulli(p, p).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn kl_positive_and_grows_with_separation() {
+        let d1 = kl_bernoulli(0.5, 0.4);
+        let d2 = kl_bernoulli(0.7, 0.4);
+        assert!(d1 > 0.0);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn kl_boundary_cases() {
+        assert_eq!(kl_bernoulli(0.0, 0.5), (2.0f64).ln());
+        assert_eq!(kl_bernoulli(1.0, 0.5), (2.0f64).ln());
+        assert_eq!(kl_bernoulli(0.5, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn exact_tail_small_case() {
+        // Bin(3, 0.5): P(X > 1) = P(2) + P(3) = 3/8 + 1/8 = 0.5.
+        assert!((binomial_tail(3, 0.5, 1) - 0.5).abs() < 1e-12);
+        // P(X > 2) = 1/8.
+        assert!((binomial_tail(3, 0.5, 2) - 0.125).abs() < 1e-12);
+        assert_eq!(binomial_tail(3, 0.5, 3), 0.0);
+    }
+
+    #[test]
+    fn exact_tail_matches_complement() {
+        // P(X > k) + P(X <= k) = 1, via the symmetric tail at p = 0.5:
+        // P(Bin(n, 0.5) > k) = P(Bin(n, 0.5) < n-k-1+1).
+        let n = 20;
+        for k in 0..n {
+            let upper = binomial_tail(n, 0.5, k);
+            let lower = 1.0 - binomial_tail(n, 0.5, n - k - 1);
+            assert!((upper - lower).abs() < 1e-10, "k={k}");
+        }
+    }
+
+    #[test]
+    fn exact_tail_degenerate_p() {
+        assert_eq!(binomial_tail(10, 0.0, 3), 0.0);
+        assert_eq!(binomial_tail(10, 1.0, 3), 1.0);
+    }
+
+    #[test]
+    fn chernoff_dominates_exact() {
+        let (p, h) = (0.35, 64_000.0);
+        for n in [10usize, 50, 200, 1000] {
+            for frac in [0.5, 0.6, 0.8] {
+                let c = frac * n as f64 * h; // budget as fraction of peak sum
+                let k = (c / h).floor() as usize;
+                let exact = binomial_tail(n, p, k);
+                let bound = chernoff_tail(n, p, h, c);
+                assert!(
+                    bound + 1e-15 >= exact,
+                    "n={n}, frac={frac}: chernoff {bound} < exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chernoff_useless_below_mean() {
+        assert_eq!(chernoff_tail(100, 0.5, 1.0, 40.0), 1.0);
+    }
+
+    #[test]
+    fn large_n_stability() {
+        let t = binomial_tail(20_000, 0.4, 8_600);
+        assert!(t > 0.0 && t < 1.0);
+        // Chernoff agrees on the exponential scale.
+        let b = chernoff_tail(20_000, 0.4, 1.0, 8_600.0);
+        assert!(b >= t);
+        assert!(b.ln() - t.ln() < 0.05 * t.ln().abs() + 10.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Statistical guarantees for utilization-based admission control.
+//!
+//! The paper closes (Section 7) by noting that "for many applications,
+//! deterministic guarantees are not necessary … We are therefore
+//! investigating how to extend our methodology to take into account
+//! statistical guarantees." This crate is that extension, built to keep
+//! the paper's core property intact: **run-time admission control remains
+//! a per-link counter comparison** — only the configuration-time
+//! threshold changes.
+//!
+//! Model: voice flows are on/off — while talking (probability `p`,
+//! *activity factor*) a flow needs its peak rate `h`; while silent it
+//! needs nothing. Deterministic admission must budget every flow at `h`.
+//! Statistical admission budgets for the event "too many flows talk at
+//! once": on a link with class budget `c`, admit up to `n*` flows where
+//!
+//! ```text
+//! P( h · Binomial(n*, p)  >  c )  ≤  ε
+//! ```
+//!
+//! for a configured violation probability `ε` (the bufferless
+//! multiplexing model). The crate provides three evaluations of that tail
+//! — exact binomial, Chernoff bound (the classic effective-bandwidth
+//! form), and Monte Carlo — plus the configuration-time threshold search
+//! [`max_flows`] and the resulting multiplexing-gain accounting.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod binomial;
+pub mod onoff;
+
+pub use admission::{max_flows, multiplexing_gain, StatThreshold};
+pub use binomial::{binomial_tail, chernoff_tail, kl_bernoulli};
+pub use onoff::{monte_carlo_violation, OnOffClass};

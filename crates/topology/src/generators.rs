@@ -1,0 +1,293 @@
+//! Parametric topology families.
+//!
+//! All generators produce bidirectional unit-weight links. The random
+//! generator is seeded and deterministic, and always returns a connected
+//! graph.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uba_graph::{bfs, Digraph, NodeId};
+
+/// A line of `n >= 2` routers.
+pub fn line(n: usize) -> Digraph {
+    assert!(n >= 2, "line needs at least 2 routers");
+    let mut g = Digraph::with_nodes(n);
+    for i in 0..n - 1 {
+        g.add_link(NodeId(i as u32), NodeId(i as u32 + 1), 1.0);
+    }
+    g
+}
+
+/// A ring of `n >= 3` routers.
+pub fn ring(n: usize) -> Digraph {
+    assert!(n >= 3, "ring needs at least 3 routers");
+    let mut g = Digraph::with_nodes(n);
+    for i in 0..n {
+        g.add_link(NodeId(i as u32), NodeId(((i + 1) % n) as u32), 1.0);
+    }
+    g
+}
+
+/// A star: router 0 is the hub, `spokes >= 1` leaves around it.
+pub fn star(spokes: usize) -> Digraph {
+    assert!(spokes >= 1, "star needs at least one spoke");
+    let mut g = Digraph::with_nodes(spokes + 1);
+    for i in 1..=spokes {
+        g.add_link(NodeId(0), NodeId(i as u32), 1.0);
+    }
+    g
+}
+
+/// A `w × h` grid (no wraparound).
+pub fn grid(w: usize, h: usize) -> Digraph {
+    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid too small");
+    let mut g = Digraph::with_nodes(w * h);
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                g.add_link(id(x, y), id(x + 1, y), 1.0);
+            }
+            if y + 1 < h {
+                g.add_link(id(x, y), id(x, y + 1), 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// A `w × h` torus (grid with wraparound); `w, h >= 3` so no parallel
+/// links arise.
+pub fn torus(w: usize, h: usize) -> Digraph {
+    assert!(w >= 3 && h >= 3, "torus needs both dimensions >= 3");
+    let mut g = Digraph::with_nodes(w * h);
+    let id = |x: usize, y: usize| NodeId((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            g.add_link(id(x, y), id((x + 1) % w, y), 1.0);
+            g.add_link(id(x, y), id(x, (y + 1) % h), 1.0);
+        }
+    }
+    g
+}
+
+/// A dumbbell: two stars of `leaves` routers joined by a chain of
+/// `bottleneck_hops >= 1` links between the hubs — the canonical
+/// congestion-study shape (all cross traffic shares the chain).
+pub fn dumbbell(leaves: usize, bottleneck_hops: usize) -> Digraph {
+    assert!(leaves >= 1, "dumbbell needs leaves");
+    assert!(bottleneck_hops >= 1, "dumbbell needs a bottleneck");
+    // Nodes: left hub, chain interior, right hub, then leaves.
+    let chain_nodes = bottleneck_hops - 1;
+    let mut g = Digraph::with_nodes(2 + chain_nodes + 2 * leaves);
+    let left = NodeId(0);
+    let right = NodeId((1 + chain_nodes) as u32);
+    let mut prev = left;
+    for i in 0..chain_nodes {
+        let mid = NodeId((1 + i) as u32);
+        g.add_link(prev, mid, 1.0);
+        prev = mid;
+    }
+    g.add_link(prev, right, 1.0);
+    let base = 2 + chain_nodes;
+    for i in 0..leaves {
+        g.add_link(left, NodeId((base + i) as u32), 1.0);
+        g.add_link(right, NodeId((base + leaves + i) as u32), 1.0);
+    }
+    g
+}
+
+/// A two-level fat-tree-style topology: `cores` core routers, each of
+/// `pods` pod routers linked to every core, and `hosts_per_pod` access
+/// routers per pod. (A folded-Clos abstraction at router granularity —
+/// rich path diversity between pods.)
+pub fn fat_tree(cores: usize, pods: usize, hosts_per_pod: usize) -> Digraph {
+    assert!(cores >= 1 && pods >= 2, "fat tree needs cores and >= 2 pods");
+    let mut g = Digraph::with_nodes(cores + pods + pods * hosts_per_pod);
+    for p in 0..pods {
+        let pod = NodeId((cores + p) as u32);
+        for c in 0..cores {
+            g.add_link(NodeId(c as u32), pod, 1.0);
+        }
+        for h in 0..hosts_per_pod {
+            let host = NodeId((cores + pods + p * hosts_per_pod + h) as u32);
+            g.add_link(pod, host, 1.0);
+        }
+    }
+    g
+}
+
+/// A complete graph on `n >= 2` routers.
+pub fn full_mesh(n: usize) -> Digraph {
+    assert!(n >= 2, "mesh needs at least 2 routers");
+    let mut g = Digraph::with_nodes(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.add_link(NodeId(a as u32), NodeId(b as u32), 1.0);
+        }
+    }
+    g
+}
+
+/// Waxman-style random geometric topology on `n >= 2` routers.
+///
+/// Routers are placed uniformly in the unit square; a link between `u`
+/// and `v` at distance `d` exists with probability
+/// `beta · exp(−d / (alpha · √2))`. Connectivity is enforced afterwards
+/// by linking each non-first component to its geometrically nearest
+/// already-connected router, so the result is always connected.
+/// Deterministic for a given seed.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Digraph {
+    assert!(n >= 2, "waxman needs at least 2 routers");
+    assert!(alpha > 0.0 && beta > 0.0 && beta <= 1.0, "bad waxman params");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let (dx, dy) = (pos[a].0 - pos[b].0, pos[a].1 - pos[b].1);
+        (dx * dx + dy * dy).sqrt()
+    };
+    let mut g = Digraph::with_nodes(n);
+    let max_d = std::f64::consts::SQRT_2;
+    let mut connected = vec![false; n];
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = beta * (-dist(a, b) / (alpha * max_d)).exp();
+            if rng.gen::<f64>() < p {
+                g.add_link(NodeId(a as u32), NodeId(b as u32), 1.0);
+                connected[a] = true;
+                connected[b] = true;
+            }
+        }
+    }
+    // Enforce global connectivity via union over BFS from node 0.
+    loop {
+        let reach = bfs::hop_distances(&g, NodeId(0));
+        let orphan = (0..n).find(|&v| reach[v] == usize::MAX);
+        match orphan {
+            None => break,
+            Some(v) => {
+                // Attach to nearest reachable router.
+                let target = (0..n)
+                    .filter(|&u| reach[u] != usize::MAX)
+                    .min_by(|&a, &b| dist(v, a).total_cmp(&dist(v, b)))
+                    .expect("node 0 is always reachable");
+                g.add_link(NodeId(v as u32), NodeId(target as u32), 1.0);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape() {
+        let g = line(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(bfs::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(8);
+        assert_eq!(g.edge_count(), 16);
+        assert_eq!(bfs::diameter(&g), Some(4));
+        assert_eq!(g.max_in_degree(), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.max_in_degree(), 5);
+        assert_eq!(bfs::diameter(&g), Some(2));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Links: 2*4 horizontal + 3*3 vertical = 17.
+        assert_eq!(g.edge_count(), 34);
+        assert_eq!(bfs::diameter(&g), Some(2 + 3));
+    }
+
+    #[test]
+    fn torus_shape() {
+        let g = torus(4, 4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.max_in_degree(), 4);
+        assert_eq!(bfs::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn full_mesh_shape() {
+        let g = full_mesh(5);
+        assert_eq!(g.edge_count(), 20);
+        assert_eq!(bfs::diameter(&g), Some(1));
+        assert_eq!(g.max_in_degree(), 4);
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(3, 2);
+        // 2 hubs + 1 chain node + 6 leaves.
+        assert_eq!(g.node_count(), 9);
+        assert!(bfs::is_strongly_connected(&g));
+        // Leaf to opposite leaf: 1 + 2 + 1 = 4.
+        assert_eq!(bfs::diameter(&g), Some(4));
+        // Hubs carry leaves + chain.
+        assert_eq!(g.in_degree(NodeId(0)), 4);
+    }
+
+    #[test]
+    fn dumbbell_single_hop_bottleneck() {
+        let g = dumbbell(2, 1);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(bfs::diameter(&g), Some(3));
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let g = fat_tree(2, 3, 2);
+        assert_eq!(g.node_count(), 2 + 3 + 6);
+        assert!(bfs::is_strongly_connected(&g));
+        // Host to host across pods: host-pod-core-pod-host = 4.
+        assert_eq!(bfs::diameter(&g), Some(4));
+        // Each pod router: cores + hosts.
+        assert_eq!(g.in_degree(NodeId(2)), 4);
+        // Path diversity: 2 disjoint core paths between any two pods.
+        let paths = uba_graph::k_shortest_paths(&g, NodeId(2), NodeId(3), 4);
+        assert!(paths.len() >= 2);
+        assert_eq!(paths[0].len(), 2);
+        assert_eq!(paths[1].len(), 2);
+    }
+
+    #[test]
+    fn waxman_connected_and_deterministic() {
+        for seed in 0..5u64 {
+            let g = waxman(40, 0.4, 0.4, seed);
+            assert!(bfs::is_strongly_connected(&g), "seed {seed}");
+        }
+        let a = waxman(30, 0.3, 0.5, 42);
+        let b = waxman(30, 0.3, 0.5, 42);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn waxman_sparse_still_connected() {
+        // Tiny beta: almost no probabilistic links; connectivity pass must
+        // stitch everything together.
+        let g = waxman(25, 0.1, 0.01, 7);
+        assert!(bfs::is_strongly_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn degenerate_line_rejected() {
+        line(1);
+    }
+}

@@ -1,0 +1,25 @@
+//! Traffic models for utilization-based admission control.
+//!
+//! Implements Section 3 of the paper:
+//!
+//! * [`LeakyBucket`] — the source policer `(T, ρ)`: traffic in any interval
+//!   of length `I` is bounded by `min(C·I, T + ρ·I)`.
+//! * [`TrafficClass`] / [`ClassSet`] — diffserv classes with per-class
+//!   leaky-bucket parameters, end-to-end deadline `D_i`, and static
+//!   priority order.
+//! * [`Envelope`] — piecewise-linear *concave* traffic-constraint functions
+//!   (Definition 2) with the algebra needed by the delay formulas: sums,
+//!   integer scaling, jitter shifts `F(I + Y)`, capping by the link rate,
+//!   and the busy-period maximization `max_{I>0}(F(I) − C·I)` of Eq. (3).
+//!
+//! All quantities are in bits, seconds, and bits/second.
+
+#![warn(missing_docs)]
+
+pub mod bucket;
+pub mod class;
+pub mod envelope;
+
+pub use bucket::LeakyBucket;
+pub use class::{ClassId, ClassSet, TrafficClass};
+pub use envelope::Envelope;

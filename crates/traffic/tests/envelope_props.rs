@@ -1,0 +1,118 @@
+//! Property-based tests for the envelope algebra.
+//!
+//! These pin down the semantic contracts the delay analysis relies on:
+//! closure under the operations, pointwise correctness, concavity, and the
+//! busy-period maximum matching a brute-force grid search.
+
+use proptest::prelude::*;
+use uba_traffic::Envelope;
+
+/// Strategy: a modest leaky-bucket-ish envelope with random burst/rate/cap.
+fn arb_bucket() -> impl Strategy<Value = (f64, f64, f64)> {
+    (
+        1.0..1e6f64,   // sigma (bits)
+        1.0..1e6f64,   // rho (bits/s)
+        1e3..1e8f64,   // cap c (bits/s)
+    )
+}
+
+fn arb_interval() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        1e-9..1.0f64,
+        1.0..100.0f64,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn min_with_line_is_pointwise_min((sigma, rho, c) in arb_bucket(), i in arb_interval()) {
+        let tb = Envelope::token_bucket(sigma, rho);
+        let capped = tb.min_with_line(c);
+        let expect = tb.eval(i).min(c * i);
+        let got = capped.eval(i);
+        prop_assert!((got - expect).abs() <= 1e-6 * (1.0 + expect.abs()),
+            "at {i}: got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn sum_is_pointwise_sum((s1, r1, c1) in arb_bucket(), (s2, r2, c2) in arb_bucket(), i in arb_interval()) {
+        let a = Envelope::leaky_bucket(s1, r1, c1);
+        let b = Envelope::leaky_bucket(s2, r2, c2);
+        let s = a.sum(&b);
+        let expect = a.eval(i) + b.eval(i);
+        prop_assert!((s.eval(i) - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn shift_is_pointwise_shift((sigma, rho, c) in arb_bucket(), y in 0.0..10.0f64, i in arb_interval()) {
+        let e = Envelope::leaky_bucket(sigma, rho, c);
+        let shifted = e.shift(y);
+        let expect = e.eval(i + y);
+        prop_assert!((shifted.eval(i) - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn operations_preserve_concavity((s1, r1, c1) in arb_bucket(), (s2, r2, c2) in arb_bucket(), y in 0.0..10.0f64) {
+        let a = Envelope::leaky_bucket(s1, r1, c1);
+        let b = Envelope::leaky_bucket(s2, r2, c2);
+        prop_assert!(a.sum(&b).is_concave());
+        prop_assert!(a.shift(y).is_concave());
+        prop_assert!(a.scale(7.0).is_concave());
+        prop_assert!(a.sum(&b).min_with_line(c1.min(c2)).is_concave());
+    }
+
+    #[test]
+    fn operations_preserve_monotonicity((s1, r1, c1) in arb_bucket(), i in arb_interval(), di in 1e-6..10.0f64) {
+        let e = Envelope::leaky_bucket(s1, r1, c1).shift(0.5).scale(3.0);
+        prop_assert!(e.eval(i + di) + 1e-9 * (1.0 + e.eval(i).abs()) >= e.eval(i));
+    }
+
+    #[test]
+    fn busy_max_matches_grid_search((s1, r1) in (1.0..1e5f64, 1.0..1e5f64), (s2, r2) in (1.0..1e5f64, 1.0..1e5f64)) {
+        // Aggregate of two capped buckets against a server of capacity c.
+        let c = 2e5f64;
+        let link = 1.5e5f64;
+        let a = Envelope::leaky_bucket(s1, r1, link);
+        let b = Envelope::leaky_bucket(s2, r2, link);
+        let agg = a.sum(&b);
+        if agg.final_slope() > c {
+            prop_assert!(agg.busy_max(c).is_none());
+        } else {
+            let (h, at) = agg.busy_max(c).unwrap();
+            // The reported max is attained where claimed.
+            prop_assert!((agg.eval(at) - c * at - h).abs() <= 1e-6 * (1.0 + h.abs()));
+            // Grid search never beats it.
+            let horizon = (s1 + s2) / (c - agg.final_slope()).max(1.0) + 1.0;
+            for k in 0..=2000 {
+                let x = horizon * k as f64 / 2000.0;
+                let hx = agg.eval(x) - c * x;
+                prop_assert!(hx <= h + 1e-6 * (1.0 + h.abs()),
+                    "grid beats busy_max at {x}: {hx} > {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_nonnegative_and_bounded_by_burst((s1, r1, c1) in arb_bucket()) {
+        let c = c1;
+        // Keep the aggregate stable: rate strictly below capacity.
+        let rho = r1.min(0.9 * c);
+        let agg = Envelope::token_bucket(s1, rho);
+        let d = agg.delay(c).unwrap();
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= s1 / c + 1e-9);
+    }
+
+    #[test]
+    fn scale_matches_sum_loop((sigma, rho, c) in arb_bucket(), n in 1usize..6, i in arb_interval()) {
+        let e = Envelope::leaky_bucket(sigma, rho, c);
+        let scaled = e.scale(n as f64);
+        let mut summed = Envelope::zero();
+        for _ in 0..n {
+            summed = summed.sum(&e);
+        }
+        let (a, b) = (scaled.eval(i), summed.eval(i));
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()));
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: configure the paper's Section 6 scenario and verify a safe
+//! utilization assignment.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use uba::prelude::*;
+
+fn main() {
+    // 1. The network: the MCI backbone approximation (19 routers,
+    //    100 Mbit/s links, diameter 4, max degree 6).
+    let g = uba::topology::mci();
+    let servers = Servers::uniform(&g, 100e6, 6);
+
+    // 2. The traffic: the paper's VoIP class — 640-bit bursts, 32 kbit/s,
+    //    100 ms end-to-end deadline.
+    let voip = TrafficClass::voip();
+
+    // 3. Theorem 4 tells the operator what utilization is even on the
+    //    table, before looking at routes at all.
+    let (lb, ub) = utilization_bounds(6, 4, &voip);
+    println!("Theorem 4: any topology with L=4, N=6 supports alpha in [{lb:.2}, {ub:.2}]");
+
+    // 4. Pick routes for every ordered router pair with the Section 5.2
+    //    heuristic at a target utilization, and verify safety (Figure 2).
+    let pairs = all_ordered_pairs(&g);
+    let alpha = 0.45;
+    match select_routes(&g, &servers, &voip, alpha, &pairs, &HeuristicConfig::default()) {
+        Ok(sel) => {
+            println!(
+                "alpha = {alpha}: routed {} pairs, worst route delay {:.1} ms (deadline 100 ms)",
+                sel.paths.len(),
+                sel.route_delays.iter().cloned().fold(0.0, f64::max) * 1e3,
+            );
+            let longest = sel.paths.iter().map(Path::len).max().unwrap();
+            println!("longest committed route: {longest} hops");
+            // 5. From here, run-time admission control is just utilization
+            //    arithmetic — see the voip_network example.
+        }
+        Err(e) => println!("alpha = {alpha} is not safely routable: {e:?}"),
+    }
+}
