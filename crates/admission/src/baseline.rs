@@ -10,7 +10,7 @@
 //! benchmarks the two side by side.
 
 use crate::table::RoutingTable;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use uba_delay::general::{analyze_flows, Flow, GeneralOutcome};
 use uba_delay::servers::Servers;
 use uba_graph::NodeId;
@@ -55,7 +55,7 @@ impl PerFlowAdmission {
 
     /// Number of currently established flows.
     pub fn active_flows(&self) -> usize {
-        let s = self.slots.lock();
+        let s = self.slots.lock().unwrap();
         s.flows.len() - s.free.len()
     }
 
@@ -72,7 +72,7 @@ impl PerFlowAdmission {
             deadline: spec.deadline,
             servers: route.to_vec(),
         };
-        let mut slots = self.slots.lock();
+        let mut slots = self.slots.lock().unwrap();
         // Assemble the full flow set including the candidate.
         let mut all: Vec<Flow> = slots
             .flows
@@ -102,7 +102,7 @@ impl PerFlowAdmission {
     /// # Panics
     /// Panics on double release or an unknown id.
     pub fn release(&self, id: BaselineFlowId) {
-        let mut slots = self.slots.lock();
+        let mut slots = self.slots.lock().unwrap();
         let slot = slots
             .flows
             .get_mut(id.0)

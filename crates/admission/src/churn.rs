@@ -7,9 +7,8 @@
 //! utilization-based controller against the per-flow baseline under
 //! identical request sequences.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use uba_obs::SplitMix64;
 use uba_graph::NodeId;
 use uba_traffic::ClassId;
 
@@ -109,7 +108,7 @@ pub fn run_churn<P: Policy>(
 ) -> ChurnStats {
     assert!(!pairs.is_empty(), "need candidate pairs");
     assert!(cfg.mean_active > 0.0, "mean_active must be positive");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     // Departure queue keyed by tick.
     let mut departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
         std::collections::BinaryHeap::new();
@@ -130,7 +129,7 @@ pub fn run_churn<P: Policy>(
             }
         }
         // One arrival.
-        let (src, dst) = pairs[rng.gen_range(0..pairs.len())];
+        let (src, dst) = pairs[rng.index(pairs.len())];
         stats.offered += 1;
         let t0 = Instant::now();
         let admitted = policy.admit(class, src, dst);
@@ -140,7 +139,7 @@ pub fn run_churn<P: Policy>(
             active += 1;
             stats.peak_active = stats.peak_active.max(active);
             // Exponential holding time in ticks (inverse transform).
-            let u: f64 = rng.gen_range(1e-12..1.0);
+            let u: f64 = rng.range_f64(1e-12, 1.0);
             let hold = (-cfg.mean_active * u.ln()).ceil() as u64;
             let slot = held.len();
             held.push(Some(h));

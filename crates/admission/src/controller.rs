@@ -7,6 +7,7 @@
 //! run-time mechanism — the safety of the utilization levels was proven
 //! offline, so no delay computation happens here.
 
+use crate::metrics::AdmissionMetrics;
 use crate::state::UtilizationState;
 use crate::table::RoutingTable;
 use std::sync::Arc;
@@ -14,15 +15,23 @@ use uba_graph::NodeId;
 use uba_traffic::{ClassId, ClassSet};
 
 /// Why a flow was rejected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Reject {
     /// Configuration installed no route for this (src, dst, class).
     NoRoute,
-    /// Some link on the route has no headroom left for the class (the
-    /// raw server index is reported for diagnostics).
+    /// Some link on the route has no headroom left for the class. The
+    /// saturated server, the class, and its observed-vs-budget
+    /// utilization at rejection time are reported for diagnostics.
     LinkFull {
         /// Raw server index of the saturated link.
         server: u32,
+        /// The class whose budget was exhausted.
+        class: ClassId,
+        /// Rate of `class` reserved on the server when the flow was
+        /// turned away, bits/s.
+        reserved_bps: f64,
+        /// Configured budget `α_i · C` of `class` on the server, bits/s.
+        budget_bps: f64,
     },
 }
 
@@ -39,6 +48,9 @@ struct Inner {
     table: RoutingTable,
     /// Per-class flow rate `ρ_i` in bits/s.
     rates: Vec<f64>,
+    /// Instrumentation; `None` for unmetered controllers (the overhead
+    /// benchmark's baseline).
+    metrics: Option<AdmissionMetrics>,
 }
 
 /// An admitted flow. Dropping the handle releases its bandwidth on every
@@ -54,11 +66,36 @@ pub struct FlowHandle {
 impl AdmissionController {
     /// Builds a controller from the configured routing table, the class
     /// set, per-server capacities, and the verified utilization assignment.
+    ///
+    /// The controller records admission metrics into the process-global
+    /// [`uba_obs`] registry (see [`AdmissionMetrics`] for the names).
     pub fn new(
         table: RoutingTable,
         classes: &ClassSet,
         capacities: &[f64],
         alphas: &[f64],
+    ) -> Self {
+        let metrics = AdmissionMetrics::global(classes.len());
+        Self::build(table, classes, capacities, alphas, Some(metrics))
+    }
+
+    /// Like [`new`](Self::new) but with no instrumentation at all — the
+    /// baseline the `obs_overhead` benchmark compares against.
+    pub fn new_unmetered(
+        table: RoutingTable,
+        classes: &ClassSet,
+        capacities: &[f64],
+        alphas: &[f64],
+    ) -> Self {
+        Self::build(table, classes, capacities, alphas, None)
+    }
+
+    fn build(
+        table: RoutingTable,
+        classes: &ClassSet,
+        capacities: &[f64],
+        alphas: &[f64],
+        metrics: Option<AdmissionMetrics>,
     ) -> Self {
         assert_eq!(alphas.len(), classes.len(), "one alpha per class");
         let state = UtilizationState::new(capacities, alphas);
@@ -68,6 +105,7 @@ impl AdmissionController {
                 state,
                 table,
                 rates,
+                metrics,
             }),
         }
     }
@@ -86,15 +124,42 @@ impl AdmissionController {
         let inner = &self.inner;
         let rate = inner.rates[class.index()];
         let Some(route) = inner.table.route(src, dst, class) else {
+            if let Some(m) = &inner.metrics {
+                m.rejects_no_route.inc();
+            }
             return Err(Reject::NoRoute);
         };
+        let mut cas_retries = 0u64;
         for (i, &server) in route.iter().enumerate() {
-            if !inner.state.try_reserve(server as usize, class.index(), rate) {
+            let (ok, retries) =
+                inner
+                    .state
+                    .try_reserve_with_retries(server as usize, class.index(), rate);
+            cas_retries += retries as u64;
+            if !ok {
                 // Roll back the prefix we already hold.
                 for &held in &route[..i] {
                     inner.state.release(held as usize, class.index(), rate);
                 }
-                return Err(Reject::LinkFull { server });
+                if let Some(m) = &inner.metrics {
+                    m.rejects_link_full.inc();
+                    m.rejects_link_full_class[class.index()].inc();
+                    if cas_retries > 0 {
+                        m.cas_retries.add(cas_retries);
+                    }
+                }
+                return Err(Reject::LinkFull {
+                    server,
+                    class,
+                    reserved_bps: inner.state.reserved(server as usize, class.index()),
+                    budget_bps: inner.state.budget(server as usize, class.index()),
+                });
+            }
+        }
+        if let Some(m) = &inner.metrics {
+            m.record_admit(route.len());
+            if cas_retries > 0 {
+                m.cas_retries.add(cas_retries);
             }
         }
         Ok(FlowHandle {
@@ -129,6 +194,37 @@ impl AdmissionController {
             .collect()
     }
 
+    /// Recomputes the per-class utilization gauges
+    /// (`admission.class<i>.max_share`, `admission.class<i>.reserved_bps`)
+    /// from the live reservation state. O(servers × classes) — called on
+    /// demand (snapshot/report time), never from the admit path. A no-op
+    /// on an unmetered controller.
+    pub fn refresh_gauges(&self) {
+        let Some(m) = &self.inner.metrics else {
+            return;
+        };
+        m.flush();
+        let state = &self.inner.state;
+        for class in 0..state.classes() {
+            let mut max_share = 0.0f64;
+            let mut total_bps = 0.0f64;
+            for server in 0..state.servers() {
+                max_share = max_share.max(state.occupancy(server, class));
+                total_bps += state.reserved(server, class);
+            }
+            m.class_max_share[class].set(max_share);
+            m.class_reserved_bps[class].set(total_bps);
+        }
+    }
+
+    /// Publishes this thread's buffered hot-path metric deltas (see
+    /// [`AdmissionMetrics::flush`]). A no-op on an unmetered controller.
+    pub fn flush_metrics(&self) {
+        if let Some(m) = &self.inner.metrics {
+            m.flush();
+        }
+    }
+
     /// The `top` most-loaded servers for a class, as
     /// `(server index, occupancy)`, most loaded first.
     pub fn hottest_links(&self, class: ClassId, top: usize) -> Vec<(usize, f64)> {
@@ -159,6 +255,9 @@ impl Drop for FlowHandle {
     fn drop(&mut self) {
         for &server in self.servers.iter() {
             self.inner.state.release(server as usize, self.class, self.rate);
+        }
+        if let Some(m) = &self.inner.metrics {
+            m.record_release();
         }
     }
 }
@@ -195,12 +294,20 @@ mod tests {
             handles.push(h);
         }
         let r = ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2));
-        assert_eq!(
-            r.err(),
-            Some(Reject::LinkFull {
-                server: shared as u32
-            })
-        );
+        match r {
+            Err(Reject::LinkFull {
+                server,
+                class,
+                reserved_bps,
+                budget_bps,
+            }) => {
+                assert_eq!(server, shared as u32);
+                assert_eq!(class, ClassId(0));
+                assert_eq!(reserved_bps, 320_000.0);
+                assert_eq!(budget_bps, 320_000.0);
+            }
+            other => panic!("expected LinkFull, got {other:?}"),
+        }
         assert_eq!(ctrl.per_link_flow_capacity(shared, ClassId(0)), 10);
     }
 
@@ -255,6 +362,61 @@ mod tests {
             ctrl.try_admit(ClassId(0), NodeId(2), NodeId(0)).err(),
             Some(Reject::NoRoute)
         );
+    }
+
+    #[test]
+    fn metrics_track_admits_rejects_and_releases() {
+        // Counters are process-global and shared across tests, so assert
+        // on deltas.
+        let (ctrl, _) = setup(0.32);
+        let m = crate::metrics::AdmissionMetrics::global(1);
+        let (admits0, nr0, lf0, rel0) = (
+            m.admits.get(),
+            m.rejects_no_route.get(),
+            m.rejects_link_full.get(),
+            m.releases.get(),
+        );
+        let hops0 = m.path_hops.count();
+        {
+            let _held: Vec<_> = (0..10)
+                .map(|_| ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap())
+                .collect();
+            assert!(ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).is_err());
+            assert!(ctrl.try_admit(ClassId(0), NodeId(2), NodeId(0)).is_err());
+            ctrl.refresh_gauges();
+            assert_eq!(m.class_max_share[0].get(), 1.0);
+        }
+        // Hot-path deltas are thread-buffered; refresh_gauges publishes
+        // them (and recomputes the now-empty utilization gauges).
+        ctrl.refresh_gauges();
+        assert_eq!(m.admits.get() - admits0, 10);
+        assert_eq!(m.rejects_no_route.get() - nr0, 1);
+        assert_eq!(m.rejects_link_full.get() - lf0, 1);
+        assert_eq!(m.releases.get() - rel0, 10);
+        assert_eq!(m.path_hops.count() - hops0, 10);
+        assert_eq!(m.class_max_share[0].get(), 0.0);
+        assert_eq!(m.class_reserved_bps[0].get(), 0.0);
+    }
+
+    #[test]
+    fn unmetered_controller_admits_identically() {
+        let mut g = Digraph::with_nodes(3);
+        let (e01, _) = g.add_link(NodeId(0), NodeId(1), 1.0);
+        let (e12, _) = g.add_link(NodeId(1), NodeId(2), 1.0);
+        let mut table = RoutingTable::new();
+        table.insert(ClassId(0), &Path::from_edges(&g, vec![e01, e12]));
+        let classes = ClassSet::single(TrafficClass::voip());
+        let caps = vec![1e6; g.edge_count()];
+        let ctrl = AdmissionController::new_unmetered(table, &classes, &caps, &[0.32]);
+        let m = crate::metrics::AdmissionMetrics::global(1);
+        let admits0 = m.admits.get();
+        let h: Vec<_> = (0..10)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap())
+            .collect();
+        assert!(ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).is_err());
+        ctrl.refresh_gauges(); // no-op, must not panic
+        drop(h);
+        assert_eq!(m.admits.get(), admits0, "unmetered must not record");
     }
 
     #[test]

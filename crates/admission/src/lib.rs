@@ -18,17 +18,22 @@
 //!   (experiment S-AC).
 //! * [`churn`] — a deterministic flow-churn workload driver for
 //!   benchmarking both policies under identical request sequences.
+//! * [`metrics`] — admission-path instrumentation (counters for
+//!   admits/rejects/CAS retries, a path-length histogram, per-class
+//!   utilization gauges) recorded into the [`uba_obs`] registry.
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod churn;
 pub mod controller;
+pub mod metrics;
 pub mod state;
 pub mod table;
 
 pub use baseline::PerFlowAdmission;
 pub use churn::{run_churn, ChurnConfig, ChurnStats, Policy};
 pub use controller::{AdmissionController, FlowHandle, Reject};
+pub use metrics::AdmissionMetrics;
 pub use state::UtilizationState;
 pub use table::RoutingTable;

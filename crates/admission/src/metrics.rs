@@ -1,0 +1,305 @@
+//! Admission-path instrumentation.
+//!
+//! All counters live in a [`uba_obs::Registry`] (the process-global one
+//! by default). The bare admit walk is ~100 ns, so even relaxed atomic
+//! increments (a full fence each on x86) would cost tens of percent;
+//! instead the hot-path events (admit + route length, release) go into a
+//! **thread-local buffer** of plain integer cells and are published with
+//! a few `fetch_add`s every [`FLUSH_EVERY`] events, when a thread exits,
+//! when the buffer is adopted by a different metrics instance, and on
+//! [`AdmissionMetrics::flush`] /
+//! [`crate::AdmissionController::refresh_gauges`]. That keeps the
+//! metered admit path within a few percent of the bare CAS walk —
+//! `uba-bench`'s `obs_overhead` binary checks that claim. Rejection
+//! counters stay direct atomics (the reject path already pays for state
+//! reads), and the per-class utilization gauges are *not* updated per
+//! admit; they are refreshed on demand by
+//! [`crate::AdmissionController::refresh_gauges`] so the hot path never
+//! pays for them.
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use uba_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Hot-path events buffered per thread before one atomic publish.
+pub const FLUSH_EVERY: u32 = 1024;
+
+/// Route-length slots in the thread-local buffer; the last slot absorbs
+/// longer routes (far beyond any real diameter).
+const HOP_SLOTS: usize = 32;
+
+/// Flush targets of the thread-local buffer (kept alive by the `Arc`s,
+/// so the owner pointer below can never dangle).
+struct HotHandles {
+    admits: Arc<Counter>,
+    releases: Arc<Counter>,
+    path_hops: Arc<Histogram>,
+}
+
+/// Per-thread buffered deltas for the admission hot path.
+struct Pending {
+    /// Identity of the owning metrics instance (its `admits` allocation).
+    owner: Cell<*const Counter>,
+    handles: RefCell<Option<HotHandles>>,
+    admits: Cell<u64>,
+    releases: Cell<u64>,
+    hops: [Cell<u32>; HOP_SLOTS],
+    /// Events since the last flush.
+    ops: Cell<u32>,
+}
+
+impl Pending {
+    const fn new() -> Self {
+        Self {
+            owner: Cell::new(std::ptr::null()),
+            handles: RefCell::new(None),
+            admits: Cell::new(0),
+            releases: Cell::new(0),
+            hops: [const { Cell::new(0) }; HOP_SLOTS],
+            ops: Cell::new(0),
+        }
+    }
+
+    /// Publishes the buffered deltas into the owner's shared counters.
+    fn flush(&self) {
+        self.ops.set(0);
+        let handles = self.handles.borrow();
+        let Some(h) = handles.as_ref() else {
+            return;
+        };
+        let n = self.admits.replace(0);
+        if n > 0 {
+            h.admits.add(n);
+        }
+        let n = self.releases.replace(0);
+        if n > 0 {
+            h.releases.add(n);
+        }
+        for (i, c) in self.hops.iter().enumerate() {
+            let n = c.replace(0);
+            if n > 0 {
+                h.path_hops.record_n(i as f64, n as u64);
+            }
+        }
+    }
+
+    /// Re-points the buffer at `m`, flushing the previous owner's deltas.
+    #[cold]
+    fn adopt(&self, m: &AdmissionMetrics) {
+        self.flush();
+        self.owner.set(Arc::as_ptr(&m.admits));
+        *self.handles.borrow_mut() = Some(HotHandles {
+            admits: Arc::clone(&m.admits),
+            releases: Arc::clone(&m.releases),
+            path_hops: Arc::clone(&m.path_hops),
+        });
+    }
+
+    #[inline]
+    fn bump(&self) {
+        let ops = self.ops.get() + 1;
+        if ops >= FLUSH_EVERY {
+            self.flush();
+        } else {
+            self.ops.set(ops);
+        }
+    }
+}
+
+impl Drop for Pending {
+    fn drop(&mut self) {
+        // Thread exit: publish whatever is still buffered.
+        self.flush();
+    }
+}
+
+thread_local! {
+    static PENDING: Pending = const { Pending::new() };
+}
+
+/// Handles to every admission-layer metric.
+///
+/// Metric names (all under the `admission.` prefix):
+///
+/// | name | kind | meaning |
+/// |---|---|---|
+/// | `admission.admits` | counter | flows admitted |
+/// | `admission.rejects.no_route` | counter | rejects: no configured route |
+/// | `admission.rejects.link_full` | counter | rejects: some link at budget |
+/// | `admission.rejects.link_full.class<i>` | counter | ditto, split by class |
+/// | `admission.cas_retries` | counter | CAS reservation retries |
+/// | `admission.releases` | counter | flows torn down |
+/// | `admission.path_hops` | histogram | route length per admitted flow |
+/// | `admission.class<i>.max_share` | gauge | peak budget share of class i |
+/// | `admission.class<i>.reserved_bps` | gauge | total reserved rate of class i |
+#[derive(Clone, Debug)]
+pub struct AdmissionMetrics {
+    /// Flows admitted.
+    pub admits: Arc<Counter>,
+    /// Rejections because no route was configured.
+    pub rejects_no_route: Arc<Counter>,
+    /// Rejections because a link had no headroom (all classes).
+    pub rejects_link_full: Arc<Counter>,
+    /// Per-class split of the link-full rejections.
+    pub rejects_link_full_class: Vec<Arc<Counter>>,
+    /// CAS retries across all reservation loops.
+    pub cas_retries: Arc<Counter>,
+    /// Flows released (handle dropped).
+    pub releases: Arc<Counter>,
+    /// Route length (hops) per admitted flow.
+    pub path_hops: Arc<Histogram>,
+    /// Per-class maximum budget share across servers (refreshed on demand).
+    pub class_max_share: Vec<Arc<Gauge>>,
+    /// Per-class total reserved rate in bits/s (refreshed on demand).
+    pub class_reserved_bps: Vec<Arc<Gauge>>,
+}
+
+impl AdmissionMetrics {
+    /// Registers (or re-attaches to) the admission metrics in `registry`
+    /// for `classes` traffic classes.
+    pub fn register(registry: &Registry, classes: usize) -> Self {
+        Self {
+            admits: registry.counter("admission.admits"),
+            rejects_no_route: registry.counter("admission.rejects.no_route"),
+            rejects_link_full: registry.counter("admission.rejects.link_full"),
+            rejects_link_full_class: (0..classes)
+                .map(|i| registry.counter(&format!("admission.rejects.link_full.class{i}")))
+                .collect(),
+            cas_retries: registry.counter("admission.cas_retries"),
+            releases: registry.counter("admission.releases"),
+            path_hops: registry.histogram("admission.path_hops", 1.0),
+            class_max_share: (0..classes)
+                .map(|i| registry.gauge(&format!("admission.class{i}.max_share")))
+                .collect(),
+            class_reserved_bps: (0..classes)
+                .map(|i| registry.gauge(&format!("admission.class{i}.reserved_bps")))
+                .collect(),
+        }
+    }
+
+    /// Registers against the process-global registry.
+    pub fn global(classes: usize) -> Self {
+        Self::register(uba_obs::global(), classes)
+    }
+
+    /// Records one admission (and its route length in hops) into this
+    /// thread's buffer. Published by [`flush`](Self::flush), thread exit,
+    /// or automatically every [`FLUSH_EVERY`] hot-path events.
+    #[inline]
+    pub fn record_admit(&self, hops: usize) {
+        PENDING.with(|p| {
+            if p.owner.get() != Arc::as_ptr(&self.admits) {
+                p.adopt(self);
+            }
+            p.admits.set(p.admits.get() + 1);
+            let slot = hops.min(HOP_SLOTS - 1);
+            p.hops[slot].set(p.hops[slot].get() + 1);
+            p.bump();
+        });
+    }
+
+    /// Records one flow teardown into this thread's buffer.
+    #[inline]
+    pub fn record_release(&self) {
+        PENDING.with(|p| {
+            if p.owner.get() != Arc::as_ptr(&self.admits) {
+                p.adopt(self);
+            }
+            p.releases.set(p.releases.get() + 1);
+            p.bump();
+        });
+    }
+
+    /// Publishes this thread's buffered hot-path deltas into the shared
+    /// counters. Call before reading `admits`/`releases`/`path_hops` on
+    /// the recording thread; other threads publish on their own flushes
+    /// (at the latest on thread exit).
+    pub fn flush(&self) {
+        PENDING.with(Pending::flush);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_creates_per_class_families() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 3);
+        assert_eq!(m.rejects_link_full_class.len(), 3);
+        assert_eq!(m.class_max_share.len(), 3);
+        m.admits.inc();
+        m.path_hops.record(4.0);
+        let snap = r.snapshot();
+        assert!(snap.get("admission.admits").is_some());
+        assert!(snap.get("admission.class2.max_share").is_some());
+        assert!(snap.get("admission.rejects.link_full.class0").is_some());
+    }
+
+    #[test]
+    fn re_register_attaches_to_same_metrics() {
+        let r = Registry::new();
+        let a = AdmissionMetrics::register(&r, 1);
+        let b = AdmissionMetrics::register(&r, 1);
+        a.admits.inc();
+        assert_eq!(b.admits.get(), 1);
+    }
+
+    #[test]
+    fn hot_path_buffers_until_flush() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        m.flush(); // reset this thread's ops count
+        for _ in 0..5 {
+            m.record_admit(3);
+        }
+        m.record_release();
+        assert_eq!(m.admits.get(), 0, "deltas must stay buffered");
+        m.flush();
+        assert_eq!(m.admits.get(), 5);
+        assert_eq!(m.releases.get(), 1);
+        assert_eq!(m.path_hops.count(), 5);
+        assert_eq!(m.path_hops.max(), 3.0);
+    }
+
+    #[test]
+    fn instance_switch_flushes_previous_owner() {
+        let a = AdmissionMetrics::register(&Registry::new(), 1);
+        let b = AdmissionMetrics::register(&Registry::new(), 1);
+        a.flush();
+        a.record_admit(2);
+        b.record_admit(4); // adopting the buffer publishes a's delta
+        assert_eq!(a.admits.get(), 1);
+        assert_eq!(a.path_hops.count(), 1);
+        assert_eq!(b.admits.get(), 0);
+        b.flush();
+        assert_eq!(b.admits.get(), 1);
+    }
+
+    #[test]
+    fn automatic_flush_after_threshold() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        m.flush();
+        for _ in 0..FLUSH_EVERY {
+            m.record_admit(1);
+        }
+        assert_eq!(m.admits.get(), u64::from(FLUSH_EVERY));
+    }
+
+    #[test]
+    fn thread_exit_publishes_buffered_deltas() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        let m2 = m.clone();
+        std::thread::spawn(move || {
+            m2.record_admit(2);
+            m2.record_release();
+        })
+        .join()
+        .unwrap();
+        assert_eq!(m.admits.get(), 1);
+        assert_eq!(m.releases.get(), 1);
+    }
+}

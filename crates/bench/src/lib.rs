@@ -50,6 +50,22 @@ impl PaperSetting {
             .collect();
         AdmissionController::new(table, &classes, &caps, &[alpha])
     }
+
+    /// Metered + unmetered controllers over the same SP routing table —
+    /// the two subjects of the `obs_overhead` benchmark.
+    pub fn controller_pair(&self, alpha: f64) -> (AdmissionController, AdmissionController) {
+        let paths = sp_selection(&self.g, &self.pairs).expect("the MCI backbone is connected");
+        let mut table = RoutingTable::new();
+        table.insert_all(ClassId(0), paths.iter());
+        let classes = ClassSet::single(self.voip.clone());
+        let caps: Vec<f64> = (0..self.servers.len())
+            .map(|k| self.servers.capacity_at(k))
+            .collect();
+        (
+            AdmissionController::new(table.clone(), &classes, &caps, &[alpha]),
+            AdmissionController::new_unmetered(table, &classes, &caps, &[alpha]),
+        )
+    }
 }
 
 impl Default for PaperSetting {

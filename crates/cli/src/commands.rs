@@ -3,12 +3,24 @@
 
 use crate::scenario::{Scenario, ScenarioError};
 use std::fmt::Write as _;
+use uba::admission::{run_churn, AdmissionController, ChurnConfig, Reject, RoutingTable};
 use uba::delay::fixed_point::SolveConfig;
 use uba::delay::routeset::{Route, RouteSet};
 use uba::delay::verify::verify;
 use uba::graph::bfs;
 use uba::prelude::*;
 use uba::sim::{simulate, FlowSpec, SimConfig, SourceModel};
+
+/// Renders the process-global metrics registry (the `--metrics` flag and
+/// the tail of the `metrics` subcommand).
+pub fn render_global_metrics(json: bool) -> String {
+    let snap = uba::obs::global().snapshot();
+    if json {
+        snap.render_json_lines()
+    } else {
+        snap.render_table()
+    }
+}
 
 /// `bounds`: Theorem 4 window for each class of the scenario.
 pub fn cmd_bounds(sc: &Scenario) -> Result<String, ScenarioError> {
@@ -233,6 +245,158 @@ pub fn cmd_simulate(sc: &Scenario, horizon: f64) -> Result<String, ScenarioError
     Ok(out)
 }
 
+/// `metrics`: exercise every instrumented layer on the scenario —
+/// Figure 2 verification (delay solver), an admission churn workload
+/// plus saturation to the first link-full rejection (admission
+/// controller), and a short packet simulation — then dump the metrics
+/// registry.
+pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
+    let mut out = String::new();
+
+    // 1. Delay analysis: SP routes, Figure 2 verification.
+    let paths = sp_selection(&sc.graph, &sc.pairs)
+        .map_err(|p| ScenarioError(format!("no route for pair {p:?}")))?;
+    let mut routes = RouteSet::new(sc.graph.edge_count());
+    for (ci, _) in sc.classes.iter() {
+        for p in &paths {
+            routes.push(Route::from_path(ci, p));
+        }
+    }
+    let report = verify(&sc.servers, &sc.classes, &sc.alphas, &routes, &SolveConfig::default());
+    writeln!(
+        out,
+        "verification: {} ({} iterations)",
+        if report.safe { "SUCCESS" } else { "FAILURE" },
+        report.iterations
+    )
+    .unwrap();
+
+    // 2. Admission: churn workload, then saturate until a link fills.
+    let mut table = RoutingTable::new();
+    for (ci, _) in sc.classes.iter() {
+        for p in &paths {
+            table.insert(ci, p);
+        }
+    }
+    let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    let ctrl = AdmissionController::new(table, &sc.classes, &caps, &sc.alphas);
+    let pairs: Vec<(NodeId, NodeId)> = sc.pairs.iter().map(|p| (p.src, p.dst)).collect();
+    let mut policy = ctrl.clone();
+    let churn = run_churn(
+        &mut policy,
+        &pairs,
+        ClassId(0),
+        &ChurnConfig {
+            arrivals: 2_000,
+            mean_active: 64.0,
+            seed: 42,
+        },
+    );
+    writeln!(
+        out,
+        "churn: {} offered, {} accepted, blocking {:.1}%, mean admit {:.0} ns",
+        churn.offered,
+        churn.accepted,
+        churn.blocking() * 100.0,
+        churn.mean_admit_ns
+    )
+    .unwrap();
+    let mut held = Vec::new();
+    let mut sample = None;
+    'saturate: loop {
+        let mut progress = false;
+        for &(src, dst) in &pairs {
+            match ctrl.try_admit(ClassId(0), src, dst) {
+                Ok(h) => {
+                    held.push(h);
+                    progress = true;
+                }
+                Err(r @ Reject::LinkFull { .. }) => {
+                    sample = Some(r);
+                    break 'saturate;
+                }
+                Err(Reject::NoRoute) => {}
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    ctrl.refresh_gauges();
+    match sample {
+        Some(Reject::LinkFull {
+            server,
+            class,
+            reserved_bps,
+            budget_bps,
+        }) => {
+            let share = if budget_bps > 0.0 {
+                100.0 * reserved_bps / budget_bps
+            } else {
+                0.0
+            };
+            writeln!(
+                out,
+                "saturation: {} flows held; first rejection at server {server}, \
+                 class {} ({}), reserved {:.1}/{:.1} kb/s ({share:.1}% of budget)",
+                held.len(),
+                class.index(),
+                sc.classes.get(class).name,
+                reserved_bps / 1e3,
+                budget_bps / 1e3,
+            )
+            .unwrap();
+        }
+        _ => {
+            writeln!(out, "saturation: {} flows held; no link filled", held.len()).unwrap();
+        }
+    }
+    drop(held);
+    ctrl.flush_metrics();
+
+    // 3. A short packet simulation (single-class scenarios only).
+    if sc.classes.len() == 1 {
+        let (_, class) = sc.classes.iter().next().unwrap();
+        let flows: Vec<FlowSpec> = sc
+            .pairs
+            .iter()
+            .zip(&paths)
+            .take(16)
+            .map(|(pair, path)| FlowSpec {
+                class: 0,
+                ingress: pair.src.0,
+                route: path.edges.iter().map(|e| e.0).collect(),
+                source: SourceModel::GreedyOnOff {
+                    burst_bits: class.bucket.burst,
+                    rate_bps: class.bucket.rate,
+                    packet_bits: (class.bucket.burst as u64).max(64),
+                    start: 0.0,
+                },
+            })
+            .collect();
+        let sim_report = simulate(
+            &caps,
+            &flows,
+            &SimConfig {
+                horizon: 0.05,
+                deadlines: vec![class.deadline],
+                policers: None,
+            },
+        );
+        writeln!(
+            out,
+            "simulation: {} packets, {} deadline misses",
+            sim_report.total_packets,
+            sim_report.total_misses()
+        )
+        .unwrap();
+    }
+
+    writeln!(out).unwrap();
+    out.push_str(&render_global_metrics(json));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +490,32 @@ mod tests {
     fn simulate_respects_bound() {
         let out = cmd_simulate(&ring_scenario(), 0.2).unwrap();
         assert!(out.contains("deadline misses: 0"), "{out}");
+    }
+
+    #[test]
+    fn metrics_report_surfaces_rejection_and_registry() {
+        let out = cmd_metrics(&ring_scenario(), false).unwrap();
+        // Saturation must hit a link-full rejection on a finite ring and
+        // surface the class + observed-vs-budget utilization.
+        assert!(out.contains("first rejection at server"), "{out}");
+        assert!(out.contains("% of budget"), "{out}");
+        // The registry dump includes all three instrumented layers.
+        assert!(out.contains("admission.admits"), "{out}");
+        assert!(out.contains("delay.solve.iterations"), "{out}");
+        assert!(out.contains("sim.queue_depth"), "{out}");
+    }
+
+    #[test]
+    fn metrics_report_json_mode_parses_back() {
+        let out = cmd_metrics(&ring_scenario(), true).unwrap();
+        let json_tail: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with('{'))
+            .collect();
+        assert!(!json_tail.is_empty(), "{out}");
+        for line in json_tail {
+            uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
     }
 
     #[test]

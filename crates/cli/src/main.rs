@@ -5,25 +5,45 @@
 //! uba-cli verify   <scenario.toml>
 //! uba-cli maximize <scenario.toml> [sp|heuristic]
 //! uba-cli simulate <scenario.toml> [horizon_seconds]
+//! uba-cli metrics  <scenario.toml> [--json]
 //! ```
+//!
+//! Any command also accepts `--metrics` to append a dump of the
+//! process-global metrics registry after its normal output.
 
-use uba_cli::commands::{cmd_bounds, cmd_maximize, cmd_simulate, cmd_verify};
+use uba_cli::commands::{
+    cmd_bounds, cmd_maximize, cmd_metrics, cmd_simulate, cmd_verify, render_global_metrics,
+};
 use uba_cli::Scenario;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: uba-cli <bounds|verify|maximize|simulate> <scenario.toml> [args]\n\
+        "usage: uba-cli <bounds|verify|maximize|simulate|metrics> <scenario.toml> [args]\n\
          \n\
          bounds   — Theorem 4 utilization window for each class\n\
          verify   — Figure 2 verification of the scenario's alphas on SP routes\n\
          maximize — Section 5.3 binary search; optional selector sp|heuristic (default heuristic)\n\
-         simulate — packet-level validation; optional horizon in seconds (default 0.3)"
+         simulate — packet-level validation; optional horizon in seconds (default 0.3)\n\
+         metrics  — exercise every instrumented layer, then dump the metrics registry\n\
+         \n\
+         flags: --metrics  append a metrics-registry dump after any command\n\
+         \x20       --json     (metrics) line-oriented JSON instead of the table"
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let dump_metrics = {
+        let before = args.len();
+        args.retain(|a| a != "--metrics");
+        args.len() != before
+    };
+    let json = {
+        let before = args.len();
+        args.retain(|a| a != "--json");
+        args.len() != before
+    };
     if args.len() < 2 {
         usage();
     }
@@ -46,6 +66,7 @@ fn main() {
                 .unwrap_or(0.3);
             cmd_simulate(&scenario, horizon)
         }
+        "metrics" => cmd_metrics(&scenario, json),
         _ => usage(),
     };
     match result {
@@ -54,5 +75,9 @@ fn main() {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
+    }
+    if dump_metrics && command != "metrics" {
+        println!();
+        print!("{}", render_global_metrics(json));
     }
 }

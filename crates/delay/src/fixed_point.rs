@@ -121,6 +121,28 @@ pub fn solve_two_class_nonuniform(
     cfg: &SolveConfig,
     warm: Option<&[f64]>,
 ) -> SolveResult {
+    let t0 = std::time::Instant::now();
+    let (result, residual) = solve_core(servers, class, alphas, routes, cfg, warm);
+    let m = crate::metrics::solver();
+    m.seconds.record(t0.elapsed().as_secs_f64());
+    m.iterations.record(result.iterations as f64);
+    m.residual.record(residual);
+    if result.outcome == Outcome::IterationLimit {
+        m.divergence.inc();
+    }
+    result
+}
+
+/// The uninstrumented solver body. Returns the result plus the final
+/// sup-norm residual (0 when the loop never completed a sweep).
+fn solve_core(
+    servers: &Servers,
+    class: &TrafficClass,
+    alphas: &[f64],
+    routes: &RouteSet,
+    cfg: &SolveConfig,
+    warm: Option<&[f64]>,
+) -> (SolveResult, f64) {
     let s = servers.len();
     assert_eq!(routes.server_count(), s, "route set / servers mismatch");
     assert_eq!(alphas.len(), s, "one alpha per server");
@@ -134,12 +156,15 @@ pub fn solve_two_class_nonuniform(
     let used_static = routes.used_servers(class0);
     if (0..s).any(|k| used_static[k] && !(alphas[k] > 0.0 && alphas[k] < 1.0 && alphas[k].is_finite()))
     {
-        return SolveResult {
-            outcome: Outcome::InvalidParams,
-            delays: vec![0.0; s],
-            route_delays: vec![0.0; routes.len()],
-            iterations: 0,
-        };
+        return (
+            SolveResult {
+                outcome: Outcome::InvalidParams,
+                delays: vec![0.0; s],
+                route_delays: vec![0.0; routes.len()],
+                iterations: 0,
+            },
+            0.0,
+        );
     }
 
     // Constant (propagation) delay per route: consumes deadline budget
@@ -161,6 +186,7 @@ pub fn solve_two_class_nonuniform(
     let mut y = vec![0.0; s];
 
     let mut iterations = 0;
+    let mut residual = 0.0f64;
     loop {
         iterations += 1;
         let mut route_delays = routes.upstream_max_and_route_delays(class0, &d, &mut y);
@@ -171,12 +197,15 @@ pub fn solve_two_class_nonuniform(
             .iter()
             .position(|&rd| rd > class.deadline + DEADLINE_SLACK)
         {
-            return SolveResult {
-                outcome: Outcome::DeadlineExceeded { route: ri },
-                delays: d,
-                route_delays,
-                iterations,
-            };
+            return (
+                SolveResult {
+                    outcome: Outcome::DeadlineExceeded { route: ri },
+                    delays: d,
+                    route_delays,
+                    iterations,
+                },
+                residual,
+            );
         }
 
         let step = |k: usize| -> Option<f64> {
@@ -198,15 +227,19 @@ pub fn solve_two_class_nonuniform(
                     d[k] = v;
                 }
                 None => {
-                    return SolveResult {
-                        outcome: Outcome::InvalidParams,
-                        delays: d,
-                        route_delays,
-                        iterations,
-                    }
+                    return (
+                        SolveResult {
+                            outcome: Outcome::InvalidParams,
+                            delays: d,
+                            route_delays,
+                            iterations,
+                        },
+                        residual,
+                    )
                 }
             }
         }
+        residual = max_diff;
 
         if max_diff <= cfg.tol {
             // Converged: one final pass for route delays at the fixed point.
@@ -221,20 +254,26 @@ pub fn solve_two_class_nonuniform(
                 Some(ri) => Outcome::DeadlineExceeded { route: ri },
                 None => Outcome::Safe,
             };
-            return SolveResult {
-                outcome,
-                delays: d,
-                route_delays,
-                iterations,
-            };
+            return (
+                SolveResult {
+                    outcome,
+                    delays: d,
+                    route_delays,
+                    iterations,
+                },
+                residual,
+            );
         }
         if iterations >= cfg.max_iters {
-            return SolveResult {
-                outcome: Outcome::IterationLimit,
-                delays: d,
-                route_delays,
-                iterations,
-            };
+            return (
+                SolveResult {
+                    outcome: Outcome::IterationLimit,
+                    delays: d,
+                    route_delays,
+                    iterations,
+                },
+                residual,
+            );
         }
     }
 }
@@ -419,5 +458,24 @@ mod tests {
         let r = solve_two_class(&servers, &voip(), 0.3, &routes, &cfg, None);
         assert_eq!(r.outcome, Outcome::IterationLimit);
         assert!(!r.outcome.is_safe());
+    }
+
+    #[test]
+    fn solves_record_iteration_and_divergence_metrics() {
+        // Metrics are process-global; assert on deltas.
+        let m = crate::metrics::solver();
+        let (solves0, div0) = (m.iterations.count(), m.divergence.get());
+        let (_, servers, routes) = line_setup(4);
+        let ok = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        assert_eq!(ok.outcome, Outcome::Safe);
+        let capped = SolveConfig {
+            max_iters: 1,
+            ..Default::default()
+        };
+        solve_two_class(&servers, &voip(), 0.3, &routes, &capped, None);
+        assert_eq!(m.iterations.count() - solves0, 2);
+        assert_eq!(m.divergence.get() - div0, 1);
+        assert!(m.seconds.count() >= 2);
+        assert!(m.residual.count() >= 2);
     }
 }

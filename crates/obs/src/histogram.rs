@@ -1,0 +1,223 @@
+//! Log2-bucketed value histogram with atomic recording.
+//!
+//! The same shape as the simulator's `DelayHistogram`, generalized:
+//! configurable base unit (so one type covers latencies, iteration
+//! counts, and queue depths), atomic buckets (so hot paths can record
+//! without locks), and p50/p90/p99/max readout. Recording costs three
+//! relaxed atomic ops — cheap enough to stay on in the admit path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets. Bucket 0 is `[0, base)`; bucket `i >= 1` is
+/// `[base·2^(i-1), base·2^i)`; the last bucket also absorbs overflow.
+pub const BUCKETS: usize = 64;
+
+/// Micro-unit scale used for the running sum (so means stay exact to a
+/// millionth of the base-unit over u64 ranges).
+const SUM_SCALE: f64 = 1e6;
+
+/// A concurrent log2-bucketed histogram of non-negative `f64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    base: f64,
+    buckets: [AtomicU64; BUCKETS],
+    /// Running sum in micro-units (`value · 1e6`, rounded).
+    sum_micro: AtomicU64,
+    /// Largest recorded sample, as `f64` bits (valid because samples are
+    /// non-negative, where the IEEE bit pattern is order-preserving).
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram whose first bucket boundary is `base` (e.g. `1e-9`
+    /// for seconds-denominated latencies, `1.0` for counts).
+    pub fn with_base(base: f64) -> Self {
+        assert!(base > 0.0 && base.is_finite(), "base must be positive");
+        Self {
+            base,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum_micro: AtomicU64::new(0),
+            max_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The first bucket boundary.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    #[inline]
+    fn bucket_of(&self, v: f64) -> usize {
+        if v < self.base {
+            0
+        } else {
+            // floor(log2(v/base)) + 1 via integer bit position: for
+            // ratio in [2^p, 2^(p+1)) the truncated u64 has p+1
+            // significant bits. Ratios beyond 2^63 saturate the cast and
+            // land in the top bucket.
+            let ratio = (v / self.base).min(u64::MAX as f64) as u64;
+            ((64 - ratio.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one sample. Negative or non-finite samples are clamped
+    /// to zero (metrics must never panic in a hot path).
+    #[inline]
+    pub fn record(&self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[self.bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.sum_micro
+            .fetch_add(((v * SUM_SCALE).round() as u64).saturating_mul(n), Ordering::Relaxed);
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Largest recorded sample (`0.0` when empty).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of the recorded samples, or `None` when empty. Exact to the
+    /// micro-unit (not bucket resolution).
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        Some(self.sum_micro.load(Ordering::Relaxed) as f64 / SUM_SCALE / n as f64)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0 < q <= 1`), or `None` when empty. Bucket resolution — a
+    /// factor-of-two band — which is what tail reporting needs.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile in (0, 1]");
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_bound(i));
+            }
+        }
+        Some(self.bucket_bound(BUCKETS - 1))
+    }
+
+    /// Upper bound of bucket `i`.
+    fn bucket_bound(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.base
+        } else {
+            self.base * 2f64.powi(i as i32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        let h = Histogram::with_base(1.0);
+        assert_eq!(h.bucket_of(0.0), 0);
+        assert_eq!(h.bucket_of(0.99), 0);
+        assert_eq!(h.bucket_of(1.0), 1);
+        assert_eq!(h.bucket_of(1.99), 1);
+        assert_eq!(h.bucket_of(2.0), 2);
+        assert_eq!(h.bucket_of(3.99), 2);
+        assert_eq!(h.bucket_of(4.0), 3);
+        assert_eq!(h.bucket_of(1e30), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_mass() {
+        let h = Histogram::with_base(1e-6);
+        for _ in 0..90 {
+            h.record(1e-3);
+        }
+        for _ in 0..10 {
+            h.record(0.1);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.quantile(0.5).unwrap() <= 3e-3);
+        assert!(h.quantile(0.99).unwrap() >= 0.05);
+        assert_eq!(h.max(), 0.1);
+        let mean = h.mean().unwrap();
+        assert!((mean - (90.0 * 1e-3 + 10.0 * 0.1) / 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::with_base(1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let h = Histogram::with_base(1.0);
+        h.record(5.0);
+        assert_eq!(h.count(), 1);
+        // 5 lies in [4, 8): every quantile reports the bucket top.
+        assert_eq!(h.quantile(0.01), Some(8.0));
+        assert_eq!(h.quantile(1.0), Some(8.0));
+        assert_eq!(h.max(), 5.0);
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn overflow_lands_in_top_bucket() {
+        let h = Histogram::with_base(1.0);
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), Some(2f64.powi(63)));
+        assert_eq!(h.max(), f64::MAX);
+    }
+
+    #[test]
+    fn hostile_samples_clamped_not_panicking() {
+        let h = Histogram::with_base(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-3.0);
+        assert_eq!(h.count(), 3);
+        assert!(h.max().is_finite());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = Histogram::with_base(1.0);
+        let b = Histogram::with_base(1.0);
+        for _ in 0..7 {
+            a.record(3.0);
+        }
+        b.record_n(3.0, 7);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+}

@@ -1,0 +1,37 @@
+//! Observability core for the uba workspace.
+//!
+//! The paper's claim is that run-time admission is O(path length); this
+//! crate exists so the rest of the workspace can *demonstrate* that claim
+//! under load instead of asserting it: admit/reject rates by cause,
+//! fixed-point iteration counts, CAS-retry contention, simulator deadline
+//! behavior. Everything here is built on `std` atomics and is cheap
+//! enough to leave enabled in hot paths (see the `obs_overhead` bench in
+//! `uba-bench`).
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free scalar metrics.
+//! * [`Histogram`] — log2-bucketed value/latency distribution with
+//!   p50/p90/p99/max readouts.
+//! * [`Span`] — RAII wall-clock timer recording into a histogram.
+//! * [`Registry`] — named metrics, rendered as human tables or
+//!   line-oriented JSON (hand-rolled, matching the workspace's
+//!   `toml_lite` no-external-deps style). [`global()`] is the process
+//!   registry the instrumented crates record into.
+//! * [`json`] — a minimal JSON parser so snapshots can be round-tripped
+//!   in tests and consumed by scripts.
+//! * [`rng`] — the workspace's deterministic SplitMix64 PRNG (in-tree
+//!   replacement for the `rand` crate; the build is fully offline).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod rng;
+pub mod span;
+
+pub use histogram::Histogram;
+pub use metrics::{Counter, Gauge};
+pub use registry::{global, Registry, Snapshot, SnapshotValue};
+pub use rng::SplitMix64;
+pub use span::Span;

@@ -1,0 +1,122 @@
+//! Scalar metrics: monotone counters and instantaneous gauges.
+//!
+//! Both are single atomics with relaxed ordering — metrics are
+//! diagnostics, not synchronization, so no ordering stronger than the
+//! atomicity of the update itself is needed. Increments from any number
+//! of threads sum exactly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n > 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value (stored as `f64` bits in one atomic).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (CAS loop; exact under concurrency up to f64
+    /// rounding).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_inc_and_add() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        c.add(0);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(1.5);
+        g.add(0.25);
+        assert_eq!(g.get(), 1.75);
+        g.set(-3.0);
+        assert_eq!(g.get(), -3.0);
+    }
+
+    #[test]
+    fn concurrent_gauge_adds_sum_exactly() {
+        // Powers of two so f64 addition is exact in any order.
+        let g = Arc::new(Gauge::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(g.get(), 4000.0);
+    }
+}

@@ -1,0 +1,338 @@
+//! The metrics registry: named metrics plus snapshot rendering.
+//!
+//! Registration (name lookup) takes a lock; recording does not — callers
+//! hold `Arc`s to their metrics and touch only atomics on hot paths.
+//! Snapshots render as an aligned human-readable table or as
+//! line-oriented JSON (one object per metric per line), both hand-rolled
+//! in the workspace's no-external-deps style.
+
+use crate::histogram::Histogram;
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric '{name}' already registered with another kind"),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric '{name}' already registered with another kind"),
+        }
+    }
+
+    /// Gets or creates the histogram `name` with the given bucket base
+    /// (ignored when the histogram already exists).
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, base: f64) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::with_base(base))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric '{name}' already registered with another kind"),
+        }
+    }
+
+    /// A point-in-time reading of every registered metric, sorted by
+    /// name.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().unwrap();
+        let entries = m
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram {
+                        count: h.count(),
+                        p50: h.quantile(0.5),
+                        p90: h.quantile(0.9),
+                        p99: h.quantile(0.99),
+                        max: h.max(),
+                        mean: h.mean(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// The process-wide registry the instrumented crates (admission, delay,
+/// sim) record into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One metric's reading inside a [`Snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram digest.
+    Histogram {
+        /// Samples recorded.
+        count: u64,
+        /// Median (bucket upper bound), `None` when empty.
+        p50: Option<f64>,
+        /// 90th percentile (bucket upper bound), `None` when empty.
+        p90: Option<f64>,
+        /// 99th percentile (bucket upper bound), `None` when empty.
+        p99: Option<f64>,
+        /// Largest sample (exact), `0.0` when empty.
+        max: f64,
+        /// Mean (exact to the micro-unit), `None` when empty.
+        mean: Option<f64>,
+    },
+}
+
+/// A point-in-time reading of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub entries: Vec<(String, SnapshotValue)>,
+}
+
+/// Formats an `f64` so it is valid JSON (non-finite becomes `null`) and
+/// round-trips through a standard parser.
+fn json_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    // `{:?}` always keeps a decimal point or exponent, so the token
+    // parses back as a float.
+    format!("{v:?}")
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_num).unwrap_or_else(|| "null".into())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// The reading for `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Renders an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        let width = self
+            .entries
+            .iter()
+            .map(|(n, _)| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("metric".len());
+        let mut out = String::new();
+        writeln!(out, "{:<width$}  value", "metric").unwrap();
+        for (name, value) in &self.entries {
+            match value {
+                SnapshotValue::Counter(v) => {
+                    writeln!(out, "{name:<width$}  {v}").unwrap();
+                }
+                SnapshotValue::Gauge(v) => {
+                    writeln!(out, "{name:<width$}  {v:.6}").unwrap();
+                }
+                SnapshotValue::Histogram {
+                    count,
+                    p50,
+                    p90,
+                    p99,
+                    max,
+                    mean,
+                } => {
+                    let q = |v: &Option<f64>| match v {
+                        Some(x) => format!("{x:.3e}"),
+                        None => "-".into(),
+                    };
+                    writeln!(
+                        out,
+                        "{name:<width$}  n={count} p50<={} p90<={} p99<={} max={max:.3e} mean={}",
+                        q(p50),
+                        q(p90),
+                        q(p99),
+                        q(mean),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders line-oriented JSON: one object per metric per line, e.g.
+    ///
+    /// ```text
+    /// {"name":"admission.admits","type":"counter","value":42}
+    /// {"name":"delay.solve.iterations","type":"histogram","count":3,...}
+    /// ```
+    pub fn render_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let name = json_escape(name);
+            match value {
+                SnapshotValue::Counter(v) => {
+                    writeln!(out, "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}")
+                        .unwrap();
+                }
+                SnapshotValue::Gauge(v) => {
+                    writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{}}}",
+                        json_num(*v)
+                    )
+                    .unwrap();
+                }
+                SnapshotValue::Histogram {
+                    count,
+                    p50,
+                    p90,
+                    p99,
+                    max,
+                    mean,
+                } => {
+                    writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{count},\
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                        json_opt(*p50),
+                        json_opt(*p90),
+                        json_opt(*p99),
+                        json_num(*max),
+                        json_opt(*mean),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_sorted_and_typed() {
+        let r = Registry::new();
+        r.counter("b.count").add(3);
+        r.gauge("a.gauge").set(0.5);
+        r.histogram("c.hist", 1.0).record(4.0);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.entries.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.gauge", "b.count", "c.hist"]);
+        assert_eq!(s.get("b.count"), Some(&SnapshotValue::Counter(3)));
+        match s.get("c.hist").unwrap() {
+            SnapshotValue::Histogram { count, max, .. } => {
+                assert_eq!(*count, 1);
+                assert_eq!(*max, 4.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table_contains_names_and_values() {
+        let r = Registry::new();
+        r.counter("admits").add(7);
+        r.histogram("lat", 1e-9).record(1e-3);
+        let t = r.snapshot().render_table();
+        assert!(t.contains("admits"), "{t}");
+        assert!(t.contains('7'), "{t}");
+        assert!(t.contains("p99<="), "{t}");
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global().counter("registry.test.global");
+        global().counter("registry.test.global").add(2);
+        assert!(a.get() >= 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! RAII wall-clock spans recording into a histogram.
+
+use crate::histogram::Histogram;
+use std::time::Instant;
+
+/// A span timer: started with [`Span::start`], it records the elapsed
+/// wall time in seconds into its histogram when dropped (or explicitly
+/// via [`Span::finish`]).
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    t0: Instant,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing into `hist` (seconds-denominated; use a base like
+    /// `1e-9` when creating the histogram).
+    pub fn start(hist: &'a Histogram) -> Self {
+        Self {
+            hist,
+            t0: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stops the span now and returns the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.armed = false;
+        let dt = self.t0.elapsed().as_secs_f64();
+        self.hist.record(dt);
+        dt
+    }
+
+    /// Runs `f` under a span on `hist` and returns its result.
+    pub fn time<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
+        let _span = Span::start(hist);
+        f()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_once() {
+        let h = Histogram::with_base(1e-9);
+        {
+            let _s = Span::start(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_once_and_returns_elapsed() {
+        let h = Histogram::with_base(1e-9);
+        let s = Span::start(&h);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let dt = s.finish();
+        assert!(dt >= 0.002);
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 0.002);
+    }
+
+    #[test]
+    fn time_wraps_a_closure() {
+        let h = Histogram::with_base(1e-9);
+        let v = Span::time(&h, || 7);
+        assert_eq!(v, 7);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests for the observability core: concurrent exactness,
+//! histogram quantile edges, and JSON snapshot round-trips.
+
+use std::sync::Arc;
+use uba_obs::json::{self, JsonValue};
+use uba_obs::{Registry, SnapshotValue};
+
+#[test]
+fn concurrent_counter_and_histogram_sum_exactly() {
+    let r = Arc::new(Registry::new());
+    let c = r.counter("t.count");
+    let h = r.histogram("t.hist", 1.0);
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 25_000;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let c = Arc::clone(&c);
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record((t * PER_THREAD + i) as f64 % 37.0);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(c.get(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(h.count(), (THREADS * PER_THREAD) as u64);
+    // All samples below 37, so every quantile is bounded by the bucket
+    // containing 36 ([32, 64) -> upper bound 64).
+    assert_eq!(h.quantile(1.0), Some(64.0));
+    assert_eq!(h.max(), 36.0);
+}
+
+#[test]
+fn histogram_quantile_edges() {
+    let r = Registry::new();
+    // Empty.
+    let empty = r.histogram("edges.empty", 1.0);
+    assert_eq!(empty.quantile(0.5), None);
+    assert_eq!(empty.count(), 0);
+    // Single sample.
+    let one = r.histogram("edges.one", 1e-9);
+    one.record(1e-3);
+    assert_eq!(one.count(), 1);
+    assert_eq!(one.quantile(0.001), one.quantile(1.0));
+    assert_eq!(one.max(), 1e-3);
+    // Overflow bucket: astronomically large sample clamps, never
+    // panics, and quantiles stay finite.
+    let big = r.histogram("edges.big", 1e-9);
+    big.record(1e300);
+    assert_eq!(big.count(), 1);
+    assert!(big.quantile(1.0).unwrap().is_finite());
+    assert_eq!(big.max(), 1e300);
+}
+
+#[test]
+fn json_snapshot_round_trips() {
+    let r = Registry::new();
+    r.counter("rt.admits").add(42);
+    r.gauge("rt.load \"q\"").set(0.125);
+    let h = r.histogram("rt.lat", 1e-9);
+    for i in 1..=100 {
+        h.record(i as f64 * 1e-6);
+    }
+    let snap = r.snapshot();
+    let rendered = snap.render_json_lines();
+
+    // Parse every line back and index by name.
+    let mut parsed = std::collections::BTreeMap::new();
+    for line in rendered.lines() {
+        let v = json::parse(line).expect("snapshot line must be valid JSON");
+        let name = v.get("name").and_then(JsonValue::as_str).unwrap().to_string();
+        parsed.insert(name, v);
+    }
+    assert_eq!(parsed.len(), snap.entries.len());
+
+    // Counter round-trip.
+    let c = &parsed["rt.admits"];
+    assert_eq!(c.get("type").and_then(JsonValue::as_str), Some("counter"));
+    assert_eq!(c.get("value").and_then(JsonValue::as_number), Some(42.0));
+
+    // Gauge round-trip, including the escaped quote in the name.
+    let g = &parsed["rt.load \"q\""];
+    assert_eq!(g.get("value").and_then(JsonValue::as_number), Some(0.125));
+
+    // Histogram round-trip: digest fields match the live snapshot.
+    let jh = &parsed["rt.lat"];
+    match snap.get("rt.lat").unwrap() {
+        SnapshotValue::Histogram {
+            count,
+            p50,
+            p99,
+            max,
+            mean,
+            ..
+        } => {
+            assert_eq!(
+                jh.get("count").and_then(JsonValue::as_number),
+                Some(*count as f64)
+            );
+            assert_eq!(jh.get("p50").and_then(JsonValue::as_number), *p50);
+            assert_eq!(jh.get("p99").and_then(JsonValue::as_number), *p99);
+            assert_eq!(jh.get("max").and_then(JsonValue::as_number), Some(*max));
+            assert_eq!(jh.get("mean").and_then(JsonValue::as_number), *mean);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Empty histograms serialize quantiles as null and still parse.
+    let r2 = Registry::new();
+    r2.histogram("rt.empty", 1.0);
+    let line = r2.snapshot().render_json_lines();
+    let v = json::parse(line.trim()).unwrap();
+    assert_eq!(v.get("p50"), Some(&JsonValue::Null));
+    assert_eq!(v.get("count").and_then(JsonValue::as_number), Some(0.0));
+}

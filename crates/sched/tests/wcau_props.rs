@@ -4,6 +4,12 @@
 //! `LL bound ⇒ hyperbolic ⇒ RTA-schedulable`, and everything
 //! fixed-priority-schedulable is EDF-schedulable (U ≤ 1).
 
+// Gated behind the non-default `prop-tests` feature: the `proptest`
+// dev-dependency is not declared so the default build stays hermetic
+// (offline, no registry). To run: re-add `proptest = "1"` under
+// [dev-dependencies] and `cargo test --features prop-tests`.
+#![cfg(feature = "prop-tests")]
+
 use proptest::prelude::*;
 use uba_sched::{
     edf_schedulable, hyperbolic_schedulable, response_times, rm_schedulable_by_bound,

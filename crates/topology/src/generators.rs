@@ -4,9 +4,8 @@
 //! generator is seeded and deterministic, and always returns a connected
 //! graph.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use uba_graph::{bfs, Digraph, NodeId};
+use uba_obs::SplitMix64;
 
 /// A line of `n >= 2` routers.
 pub fn line(n: usize) -> Digraph {
@@ -140,8 +139,8 @@ pub fn full_mesh(n: usize) -> Digraph {
 pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Digraph {
     assert!(n >= 2, "waxman needs at least 2 routers");
     assert!(alpha > 0.0 && beta > 0.0 && beta <= 1.0, "bad waxman params");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let mut rng = SplitMix64::new(seed);
+    let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
     let dist = |a: usize, b: usize| -> f64 {
         let (dx, dy) = (pos[a].0 - pos[b].0, pos[a].1 - pos[b].1);
         (dx * dx + dy * dy).sqrt()
@@ -152,7 +151,7 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Digraph {
     for a in 0..n {
         for b in (a + 1)..n {
             let p = beta * (-dist(a, b) / (alpha * max_d)).exp();
-            if rng.gen::<f64>() < p {
+            if rng.next_f64() < p {
                 g.add_link(NodeId(a as u32), NodeId(b as u32), 1.0);
                 connected[a] = true;
                 connected[b] = true;

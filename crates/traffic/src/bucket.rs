@@ -1,6 +1,5 @@
 //! Leaky-bucket source characterization.
 
-use serde::{Deserialize, Serialize};
 
 /// A leaky-bucket policer `(T, ρ)`: burst size `T` in bits, sustained rate
 /// `ρ` in bits/second.
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// the network entrance (Section 3): the traffic a source may emit in any
 /// interval of length `I` is at most `min(C·I, T + ρ·I)` on a link of
 /// capacity `C`.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LeakyBucket {
     /// Burst size `T` in bits.
     pub burst: f64,

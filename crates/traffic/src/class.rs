@@ -1,11 +1,10 @@
 //! Diffserv traffic classes and class sets.
 
 use crate::bucket::LeakyBucket;
-use serde::{Deserialize, Serialize};
 
 /// Index of a class within a [`ClassSet`]. Lower index = higher priority,
 /// matching the paper's convention that Class 1 outranks Class 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClassId(pub usize);
 
 impl ClassId {
@@ -19,7 +18,7 @@ impl ClassId {
 /// A guaranteed-delay traffic class: a leaky-bucket profile shared by all
 /// of its flows plus a class-wide end-to-end deadline `D` (Section 3: "all
 /// flows in the same class are guaranteed the same delay").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TrafficClass {
     /// Human-readable name ("voice", "video", ...).
     pub name: String,
@@ -63,7 +62,7 @@ impl TrafficClass {
 /// Best-effort traffic is implicit: it occupies whatever priority level is
 /// below every class here and never affects real-time delays under
 /// class-based static priority (Section 5.1).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ClassSet {
     classes: Vec<TrafficClass>,
 }

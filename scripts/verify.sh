@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo verification gate: hermetic release build, full test suite, and the
+# instrumentation-overhead smoke check. Everything runs offline — the
+# workspace has no external dependencies (see DESIGN.md §3).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --offline --release (hermetic build)"
+cargo build --offline --release --workspace
+
+echo "==> cargo test --offline -q (workspace test suite)"
+cargo test --offline --workspace -q
+
+echo "==> obs_overhead smoke (instrumented admit path vs uninstrumented)"
+cargo run --offline --release -p uba-bench --bin obs_overhead -- smoke
+
+echo "==> verify.sh: all checks passed"

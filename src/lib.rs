@@ -41,6 +41,7 @@
 pub use uba_admission as admission;
 pub use uba_delay as delay;
 pub use uba_graph as graph;
+pub use uba_obs as obs;
 pub use uba_routing as routing;
 pub use uba_sim as sim;
 pub use uba_sched as sched;
