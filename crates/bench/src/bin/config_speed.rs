@@ -1,0 +1,423 @@
+//! Experiment CS — configuration-pipeline speed gate.
+//!
+//! The paper's pitch is that delay analysis is paid once, at configuration
+//! time — which makes the configuration pipeline (§5.3 binary search ×
+//! §5.2 heuristic × Eq. 11–14 fixed point) the dominant compute path.
+//! This harness times the incremental engine against the retained
+//! reference paths, *in the same run*, so the speedup claim is measured
+//! and not remembered:
+//!
+//! * **cold solver sweeps** — dense reference (`SolveConfig.incremental =
+//!   false`) vs. worklist sweep on the full MCI shortest-path route set;
+//! * **candidate evaluation** — the pre-optimization clone-the-route-set
+//!   path (`HeuristicConfig.tentative_eval = false` + dense solver) vs.
+//!   zero-clone tentative evaluation, on MCI and on a larger 8×8 torus;
+//! * **heuristic α\* search** — `max_utilization` (shared Yen candidates,
+//!   tentative evaluation) vs. a faithful reconstruction of the pre-PR
+//!   pipeline: per-probe uncached selection with clone-based evaluation
+//!   over the dense solver;
+//! * **SP α\* search** — warm-started probes vs. cold probes.
+//!
+//! Contract: candidate evaluation and the heuristic search beat the
+//! reference by a floor margin, and both pipelines agree on α\* (±tol).
+//! The full run writes `BENCH_config.json` (validated by the `uba-obs`
+//! JSON parser) as a machine-readable trajectory point for future PRs.
+//!
+//! Run with: `cargo run -p uba-bench --release --bin config_speed`
+//! (`config_speed smoke` runs reduced iterations with looser floors and
+//! skips the JSON write — the `scripts/verify.sh` configuration.)
+
+use std::time::Instant;
+use uba::graph::bfs;
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+/// Search tolerance matching `table1`.
+const TOL: f64 = 0.005;
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// The dense/cloning reference configuration: the pre-optimization
+/// pipeline expressed through the retained flags.
+fn reference_cfg() -> HeuristicConfig {
+    HeuristicConfig {
+        tentative_eval: false,
+        solver: SolveConfig {
+            incremental: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// The §5.3 bisection, shared by the reference searches so the probe
+/// sequence is identical to `max_utilization`'s.
+fn bisect(g: &Digraph, servers: &Servers, class: &TrafficClass, mut probe: impl FnMut(f64) -> bool) -> (f64, usize) {
+    let diameter = bfs::diameter(g).expect("connected");
+    let fan_in = (0..servers.len()).map(|k| servers.fan_in_at(k)).max().unwrap();
+    let (lb, ub) = utilization_bounds(fan_in, diameter.max(1), class);
+    let hi_cap = ub.min(1.0 - 1e-9);
+    let mut probes = 0usize;
+    let mut run = |a: f64, probes: &mut usize| {
+        *probes += 1;
+        probe(a)
+    };
+    let mut best = 0.0f64;
+    let (mut lo, mut hi);
+    if run(lb.min(hi_cap), &mut probes) {
+        lo = lb.min(hi_cap);
+        hi = hi_cap;
+        best = lo;
+    } else {
+        lo = 0.0;
+        hi = lb.min(hi_cap);
+    }
+    while hi - lo > TOL {
+        let mid = 0.5 * (lo + hi);
+        if run(mid, &mut probes) {
+            lo = mid;
+            best = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (best, probes)
+}
+
+/// Times one candidate-evaluation pass: every path in `candidates`
+/// verified against the committed `routes` + `base` fixed point.
+/// Returns (seconds, safe-count) for the reference and fast paths.
+fn time_candidate_pass(
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    routes: &RouteSet,
+    base: &[f64],
+    candidates: &[Path],
+    fast: bool,
+) -> (f64, usize) {
+    let solver = SolveConfig::default();
+    let dense = SolveConfig {
+        incremental: false,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut safe = 0usize;
+    for p in candidates {
+        let tentative = Route::from_path(ClassId(0), p);
+        let r = if fast {
+            with_thread_scratch(|sc| {
+                solve_two_class_with(
+                    servers,
+                    class,
+                    alpha,
+                    routes,
+                    Some(&tentative),
+                    &solver,
+                    Some(base),
+                    sc,
+                )
+            })
+        } else {
+            let mut trial = routes.clone();
+            trial.push(tentative);
+            solve_two_class(servers, class, alpha, &trial, &dense, Some(base))
+        };
+        safe += r.outcome.is_safe() as usize;
+    }
+    (t0.elapsed().as_secs_f64(), safe)
+}
+
+/// Candidate-evaluation benchmark on one topology: committed SP routes
+/// for half the pairs, the other half's SP paths as candidates.
+/// Returns (median ref seconds, median fast seconds).
+fn bench_candidates(
+    label: &str,
+    g: &Digraph,
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    pairs: &[Pair],
+    rounds: usize,
+) -> (f64, f64) {
+    let paths = sp_selection(g, pairs).expect("pairs must be connected");
+    let mut routes = RouteSet::new(g.edge_count());
+    let mut candidates = Vec::new();
+    for (i, p) in paths.iter().enumerate() {
+        if i % 2 == 0 {
+            routes.push(Route::from_path(ClassId(0), p));
+        } else {
+            candidates.push(p.clone());
+        }
+    }
+    let base = solve_two_class(servers, class, alpha, &routes, &SolveConfig::default(), None);
+    assert!(
+        base.outcome.is_safe(),
+        "{label}: committed base must be safe at alpha {alpha}"
+    );
+
+    let mut t_ref = Vec::with_capacity(rounds);
+    let mut t_fast = Vec::with_capacity(rounds);
+    // Warm-up both subjects once, then interleave.
+    time_candidate_pass(servers, class, alpha, &routes, &base.delays, &candidates, false);
+    time_candidate_pass(servers, class, alpha, &routes, &base.delays, &candidates, true);
+    for round in 0..rounds {
+        let order_fast_first = round % 2 == 1;
+        let (a, safe_a) = time_candidate_pass(
+            servers, class, alpha, &routes, &base.delays, &candidates, order_fast_first,
+        );
+        let (b, safe_b) = time_candidate_pass(
+            servers, class, alpha, &routes, &base.delays, &candidates, !order_fast_first,
+        );
+        assert_eq!(safe_a, safe_b, "{label}: verdicts must agree");
+        let (r, f) = if order_fast_first { (b, a) } else { (a, b) };
+        t_ref.push(r);
+        t_fast.push(f);
+    }
+    let (r, f) = (median(&mut t_ref), median(&mut t_fast));
+    println!(
+        "{label}: {} candidates over {} committed routes — reference {:>8.3} ms, \
+         incremental {:>8.3} ms, speedup {:.2}x",
+        candidates.len(),
+        routes.len(),
+        r * 1e3,
+        f * 1e3,
+        r / f
+    );
+    (r, f)
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("smoke");
+    // Reduced iterations + looser floors for the verify.sh smoke lane;
+    // the full run is the perf gate proper.
+    let (rounds, cand_floor, search_floor) = if smoke { (3, 1.05, 1.2) } else { (9, 1.3, 2.0) };
+
+    let setting = PaperSetting::new();
+    let (g, servers, voip) = (&setting.g, &setting.servers, &setting.voip);
+    let pairs = if smoke {
+        setting.pair_subset(3)
+    } else {
+        setting.pairs.clone()
+    };
+    println!(
+        "config_speed{}: MCI {} routers / {} servers, {} pairs, {} rounds",
+        if smoke { " (smoke)" } else { "" },
+        g.node_count(),
+        g.edge_count(),
+        pairs.len(),
+        rounds
+    );
+    let counters = uba::delay::metrics::solver();
+    let (skipped0, touched0) = (counters.sweeps_skipped.get(), counters.servers_touched.get());
+
+    // ---- 1. Cold solver sweeps: dense vs. incremental, full SP set. ----
+    let sp_paths = sp_selection(g, &pairs).expect("MCI is connected");
+    let mut sp_routes = RouteSet::new(g.edge_count());
+    for p in &sp_paths {
+        sp_routes.push(Route::from_path(ClassId(0), p));
+    }
+    let alpha_cold = 0.45;
+    let dense_cfg = SolveConfig {
+        incremental: false,
+        ..Default::default()
+    };
+    let mut t_dense = Vec::new();
+    let mut t_inc = Vec::new();
+    for _ in 0..rounds.max(5) {
+        let t0 = Instant::now();
+        let rd = solve_two_class(servers, voip, alpha_cold, &sp_routes, &dense_cfg, None);
+        t_dense.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let ri = solve_two_class(
+            servers,
+            voip,
+            alpha_cold,
+            &sp_routes,
+            &SolveConfig::default(),
+            None,
+        );
+        t_inc.push(t0.elapsed().as_secs_f64());
+        assert_eq!(rd.outcome, ri.outcome);
+        assert_eq!(rd.delays, ri.delays, "incremental must match dense bitwise");
+    }
+    let (cold_dense, cold_inc) = (median(&mut t_dense), median(&mut t_inc));
+    println!(
+        "cold solve (alpha {alpha_cold}, {} routes): dense {:>8.3} ms, incremental {:>8.3} ms \
+         ({:.2}x)",
+        sp_routes.len(),
+        cold_dense * 1e3,
+        cold_inc * 1e3,
+        cold_dense / cold_inc
+    );
+
+    // ---- 2. Candidate evaluation: MCI and a larger torus. ----
+    let (mci_cand_ref, mci_cand_fast) =
+        bench_candidates("candidates/mci", g, servers, voip, 0.45, &pairs, rounds);
+    let torus = uba::topology::torus(8, 8);
+    let torus_servers = Servers::uniform(&torus, 100e6, 4);
+    let torus_pairs: Vec<Pair> = all_ordered_pairs(&torus)
+        .into_iter()
+        .step_by(if smoke { 48 } else { 12 })
+        .collect();
+    let (torus_cand_ref, torus_cand_fast) = bench_candidates(
+        "candidates/torus8x8",
+        &torus,
+        &torus_servers,
+        voip,
+        0.2,
+        &torus_pairs,
+        rounds,
+    );
+    for (label, r, f) in [
+        ("mci", mci_cand_ref, mci_cand_fast),
+        ("torus8x8", torus_cand_ref, torus_cand_fast),
+    ] {
+        assert!(
+            r / f >= cand_floor,
+            "candidate evaluation on {label} only {:.2}x over reference (floor {cand_floor}x)",
+            r / f
+        );
+    }
+
+    // ---- 3. Heuristic alpha* search: optimized vs. pre-PR pipeline. ----
+    let heur_cfg = HeuristicConfig::default();
+    let ref_cfg = reference_cfg();
+    let mut t_heur_ref = Vec::new();
+    let mut t_heur_fast = Vec::new();
+    let mut alpha_fast = 0.0;
+    let mut alpha_ref = 0.0;
+    let search_rounds = if smoke { 1 } else { 3 };
+    for _ in 0..search_rounds {
+        let t0 = Instant::now();
+        let (a_ref, _probes) = bisect(g, servers, voip, |alpha| {
+            select_routes(g, servers, voip, alpha, &pairs, &ref_cfg).is_ok()
+        });
+        t_heur_ref.push(t0.elapsed().as_secs_f64());
+        alpha_ref = a_ref;
+
+        let t0 = Instant::now();
+        let r = max_utilization(
+            g,
+            servers,
+            voip,
+            &pairs,
+            &Selector::Heuristic(heur_cfg.clone()),
+            TOL,
+        );
+        t_heur_fast.push(t0.elapsed().as_secs_f64());
+        alpha_fast = r.alpha;
+    }
+    let (heur_ref, heur_fast) = (median(&mut t_heur_ref), median(&mut t_heur_fast));
+    println!(
+        "heuristic search: reference {:>8.1} ms (alpha* {alpha_ref:.3}), optimized {:>8.1} ms \
+         (alpha* {alpha_fast:.3}), speedup {:.2}x",
+        heur_ref * 1e3,
+        heur_fast * 1e3,
+        heur_ref / heur_fast
+    );
+    assert!(
+        (alpha_fast - alpha_ref).abs() <= TOL + 1e-9,
+        "optimized pipeline moved alpha*: {alpha_fast} vs reference {alpha_ref}"
+    );
+    assert!(
+        heur_ref / heur_fast >= search_floor,
+        "heuristic search only {:.2}x over the pre-PR baseline (floor {search_floor}x)",
+        heur_ref / heur_fast
+    );
+
+    // ---- 4. SP alpha* search: warm-started vs. cold probes. ----
+    // The reference probe mirrors the pre-PR cost model: a cold dense
+    // solve plus the Selection materialization every feasible probe pays.
+    let t0 = Instant::now();
+    let (sp_alpha_ref, _): (f64, usize) = bisect(g, servers, voip, |alpha| {
+        let r = solve_two_class(servers, voip, alpha, &sp_routes, &dense_cfg, None);
+        let safe = r.outcome.is_safe();
+        if safe {
+            std::hint::black_box((pairs.to_vec(), sp_paths.clone(), sp_routes.clone(), r));
+        }
+        safe
+    });
+    let sp_ref = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let sp = max_utilization(g, servers, voip, &pairs, &Selector::ShortestPath, TOL);
+    let sp_fast = t0.elapsed().as_secs_f64();
+    println!(
+        "SP search: reference {:>8.2} ms (alpha* {sp_alpha_ref:.3}), warm-started {:>8.2} ms \
+         (alpha* {:.3}), speedup {:.2}x",
+        sp_ref * 1e3,
+        sp_fast * 1e3,
+        sp.alpha,
+        sp_ref / sp_fast
+    );
+    assert!(
+        (sp.alpha - sp_alpha_ref).abs() <= TOL + 1e-9,
+        "SP search moved alpha*: {} vs reference {sp_alpha_ref}",
+        sp.alpha
+    );
+
+    let skipped = counters.sweeps_skipped.get() - skipped0;
+    let touched = counters.servers_touched.get() - touched0;
+    println!(
+        "solver sweep economy this run: {skipped} route sweeps skipped, {touched} server \
+         evaluations performed"
+    );
+    assert!(skipped > 0, "incremental runs must skip some sweeps");
+
+    println!();
+    println!(
+        "perf gate: candidates >= {cand_floor}x on every topology, heuristic search >= \
+         {search_floor}x  ✓"
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_config.json write");
+        return;
+    }
+
+    // ---- Trajectory point. ----
+    let us = |s: f64| (s * 1e6).round();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"config_speed\",\n",
+            "  \"pairs\": {},\n",
+            "  \"cold_solve\": {{\"dense_us\": {}, \"incremental_us\": {}}},\n",
+            "  \"candidate_eval\": {{\n",
+            "    \"mci\": {{\"reference_us\": {}, \"incremental_us\": {}, \"speedup\": {:.2}}},\n",
+            "    \"torus8x8\": {{\"reference_us\": {}, \"incremental_us\": {}, \"speedup\": {:.2}}}\n",
+            "  }},\n",
+            "  \"heuristic_search\": {{\"reference_us\": {}, \"optimized_us\": {}, ",
+            "\"speedup\": {:.2}, \"alpha\": {:.3}}},\n",
+            "  \"sp_search\": {{\"reference_us\": {}, \"optimized_us\": {}, ",
+            "\"speedup\": {:.2}, \"alpha\": {:.3}}},\n",
+            "  \"solver_counters\": {{\"sweeps_skipped\": {}, \"servers_touched\": {}}}\n",
+            "}}\n"
+        ),
+        pairs.len(),
+        us(cold_dense),
+        us(cold_inc),
+        us(mci_cand_ref),
+        us(mci_cand_fast),
+        mci_cand_ref / mci_cand_fast,
+        us(torus_cand_ref),
+        us(torus_cand_fast),
+        torus_cand_ref / torus_cand_fast,
+        us(heur_ref),
+        us(heur_fast),
+        heur_ref / heur_fast,
+        alpha_fast,
+        us(sp_ref),
+        us(sp_fast),
+        sp_ref / sp_fast,
+        sp.alpha,
+        skipped,
+        touched,
+    );
+    uba::obs::json::parse(&json).expect("trajectory JSON must parse");
+    std::fs::write("BENCH_config.json", &json).expect("write BENCH_config.json");
+    println!("wrote BENCH_config.json");
+}

@@ -88,15 +88,27 @@ pub fn cmd_verify(sc: &Scenario) -> Result<String, ScenarioError> {
 }
 
 /// `maximize`: Section 5.3 binary search; multi-class scenarios use the
-/// §5.4 trade-off ray (scenario alphas as the weight vector).
-pub fn cmd_maximize(sc: &Scenario, selector_name: &str) -> Result<String, ScenarioError> {
+/// §5.4 trade-off ray (scenario alphas as the weight vector). `threads`
+/// fans out candidate verification and the solver sweeps (1 = serial).
+pub fn cmd_maximize(sc: &Scenario, selector_name: &str, threads: usize) -> Result<String, ScenarioError> {
+    if threads == 0 {
+        return Err(ScenarioError("--threads must be at least 1".into()));
+    }
     if sc.classes.len() != 1 {
-        return cmd_maximize_multiclass(sc);
+        return cmd_maximize_multiclass(sc, threads);
     }
     let (_, class) = sc.classes.iter().next().unwrap();
+    let heuristic_cfg = HeuristicConfig {
+        threads,
+        solver: SolveConfig {
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let selector = match selector_name {
         "sp" => Selector::ShortestPath,
-        "heuristic" => Selector::Heuristic(HeuristicConfig::default()),
+        "heuristic" => Selector::Heuristic(heuristic_cfg),
         other => {
             return Err(ScenarioError(format!(
                 "unknown selector '{other}' (use sp|heuristic)"
@@ -130,7 +142,7 @@ pub fn cmd_maximize(sc: &Scenario, selector_name: &str) -> Result<String, Scenar
 
 /// Multi-class maximize: scale the scenario's alphas as a ray until the
 /// Theorem 5 verification stops succeeding.
-fn cmd_maximize_multiclass(sc: &Scenario) -> Result<String, ScenarioError> {
+fn cmd_maximize_multiclass(sc: &Scenario, threads: usize) -> Result<String, ScenarioError> {
     use uba::routing::{max_utilization_ray, Demand};
     let demands: Vec<Demand> = sc
         .classes
@@ -139,13 +151,21 @@ fn cmd_maximize_multiclass(sc: &Scenario) -> Result<String, ScenarioError> {
             sc.pairs.iter().map(move |&pair| Demand { class: ci, pair })
         })
         .collect();
+    let cfg = HeuristicConfig {
+        threads,
+        solver: SolveConfig {
+            threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let r = max_utilization_ray(
         &sc.graph,
         &sc.servers,
         &sc.classes,
         &sc.alphas,
         &demands,
-        &HeuristicConfig::default(),
+        &cfg,
         0.01,
     );
     let mut out = String::new();
@@ -262,12 +282,24 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
             routes.push(Route::from_path(ci, p));
         }
     }
+    let solver_metrics = uba::delay::metrics::solver();
+    let (skipped0, touched0) = (
+        solver_metrics.sweeps_skipped.get(),
+        solver_metrics.servers_touched.get(),
+    );
     let report = verify(&sc.servers, &sc.classes, &sc.alphas, &routes, &SolveConfig::default());
     writeln!(
         out,
         "verification: {} ({} iterations)",
         if report.safe { "SUCCESS" } else { "FAILURE" },
         report.iterations
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "solver sweep economy: {} route sweeps skipped, {} server evaluations",
+        solver_metrics.sweeps_skipped.get() - skipped0,
+        solver_metrics.servers_touched.get() - touched0,
     )
     .unwrap();
 
@@ -447,10 +479,19 @@ mod tests {
     fn maximize_both_selectors() {
         let sc = ring_scenario();
         for sel in ["sp", "heuristic"] {
-            let out = cmd_maximize(&sc, sel).unwrap();
+            let out = cmd_maximize(&sc, sel, 1).unwrap();
             assert!(out.contains("maximum safe utilization"), "{out}");
         }
-        assert!(cmd_maximize(&sc, "magic").is_err());
+        assert!(cmd_maximize(&sc, "magic", 1).is_err());
+        assert!(cmd_maximize(&sc, "sp", 0).is_err());
+    }
+
+    #[test]
+    fn maximize_threaded_matches_serial() {
+        let sc = ring_scenario();
+        let serial = cmd_maximize(&sc, "heuristic", 1).unwrap();
+        let threaded = cmd_maximize(&sc, "heuristic", 4).unwrap();
+        assert_eq!(serial, threaded);
     }
 
     #[test]
@@ -480,7 +521,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = cmd_maximize(&sc, "heuristic").unwrap();
+        let out = cmd_maximize(&sc, "heuristic", 1).unwrap();
         assert!(out.contains("maximum safe scale"), "{out}");
         assert!(out.contains("class voip"));
         assert!(out.contains("class video"));
@@ -499,6 +540,10 @@ mod tests {
         // surface the class + observed-vs-budget utilization.
         assert!(out.contains("first rejection at server"), "{out}");
         assert!(out.contains("% of budget"), "{out}");
+        // The solver's sweep-economy counters are summarized and dumped.
+        assert!(out.contains("solver sweep economy"), "{out}");
+        assert!(out.contains("delay.solve.sweeps_skipped"), "{out}");
+        assert!(out.contains("delay.solve.servers_touched"), "{out}");
         // The registry dump includes all three instrumented layers.
         assert!(out.contains("admission.admits"), "{out}");
         assert!(out.contains("delay.solve.iterations"), "{out}");

@@ -3,7 +3,7 @@
 //! ```text
 //! uba-cli bounds   <scenario.toml>
 //! uba-cli verify   <scenario.toml>
-//! uba-cli maximize <scenario.toml> [sp|heuristic]
+//! uba-cli maximize <scenario.toml> [sp|heuristic] [--threads N]
 //! uba-cli simulate <scenario.toml> [horizon_seconds]
 //! uba-cli metrics  <scenario.toml> [--json]
 //! ```
@@ -23,6 +23,7 @@ fn usage() -> ! {
          bounds   — Theorem 4 utilization window for each class\n\
          verify   — Figure 2 verification of the scenario's alphas on SP routes\n\
          maximize — Section 5.3 binary search; optional selector sp|heuristic (default heuristic)\n\
+         \x20          --threads N fans candidate verification and solver sweeps across N workers\n\
          simulate — packet-level validation; optional horizon in seconds (default 0.3)\n\
          metrics  — exercise every instrumented layer, then dump the metrics registry\n\
          \n\
@@ -44,6 +45,24 @@ fn main() {
         args.retain(|a| a != "--json");
         args.len() != before
     };
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--threads requires a value");
+                std::process::exit(2);
+            }
+            let n = match args[i + 1].parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--threads expects a positive integer, got '{}'", args[i + 1]);
+                    std::process::exit(2);
+                }
+            };
+            args.drain(i..=i + 1);
+            n
+        }
+        None => 1,
+    };
     if args.len() < 2 {
         usage();
     }
@@ -58,7 +77,11 @@ fn main() {
     let result = match command {
         "bounds" => cmd_bounds(&scenario),
         "verify" => cmd_verify(&scenario),
-        "maximize" => cmd_maximize(&scenario, args.get(2).map(String::as_str).unwrap_or("heuristic")),
+        "maximize" => cmd_maximize(
+            &scenario,
+            args.get(2).map(String::as_str).unwrap_or("heuristic"),
+            threads,
+        ),
         "simulate" => {
             let horizon = args
                 .get(2)

@@ -15,9 +15,35 @@
 //!   end-to-end delay exceeding its class deadline at *any* iterate
 //!   already proves the final answer would too.
 //! * **Iteration cap** — treated as unsafe (conservative).
+//!
+//! # Incremental sweeps
+//!
+//! Two sweep strategies share these stopping rules (selected by
+//! [`SolveConfig::incremental`]):
+//!
+//! * **Dense (reference)** — every iteration rebuilds every `Y_k` from
+//!   scratch and re-evaluates Theorem 3 at every server, exactly as the
+//!   math is written.
+//! * **Incremental (default)** — a worklist sweep. `d_k` depends only on
+//!   `Y_k`, and `Y_k` only on the delays of servers upstream of `k` on
+//!   routes through `k` (tracked by the [`RouteSet`]'s inverted index).
+//!   Because iterates are non-decreasing, a route whose servers' delays
+//!   did not change contributes the same prefixes, so only *dirty* routes
+//!   (those containing a just-changed server) are re-swept, folding their
+//!   prefixes into the persistent `Y` by max-merge, and only servers whose
+//!   `Y_k` actually moved are re-evaluated. The iterates are bitwise
+//!   identical to the dense sweep; if a warm start ever violates the
+//!   monotone (shrink-to-grow) discipline, the first observed decrease
+//!   triggers a dense rebuild of `Y`, preserving equivalence.
+//!
+//! The incremental path also supports a borrowed *tentative* route — the
+//! §5.2 candidate-evaluation loop appends a candidate to the committed set
+//! without cloning it — and all per-iteration buffers live in a
+//! caller-owned [`SolveScratch`] arena, so steady-state solving allocates
+//! only for the returned [`SolveResult`].
 
 use crate::bound::theorem3_delay;
-use crate::routeset::RouteSet;
+use crate::routeset::{Route, RouteSet};
 use crate::servers::Servers;
 use uba_graph::par::par_map;
 use uba_traffic::{ClassId, TrafficClass};
@@ -31,6 +57,15 @@ pub struct SolveConfig {
     pub max_iters: usize,
     /// Worker threads for the per-iteration sweeps (1 = serial).
     pub threads: usize,
+    /// Minimum per-iteration worklist size before the Theorem 3 updates
+    /// fan out across `threads` workers; below it the sweep stays serial
+    /// (thread spawn/join would dominate).
+    pub par_threshold: usize,
+    /// Use the incremental worklist sweep (`true`, default) or the dense
+    /// reference sweep (`false`). Both produce identical iterates; the
+    /// dense path is retained as the executable specification and perf
+    /// baseline.
+    pub incremental: bool,
 }
 
 impl Default for SolveConfig {
@@ -39,6 +74,8 @@ impl Default for SolveConfig {
             tol: 1e-12,
             max_iters: 20_000,
             threads: 1,
+            par_threshold: 256,
+            incremental: true,
         }
     }
 }
@@ -74,13 +111,71 @@ pub struct SolveResult {
     /// Per-server delay bounds at the last iterate (the least fixed point
     /// when `outcome` is `Safe`).
     pub delays: Vec<f64>,
-    /// Per-route end-to-end delays at the last iterate.
+    /// Per-route end-to-end delays at the last iterate (the tentative
+    /// route's entry is last when one was supplied).
     pub route_delays: Vec<f64>,
     /// Iterations performed.
     pub iterations: usize,
 }
 
 const DEADLINE_SLACK: f64 = 1e-12;
+
+/// Caller-owned scratch arena for the fixed-point solver.
+///
+/// Holds every per-iteration buffer (`d`, `Y`, route delays, worklists),
+/// so a caller running many solves — the §5.2 candidate-evaluation loop,
+/// the §5.3 binary search — pays no per-iteration and (after warm-up) no
+/// per-solve allocations. After a solve returns, [`SolveScratch::delays`]
+/// and [`SolveScratch::route_delays`] expose the final state without
+/// copying.
+#[derive(Clone, Debug, Default)]
+pub struct SolveScratch {
+    d: Vec<f64>,
+    y: Vec<f64>,
+    route_delays: Vec<f64>,
+    prop: Vec<f64>,
+    used: Vec<bool>,
+    sweep_list: Vec<u32>,
+    vals: Vec<Option<f64>>,
+    route_dirty: Vec<bool>,
+    dirty_routes: Vec<u32>,
+    touched_mark: Vec<bool>,
+    touched: Vec<u32>,
+    changed: Vec<u32>,
+    tentative_mark: Vec<bool>,
+    alphas: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// An empty arena; buffers grow to fit on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-server delays of the most recent solve.
+    pub fn delays(&self) -> &[f64] {
+        &self.d
+    }
+
+    /// Per-route end-to-end delays of the most recent solve.
+    pub fn route_delays(&self) -> &[f64] {
+        &self.route_delays
+    }
+}
+
+/// Runs `f` with a thread-local [`SolveScratch`], so repeated solves on
+/// the same thread share one arena.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut SolveScratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static SCRATCH: RefCell<SolveScratch> = RefCell::new(SolveScratch::new());
+    }
+    SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut sc) => f(&mut sc),
+        // Re-entrant call: fall back to a fresh arena rather than panic.
+        Err(_) => f(&mut SolveScratch::new()),
+    })
+}
 
 /// Solves the two-class system (one real-time class + implicit best
 /// effort): all routes in `routes` must carry [`ClassId`]`(0)`.
@@ -98,14 +193,30 @@ pub fn solve_two_class(
     cfg: &SolveConfig,
     warm: Option<&[f64]>,
 ) -> SolveResult {
-    solve_two_class_nonuniform(
-        servers,
-        class,
-        &vec![alpha; servers.len()],
-        routes,
-        cfg,
-        warm,
-    )
+    with_thread_scratch(|sc| solve_two_class_with(servers, class, alpha, routes, None, cfg, warm, sc))
+}
+
+/// [`solve_two_class`] with full control: an optional borrowed
+/// *tentative* route evaluated as if appended to `routes` (zero-clone
+/// candidate evaluation — its end-to-end delay is the last entry of
+/// [`SolveResult::route_delays`]), and a caller-owned scratch arena.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_two_class_with(
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    routes: &RouteSet,
+    tentative: Option<&Route>,
+    cfg: &SolveConfig,
+    warm: Option<&[f64]>,
+    scratch: &mut SolveScratch,
+) -> SolveResult {
+    let mut alphas = std::mem::take(&mut scratch.alphas);
+    alphas.clear();
+    alphas.resize(servers.len(), alpha);
+    let r = solve_instrumented(servers, class, &alphas, routes, tentative, cfg, warm, scratch);
+    scratch.alphas = alphas;
+    r
 }
 
 /// [`solve_two_class`] with a *per-server* utilization assignment — the
@@ -121,159 +232,457 @@ pub fn solve_two_class_nonuniform(
     cfg: &SolveConfig,
     warm: Option<&[f64]>,
 ) -> SolveResult {
-    let t0 = std::time::Instant::now();
-    let (result, residual) = solve_core(servers, class, alphas, routes, cfg, warm);
-    let m = crate::metrics::solver();
-    m.seconds.record(t0.elapsed().as_secs_f64());
-    m.iterations.record(result.iterations as f64);
-    m.residual.record(residual);
-    if result.outcome == Outcome::IterationLimit {
-        m.divergence.inc();
-    }
-    result
+    with_thread_scratch(|sc| {
+        solve_instrumented(servers, class, alphas, routes, None, cfg, warm, sc)
+    })
 }
 
-/// The uninstrumented solver body. Returns the result plus the final
-/// sup-norm residual (0 when the loop never completed a sweep).
+/// Sweep-economy counters reported by one solve.
+#[derive(Clone, Copy, Debug, Default)]
+struct SweepStats {
+    /// Route `Y`-sweeps the worklist avoided vs. the dense reference.
+    sweeps_skipped: u64,
+    /// Per-server Theorem 3 evaluations actually performed.
+    servers_touched: u64,
+}
+
+/// Instrumentation wrapper around [`solve_core`]: records wall time,
+/// iteration count, residual, divergence, and sweep-economy counters,
+/// then materializes the [`SolveResult`] from the scratch state.
+#[allow(clippy::too_many_arguments)]
+fn solve_instrumented(
+    servers: &Servers,
+    class: &TrafficClass,
+    alphas: &[f64],
+    routes: &RouteSet,
+    tentative: Option<&Route>,
+    cfg: &SolveConfig,
+    warm: Option<&[f64]>,
+    scratch: &mut SolveScratch,
+) -> SolveResult {
+    let t0 = std::time::Instant::now();
+    let (outcome, iterations, residual, stats) =
+        solve_core(servers, class, alphas, routes, tentative, cfg, warm, scratch);
+    let m = crate::metrics::solver();
+    m.seconds.record(t0.elapsed().as_secs_f64());
+    m.iterations.record(iterations as f64);
+    m.residual.record(residual);
+    if outcome == Outcome::IterationLimit {
+        m.divergence.inc();
+    }
+    m.sweeps_skipped.add(stats.sweeps_skipped);
+    m.servers_touched.add(stats.servers_touched);
+    SolveResult {
+        outcome,
+        delays: scratch.d.clone(),
+        route_delays: scratch.route_delays.clone(),
+        iterations,
+    }
+}
+
+/// Walks one route, max-merging its prefix sums into `y`; returns the
+/// route's total queueing delay (Eq. 6 contribution + end-to-end sum).
+#[inline]
+fn sweep_route(r: &Route, d: &[f64], y: &mut [f64]) -> f64 {
+    let mut prefix = 0.0;
+    for &sv in &r.servers {
+        let k = sv as usize;
+        if prefix > y[k] {
+            y[k] = prefix;
+        }
+        prefix += d[k];
+    }
+    prefix
+}
+
+/// [`sweep_route`] that also records which servers' `Y` moved.
+#[inline]
+fn sweep_route_tracked(
+    r: &Route,
+    d: &[f64],
+    y: &mut [f64],
+    touched_mark: &mut [bool],
+    touched: &mut Vec<u32>,
+) -> f64 {
+    let mut prefix = 0.0;
+    for &sv in &r.servers {
+        let k = sv as usize;
+        if prefix > y[k] {
+            y[k] = prefix;
+            if !touched_mark[k] {
+                touched_mark[k] = true;
+                touched.push(sv);
+            }
+        }
+        prefix += d[k];
+    }
+    prefix
+}
+
+#[inline]
+fn first_violation(route_delays: &[f64], deadline: f64) -> Option<usize> {
+    route_delays
+        .iter()
+        .position(|&rd| rd > deadline + DEADLINE_SLACK)
+}
+
+/// The uninstrumented solver body. Final state (delays, route delays) is
+/// left in `scratch`; returns the outcome, iterations, the final sup-norm
+/// residual (0 when the loop never completed a sweep), and sweep stats.
+#[allow(clippy::too_many_arguments)]
 fn solve_core(
     servers: &Servers,
     class: &TrafficClass,
     alphas: &[f64],
     routes: &RouteSet,
+    tentative: Option<&Route>,
     cfg: &SolveConfig,
     warm: Option<&[f64]>,
-) -> (SolveResult, f64) {
+    scratch: &mut SolveScratch,
+) -> (Outcome, usize, f64, SweepStats) {
     let s = servers.len();
     assert_eq!(routes.server_count(), s, "route set / servers mismatch");
     assert_eq!(alphas.len(), s, "one alpha per server");
     let class0 = ClassId(0);
     debug_assert!(
-        routes.routes().iter().all(|r| r.class == class0),
+        routes
+            .routes()
+            .iter()
+            .chain(tentative)
+            .all(|r| r.class == class0),
         "solve_two_class expects single-class routes"
     );
-
-    // Static domain check on the servers that matter.
-    let used_static = routes.used_servers(class0);
-    if (0..s).any(|k| used_static[k] && !(alphas[k] > 0.0 && alphas[k] < 1.0 && alphas[k].is_finite()))
-    {
-        return (
-            SolveResult {
-                outcome: Outcome::InvalidParams,
-                delays: vec![0.0; s],
-                route_delays: vec![0.0; routes.len()],
-                iterations: 0,
-            },
-            0.0,
-        );
-    }
-
-    // Constant (propagation) delay per route: consumes deadline budget
-    // but adds no jitter, so it enters the checks, never `Y_k`.
-    let prop: Vec<f64> = routes
-        .routes()
-        .iter()
-        .map(|r| servers.route_const_delay(&r.servers))
-        .collect();
-
-    let used = routes.used_servers(class0);
-    let mut d: Vec<f64> = match warm {
-        Some(w) => {
-            assert_eq!(w.len(), s, "warm start length mismatch");
-            w.to_vec()
-        }
-        None => vec![0.0; s],
-    };
-    let mut y = vec![0.0; s];
-
-    let mut iterations = 0;
-    let mut residual = 0.0f64;
-    loop {
-        iterations += 1;
-        let mut route_delays = routes.upstream_max_and_route_delays(class0, &d, &mut y);
-        for (rd, p) in route_delays.iter_mut().zip(&prop) {
-            *rd += p;
-        }
-        if let Some(ri) = route_delays
-            .iter()
-            .position(|&rd| rd > class.deadline + DEADLINE_SLACK)
-        {
-            return (
-                SolveResult {
-                    outcome: Outcome::DeadlineExceeded { route: ri },
-                    delays: d,
-                    route_delays,
-                    iterations,
-                },
-                residual,
+    if let Some(t) = tentative {
+        for &sv in &t.servers {
+            assert!(
+                (sv as usize) < s,
+                "tentative route references unknown server {sv}"
             );
         }
+    }
+    let committed = routes.routes();
+    let n_routes = committed.len() + tentative.is_some() as usize;
+    let route_at = |ri: usize| -> &Route {
+        if ri < committed.len() {
+            &committed[ri]
+        } else {
+            tentative.unwrap()
+        }
+    };
 
-        let step = |k: usize| -> Option<f64> {
+    // Destructure so closures can borrow individual buffers.
+    let SolveScratch {
+        d,
+        y,
+        route_delays,
+        prop,
+        used,
+        sweep_list,
+        vals,
+        route_dirty,
+        dirty_routes,
+        touched_mark,
+        touched,
+        changed,
+        tentative_mark,
+        ..
+    } = scratch;
+    d.clear();
+    d.resize(s, 0.0);
+    y.clear();
+    y.resize(s, 0.0);
+    route_delays.clear();
+    route_delays.resize(n_routes, 0.0);
+    prop.clear();
+    used.clear();
+    used.resize(s, false);
+    sweep_list.clear();
+    route_dirty.clear();
+    route_dirty.resize(n_routes, false);
+    dirty_routes.clear();
+    touched_mark.clear();
+    touched_mark.resize(s, false);
+    touched.clear();
+    changed.clear();
+    tentative_mark.clear();
+    tentative_mark.resize(s, false);
+
+    // Used-server mask, constant (propagation) delay per route. The
+    // propagation term consumes deadline budget but adds no jitter, so it
+    // enters the checks, never `Y_k`.
+    let mut n_class_routes = 0usize;
+    for ri in 0..n_routes {
+        let r = route_at(ri);
+        prop.push(servers.route_const_delay(&r.servers));
+        if r.class == class0 {
+            n_class_routes += 1;
+            for &sv in &r.servers {
+                used[sv as usize] = true;
+            }
+        }
+    }
+
+    // Static domain check on the servers that matter.
+    if (0..s).any(|k| used[k] && !(alphas[k] > 0.0 && alphas[k] < 1.0 && alphas[k].is_finite())) {
+        return (Outcome::InvalidParams, 0, 0.0, SweepStats::default());
+    }
+
+    if let Some(w) = warm {
+        assert_eq!(w.len(), s, "warm start length mismatch");
+        d.copy_from_slice(w);
+    }
+    if let Some(t) = tentative {
+        for &sv in &t.servers {
+            tentative_mark[sv as usize] = true;
+        }
+    }
+    // Routes of other classes never move in the two-class solve; their
+    // delay is the constant term alone (dense parity: 0 queueing + prop).
+    for ri in 0..n_routes {
+        if route_at(ri).class != class0 {
+            route_delays[ri] = prop[ri];
+        }
+    }
+    // Full-sweep worklist: used servers, plus any server a warm start
+    // seeded with a nonzero delay (the dense reference zeroes unused
+    // servers on its first pass; matching it keeps iterates identical).
+    for k in 0..s {
+        if used[k] || d[k] != 0.0 {
+            sweep_list.push(k as u32);
+        }
+    }
+
+    let mut iterations = 0usize;
+    let mut residual = 0.0f64;
+    let mut stats = SweepStats::default();
+
+    if !cfg.incremental {
+        // ---- Dense reference sweep: the math as written. ----
+        loop {
+            iterations += 1;
+            y.fill(0.0);
+            for ri in 0..n_routes {
+                let r = route_at(ri);
+                if r.class != class0 {
+                    continue;
+                }
+                route_delays[ri] = sweep_route(r, d, y) + prop[ri];
+            }
+            if let Some(ri) = first_violation(route_delays, class.deadline) {
+                return (Outcome::DeadlineExceeded { route: ri }, iterations, residual, stats);
+            }
+
+            stats.servers_touched += s as u64;
+            let step = |k: usize| -> Option<f64> {
+                if !used[k] {
+                    return Some(0.0);
+                }
+                theorem3_delay(alphas[k], class.bucket, servers.fan_in_at(k), y[k])
+            };
+            if cfg.threads > 1 && s > cfg.par_threshold {
+                *vals = par_map(s, cfg.threads, step);
+            } else {
+                vals.clear();
+                vals.extend((0..s).map(step));
+            }
+            let mut max_diff: f64 = 0.0;
+            for k in 0..s {
+                match vals[k] {
+                    Some(v) => {
+                        let diff = (v - d[k]).abs();
+                        if diff > max_diff {
+                            max_diff = diff;
+                        }
+                        d[k] = v;
+                    }
+                    None => return (Outcome::InvalidParams, iterations, residual, stats),
+                }
+            }
+            residual = max_diff;
+
+            if max_diff <= cfg.tol {
+                // Converged: one final pass for route delays at the fixed
+                // point.
+                y.fill(0.0);
+                for ri in 0..n_routes {
+                    let r = route_at(ri);
+                    if r.class != class0 {
+                        continue;
+                    }
+                    route_delays[ri] = sweep_route(r, d, y) + prop[ri];
+                }
+                let outcome = match first_violation(route_delays, class.deadline) {
+                    Some(ri) => Outcome::DeadlineExceeded { route: ri },
+                    None => Outcome::Safe,
+                };
+                return (outcome, iterations, residual, stats);
+            }
+            if iterations >= cfg.max_iters {
+                return (Outcome::IterationLimit, iterations, residual, stats);
+            }
+        }
+    }
+
+    // ---- Incremental worklist sweep. ----
+    let index = routes.index();
+    let mut full_sweep = true;
+    loop {
+        iterations += 1;
+        for &k in touched.iter() {
+            touched_mark[k as usize] = false;
+        }
+        touched.clear();
+
+        if full_sweep {
+            y.fill(0.0);
+            for ri in 0..n_routes {
+                let r = route_at(ri);
+                if r.class != class0 {
+                    continue;
+                }
+                route_delays[ri] = sweep_route(r, d, y) + prop[ri];
+            }
+        } else {
+            stats.sweeps_skipped += (n_class_routes - dirty_routes.len()) as u64;
+            for &ri in dirty_routes.iter() {
+                let ri = ri as usize;
+                route_delays[ri] =
+                    sweep_route_tracked(route_at(ri), d, y, touched_mark, touched) + prop[ri];
+            }
+        }
+        if let Some(ri) = first_violation(route_delays, class.deadline) {
+            return (Outcome::DeadlineExceeded { route: ri }, iterations, residual, stats);
+        }
+
+        // Re-evaluate Theorem 3 only where `Y` moved (ascending server
+        // order, matching the dense application order).
+        if !full_sweep {
+            touched.sort_unstable();
+        }
+        let worklist: &[u32] = if full_sweep { sweep_list } else { touched };
+        stats.servers_touched += worklist.len() as u64;
+        let step = |i: usize| -> Option<f64> {
+            let k = worklist[i] as usize;
             if !used[k] {
                 return Some(0.0);
             }
             theorem3_delay(alphas[k], class.bucket, servers.fan_in_at(k), y[k])
         };
-        let d_new: Vec<Option<f64>> = if cfg.threads > 1 && s > 256 {
-            par_map(s, cfg.threads, step)
+        if cfg.threads > 1 && worklist.len() > cfg.par_threshold {
+            *vals = par_map(worklist.len(), cfg.threads, step);
         } else {
-            (0..s).map(step).collect()
-        };
+            vals.clear();
+            vals.extend((0..worklist.len()).map(step));
+        }
         let mut max_diff: f64 = 0.0;
-        for k in 0..s {
-            match d_new[k] {
+        let mut decreased = false;
+        changed.clear();
+        for (i, &ku) in worklist.iter().enumerate() {
+            let k = ku as usize;
+            match vals[i] {
                 Some(v) => {
-                    max_diff = max_diff.max((v - d[k]).abs());
-                    d[k] = v;
+                    if v != d[k] {
+                        let diff = (v - d[k]).abs();
+                        if diff > max_diff {
+                            max_diff = diff;
+                        }
+                        if v < d[k] {
+                            decreased = true;
+                        }
+                        d[k] = v;
+                        changed.push(ku);
+                    }
                 }
-                None => {
-                    return (
-                        SolveResult {
-                            outcome: Outcome::InvalidParams,
-                            delays: d,
-                            route_delays,
-                            iterations,
-                        },
-                        residual,
-                    )
-                }
+                None => return (Outcome::InvalidParams, iterations, residual, stats),
             }
         }
         residual = max_diff;
 
         if max_diff <= cfg.tol {
-            // Converged: one final pass for route delays at the fixed point.
-            let mut route_delays = routes.upstream_max_and_route_delays(class0, &d, &mut y);
-            for (rd, p) in route_delays.iter_mut().zip(&prop) {
-                *rd += p;
+            // Converged: refresh route delays at the fixed point. Only
+            // routes fed by a just-changed server can move.
+            if decreased {
+                y.fill(0.0);
+                for ri in 0..n_routes {
+                    let r = route_at(ri);
+                    if r.class != class0 {
+                        continue;
+                    }
+                    route_delays[ri] = sweep_route(r, d, y) + prop[ri];
+                }
+            } else {
+                for &ri in dirty_routes.iter() {
+                    route_dirty[ri as usize] = false;
+                }
+                dirty_routes.clear();
+                for &ku in changed.iter() {
+                    let k = ku as usize;
+                    for &(ri, _) in index.entries(k) {
+                        let riu = ri as usize;
+                        if !route_dirty[riu] && committed[riu].class == class0 {
+                            route_dirty[riu] = true;
+                            dirty_routes.push(ri);
+                        }
+                    }
+                    if tentative_mark[k] {
+                        let ti = committed.len();
+                        if !route_dirty[ti] {
+                            route_dirty[ti] = true;
+                            dirty_routes.push(ti as u32);
+                        }
+                    }
+                }
+                dirty_routes.sort_unstable();
+                stats.sweeps_skipped += (n_class_routes - dirty_routes.len()) as u64;
+                for &ri in dirty_routes.iter() {
+                    let ri = ri as usize;
+                    route_delays[ri] = sweep_route(route_at(ri), d, y) + prop[ri];
+                }
             }
-            let outcome = match route_delays
-                .iter()
-                .position(|&rd| rd > class.deadline + DEADLINE_SLACK)
-            {
+            let outcome = match first_violation(route_delays, class.deadline) {
                 Some(ri) => Outcome::DeadlineExceeded { route: ri },
                 None => Outcome::Safe,
             };
-            return (
-                SolveResult {
-                    outcome,
-                    delays: d,
-                    route_delays,
-                    iterations,
-                },
-                residual,
-            );
+            return (outcome, iterations, residual, stats);
         }
         if iterations >= cfg.max_iters {
-            return (
-                SolveResult {
-                    outcome: Outcome::IterationLimit,
-                    delays: d,
-                    route_delays,
-                    iterations,
-                },
-                residual,
-            );
+            return (Outcome::IterationLimit, iterations, residual, stats);
+        }
+
+        // Next iteration's dirty routes: those containing a changed server.
+        // Either sweep mode computes identical iterates (a full sweep is
+        // the dirty sweep's superset), so the choice is pure cost policy:
+        // when most servers moved — typical for *cold* solves far from the
+        // fixed point — worklist bookkeeping costs more than it saves.
+        if decreased || changed.len() * 2 >= sweep_list.len() {
+            // `decreased` additionally means a warm start above the least
+            // fixed point broke monotonicity; the dense `Y` rebuild
+            // restores exactness.
+            full_sweep = true;
+        } else {
+            full_sweep = false;
+            for &ri in dirty_routes.iter() {
+                route_dirty[ri as usize] = false;
+            }
+            dirty_routes.clear();
+            for &ku in changed.iter() {
+                let k = ku as usize;
+                for &(ri, _) in index.entries(k) {
+                    let riu = ri as usize;
+                    if !route_dirty[riu] && committed[riu].class == class0 {
+                        route_dirty[riu] = true;
+                        dirty_routes.push(ri);
+                    }
+                }
+                if tentative_mark[k] {
+                    let ti = committed.len();
+                    if !route_dirty[ti] {
+                        route_dirty[ti] = true;
+                        dirty_routes.push(ti as u32);
+                    }
+                }
+            }
+            dirty_routes.sort_unstable();
         }
     }
 }
@@ -310,6 +719,13 @@ mod tests {
             servers: back,
         });
         (g, servers, routes)
+    }
+
+    fn dense_cfg() -> SolveConfig {
+        SolveConfig {
+            incremental: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -423,6 +839,7 @@ mod tests {
         let serial = solve_two_class(&servers, &cls, 0.35, &routes, &SolveConfig::default(), None);
         let par_cfg = SolveConfig {
             threads: 4,
+            par_threshold: 0,
             ..Default::default()
         };
         let parallel = solve_two_class(&servers, &cls, 0.35, &routes, &par_cfg, None);
@@ -461,6 +878,57 @@ mod tests {
     }
 
     #[test]
+    fn incremental_matches_dense_reference() {
+        let (_, servers, routes) = line_setup(6);
+        let cls = voip();
+        for &alpha in &[0.1, 0.3, 0.45, 0.6] {
+            let inc = solve_two_class(&servers, &cls, alpha, &routes, &SolveConfig::default(), None);
+            let dense = solve_two_class(&servers, &cls, alpha, &routes, &dense_cfg(), None);
+            assert_eq!(inc.outcome, dense.outcome, "alpha {alpha}");
+            assert_eq!(inc.iterations, dense.iterations, "alpha {alpha}");
+            for (a, b) in inc.delays.iter().zip(&dense.delays) {
+                assert_eq!(a, b, "delays diverge at alpha {alpha}");
+            }
+            for (a, b) in inc.route_delays.iter().zip(&dense.route_delays) {
+                assert_eq!(a, b, "route delays diverge at alpha {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn tentative_route_matches_committed_push() {
+        let (_, servers, mut routes) = line_setup(5);
+        let cls = voip();
+        let cfg = SolveConfig::default();
+        let extra = routes.pop().unwrap();
+        let base = solve_two_class(&servers, &cls, 0.3, &routes, &cfg, None);
+        assert_eq!(base.outcome, Outcome::Safe);
+
+        // Evaluate `extra` as a tentative overlay (no clone, no push)...
+        let mut scratch = SolveScratch::new();
+        let tent = solve_two_class_with(
+            &servers,
+            &cls,
+            0.3,
+            &routes,
+            Some(&extra),
+            &cfg,
+            Some(&base.delays),
+            &mut scratch,
+        );
+        // ... and as an actually committed route.
+        routes.push(extra);
+        let committed = solve_two_class(&servers, &cls, 0.3, &routes, &cfg, Some(&base.delays));
+        assert_eq!(tent.outcome, committed.outcome);
+        assert_eq!(tent.iterations, committed.iterations);
+        assert_eq!(tent.delays, committed.delays);
+        assert_eq!(tent.route_delays, committed.route_delays);
+        // The scratch exposes the same state without copying.
+        assert_eq!(scratch.delays(), committed.delays.as_slice());
+        assert_eq!(scratch.route_delays(), committed.route_delays.as_slice());
+    }
+
+    #[test]
     fn solves_record_iteration_and_divergence_metrics() {
         // Metrics are process-global; assert on deltas.
         let m = crate::metrics::solver();
@@ -477,5 +945,16 @@ mod tests {
         assert_eq!(m.divergence.get() - div0, 1);
         assert!(m.seconds.count() >= 2);
         assert!(m.residual.count() >= 2);
+    }
+
+    #[test]
+    fn sweep_economy_counters_recorded() {
+        let m = crate::metrics::solver();
+        let touched0 = m.servers_touched.get();
+        let (_, servers, routes) = line_setup(4);
+        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        assert_eq!(r.outcome, Outcome::Safe);
+        // Every solve evaluates at least its used servers once.
+        assert!(m.servers_touched.get() > touched0);
     }
 }

@@ -9,8 +9,10 @@
 //!   jittered envelope `H_k`, Lemma 1/2's `τ`, and Theorem 3's closed form
 //!   (Eq. 10).
 //! * [`fixed_point`] — the iterative solution of the vector equation
-//!   `d = Z(d)` (Eq. 11–14) for the two-class system, with warm starting
-//!   and sound early divergence detection.
+//!   `d = Z(d)` (Eq. 11–14) for the two-class system, with warm starting,
+//!   sound early divergence detection, an incremental worklist sweep
+//!   driven by the route set's inverted index, and zero-clone tentative
+//!   route evaluation over a caller-owned scratch arena.
 //! * [`multiclass`] — the Theorem 5 extension to ≥3 classes (Section 5.4).
 //! * [`general`] — the *flow-aware* general delay formula (Eq. 2–3 and
 //!   Eq. 24): exact given the current flow set, usable only at run time;
@@ -42,8 +44,9 @@ pub mod verify;
 
 pub use bound::theorem3_delay;
 pub use fixed_point::{
-    solve_two_class, solve_two_class_nonuniform, Outcome, SolveConfig, SolveResult,
+    solve_two_class, solve_two_class_nonuniform, solve_two_class_with, with_thread_scratch,
+    Outcome, SolveConfig, SolveResult, SolveScratch,
 };
-pub use routeset::{Route, RouteSet};
+pub use routeset::{Route, RouteIndex, RouteSet};
 pub use servers::Servers;
 pub use verify::{verify, VerifyReport};

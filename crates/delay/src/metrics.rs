@@ -12,6 +12,8 @@
 //! | `delay.solve.residual` | histogram | final sup-norm residual (s) |
 //! | `delay.solve.seconds` | histogram | wall time per solve |
 //! | `delay.solve.divergence` | counter | solves that hit the iteration cap |
+//! | `delay.solve.sweeps_skipped` | counter | route `Y`-sweeps the worklist solver avoided vs. dense |
+//! | `delay.solve.servers_touched` | counter | per-server Theorem 3 evaluations performed |
 //! | `delay.verify.seconds` | histogram | wall time per Figure-2 verification |
 //! | `delay.verify.safe` | counter | verifications that returned SUCCESS |
 //! | `delay.verify.unsafe` | counter | verifications that returned FAILURE |
@@ -30,6 +32,11 @@ pub struct SolverMetrics {
     pub seconds: Arc<Histogram>,
     /// Solves that hit the iteration cap (treated as unsafe).
     pub divergence: Arc<Counter>,
+    /// Route `Y`-sweeps the incremental worklist avoided relative to the
+    /// dense reference (per-iteration routes-not-reswept).
+    pub sweeps_skipped: Arc<Counter>,
+    /// Per-server Theorem 3 evaluations actually performed.
+    pub servers_touched: Arc<Counter>,
     /// Wall time per verification, seconds.
     pub verify_seconds: Arc<Histogram>,
     /// Verifications that returned SUCCESS.
@@ -48,6 +55,8 @@ pub fn solver() -> &'static SolverMetrics {
             residual: r.histogram("delay.solve.residual", 1e-15),
             seconds: r.histogram("delay.solve.seconds", 1e-6),
             divergence: r.counter("delay.solve.divergence"),
+            sweeps_skipped: r.counter("delay.solve.sweeps_skipped"),
+            servers_touched: r.counter("delay.solve.servers_touched"),
             verify_seconds: r.histogram("delay.verify.seconds", 1e-6),
             verify_safe: r.counter("delay.verify.safe"),
             verify_unsafe: r.counter("delay.verify.unsafe"),
@@ -66,5 +75,7 @@ mod tests {
         let snap = uba_obs::global().snapshot();
         assert!(snap.get("delay.solve.iterations").is_some());
         assert!(snap.get("delay.verify.safe").is_some());
+        assert!(snap.get("delay.solve.sweeps_skipped").is_some());
+        assert!(snap.get("delay.solve.servers_touched").is_some());
     }
 }

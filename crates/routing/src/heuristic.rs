@@ -21,12 +21,21 @@
 //! routes' fixed point (sound: adding a route only grows `Z`).
 
 use crate::pairs::{order_pairs_by_distance, Pair};
-use uba_delay::fixed_point::{solve_two_class, SolveConfig};
+use std::collections::HashMap;
+use uba_delay::fixed_point::{
+    solve_two_class, solve_two_class_with, with_thread_scratch, SolveConfig,
+};
 use uba_delay::routeset::{Route, RouteSet};
 use uba_delay::servers::Servers;
 use uba_graph::par::par_map;
 use uba_graph::{k_shortest_paths_filtered, Digraph, DynDigraph, EdgeId, Path};
 use uba_traffic::{ClassId, TrafficClass};
+
+/// Per-pair Yen candidate cache. Candidates depend only on the topology
+/// and the pair — not on `α` or the committed routes — so a caller
+/// re-running selection (the §5.3 binary search) computes them once and
+/// shares them across probes. Only valid with an unrestricted `edge_ok`.
+pub(crate) type CandidateCache = HashMap<(u32, u32), Vec<Path>>;
 
 /// A verified candidate outcome: (own route delay, per-server delays,
 /// per-route delays).
@@ -49,6 +58,11 @@ pub struct HeuristicConfig {
     pub solver: SolveConfig,
     /// Threads for parallel candidate verification.
     pub threads: usize,
+    /// Evaluate candidates as zero-clone *tentative* overlays against the
+    /// committed route set (default). `false` retains the pre-optimization
+    /// clone-and-push reference path — kept for the `config_speed` perf
+    /// gate and the equivalence tests.
+    pub tentative_eval: bool,
 }
 
 impl Default for HeuristicConfig {
@@ -60,6 +74,7 @@ impl Default for HeuristicConfig {
             min_delay_choice: true,
             solver: SolveConfig::default(),
             threads: 1,
+            tentative_eval: true,
         }
     }
 }
@@ -105,6 +120,8 @@ impl Selection {
 ///
 /// `edge_ok` restricts candidate routes (used to avoid failed links);
 /// the overlay is only *read* (cycle queries), never committed.
+/// `precomputed` supplies the pair's Yen candidates when the caller has
+/// cached them (they must have been computed with the same `edge_ok`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn choose_route(
     g: &Digraph,
@@ -117,8 +134,17 @@ pub(crate) fn choose_route(
     pair: Pair,
     cfg: &HeuristicConfig,
     edge_ok: &(dyn Fn(EdgeId) -> bool + Sync),
+    precomputed: Option<&[Path]>,
 ) -> Result<(Path, Vec<f64>, Vec<f64>), SelectionError> {
-    let candidates = k_shortest_paths_filtered(g, pair.src, pair.dst, cfg.k_candidates, edge_ok);
+    let computed;
+    let candidates: &[Path] = match precomputed {
+        Some(c) => c,
+        None => {
+            computed =
+                k_shortest_paths_filtered(g, pair.src, pair.dst, cfg.k_candidates, edge_ok);
+            &computed
+        }
+    };
     if candidates.is_empty() {
         return Err(SelectionError::NoRoute(pair));
     }
@@ -144,9 +170,27 @@ pub(crate) fn choose_route(
     // a warm-started fixed-point solve with the candidate appended.
     let evaluate = |pi: usize| -> Option<CandidateFit> {
         let ci = pool[pi];
-        let mut trial = routes.clone();
-        trial.push(Route::from_path(ClassId(0), &candidates[ci]));
-        let r = solve_two_class(servers, class, alpha, &trial, &cfg.solver, Some(base_delays));
+        let tentative = Route::from_path(ClassId(0), &candidates[ci]);
+        let r = if cfg.tentative_eval {
+            // Zero-clone: the candidate rides along as a borrowed overlay
+            // and all iteration buffers come from the thread's arena.
+            with_thread_scratch(|sc| {
+                solve_two_class_with(
+                    servers,
+                    class,
+                    alpha,
+                    routes,
+                    Some(&tentative),
+                    &cfg.solver,
+                    Some(base_delays),
+                    sc,
+                )
+            })
+        } else {
+            let mut trial = routes.clone();
+            trial.push(tentative);
+            solve_two_class(servers, class, alpha, &trial, &cfg.solver, Some(base_delays))
+        };
         if r.outcome.is_safe() {
             let own = *r.route_delays.last().unwrap();
             Some((own, r.delays, r.route_delays))
@@ -188,6 +232,21 @@ pub fn select_routes(
     pairs: &[Pair],
     cfg: &HeuristicConfig,
 ) -> Result<Selection, SelectionError> {
+    select_routes_cached(g, servers, class, alpha, pairs, cfg, None)
+}
+
+/// [`select_routes`] with an optional cross-call Yen candidate cache —
+/// the §5.3 binary search re-runs selection per probe, and the candidates
+/// are α-independent.
+pub(crate) fn select_routes_cached(
+    g: &Digraph,
+    servers: &Servers,
+    class: &TrafficClass,
+    alpha: f64,
+    pairs: &[Pair],
+    cfg: &HeuristicConfig,
+    mut cache: Option<&mut CandidateCache>,
+) -> Result<Selection, SelectionError> {
     let ordered: Vec<Pair> = if cfg.order_by_distance {
         order_pairs_by_distance(g, pairs)
     } else {
@@ -202,6 +261,22 @@ pub fn select_routes(
     let mut out_paths = Vec::with_capacity(ordered.len());
 
     for pair in ordered {
+        let precomputed: Option<&[Path]> = match cache.as_deref_mut() {
+            Some(c) => Some(
+                c.entry((pair.src.0, pair.dst.0))
+                    .or_insert_with(|| {
+                        k_shortest_paths_filtered(
+                            g,
+                            pair.src,
+                            pair.dst,
+                            cfg.k_candidates,
+                            &|_| true,
+                        )
+                    })
+                    .as_slice(),
+            ),
+            None => None,
+        };
         let (path, delays, route_delays) = choose_route(
             g,
             servers,
@@ -213,6 +288,7 @@ pub fn select_routes(
             pair,
             cfg,
             &|_| true,
+            precomputed,
         )?;
         routes.push(Route::from_path(ClassId(0), &path));
         let chain: Vec<usize> = path.edges.iter().map(|e| e.index()).collect();
@@ -326,6 +402,51 @@ mod tests {
         for path in &sel.paths {
             assert!(path.len() <= 4);
         }
+    }
+
+    #[test]
+    fn tentative_eval_matches_clone_reference() {
+        let (g, servers) = mci_setup();
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(8).collect();
+        for &alpha in &[0.2, 0.35, 0.5] {
+            let fast =
+                select_routes(&g, &servers, &voip(), alpha, &pairs, &HeuristicConfig::default());
+            let reference_cfg = HeuristicConfig {
+                tentative_eval: false,
+                ..Default::default()
+            };
+            let reference = select_routes(&g, &servers, &voip(), alpha, &pairs, &reference_cfg);
+            match (fast, reference) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.paths, b.paths, "alpha {alpha}");
+                    assert_eq!(a.delays, b.delays, "alpha {alpha}");
+                    assert_eq!(a.route_delays, b.route_delays, "alpha {alpha}");
+                }
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                (a, b) => panic!("outcomes diverge at alpha {alpha}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_cache_matches_uncached() {
+        let (g, servers) = mci_setup();
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(10).collect();
+        let cfg = HeuristicConfig::default();
+        let plain = select_routes(&g, &servers, &voip(), 0.3, &pairs, &cfg).unwrap();
+        let mut cache = CandidateCache::new();
+        // Two runs through the same cache: second run hits every entry.
+        let first =
+            select_routes_cached(&g, &servers, &voip(), 0.3, &pairs, &cfg, Some(&mut cache))
+                .unwrap();
+        assert_eq!(cache.len(), pairs.len());
+        let second =
+            select_routes_cached(&g, &servers, &voip(), 0.3, &pairs, &cfg, Some(&mut cache))
+                .unwrap();
+        assert_eq!(plain.paths, first.paths);
+        assert_eq!(plain.paths, second.paths);
+        assert_eq!(plain.route_delays, first.route_delays);
+        assert_eq!(plain.route_delays, second.route_delays);
     }
 
     #[test]

@@ -122,6 +122,7 @@ impl Configuration {
             pair,
             &self.cfg,
             &edge_ok,
+            None,
         )?;
         self.commit(pair, path, delays, route_delays);
         Ok(())
@@ -236,6 +237,7 @@ impl Configuration {
                 pair,
                 &self.cfg,
                 &edge_ok,
+                None,
             )?;
             self.commit(pair, path, delays, route_delays);
             rerouted.push(pair);

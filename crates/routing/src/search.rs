@@ -4,9 +4,18 @@
 //! initialized to Theorem 4's `[lower, upper]` bounds. Each probe runs the
 //! chosen route selector and keeps the bisection half according to
 //! success/failure; the best feasible `α` and its route set are returned.
+//!
+//! Probes share work where soundness allows:
+//!
+//! * **Yen candidates** (heuristic selector) are α-independent, so one
+//!   [`CandidateCache`] spans all probes of a search.
+//! * **SP warm starts** — the shortest-path selector's routes are fixed,
+//!   and bisection only probes `mid > lo` where `lo` is the last feasible
+//!   α. Raising α only grows `Z`, so the feasible fixed point at `lo` is
+//!   below the least fixed point at `mid` and is a sound warm start.
 
 use crate::bounds::utilization_bounds;
-use crate::heuristic::{select_routes, HeuristicConfig, Selection};
+use crate::heuristic::{select_routes_cached, CandidateCache, HeuristicConfig, Selection};
 use crate::pairs::Pair;
 use crate::sp::sp_selection;
 use uba_delay::fixed_point::{solve_two_class, SolveConfig};
@@ -70,11 +79,29 @@ pub fn max_utilization(
     };
 
     let mut probes = Vec::new();
+    // Shared across probes: Yen candidates (α-independent) and, for the
+    // fixed SP routes, the last *feasible* probe's fixed point as a warm
+    // start for the next, higher probe.
+    let mut candidate_cache = CandidateCache::new();
+    let mut sp_warm: Option<Vec<f64>> = None;
     let mut probe = |alpha: f64| -> Option<Selection> {
         let result = match selector {
             Selector::ShortestPath => {
+                let r = {
+                    let (_, rs) = sp_fixed.as_ref().unwrap();
+                    solve_two_class(
+                        servers,
+                        class,
+                        alpha,
+                        rs,
+                        &SolveConfig::default(),
+                        sp_warm.as_deref(),
+                    )
+                };
+                if r.outcome.is_safe() {
+                    sp_warm = Some(r.delays.clone());
+                }
                 let (paths, rs) = sp_fixed.as_ref().unwrap();
-                let r = solve_two_class(servers, class, alpha, rs, &SolveConfig::default(), None);
                 r.outcome.is_safe().then(|| Selection {
                     pairs: pairs.to_vec(),
                     paths: paths.clone(),
@@ -83,7 +110,16 @@ pub fn max_utilization(
                     route_delays: r.route_delays,
                 })
             }
-            Selector::Heuristic(cfg) => select_routes(g, servers, class, alpha, pairs, cfg).ok(),
+            Selector::Heuristic(cfg) => select_routes_cached(
+                g,
+                servers,
+                class,
+                alpha,
+                pairs,
+                cfg,
+                Some(&mut candidate_cache),
+            )
+            .ok(),
         };
         probes.push((alpha, result.is_some()));
         result
@@ -191,6 +227,25 @@ mod tests {
             } else {
                 assert!(a > r.alpha);
             }
+        }
+    }
+
+    #[test]
+    fn sp_warm_started_search_matches_cold_per_probe() {
+        // The search warm-starts SP probes from the last feasible probe;
+        // every probe verdict must match an independent cold solve.
+        let g = mci();
+        let servers = Servers::uniform(&g, 100e6, 6);
+        let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(4).collect();
+        let r = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.005);
+        let paths = sp_selection(&g, &pairs).unwrap();
+        let mut rs = RouteSet::new(g.edge_count());
+        for p in &paths {
+            rs.push(Route::from_path(ClassId(0), p));
+        }
+        for &(a, feasible) in &r.probes {
+            let cold = solve_two_class(&servers, &voip(), a, &rs, &SolveConfig::default(), None);
+            assert_eq!(cold.outcome.is_safe(), feasible, "probe at alpha {a}");
         }
     }
 

@@ -16,4 +16,7 @@ cargo test --offline --workspace -q
 echo "==> obs_overhead smoke (instrumented admit path vs uninstrumented)"
 cargo run --offline --release -p uba-bench --bin obs_overhead -- smoke
 
+echo "==> config_speed smoke (incremental solver vs dense/cloning reference)"
+cargo run --offline --release -p uba-bench --bin config_speed -- smoke
+
 echo "==> verify.sh: all checks passed"
