@@ -10,8 +10,10 @@
 use crate::metrics::AdmissionMetrics;
 use crate::state::UtilizationState;
 use crate::table::RoutingTable;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use uba_graph::NodeId;
+use uba_obs::trace::{self, EventKind};
 use uba_traffic::{ClassId, ClassSet};
 
 /// Why a flow was rejected.
@@ -35,6 +37,34 @@ pub enum Reject {
     },
 }
 
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::NoRoute => write!(f, "no configured route for this (src, dst, class)"),
+            Reject::LinkFull {
+                server,
+                class,
+                reserved_bps,
+                budget_bps,
+            } => {
+                let pct = if *budget_bps > 0.0 {
+                    reserved_bps / budget_bps * 100.0
+                } else {
+                    100.0
+                };
+                write!(
+                    f,
+                    "link server {server} full for class {}: reserved {:.1} kb/s of \
+                     {:.1} kb/s budget ({pct:.1}% utilized)",
+                    class.index(),
+                    reserved_bps / 1e3,
+                    budget_bps / 1e3,
+                )
+            }
+        }
+    }
+}
+
 /// The run-time admission controller (shared-state handle; cheap to
 /// clone via `Arc` inside).
 #[derive(Clone, Debug)]
@@ -51,6 +81,9 @@ struct Inner {
     /// Instrumentation; `None` for unmetered controllers (the overhead
     /// benchmark's baseline).
     metrics: Option<AdmissionMetrics>,
+    /// Audit-trail flow ids, assigned only while the flight recorder is
+    /// enabled so disabled tracing stays off the hot path entirely.
+    flow_seq: AtomicU64,
 }
 
 /// An admitted flow. Dropping the handle releases its bandwidth on every
@@ -61,6 +94,8 @@ pub struct FlowHandle {
     class: usize,
     rate: f64,
     servers: Box<[u32]>,
+    /// Audit-trail id (0 when tracing was disabled at admit time).
+    flow: u64,
 }
 
 impl AdmissionController {
@@ -106,6 +141,7 @@ impl AdmissionController {
                 table,
                 rates,
                 metrics,
+                flow_seq: AtomicU64::new(0),
             }),
         }
     }
@@ -123,10 +159,27 @@ impl AdmissionController {
     ) -> Result<FlowHandle, Reject> {
         let inner = &self.inner;
         let rate = inner.rates[class.index()];
+        // Audit trail: one flight-recorder event per decision. Flow ids
+        // are only minted while tracing is on, so a disabled recorder
+        // costs the admit path a single relaxed load.
+        let tr = trace::global();
+        let flow = if tr.enabled() {
+            inner.flow_seq.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            0
+        };
         let Some(route) = inner.table.route(src, dst, class) else {
             if let Some(m) = &inner.metrics {
                 m.rejects_no_route.inc();
             }
+            tr.emit(
+                EventKind::RejectNoRoute,
+                class.index(),
+                flow,
+                u32::MAX,
+                src.0 as f64,
+                dst.0 as f64,
+            );
             return Err(Reject::NoRoute);
         };
         let mut cas_retries = 0u64;
@@ -148,11 +201,21 @@ impl AdmissionController {
                         m.cas_retries.add(cas_retries);
                     }
                 }
+                let reserved_bps = inner.state.reserved(server as usize, class.index());
+                let budget_bps = inner.state.budget(server as usize, class.index());
+                tr.emit(
+                    EventKind::RejectLinkFull,
+                    class.index(),
+                    flow,
+                    server,
+                    reserved_bps,
+                    budget_bps,
+                );
                 return Err(Reject::LinkFull {
                     server,
                     class,
-                    reserved_bps: inner.state.reserved(server as usize, class.index()),
-                    budget_bps: inner.state.budget(server as usize, class.index()),
+                    reserved_bps,
+                    budget_bps,
                 });
             }
         }
@@ -162,17 +225,38 @@ impl AdmissionController {
                 m.cas_retries.add(cas_retries);
             }
         }
+        tr.emit(
+            EventKind::Admit,
+            class.index(),
+            flow,
+            route.first().copied().unwrap_or(u32::MAX),
+            rate,
+            route.len() as f64,
+        );
         Ok(FlowHandle {
             inner: Arc::clone(inner),
             class: class.index(),
             rate,
             servers: route.into(),
+            flow,
         })
     }
 
     /// Reserved rate of `class` on a server, bits/s.
     pub fn reserved(&self, server: usize, class: ClassId) -> f64 {
         self.inner.state.reserved(server, class.index())
+    }
+
+    pub(crate) fn state(&self) -> &UtilizationState {
+        &self.inner.state
+    }
+
+    pub(crate) fn table(&self) -> &RoutingTable {
+        &self.inner.table
+    }
+
+    pub(crate) fn rate_of(&self, class: ClassId) -> f64 {
+        self.inner.rates[class.index()]
     }
 
     /// Fraction of the class budget in use on a server.
@@ -259,6 +343,14 @@ impl Drop for FlowHandle {
         if let Some(m) = &self.inner.metrics {
             m.record_release();
         }
+        trace::global().emit(
+            EventKind::Release,
+            self.class,
+            self.flow,
+            self.servers.first().copied().unwrap_or(u32::MAX),
+            self.rate,
+            self.servers.len() as f64,
+        );
     }
 }
 
@@ -353,6 +445,34 @@ mod tests {
         assert!(hot[0].1 >= hot[1].1);
         // The shared link and the first hop are the two loaded servers.
         assert!((hot[0].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reject_display_names_link_class_and_utilization() {
+        let r = Reject::LinkFull {
+            server: 7,
+            class: ClassId(2),
+            reserved_bps: 320_000.0,
+            budget_bps: 320_000.0,
+        };
+        let msg = r.to_string();
+        assert!(msg.contains("server 7"), "{msg}");
+        assert!(msg.contains("class 2"), "{msg}");
+        assert!(msg.contains("320.0 kb/s"), "{msg}");
+        assert!(msg.contains("100.0% utilized"), "{msg}");
+        let partial = Reject::LinkFull {
+            server: 0,
+            class: ClassId(0),
+            reserved_bps: 288_000.0,
+            budget_bps: 320_000.0,
+        };
+        let msg = partial.to_string();
+        assert!(msg.contains("reserved 288.0 kb/s of 320.0 kb/s budget"), "{msg}");
+        assert!(msg.contains("90.0% utilized"), "{msg}");
+        assert_eq!(
+            Reject::NoRoute.to_string(),
+            "no configured route for this (src, dst, class)"
+        );
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Per-decision admission diagnosis ("why was this flow rejected?").
+//!
+//! [`Reject`](crate::Reject) carries what the admit path learned at the
+//! instant of rejection; an [`Explain`] is the richer, *non-mutating*
+//! version an operator asks for after the fact: the path that would be
+//! tried, the first link that cannot fit the flow, and the
+//! observed-vs-budget utilization and headroom on that link. The dry run
+//! uses the same exact integer-millibit predicate as the real admission
+//! test ([`UtilizationState::would_fit`](crate::UtilizationState)), so
+//! against an unchanged state the diagnosis can never disagree with what
+//! [`try_admit`](crate::AdmissionController::try_admit) would do —
+//! the explainability contract SDN delay-guarantee controllers expose as
+//! a control-plane artifact.
+
+use crate::AdmissionController;
+use std::fmt;
+use uba_graph::NodeId;
+use uba_traffic::ClassId;
+
+/// What the dry run concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExplainVerdict {
+    /// The flow would be admitted right now.
+    Admissible,
+    /// No route is configured for the (src, dst, class).
+    NoRoute,
+    /// Some link on the path cannot fit the flow's rate.
+    LinkFull,
+}
+
+impl ExplainVerdict {
+    /// Stable lower-snake name used in the JSON rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExplainVerdict::Admissible => "admissible",
+            ExplainVerdict::NoRoute => "no_route",
+            ExplainVerdict::LinkFull => "link_full",
+        }
+    }
+}
+
+/// A per-flow admission diagnosis produced by
+/// [`AdmissionController::explain`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Explain {
+    /// The class the flow belongs to.
+    pub class: ClassId,
+    /// Flow source router.
+    pub src: NodeId,
+    /// Flow destination router.
+    pub dst: NodeId,
+    /// The conclusion.
+    pub verdict: ExplainVerdict,
+    /// The configured path's link servers (empty on `NoRoute`).
+    pub path: Vec<u32>,
+    /// The per-flow rate `ρ_i` that was tested, bits/s.
+    pub flow_rate_bps: f64,
+    /// The diagnosed link: first failing link on `LinkFull`, the
+    /// tightest-headroom link on `Admissible`, `None` on `NoRoute`.
+    pub link: Option<u32>,
+    /// Reserved rate of the class on the diagnosed link, bits/s.
+    pub reserved_bps: f64,
+    /// Budget `α_i · C` of the class on the diagnosed link, bits/s.
+    pub budget_bps: f64,
+}
+
+impl Explain {
+    /// Observed utilization of the diagnosed link as a fraction of the
+    /// class budget (`0.0` when there is no diagnosed link).
+    pub fn observed_utilization(&self) -> f64 {
+        if self.budget_bps > 0.0 {
+            self.reserved_bps / self.budget_bps
+        } else {
+            0.0
+        }
+    }
+
+    /// Remaining class headroom on the diagnosed link, bits/s.
+    pub fn headroom_bps(&self) -> f64 {
+        (self.budget_bps - self.reserved_bps).max(0.0)
+    }
+
+    /// One-line JSON rendering (workspace JSON-lines idiom).
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut path = String::new();
+        for (i, s) in self.path.iter().enumerate() {
+            if i > 0 {
+                path.push(',');
+            }
+            write!(path, "{s}").unwrap();
+        }
+        let link = self
+            .link
+            .map_or_else(|| "null".into(), |l| l.to_string());
+        format!(
+            "{{\"class\":{},\"src\":{},\"dst\":{},\"verdict\":\"{}\",\"path\":[{path}],\
+             \"flow_rate_bps\":{:?},\"link\":{link},\"reserved_bps\":{:?},\
+             \"budget_bps\":{:?},\"utilization\":{:?},\"headroom_bps\":{:?}}}",
+            self.class.index(),
+            self.src.0,
+            self.dst.0,
+            self.verdict.as_str(),
+            self.flow_rate_bps,
+            self.reserved_bps,
+            self.budget_bps,
+            self.observed_utilization(),
+            self.headroom_bps(),
+        )
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "class {} {}->{}: ",
+            self.class.index(),
+            self.src.0,
+            self.dst.0
+        )?;
+        match self.verdict {
+            ExplainVerdict::NoRoute => write!(f, "no configured route"),
+            ExplainVerdict::Admissible => write!(
+                f,
+                "admissible over {} hops; tightest link {} at {:.1}% \
+                 ({:.1} kb/s headroom)",
+                self.path.len(),
+                self.link.unwrap_or(u32::MAX),
+                self.observed_utilization() * 100.0,
+                self.headroom_bps() / 1e3,
+            ),
+            ExplainVerdict::LinkFull => write!(
+                f,
+                "link {} full: reserved {:.1} of {:.1} kb/s budget \
+                 ({:.1}% utilized, {:.1} kb/s headroom < {:.1} kb/s flow)",
+                self.link.unwrap_or(u32::MAX),
+                self.reserved_bps / 1e3,
+                self.budget_bps / 1e3,
+                self.observed_utilization() * 100.0,
+                self.headroom_bps() / 1e3,
+                self.flow_rate_bps / 1e3,
+            ),
+        }
+    }
+}
+
+impl AdmissionController {
+    /// Diagnoses — without reserving anything — what
+    /// [`try_admit`](Self::try_admit) would do for one flow of `class`
+    /// from `src` to `dst` right now, and why.
+    ///
+    /// On a would-be `LinkFull` the diagnosed link is the *first* link
+    /// along the path whose class headroom cannot fit the flow rate
+    /// (matching the walk order of the real admit path); on a would-be
+    /// admission it is the tightest-headroom link, which is the one that
+    /// will fail first as load grows.
+    pub fn explain(&self, class: ClassId, src: NodeId, dst: NodeId) -> Explain {
+        let rate = self.rate_of(class);
+        let mut ex = Explain {
+            class,
+            src,
+            dst,
+            verdict: ExplainVerdict::NoRoute,
+            path: Vec::new(),
+            flow_rate_bps: rate,
+            link: None,
+            reserved_bps: 0.0,
+            budget_bps: 0.0,
+        };
+        let Some(route) = self.table().route(src, dst, class) else {
+            return ex;
+        };
+        ex.path = route.to_vec();
+        let state = self.state();
+        let c = class.index();
+        ex.verdict = ExplainVerdict::Admissible;
+        let mut tightest: Option<(u32, f64)> = None;
+        for &server in route {
+            let s = server as usize;
+            if !state.would_fit(s, c, rate) {
+                ex.verdict = ExplainVerdict::LinkFull;
+                ex.link = Some(server);
+                ex.reserved_bps = state.reserved(s, c);
+                ex.budget_bps = state.budget(s, c);
+                return ex;
+            }
+            let headroom = state.budget(s, c) - state.reserved(s, c);
+            if tightest.is_none_or(|(_, h)| headroom < h) {
+                tightest = Some((server, headroom));
+            }
+        }
+        if let Some((server, _)) = tightest {
+            ex.link = Some(server);
+            ex.reserved_bps = state.reserved(server as usize, c);
+            ex.budget_bps = state.budget(server as usize, c);
+        }
+        ex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingTable;
+    use uba_graph::{Digraph, Path};
+    use uba_traffic::{ClassSet, TrafficClass};
+
+    /// 0 -> 1 -> 2 with routes (0,2) and (1,2); link 1->2 is shared.
+    fn setup(alpha: f64) -> (AdmissionController, u32) {
+        let mut g = Digraph::with_nodes(3);
+        let (e01, _) = g.add_link(NodeId(0), NodeId(1), 1.0);
+        let (e12, _) = g.add_link(NodeId(1), NodeId(2), 1.0);
+        let mut table = RoutingTable::new();
+        table.insert(ClassId(0), &Path::from_edges(&g, vec![e01, e12]));
+        table.insert(ClassId(0), &Path::from_edges(&g, vec![e12]));
+        let classes = ClassSet::single(TrafficClass::voip());
+        let caps = vec![1e6; g.edge_count()];
+        let ctrl = AdmissionController::new_unmetered(table, &classes, &caps, &[alpha]);
+        (ctrl, e12.index() as u32)
+    }
+
+    #[test]
+    fn explain_matches_try_admit_on_every_state() {
+        let (ctrl, shared) = setup(0.32);
+        let mut held = Vec::new();
+        // At every occupancy level the dry run and the real decision
+        // must agree.
+        for _ in 0..10 {
+            let ex = ctrl.explain(ClassId(0), NodeId(0), NodeId(2));
+            assert_eq!(ex.verdict, ExplainVerdict::Admissible);
+            held.push(ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap());
+        }
+        let ex = ctrl.explain(ClassId(0), NodeId(1), NodeId(2));
+        assert_eq!(ex.verdict, ExplainVerdict::LinkFull);
+        assert_eq!(ex.link, Some(shared));
+        assert_eq!(ex.reserved_bps, 320_000.0);
+        assert_eq!(ex.budget_bps, 320_000.0);
+        assert_eq!(ex.observed_utilization(), 1.0);
+        assert_eq!(ex.headroom_bps(), 0.0);
+        assert!(ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).is_err());
+        // The dry run reserved nothing: releasing one flow restores
+        // admissibility.
+        held.pop();
+        assert_eq!(
+            ctrl.explain(ClassId(0), NodeId(1), NodeId(2)).verdict,
+            ExplainVerdict::Admissible
+        );
+    }
+
+    #[test]
+    fn explain_no_route_and_tightest_link() {
+        let (ctrl, shared) = setup(0.32);
+        let ex = ctrl.explain(ClassId(0), NodeId(2), NodeId(0));
+        assert_eq!(ex.verdict, ExplainVerdict::NoRoute);
+        assert!(ex.path.is_empty());
+        assert_eq!(ex.link, None);
+        // Load only the shared link (via the short route): the long
+        // route's tightest link must be the shared one.
+        let _h: Vec<_> = (0..5)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).unwrap())
+            .collect();
+        let ex = ctrl.explain(ClassId(0), NodeId(0), NodeId(2));
+        assert_eq!(ex.verdict, ExplainVerdict::Admissible);
+        assert_eq!(ex.link, Some(shared));
+        assert!((ex.observed_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explain_json_and_display() {
+        let (ctrl, shared) = setup(0.32);
+        let _h: Vec<_> = (0..10)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap())
+            .collect();
+        let ex = ctrl.explain(ClassId(0), NodeId(1), NodeId(2));
+        let line = ex.to_json_line();
+        let v = uba_obs::json::parse(&line).expect("explain JSON must parse");
+        use uba_obs::json::JsonValue;
+        assert_eq!(v.get("verdict").and_then(JsonValue::as_str), Some("link_full"));
+        assert_eq!(
+            v.get("link").and_then(JsonValue::as_number),
+            Some(shared as f64)
+        );
+        assert_eq!(
+            v.get("reserved_bps").and_then(JsonValue::as_number),
+            Some(320_000.0)
+        );
+        assert_eq!(
+            v.get("utilization").and_then(JsonValue::as_number),
+            Some(1.0)
+        );
+        let msg = ex.to_string();
+        assert!(msg.contains(&format!("link {shared} full")), "{msg}");
+        assert!(msg.contains("320.0"), "{msg}");
+    }
+}

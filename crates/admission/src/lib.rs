@@ -21,12 +21,17 @@
 //! * [`metrics`] — admission-path instrumentation (counters for
 //!   admits/rejects/CAS retries, a path-length histogram, per-class
 //!   utilization gauges) recorded into the [`uba_obs`] registry.
+//! * [`explain`] — non-mutating per-flow admission diagnosis (path
+//!   tried, first failing link, observed vs. budget utilization,
+//!   headroom), the audit-trail companion to the flight-recorder events
+//!   the admit path emits into [`uba_obs::trace`].
 
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod churn;
 pub mod controller;
+pub mod explain;
 pub mod metrics;
 pub mod state;
 pub mod table;
@@ -34,6 +39,7 @@ pub mod table;
 pub use baseline::PerFlowAdmission;
 pub use churn::{run_churn, ChurnConfig, ChurnStats, Policy};
 pub use controller::{AdmissionController, FlowHandle, Reject};
+pub use explain::{Explain, ExplainVerdict};
 pub use metrics::AdmissionMetrics;
 pub use state::UtilizationState;
 pub use table::RoutingTable;

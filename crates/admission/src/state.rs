@@ -110,6 +110,22 @@ impl UtilizationState {
         }
     }
 
+    /// Whether reserving `rate` bits/s of `class` on `server` would
+    /// succeed *right now*, without reserving anything. Uses the same
+    /// exact integer-millibit predicate as
+    /// [`try_reserve`](Self::try_reserve), so a dry-run diagnosis (the
+    /// admission `explain` path) can never disagree with the real
+    /// admission decision taken against the same state.
+    pub fn would_fit(&self, server: usize, class: usize, rate: f64) -> bool {
+        let want = to_millibits(rate);
+        let i = self.idx(server, class);
+        let cur = self.reserved[i].load(Ordering::Acquire);
+        match cur.checked_add(want) {
+            Some(next) => next <= self.budgets[i],
+            None => false,
+        }
+    }
+
     /// Releases a previously successful reservation.
     ///
     /// # Panics

@@ -3,7 +3,9 @@
 
 use crate::scenario::{Scenario, ScenarioError};
 use std::fmt::Write as _;
-use uba::admission::{run_churn, AdmissionController, ChurnConfig, Reject, RoutingTable};
+use uba::admission::{
+    run_churn, AdmissionController, ChurnConfig, Explain, ExplainVerdict, Reject, RoutingTable,
+};
 use uba::delay::fixed_point::SolveConfig;
 use uba::delay::routeset::{Route, RouteSet};
 use uba::delay::verify::verify;
@@ -429,6 +431,119 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
     Ok(out)
 }
 
+/// Builds the SP routing table and an admission controller for a
+/// scenario — shared by `explain` and `serve`.
+pub(crate) fn scenario_controller(
+    sc: &Scenario,
+    metered: bool,
+) -> Result<AdmissionController, ScenarioError> {
+    let paths = sp_selection(&sc.graph, &sc.pairs)
+        .map_err(|p| ScenarioError(format!("no route for pair {p:?}")))?;
+    let mut table = RoutingTable::new();
+    for (ci, _) in sc.classes.iter() {
+        for p in &paths {
+            table.insert(ci, p);
+        }
+    }
+    let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    Ok(if metered {
+        AdmissionController::new(table, &sc.classes, &caps, &sc.alphas)
+    } else {
+        AdmissionController::new_unmetered(table, &sc.classes, &caps, &sc.alphas)
+    })
+}
+
+/// `explain`: replays the scenario's admission workload to saturation —
+/// round-robin over the pair list in file order, every class — and
+/// diagnoses each first rejection with the non-mutating dry run: the
+/// path tried, the first failing link, and the class's observed vs.
+/// budget utilization there. The replay has no randomness, so the report
+/// is byte-identical across runs.
+pub fn cmd_explain(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
+    let ctrl = scenario_controller(sc, false)?;
+    let mut held = Vec::new();
+    let mut diagnoses: Vec<Explain> = Vec::new();
+    for (ci, _) in sc.classes.iter() {
+        // (pair index) -> already diagnosed, so each pair reports its
+        // *first* rejection.
+        let mut diagnosed = vec![false; sc.pairs.len()];
+        loop {
+            let mut progress = false;
+            for (pi, pair) in sc.pairs.iter().enumerate() {
+                match ctrl.try_admit(ci, pair.src, pair.dst) {
+                    Ok(h) => {
+                        held.push(h);
+                        progress = true;
+                    }
+                    Err(_) if !diagnosed[pi] => {
+                        diagnosed[pi] = true;
+                        diagnoses.push(ctrl.explain(ci, pair.src, pair.dst));
+                    }
+                    Err(_) => {}
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+    let admitted = held.len();
+    drop(held);
+
+    let mut out = String::new();
+    if json {
+        for d in &diagnoses {
+            writeln!(out, "{}", d.to_json_line()).unwrap();
+        }
+        return Ok(out);
+    }
+    writeln!(
+        out,
+        "{admitted} flows admitted before saturation; {} rejection diagnoses",
+        diagnoses.len()
+    )
+    .unwrap();
+    if diagnoses.is_empty() {
+        return Ok(out);
+    }
+    writeln!(
+        out,
+        "{:<10} {:>4} {:>5} {:<10} {:>5} {:>13} {:>13} {:>7} {:>12}",
+        "class", "src", "dst", "verdict", "link", "reserved", "budget", "util", "headroom"
+    )
+    .unwrap();
+    for d in &diagnoses {
+        let link = d
+            .link
+            .map_or_else(|| "-".into(), |l| l.to_string());
+        let (reserved, budget, util, headroom) = if d.verdict == ExplainVerdict::NoRoute {
+            ("-".into(), "-".into(), "-".into(), "-".into())
+        } else {
+            (
+                format!("{:.1} kb/s", d.reserved_bps / 1e3),
+                format!("{:.1} kb/s", d.budget_bps / 1e3),
+                format!("{:.1}%", d.observed_utilization() * 100.0),
+                format!("{:.1} kb/s", d.headroom_bps() / 1e3),
+            )
+        };
+        writeln!(
+            out,
+            "{:<10} {:>4} {:>5} {:<10} {:>5} {:>13} {:>13} {:>7} {:>12}",
+            sc.classes.get(d.class).name,
+            d.src.0,
+            d.dst.0,
+            d.verdict.as_str(),
+            link,
+            reserved,
+            budget,
+            util,
+            headroom,
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +676,56 @@ mod tests {
         for line in json_tail {
             uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
         }
+    }
+
+    #[test]
+    fn explain_diagnoses_saturated_link_deterministically() {
+        let sc = ring_scenario();
+        let out = cmd_explain(&sc, false).unwrap();
+        assert!(out.contains("flows admitted before saturation"), "{out}");
+        assert!(out.contains("link_full"), "{out}");
+        assert!(out.contains("kb/s"), "{out}");
+        // alpha 0.2 on 1 Mb/s = 200 kb/s budget; 6 voip flows (192 kb/s)
+        // fill it — the 8 kb/s headroom cannot fit a 7th 32 kb/s flow.
+        assert!(out.contains("96.0%"), "{out}");
+        assert!(out.contains("8.0 kb/s"), "{out}");
+        // The replay has no randomness: byte-identical across runs.
+        assert_eq!(out, cmd_explain(&sc, false).unwrap());
+    }
+
+    #[test]
+    fn explain_on_oversubscribed_mci_names_saturated_link() {
+        // The default scenario is the paper's MCI backbone; at a low
+        // alpha the pair list over-subscribes it quickly.
+        let sc = Scenario::from_str(
+            r#"
+            [network]
+            capacity = 1e6
+            [pairs]
+            mode = "all"
+            step = 8
+            "#,
+        )
+        .unwrap();
+        let out = cmd_explain(&sc, true).unwrap();
+        assert_eq!(out, cmd_explain(&sc, true).unwrap(), "must be deterministic");
+        let mut saw_link_full = false;
+        for line in out.lines() {
+            let v = uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            use uba::obs::json::JsonValue;
+            if v.get("verdict").and_then(JsonValue::as_str) == Some("link_full") {
+                saw_link_full = true;
+                // The diagnosis names a concrete link with observed and
+                // budgeted utilization for the rejected class.
+                assert!(v.get("link").and_then(JsonValue::as_number).is_some(), "{line}");
+                let reserved = v.get("reserved_bps").and_then(JsonValue::as_number).unwrap();
+                let budget = v.get("budget_bps").and_then(JsonValue::as_number).unwrap();
+                assert!(budget > 0.0 && reserved <= budget, "{line}");
+                let rate = v.get("flow_rate_bps").and_then(JsonValue::as_number).unwrap();
+                assert!(budget - reserved < rate, "headroom must not fit the flow: {line}");
+            }
+        }
+        assert!(saw_link_full, "{out}");
     }
 
     #[test]

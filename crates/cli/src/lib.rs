@@ -5,6 +5,7 @@
 
 pub mod commands;
 pub mod scenario;
+pub mod serve;
 pub mod toml_lite;
 
 pub use scenario::Scenario;

@@ -6,19 +6,22 @@
 //! uba-cli maximize <scenario.toml> [sp|heuristic] [--threads N]
 //! uba-cli simulate <scenario.toml> [horizon_seconds]
 //! uba-cli metrics  <scenario.toml> [--json]
+//! uba-cli explain  <scenario.toml> [--json]
+//! uba-cli serve    <scenario.toml> --port N
 //! ```
 //!
 //! Any command also accepts `--metrics` to append a dump of the
 //! process-global metrics registry after its normal output.
 
 use uba_cli::commands::{
-    cmd_bounds, cmd_maximize, cmd_metrics, cmd_simulate, cmd_verify, render_global_metrics,
+    cmd_bounds, cmd_explain, cmd_maximize, cmd_metrics, cmd_simulate, cmd_verify,
+    render_global_metrics,
 };
 use uba_cli::Scenario;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: uba-cli <bounds|verify|maximize|simulate|metrics> <scenario.toml> [args]\n\
+        "usage: uba-cli <bounds|verify|maximize|simulate|metrics|explain|serve> <scenario.toml> [args]\n\
          \n\
          bounds   — Theorem 4 utilization window for each class\n\
          verify   — Figure 2 verification of the scenario's alphas on SP routes\n\
@@ -26,9 +29,13 @@ fn usage() -> ! {
          \x20          --threads N fans candidate verification and solver sweeps across N workers\n\
          simulate — packet-level validation; optional horizon in seconds (default 0.3)\n\
          metrics  — exercise every instrumented layer, then dump the metrics registry\n\
+         explain  — replay admissions to saturation and diagnose every rejection\n\
+         \x20          (first failing link, observed vs. budget utilization, headroom)\n\
+         serve    — run a scenario loop and expose /metrics (Prometheus text)\n\
+         \x20          and /trace (flight-recorder JSON-lines); requires --port N\n\
          \n\
          flags: --metrics  append a metrics-registry dump after any command\n\
-         \x20       --json     (metrics) line-oriented JSON instead of the table"
+         \x20       --json     (metrics, explain) line-oriented JSON instead of the table"
     );
     std::process::exit(2);
 }
@@ -63,6 +70,24 @@ fn main() {
         }
         None => 1,
     };
+    let port = match args.iter().position(|a| a == "--port") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--port requires a value");
+                std::process::exit(2);
+            }
+            let p = match args[i + 1].parse::<u16>() {
+                Ok(p) if p >= 1 => p,
+                _ => {
+                    eprintln!("--port expects a port number, got '{}'", args[i + 1]);
+                    std::process::exit(2);
+                }
+            };
+            args.drain(i..=i + 1);
+            Some(p)
+        }
+        None => None,
+    };
     if args.len() < 2 {
         usage();
     }
@@ -90,6 +115,24 @@ fn main() {
             cmd_simulate(&scenario, horizon)
         }
         "metrics" => cmd_metrics(&scenario, json),
+        "explain" => cmd_explain(&scenario, json),
+        "serve" => {
+            let Some(port) = port else {
+                eprintln!("serve requires --port N");
+                std::process::exit(2);
+            };
+            let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            eprintln!(
+                "serving on http://127.0.0.1:{port} — GET /metrics (Prometheus), /trace (JSON-lines)"
+            );
+            uba_cli::serve::serve(&scenario, listener, None).map(|()| String::new())
+        }
         _ => usage(),
     };
     match result {

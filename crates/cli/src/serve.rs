@@ -1,0 +1,215 @@
+//! `uba-cli serve` — a std-only metrics exposition endpoint.
+//!
+//! Binds a [`TcpListener`], runs a deterministic admission-churn
+//! scenario loop on a background thread so every instrumented layer has
+//! live data, and answers:
+//!
+//! * `GET /metrics` — the process-global registry in Prometheus text
+//!   exposition format (0.0.4), scrapeable by an unmodified Prometheus.
+//! * `GET /trace` — the flight-recorder tail drained as JSON-lines (one
+//!   event per line plus a `trace_meta` trailer with the drop count).
+//! * `GET /` — a plain-text index of the two endpoints.
+//!
+//! The HTTP surface is deliberately minimal — request-line parsing only,
+//! `Connection: close` on every response — because the workspace builds
+//! offline with zero external dependencies; this is an exposition
+//! endpoint, not a web framework.
+
+use crate::commands::scenario_controller;
+use crate::scenario::{Scenario, ScenarioError};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use uba::admission::{run_churn, ChurnConfig};
+use uba::prelude::*;
+
+/// Churn arrivals per background-loop batch (small, so the loop stays
+/// responsive to shutdown and the gauges refresh often).
+const BATCH_ARRIVALS: usize = 500;
+
+/// Runs the exposition server on an already-bound listener.
+///
+/// `max_requests` bounds how many connections are served before
+/// returning (`None` = serve forever); tests bind port 0 and pass a
+/// small count. The scenario loop thread is stopped and joined before
+/// returning.
+pub fn serve(
+    sc: &Scenario,
+    listener: TcpListener,
+    max_requests: Option<usize>,
+) -> Result<(), ScenarioError> {
+    // Live data for both endpoints: enable the flight recorder, then
+    // churn admissions in the background.
+    uba::obs::trace::global().set_enabled(true);
+    let ctrl = scenario_controller(sc, true)?;
+    let pairs: Vec<(NodeId, NodeId)> = sc.pairs.iter().map(|p| (p.src, p.dst)).collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let loop_thread = {
+        let ctrl = ctrl.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut policy = ctrl.clone();
+            let mut seed = 42u64;
+            while !stop.load(Ordering::Relaxed) {
+                run_churn(
+                    &mut policy,
+                    &pairs,
+                    ClassId(0),
+                    &ChurnConfig {
+                        arrivals: BATCH_ARRIVALS,
+                        mean_active: 64.0,
+                        seed,
+                    },
+                );
+                seed = seed.wrapping_add(1);
+                ctrl.refresh_gauges();
+            }
+            ctrl.flush_metrics();
+        })
+    };
+
+    let mut served = 0usize;
+    let result = loop {
+        if max_requests.is_some_and(|n| served >= n) {
+            break Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One slow or broken client must not take the endpoint
+                // down; log to stderr and keep serving.
+                if let Err(e) = handle(stream) {
+                    eprintln!("serve: request failed: {e}");
+                }
+                served += 1;
+            }
+            Err(e) => break Err(ScenarioError(format!("accept failed: {e}"))),
+        }
+    };
+    stop.store(true, Ordering::Relaxed);
+    let _ = loop_thread.join();
+    result
+}
+
+fn handle(stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // "GET /path HTTP/1.1" — anything else is a 400.
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let mut stream = reader.into_inner();
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    match path {
+        "/metrics" => {
+            let body = uba::obs::global().snapshot().render_prometheus();
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/trace" => {
+            let body = uba::obs::trace::global().drain().to_json_lines();
+            respond(&mut stream, "200 OK", "application/x-ndjson", &body)
+        }
+        "/" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain",
+            "uba-cli serve\n  /metrics  Prometheus text format\n  /trace    flight-recorder tail (JSON-lines)\n",
+        ),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn ring_scenario() -> Scenario {
+        Scenario::from_str(
+            r#"
+            [topology]
+            kind = "ring"
+            n = 6
+            [network]
+            capacity = 1e6
+            fan_in = 3
+            [[class]]
+            name = "voip"
+            burst = 640
+            rate = 32000
+            deadline = 0.1
+            alpha = 0.2
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_trace_index_and_404() {
+        let sc = ring_scenario();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(&sc, listener, Some(4)));
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        // Valid Prometheus text format with live data from the churn
+        // loop: TYPE comments and name/value samples.
+        assert!(body.contains("# TYPE admission_admits counter"), "{body}");
+        for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty(), "{line}");
+            assert!(
+                value.parse::<f64>().is_ok() || ["+Inf", "-Inf", "NaN"].contains(&value),
+                "unparseable sample value: {line}"
+            );
+        }
+
+        let (head, body) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(!lines.is_empty());
+        for line in &lines {
+            uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        }
+        // The drained tail ends with the meta trailer; with the churn
+        // loop running there are real admission events ahead of it.
+        assert!(lines[lines.len() - 1].contains("trace_meta"), "{body}");
+
+        let (head, body) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("/metrics"), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.join().unwrap().unwrap();
+    }
+}

@@ -244,6 +244,9 @@ struct SweepStats {
     sweeps_skipped: u64,
     /// Per-server Theorem 3 evaluations actually performed.
     servers_touched: u64,
+    /// Some iterate decreased a delay — on a warm-started solve this is
+    /// the monotonicity break that forces the dense `Y` rebuild.
+    warm_fallback: bool,
 }
 
 /// Instrumentation wrapper around [`solve_core`]: records wall time,
@@ -260,6 +263,15 @@ fn solve_instrumented(
     warm: Option<&[f64]>,
     scratch: &mut SolveScratch,
 ) -> SolveResult {
+    let tr = uba_obs::trace::global();
+    tr.emit(
+        uba_obs::EventKind::SolveBegin,
+        0,
+        0,
+        servers.len() as u32,
+        routes.len() as f64,
+        if warm.is_some() { 1.0 } else { 0.0 },
+    );
     let t0 = std::time::Instant::now();
     let (outcome, iterations, residual, stats) =
         solve_core(servers, class, alphas, routes, tentative, cfg, warm, scratch);
@@ -272,6 +284,28 @@ fn solve_instrumented(
     }
     m.sweeps_skipped.add(stats.sweeps_skipped);
     m.servers_touched.add(stats.servers_touched);
+    tr.emit(
+        uba_obs::EventKind::SolveEnd,
+        0,
+        0,
+        servers.len() as u32,
+        residual,
+        iterations as f64,
+    );
+    if warm.is_some() {
+        tr.emit(
+            if stats.warm_fallback {
+                uba_obs::EventKind::WarmStartFallback
+            } else {
+                uba_obs::EventKind::WarmStartAccept
+            },
+            0,
+            0,
+            servers.len() as u32,
+            iterations as f64,
+            0.0,
+        );
+    }
     SolveResult {
         outcome,
         delays: scratch.d.clone(),
@@ -597,6 +631,9 @@ fn solve_core(
             }
         }
         residual = max_diff;
+        if decreased {
+            stats.warm_fallback = true;
+        }
 
         if max_diff <= cfg.tol {
             // Converged: refresh route delays at the fixed point. Only

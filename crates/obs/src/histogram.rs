@@ -132,6 +132,59 @@ impl Histogram {
             self.base * 2f64.powi(i as i32)
         }
     }
+
+    /// Lower bound of bucket `i` (`0.0` for bucket 0). A sample equal to
+    /// this bound lands in bucket `i`, which is what lets a sparse JSON
+    /// dump be replayed through [`record_n`](Self::record_n) without
+    /// shifting mass between buckets.
+    pub fn bucket_lower_bound(&self, i: usize) -> f64 {
+        assert!(i < BUCKETS, "bucket index out of range");
+        if i == 0 {
+            0.0
+        } else {
+            self.base * 2f64.powi(i as i32 - 1)
+        }
+    }
+
+    /// A point-in-time copy of every bucket count, index-aligned with
+    /// [`bucket_lower_bound`](Self::bucket_lower_bound).
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// One-line JSON rendering with the full (sparse) bucket layout:
+    /// `{"base":1.0,"count":N,"buckets":[[i,count],...]}` — empty buckets
+    /// omitted. The inverse is re-recording each pair at the bucket's
+    /// lower bound; see the round-trip test in `tests/obs.rs`.
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let counts = self.bucket_counts();
+        let mut out = String::with_capacity(64);
+        write!(
+            out,
+            "{{\"base\":{:?},\"count\":{},\"buckets\":[",
+            self.base,
+            counts.iter().sum::<u64>()
+        )
+        .unwrap();
+        let mut first = true;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(out, "[{i},{c}]").unwrap();
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,9 @@
 //!   line-oriented JSON (hand-rolled, matching the workspace's
 //!   `toml_lite` no-external-deps style). [`global()`] is the process
 //!   registry the instrumented crates record into.
+//! * [`trace`] — a fixed-capacity flight recorder of structured events
+//!   (admission decisions, solver sweeps, simulator deadline misses),
+//!   drained to JSON-lines with an explicit drop count.
 //! * [`json`] — a minimal JSON parser so snapshots can be round-tripped
 //!   in tests and consumed by scripts.
 //! * [`rng`] — the workspace's deterministic SplitMix64 PRNG (in-tree
@@ -29,9 +32,11 @@ pub mod metrics;
 pub mod registry;
 pub mod rng;
 pub mod span;
+pub mod trace;
 
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge};
 pub use registry::{global, Registry, Snapshot, SnapshotValue};
 pub use rng::SplitMix64;
 pub use span::Span;
+pub use trace::{Event, EventKind, Tracer};

@@ -174,6 +174,40 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Sanitizes a metric name into the Prometheus charset
+/// `[a-zA-Z0-9_:]` (leading digits get a `_` prefix).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats an `f64` as a Prometheus sample value (`+Inf`/`-Inf`/`NaN`
+/// are part of the text format, unlike JSON).
+fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v:?}")
+    }
+}
+
 impl Snapshot {
     /// The reading for `name`, if present.
     pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
@@ -181,6 +215,18 @@ impl Snapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v)
+    }
+
+    /// The one iteration over the registry every rendering shares: walks
+    /// the sorted entries and hands each `(name, value)` to `row`. Table,
+    /// JSON, and Prometheus output are all thin row formatters over this
+    /// walk, so no format can silently curate its own subset of metrics.
+    fn render_with(&self, mut row: impl FnMut(&mut String, &str, &SnapshotValue)) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            row(&mut out, name, value);
+        }
+        out
     }
 
     /// Renders an aligned human-readable table.
@@ -192,40 +238,37 @@ impl Snapshot {
             .max()
             .unwrap_or(0)
             .max("metric".len());
-        let mut out = String::new();
-        writeln!(out, "{:<width$}  value", "metric").unwrap();
-        for (name, value) in &self.entries {
-            match value {
-                SnapshotValue::Counter(v) => {
-                    writeln!(out, "{name:<width$}  {v}").unwrap();
-                }
-                SnapshotValue::Gauge(v) => {
-                    writeln!(out, "{name:<width$}  {v:.6}").unwrap();
-                }
-                SnapshotValue::Histogram {
-                    count,
-                    p50,
-                    p90,
-                    p99,
-                    max,
-                    mean,
-                } => {
-                    let q = |v: &Option<f64>| match v {
-                        Some(x) => format!("{x:.3e}"),
-                        None => "-".into(),
-                    };
-                    writeln!(
-                        out,
-                        "{name:<width$}  n={count} p50<={} p90<={} p99<={} max={max:.3e} mean={}",
-                        q(p50),
-                        q(p90),
-                        q(p99),
-                        q(mean),
-                    )
-                    .unwrap();
-                }
+        let mut out = format!("{:<width$}  value\n", "metric");
+        out.push_str(&self.render_with(|out, name, value| match value {
+            SnapshotValue::Counter(v) => {
+                writeln!(out, "{name:<width$}  {v}").unwrap();
             }
-        }
+            SnapshotValue::Gauge(v) => {
+                writeln!(out, "{name:<width$}  {v:.6}").unwrap();
+            }
+            SnapshotValue::Histogram {
+                count,
+                p50,
+                p90,
+                p99,
+                max,
+                mean,
+            } => {
+                let q = |v: &Option<f64>| match v {
+                    Some(x) => format!("{x:.3e}"),
+                    None => "-".into(),
+                };
+                writeln!(
+                    out,
+                    "{name:<width$}  n={count} p50<={} p90<={} p99<={} max={max:.3e} mean={}",
+                    q(p50),
+                    q(p90),
+                    q(p99),
+                    q(mean),
+                )
+                .unwrap();
+            }
+        }));
         out
     }
 
@@ -236,8 +279,7 @@ impl Snapshot {
     /// {"name":"delay.solve.iterations","type":"histogram","count":3,...}
     /// ```
     pub fn render_json_lines(&self) -> String {
-        let mut out = String::new();
-        for (name, value) in &self.entries {
+        self.render_with(|out, name, value| {
             let name = json_escape(name);
             match value {
                 SnapshotValue::Counter(v) => {
@@ -273,8 +315,43 @@ impl Snapshot {
                     .unwrap();
                 }
             }
-        }
-        out
+        })
+    }
+
+    /// Renders the Prometheus text exposition format (0.0.4). Counters
+    /// and gauges map directly; histograms are exposed as summaries
+    /// (`{quantile="..."}` series plus `_sum`/`_count`), since the log2
+    /// digest already holds quantiles rather than cumulative buckets.
+    /// Metric names are sanitized into `[a-zA-Z0-9_:]`.
+    pub fn render_prometheus(&self) -> String {
+        self.render_with(|out, name, value| {
+            let name = prom_name(name);
+            match value {
+                SnapshotValue::Counter(v) => {
+                    writeln!(out, "# TYPE {name} counter\n{name} {v}").unwrap();
+                }
+                SnapshotValue::Gauge(v) => {
+                    writeln!(out, "# TYPE {name} gauge\n{name} {}", prom_num(*v)).unwrap();
+                }
+                SnapshotValue::Histogram {
+                    count,
+                    p50,
+                    p90,
+                    p99,
+                    mean,
+                    ..
+                } => {
+                    writeln!(out, "# TYPE {name} summary").unwrap();
+                    for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
+                        if let Some(v) = v {
+                            writeln!(out, "{name}{{quantile=\"{q}\"}} {}", prom_num(*v)).unwrap();
+                        }
+                    }
+                    let sum = mean.map_or(0.0, |m| m * *count as f64);
+                    writeln!(out, "{name}_sum {}\n{name}_count {count}", prom_num(sum)).unwrap();
+                }
+            }
+        })
     }
 }
 
@@ -327,6 +404,38 @@ mod tests {
         assert!(t.contains("admits"), "{t}");
         assert!(t.contains('7'), "{t}");
         assert!(t.contains("p99<="), "{t}");
+    }
+
+    #[test]
+    fn prometheus_format_is_well_formed() {
+        let r = Registry::new();
+        r.counter("admission.admits").add(42);
+        r.gauge("util.link-3").set(f64::INFINITY);
+        let h = r.histogram("delay.solve.seconds", 1e-9);
+        h.record(1e-3);
+        h.record(3e-3);
+        let empty = r.histogram("delay.empty", 1.0);
+        let _ = empty;
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE admission_admits counter"), "{text}");
+        assert!(text.contains("admission_admits 42"), "{text}");
+        assert!(text.contains("# TYPE util_link_3 gauge"), "{text}");
+        assert!(text.contains("util_link_3 +Inf"), "{text}");
+        assert!(text.contains("# TYPE delay_solve_seconds summary"), "{text}");
+        assert!(
+            text.contains("delay_solve_seconds{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("delay_solve_seconds_count 2"), "{text}");
+        // Empty histograms emit no quantile series but still expose
+        // sum/count.
+        assert!(text.contains("delay_empty_count 0"), "{text}");
+        assert!(!text.contains("delay_empty{"), "{text}");
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty() && !value.is_empty(), "{line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! Structured event tracing: a fixed-capacity flight recorder.
+//!
+//! Aggregate metrics (the [`Registry`](crate::Registry)) answer *how
+//! often*; this module answers *what happened, in what order*. Every
+//! instrumented layer can emit compact [`Event`] records — a monotonic
+//! timestamp, an [`EventKind`], a class, a flow id, a link/server id, and
+//! two `f64` payload slots — into a [`Tracer`]: a fixed-capacity ring
+//! buffer holding the most recent events ("flight recorder" semantics:
+//! when full, the *oldest* event is overwritten and a drop counter
+//! ticks). Draining returns everything currently buffered plus that drop
+//! count, so consumers always know exactly how much history was lost.
+//!
+//! Hot paths must not pay for a mutex per event, so emissions into the
+//! process-global tracer ([`global()`]) go through a **thread-local
+//! batch buffer** published under the ring lock every [`PUBLISH_EVERY`]
+//! events, on [`Tracer::flush`]/[`Tracer::drain`], and on thread exit —
+//! the same discipline as the admission layer's buffered counters. The
+//! whole tracer is disabled by default; a disabled [`Tracer::emit`] is a
+//! single relaxed load and a branch, cheap enough to leave call sites
+//! compiled into the admit path unconditionally (`uba-bench`'s
+//! `trace_overhead` binary checks the enabled cost too).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Ring capacity of the process-global tracer (events retained).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Events buffered per thread before one locked publish into the ring.
+pub const PUBLISH_EVERY: usize = 128;
+
+/// What an [`Event`] records. Kinds are shared across layers so one
+/// drained stream interleaves admission, solver, routing, and simulator
+/// history in timestamp order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// Admission: a flow was admitted (`server` = first hop, `a` = rate
+    /// bits/s, `b` = route length in hops).
+    Admit,
+    /// Admission: rejected, some link at budget (`server` = saturated
+    /// link, `a` = reserved bits/s, `b` = budget bits/s).
+    RejectLinkFull,
+    /// Admission: rejected, no configured route (`a` = src router id,
+    /// `b` = dst router id).
+    RejectNoRoute,
+    /// Admission: a flow handle was dropped (`server` = first hop,
+    /// `a` = rate bits/s, `b` = route length in hops).
+    Release,
+    /// Delay solver: a fixed-point solve started (`server` = server
+    /// count, `a` = route count, `b` = 1.0 when warm-started).
+    SolveBegin,
+    /// Delay solver: a solve finished (`a` = final sup-norm residual in
+    /// seconds, `b` = iterations; `server` = server count).
+    SolveEnd,
+    /// Delay solver: a warm start stayed monotone to convergence
+    /// (`a` = iterations).
+    WarmStartAccept,
+    /// Delay solver: a warm start decreased some delay, forcing the
+    /// dense `Y` rebuild fallback (`a` = iterations).
+    WarmStartFallback,
+    /// Routing: one α-probe of the §5.3 bisection (`flow` = probe index,
+    /// `a` = alpha, `b` = 1.0 when feasible).
+    SearchProbe,
+    /// Simulator: a delivered packet missed its class deadline
+    /// (`server` = last hop, `a` = delay s, `b` = deadline s).
+    DeadlineMiss,
+    /// Simulator: a station backlog reached a new run-wide peak
+    /// (`server` = station, `a` = backlog, `b` = sim time s).
+    QueueHighWater,
+}
+
+impl EventKind {
+    /// Stable lower-snake name used in the JSON exposition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Admit => "admit",
+            EventKind::RejectLinkFull => "reject_link_full",
+            EventKind::RejectNoRoute => "reject_no_route",
+            EventKind::Release => "release",
+            EventKind::SolveBegin => "solve_begin",
+            EventKind::SolveEnd => "solve_end",
+            EventKind::WarmStartAccept => "warm_start_accept",
+            EventKind::WarmStartFallback => "warm_start_fallback",
+            EventKind::SearchProbe => "search_probe",
+            EventKind::DeadlineMiss => "deadline_miss",
+            EventKind::QueueHighWater => "queue_high_water",
+        }
+    }
+}
+
+/// One trace record. Fixed-size and `Copy` so recording never allocates.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Event {
+    /// Nanoseconds since the tracer's epoch (monotonic clock). For
+    /// events recorded into the [`global()`] tracer the timestamp is
+    /// **batch-granular**: the clock is read once per thread batch (at
+    /// most [`PUBLISH_EVERY`] events), and all events of a batch share
+    /// it — hot paths cannot afford a clock read per record. Emission
+    /// order within a batch is preserved by the stable drain sort.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Traffic class index (`0` when not applicable).
+    pub class: u16,
+    /// Flow / probe / packet identifier (`0` when not applicable).
+    pub flow: u64,
+    /// Link server or station index (`u32::MAX` when not applicable).
+    pub server: u32,
+    /// First payload slot (meaning per [`EventKind`]).
+    pub a: f64,
+    /// Second payload slot (meaning per [`EventKind`]).
+    pub b: f64,
+}
+
+/// Formats an `f64` as a JSON number token (`null` when non-finite).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".into()
+    }
+}
+
+impl Event {
+    /// One-line JSON rendering, e.g.
+    /// `{"t_ns":1203,"kind":"admit","class":0,"flow":7,"server":3,"a":32000.0,"b":4.0}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        write!(
+            out,
+            "{{\"t_ns\":{},\"kind\":\"{}\",\"class\":{},\"flow\":{},\"server\":{},\"a\":{},\"b\":{}}}",
+            self.t_ns,
+            self.kind.as_str(),
+            self.class,
+            self.flow,
+            self.server,
+            json_num(self.a),
+            json_num(self.b),
+        )
+        .unwrap();
+        out
+    }
+}
+
+/// The shared ring. Holds the newest `capacity` events; older ones are
+/// overwritten (counted in `dropped`).
+struct Ring {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn push_all(&mut self, events: &[Event]) {
+        for &ev in events {
+            if self.buf.len() == self.capacity {
+                self.buf.pop_front();
+                self.dropped += 1;
+            }
+            self.buf.push_back(ev);
+        }
+    }
+}
+
+/// A flight recorder of [`Event`]s. See the module docs for the
+/// buffering and drop semantics.
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    ring: Mutex<Ring>,
+    /// Whether emissions go through the thread-local batch buffer (true
+    /// only for the [`global()`] tracer — the flag is cached here so the
+    /// hot emit path never touches the `OnceLock`).
+    buffered: bool,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a [`Tracer::drain`] hands back: every buffered event (oldest
+/// first) and how many older events the ring overwrote since the last
+/// drain.
+#[derive(Clone, Debug, Default)]
+pub struct Drained {
+    /// Buffered events, oldest first (stable-sorted by timestamp, so
+    /// batches published by different threads interleave correctly).
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow since the last drain.
+    pub dropped: u64,
+}
+
+impl Drained {
+    /// JSON-lines rendering: one line per event, then one trailer object
+    /// `{"kind":"trace_meta","events":N,"dropped":M}` so consumers can
+    /// detect loss without counting.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 64);
+        for ev in &self.events {
+            out.push_str(&ev.to_json_line());
+            out.push('\n');
+        }
+        writeln!(
+            out,
+            "{{\"kind\":\"trace_meta\",\"events\":{},\"dropped\":{}}}",
+            self.events.len(),
+            self.dropped
+        )
+        .unwrap();
+        out
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Self {
+            enabled: AtomicBool::new(false),
+            epoch: Instant::now(),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            }),
+            buffered: false,
+        }
+    }
+
+    /// Turns recording on or off. Off (the default) makes [`emit`]
+    /// a single relaxed load and branch.
+    ///
+    /// [`emit`]: Self::emit
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the tracer is currently recording.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this tracer's epoch (its construction time).
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Records one event (timestamped now). A no-op when disabled.
+    ///
+    /// Emissions into the [`global()`] tracer are buffered per thread and
+    /// published every [`PUBLISH_EVERY`] events / on [`flush`] / on
+    /// thread exit; any other tracer publishes directly under its lock
+    /// (tests and tools, where the per-event lock is irrelevant).
+    ///
+    /// [`flush`]: Self::flush
+    #[inline]
+    pub fn emit(&self, kind: EventKind, class: usize, flow: u64, server: u32, a: f64, b: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.emit_slow(kind, class, flow, server, a, b);
+    }
+
+    #[inline(never)]
+    fn emit_slow(&self, kind: EventKind, class: usize, flow: u64, server: u32, a: f64, b: f64) {
+        let mut ev = Event {
+            t_ns: 0,
+            kind,
+            class: class.min(u16::MAX as usize) as u16,
+            flow,
+            server,
+            a,
+            b,
+        };
+        if self.buffered {
+            // Batch-granular timestamps: the monotonic clock is read once
+            // per thread batch (at its first event), not per event — a
+            // `clock_gettime` per record would dwarf the ~100ns admit
+            // path itself (see the `trace_overhead` bench). Events within
+            // a batch share that timestamp and stay in emission order
+            // through the stable drain sort.
+            LOCAL.with(|cell| {
+                let mut buf = cell.buf.borrow_mut();
+                if buf.is_empty() {
+                    cell.batch_t.set(self.now_ns());
+                }
+                ev.t_ns = cell.batch_t.get();
+                buf.push(ev);
+                if buf.len() >= PUBLISH_EVERY {
+                    self.publish(&buf);
+                    buf.clear();
+                }
+            });
+        } else {
+            // Non-global tracers (tests, tools) are not on hot paths:
+            // exact per-event timestamps, direct publish.
+            ev.t_ns = self.now_ns();
+            self.publish(std::slice::from_ref(&ev));
+        }
+    }
+
+    fn publish(&self, events: &[Event]) {
+        self.ring.lock().unwrap().push_all(events);
+    }
+
+    /// Publishes this thread's buffered events into the ring (only
+    /// meaningful for the [`global()`] tracer; other threads publish on
+    /// their own cadence, at the latest on thread exit).
+    pub fn flush(&self) {
+        if !self.buffered {
+            return;
+        }
+        LOCAL.with(|cell| {
+            let mut buf = cell.buf.borrow_mut();
+            if !buf.is_empty() {
+                self.publish(&buf);
+                buf.clear();
+            }
+        });
+    }
+
+    /// Number of events currently buffered in the ring (after a
+    /// [`flush`](Self::flush) of the calling thread).
+    pub fn len(&self) -> usize {
+        self.flush();
+        self.ring.lock().unwrap().buf.len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every buffered event (and the overflow drop count) out of
+    /// the ring, leaving it empty. Flushes the calling thread first.
+    pub fn drain(&self) -> Drained {
+        self.flush();
+        let (mut events, dropped) = {
+            let mut ring = self.ring.lock().unwrap();
+            let events: Vec<Event> = ring.buf.drain(..).collect();
+            let dropped = std::mem::take(&mut ring.dropped);
+            (events, dropped)
+        };
+        // Batches from different threads land in publish order; a stable
+        // sort by timestamp restores one coherent timeline.
+        events.sort_by_key(|e| e.t_ns);
+        Drained { events, dropped }
+    }
+}
+
+/// Per-thread emission buffer for the global tracer; publishes whatever
+/// is left when the thread exits.
+struct LocalBuf {
+    buf: std::cell::RefCell<Vec<Event>>,
+    /// Timestamp of the current batch's first event (see `emit_slow`).
+    batch_t: std::cell::Cell<u64>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if let Some(g) = GLOBAL.get() {
+            let buf = self.buf.borrow();
+            if !buf.is_empty() {
+                g.publish(&buf);
+            }
+        }
+    }
+}
+
+thread_local! {
+    // `const` init keeps the TLS access on the emit path branch-light.
+    static LOCAL: LocalBuf = const {
+        LocalBuf {
+            buf: std::cell::RefCell::new(Vec::new()),
+            batch_t: std::cell::Cell::new(0),
+        }
+    };
+}
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide flight recorder the instrumented crates emit into.
+/// Created disabled; `uba-cli serve` (and tests) enable it.
+pub fn global() -> &'static Tracer {
+    GLOBAL.get_or_init(|| {
+        let mut t = Tracer::with_capacity(DEFAULT_CAPACITY);
+        t.buffered = true;
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: &Tracer, kind: EventKind, flow: u64) {
+        t.emit(kind, 0, flow, 1, 1.5, 2.5);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::with_capacity(8);
+        ev(&t, EventKind::Admit, 1);
+        assert!(t.is_empty());
+        assert_eq!(t.drain().events.len(), 0);
+    }
+
+    #[test]
+    fn events_round_trip_in_order() {
+        let t = Tracer::with_capacity(8);
+        t.set_enabled(true);
+        ev(&t, EventKind::Admit, 1);
+        ev(&t, EventKind::Release, 2);
+        let d = t.drain();
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.events.len(), 2);
+        assert_eq!(d.events[0].kind, EventKind::Admit);
+        assert_eq!(d.events[1].kind, EventKind::Release);
+        assert!(d.events[0].t_ns <= d.events[1].t_ns);
+        assert_eq!(d.events[0].flow, 1);
+        assert_eq!(d.events[0].a, 1.5);
+        // A drain empties the ring.
+        assert!(t.drain().events.is_empty());
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_drops() {
+        let t = Tracer::with_capacity(4);
+        t.set_enabled(true);
+        for i in 0..10 {
+            ev(&t, EventKind::Admit, i);
+        }
+        let d = t.drain();
+        assert_eq!(d.events.len(), 4);
+        assert_eq!(d.dropped, 6);
+        let flows: Vec<u64> = d.events.iter().map(|e| e.flow).collect();
+        assert_eq!(flows, vec![6, 7, 8, 9], "flight recorder keeps the tail");
+        // Drop count resets after a drain.
+        ev(&t, EventKind::Admit, 10);
+        assert_eq!(t.drain().dropped, 0);
+    }
+
+    #[test]
+    fn json_lines_parse_back() {
+        let t = Tracer::with_capacity(8);
+        t.set_enabled(true);
+        t.emit(EventKind::RejectLinkFull, 2, 77, 13, 320_000.0, 320_000.0);
+        t.emit(EventKind::SolveEnd, 0, 0, u32::MAX, f64::NAN, 4.0);
+        let d = t.drain();
+        let text = d.to_json_lines();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "two events plus the meta trailer");
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("kind").and_then(crate::json::JsonValue::as_str),
+            Some("reject_link_full")
+        );
+        assert_eq!(
+            first.get("class").and_then(crate::json::JsonValue::as_number),
+            Some(2.0)
+        );
+        assert_eq!(
+            first.get("a").and_then(crate::json::JsonValue::as_number),
+            Some(320_000.0)
+        );
+        // Non-finite payloads serialize as null and still parse.
+        let second = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("a"), Some(&crate::json::JsonValue::Null));
+        let meta = crate::json::parse(lines[2]).unwrap();
+        assert_eq!(
+            meta.get("events").and_then(crate::json::JsonValue::as_number),
+            Some(2.0)
+        );
+        assert_eq!(
+            meta.get("dropped").and_then(crate::json::JsonValue::as_number),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn global_tracer_buffers_per_thread_and_flushes() {
+        let g = global();
+        g.set_enabled(true);
+        // Drain any events left over from other tests sharing the global.
+        g.drain();
+        g.emit(EventKind::SearchProbe, 0, 1, u32::MAX, 0.25, 1.0);
+        let d = g.drain(); // drain flushes this thread's buffer
+        g.set_enabled(false);
+        assert!(
+            d.events.iter().any(|e| e.kind == EventKind::SearchProbe),
+            "buffered event must surface on drain: {d:?}"
+        );
+    }
+
+    #[test]
+    fn thread_exit_publishes_into_global() {
+        let g = global();
+        g.set_enabled(true);
+        std::thread::spawn(|| {
+            global().emit(EventKind::QueueHighWater, 0, 42, 5, 3.0, 0.1);
+        })
+        .join()
+        .unwrap();
+        let d = g.drain();
+        g.set_enabled(false);
+        assert!(d
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::QueueHighWater && e.flow == 42));
+    }
+}

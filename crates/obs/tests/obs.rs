@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 use uba_obs::json::{self, JsonValue};
-use uba_obs::{Registry, SnapshotValue};
+use uba_obs::{EventKind, Histogram, Registry, SnapshotValue, Tracer};
 
 #[test]
 fn concurrent_counter_and_histogram_sum_exactly() {
@@ -117,4 +117,87 @@ fn json_snapshot_round_trips() {
     let v = json::parse(line.trim()).unwrap();
     assert_eq!(v.get("p50"), Some(&JsonValue::Null));
     assert_eq!(v.get("count").and_then(JsonValue::as_number), Some(0.0));
+}
+
+#[test]
+fn histogram_bucket_json_round_trips() {
+    // Empty histogram: well-formed JSON, zero count, empty bucket list.
+    let empty = Histogram::with_base(1e-9);
+    let v = json::parse(&empty.to_json_line()).unwrap();
+    assert_eq!(v.get("count").and_then(JsonValue::as_number), Some(0.0));
+    assert_eq!(v.get("buckets"), Some(&JsonValue::Array(vec![])));
+    assert_eq!(empty.quantile(0.5), None);
+
+    // Single sample: exactly one sparse bucket entry.
+    let one = Histogram::with_base(1e-9);
+    one.record(2.5e-6);
+    let v = json::parse(&one.to_json_line()).unwrap();
+    assert_eq!(v.get("count").and_then(JsonValue::as_number), Some(1.0));
+    let buckets = match v.get("buckets") {
+        Some(JsonValue::Array(a)) => a,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(buckets.len(), 1);
+
+    // Full round trip: emit JSON, parse it back, replay each (bucket,
+    // count) pair at the bucket's lower bound into a fresh histogram,
+    // and require identical bucket counts (hence identical quantiles).
+    let src = Histogram::with_base(1e-9);
+    for i in 1..=500 {
+        src.record(i as f64 * 7.3e-7);
+    }
+    src.record(0.0); // bucket 0, whose lower bound is 0.0
+    let parsed = json::parse(&src.to_json_line()).unwrap();
+    let base = parsed.get("base").and_then(JsonValue::as_number).unwrap();
+    let rebuilt = Histogram::with_base(base);
+    let buckets = match parsed.get("buckets") {
+        Some(JsonValue::Array(a)) => a,
+        other => panic!("unexpected {other:?}"),
+    };
+    for pair in buckets {
+        let pair = match pair {
+            JsonValue::Array(p) => p,
+            other => panic!("unexpected {other:?}"),
+        };
+        let i = pair[0].as_number().unwrap() as usize;
+        let n = pair[1].as_number().unwrap() as u64;
+        rebuilt.record_n(rebuilt.bucket_lower_bound(i), n);
+    }
+    assert_eq!(rebuilt.bucket_counts(), src.bucket_counts());
+    assert_eq!(rebuilt.count(), src.count());
+    assert_eq!(rebuilt.quantile(0.5), src.quantile(0.5));
+    assert_eq!(rebuilt.quantile(0.99), src.quantile(0.99));
+}
+
+#[test]
+fn tracer_drain_preserves_cross_thread_timeline() {
+    let t = Arc::new(Tracer::with_capacity(1024));
+    t.set_enabled(true);
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    t.emit(EventKind::Admit, 0, w * 100 + i, w as u32, 1.0, 2.0);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let d = t.drain();
+    assert_eq!(d.events.len(), 200);
+    assert_eq!(d.dropped, 0);
+    assert!(d.events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    // JSON-lines rendering: every event line parses, trailer reports the
+    // exact totals.
+    let text = d.to_json_lines();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 201);
+    for line in &lines {
+        json::parse(line).expect("trace line must be valid JSON");
+    }
+    let meta = json::parse(lines[200]).unwrap();
+    assert_eq!(meta.get("events").and_then(JsonValue::as_number), Some(200.0));
 }

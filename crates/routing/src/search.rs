@@ -121,6 +121,14 @@ pub fn max_utilization(
             )
             .ok(),
         };
+        uba_obs::trace::global().emit(
+            uba_obs::EventKind::SearchProbe,
+            0,
+            probes.len() as u64,
+            u32::MAX,
+            alpha,
+            if result.is_some() { 1.0 } else { 0.0 },
+        );
         probes.push((alpha, result.is_some()));
         result
     };

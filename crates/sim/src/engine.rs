@@ -189,6 +189,7 @@ pub fn simulate_with(
     let mut total_packets = 0u64;
     let mut events = 0u64;
     let mut peak_backlog = 0usize;
+    let tracer = uba_obs::trace::global();
 
     while let Some(Reverse((t, s))) = heap.pop() {
         events += 1;
@@ -208,7 +209,17 @@ pub fn simulate_with(
                     t as f64 / NS,
                 );
                 st.backlog += 1;
-                peak_backlog = peak_backlog.max(st.backlog);
+                if st.backlog > peak_backlog {
+                    peak_backlog = st.backlog;
+                    tracer.emit(
+                        uba_obs::EventKind::QueueHighWater,
+                        f.class,
+                        job.flow as u64,
+                        st_id as u32,
+                        peak_backlog as f64,
+                        t as f64 / NS,
+                    );
+                }
                 metrics.queue_depth.record(st.backlog as f64);
                 if st.current.is_none() {
                     let next = st.sched.dequeue().unwrap().payload;
@@ -245,7 +256,18 @@ pub fn simulate_with(
                     push(&mut heap, &mut payloads, &mut seq, t, Event::Arrive(job));
                 } else {
                     let delay = (t - job.t0) as f64 / NS;
-                    acc[f.class].record(delay, cfg.deadlines[f.class]);
+                    let deadline = cfg.deadlines[f.class];
+                    if delay > deadline {
+                        tracer.emit(
+                            uba_obs::EventKind::DeadlineMiss,
+                            f.class,
+                            job.flow as u64,
+                            st_id as u32,
+                            delay,
+                            deadline,
+                        );
+                    }
+                    acc[f.class].record(delay, deadline);
                     histograms[f.class].record(delay);
                     total_packets += 1;
                 }

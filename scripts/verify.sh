@@ -19,4 +19,7 @@ cargo run --offline --release -p uba-bench --bin obs_overhead -- smoke
 echo "==> config_speed smoke (incremental solver vs dense/cloning reference)"
 cargo run --offline --release -p uba-bench --bin config_speed -- smoke
 
+echo "==> trace_overhead smoke (flight recorder on vs off on the admit path)"
+cargo run --offline --release -p uba-bench --bin trace_overhead -- smoke
+
 echo "==> verify.sh: all checks passed"
