@@ -1,0 +1,473 @@
+//! Pluggable reservation-state backends.
+//!
+//! The admission decision is one predicate — *does every link server on
+//! the route have `α_i·C` headroom left for the class?* — but the data
+//! structure answering it is swappable. [`AdmissionBackend`] captures
+//! the path-level contract the controller needs (all-or-nothing reserve,
+//! release, snapshot, budget); two implementations live here:
+//!
+//! * [`AtomicBackend`] — the original one-`AtomicU64`-per-(server, class)
+//!   CAS loop ([`UtilizationState`]). Exact, strict (over-release
+//!   panics), and the contention hot spot is the counter of a hot link.
+//! * [`ShardedBackend`] — each (server, class) budget striped across N
+//!   headroom shards; threads grab from their home shard first and
+//!   borrow from neighbor shards on local exhaustion. Under a single
+//!   thread the admit/reject sequence is *identical* to the atomic
+//!   backend (a reservation succeeds iff total headroom suffices); under
+//!   many threads the CAS traffic on a hot cell spreads across N cache
+//!   lines. The trade: over-release of a single flow can no longer be
+//!   detected per-cell (headroom is fungible across shards), so the
+//!   strict accounting assert of the atomic backend is only checked as
+//!   "total headroom never exceeds the budget".
+
+use crate::state::{to_millibits, UtilizationState, SCALE};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The CAS-per-(server, class) backend — [`UtilizationState`] fulfilling
+/// the [`AdmissionBackend`] contract. This is the paper's run-time
+/// mechanism verbatim and the default for every controller.
+pub type AtomicBackend = UtilizationState;
+
+/// Why a path reservation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathReject {
+    /// The first server along the route whose class budget could not fit
+    /// the flow.
+    pub server: u32,
+    /// CAS retries spent before giving up (contention signal).
+    pub retries: u32,
+}
+
+/// Reservation state shared by all admissions of one configuration
+/// generation.
+///
+/// Implementations must make [`try_reserve_path`](Self::try_reserve_path)
+/// all-or-nothing (no residue on failure) and never let the reserved
+/// rate of a class on a server exceed its budget, even under concurrent
+/// callers. `snapshot`/`budget` are advisory reads used by diagnostics
+/// and gauges; they may be weakly ordered with respect to in-flight
+/// reservations.
+pub trait AdmissionBackend: fmt::Debug + Send + Sync {
+    /// Number of link servers.
+    fn servers(&self) -> usize;
+
+    /// Number of traffic classes.
+    fn classes(&self) -> usize;
+
+    /// Atomically-per-cell reserves `rate` bits/s of `class` on every
+    /// server of `route`; rolls the prefix back and reports the failing
+    /// server if any cell is full. Returns total CAS retries on success.
+    fn try_reserve_path(&self, route: &[u32], class: usize, rate: f64)
+        -> Result<u32, PathReject>;
+
+    /// Releases a previously successful path reservation.
+    fn release_path(&self, route: &[u32], class: usize, rate: f64);
+
+    /// Whether one `rate` reservation would fit on (server, class) right
+    /// now, without reserving anything. Must use the same exact integer
+    /// predicate as the real reservation so dry runs never disagree.
+    fn would_fit(&self, server: usize, class: usize, rate: f64) -> bool;
+
+    /// Currently reserved rate on (server, class), bits/s.
+    fn snapshot(&self, server: usize, class: usize) -> f64;
+
+    /// Configured budget `α_i · C` on (server, class), bits/s.
+    fn budget(&self, server: usize, class: usize) -> f64;
+
+    /// Fraction of the class budget in use (0 when the budget is zero).
+    fn occupancy(&self, server: usize, class: usize) -> f64 {
+        let b = self.budget(server, class);
+        if b > 0.0 {
+            self.snapshot(server, class) / b
+        } else {
+            0.0
+        }
+    }
+}
+
+impl AdmissionBackend for UtilizationState {
+    fn servers(&self) -> usize {
+        UtilizationState::servers(self)
+    }
+
+    fn classes(&self) -> usize {
+        UtilizationState::classes(self)
+    }
+
+    fn try_reserve_path(
+        &self,
+        route: &[u32],
+        class: usize,
+        rate: f64,
+    ) -> Result<u32, PathReject> {
+        let mut cas_retries = 0u32;
+        for (i, &server) in route.iter().enumerate() {
+            let (ok, retries) = self.try_reserve_with_retries(server as usize, class, rate);
+            cas_retries += retries;
+            if !ok {
+                for &held in &route[..i] {
+                    self.release(held as usize, class, rate);
+                }
+                return Err(PathReject {
+                    server,
+                    retries: cas_retries,
+                });
+            }
+        }
+        Ok(cas_retries)
+    }
+
+    fn release_path(&self, route: &[u32], class: usize, rate: f64) {
+        for &server in route {
+            self.release(server as usize, class, rate);
+        }
+    }
+
+    fn would_fit(&self, server: usize, class: usize, rate: f64) -> bool {
+        UtilizationState::would_fit(self, server, class, rate)
+    }
+
+    fn snapshot(&self, server: usize, class: usize) -> f64 {
+        self.reserved(server, class)
+    }
+
+    fn budget(&self, server: usize, class: usize) -> f64 {
+        UtilizationState::budget(self, server, class)
+    }
+}
+
+/// Most shards a [`ShardedBackend`] will stripe a budget across; beyond
+/// this the per-reservation scan cost outweighs any contention win.
+pub const MAX_SHARDS: usize = 16;
+
+/// Round-robin home-shard assignment: each thread gets a stable index at
+/// first use, so threads spread across shards deterministically.
+static NEXT_HOME: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    static HOME: usize = NEXT_HOME.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Budget-striping backend: the headroom of each (server, class) cell is
+/// split across `shards` atomic counters. A reservation drains its home
+/// shard first and borrows from neighbor shards (in deterministic wrap
+/// order) when the home shard runs dry, rolling back partial grabs if
+/// the total headroom is insufficient — so single-threaded decisions
+/// match [`AtomicBackend`] exactly, while concurrent threads mostly
+/// touch distinct cache lines.
+pub struct ShardedBackend {
+    servers: usize,
+    classes: usize,
+    shards: usize,
+    /// Budget per (server, class), millibits/s — for `budget`/`snapshot`.
+    budgets: Vec<u64>,
+    /// Remaining headroom per (server, class, shard), millibits/s:
+    /// `(server * classes + class) * shards + shard`.
+    avail: Vec<AtomicU64>,
+}
+
+impl fmt::Debug for ShardedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedBackend")
+            .field("servers", &self.servers)
+            .field("classes", &self.classes)
+            .field("shards", &self.shards)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedBackend {
+    /// Creates the backend from per-server capacities, per-class
+    /// utilization shares, and the stripe count (clamped to
+    /// `1..=`[`MAX_SHARDS`]). Budget millibits are distributed across
+    /// shards as evenly as integer division allows (the first
+    /// `budget % shards` shards get one extra millibit).
+    pub fn new(capacities: &[f64], alphas: &[f64], shards: usize) -> Self {
+        assert!(!alphas.is_empty(), "need at least one class");
+        for &a in alphas {
+            assert!((0.0..=1.0).contains(&a), "alpha must be in [0, 1]");
+        }
+        let shards = shards.clamp(1, MAX_SHARDS);
+        let servers = capacities.len();
+        let classes = alphas.len();
+        let mut budgets = Vec::with_capacity(servers * classes);
+        let mut avail = Vec::with_capacity(servers * classes * shards);
+        for &c in capacities {
+            assert!(c > 0.0 && c.is_finite(), "capacity must be positive");
+            for &a in alphas {
+                let b = to_millibits(a * c);
+                budgets.push(b);
+                let base = b / shards as u64;
+                let extra = b % shards as u64;
+                for s in 0..shards as u64 {
+                    avail.push(AtomicU64::new(base + u64::from(s < extra)));
+                }
+            }
+        }
+        Self {
+            servers,
+            classes,
+            shards,
+            budgets,
+            avail,
+        }
+    }
+
+    /// Configured stripe count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    #[inline]
+    fn cell(&self, server: usize, class: usize) -> usize {
+        debug_assert!(server < self.servers && class < self.classes);
+        server * self.classes + class
+    }
+
+    #[inline]
+    fn shard_slice(&self, cell: usize) -> &[AtomicU64] {
+        &self.avail[cell * self.shards..(cell + 1) * self.shards]
+    }
+
+    /// Grabs `want` millibits from the cell's shards, home shard first.
+    /// All-or-nothing: on insufficient total headroom every partial grab
+    /// is returned and `Err(retries)` reported.
+    fn take(&self, cell: usize, want: u64, home: usize) -> Result<u32, u32> {
+        let shards = self.shard_slice(cell);
+        let mut got = 0u64;
+        let mut taken = [0u64; MAX_SHARDS];
+        let mut retries = 0u32;
+        for k in 0..self.shards {
+            let s = (home + k) % self.shards;
+            let shard = &shards[s];
+            let mut cur = shard.load(Ordering::Relaxed);
+            loop {
+                let grab = cur.min(want - got);
+                if grab == 0 {
+                    break;
+                }
+                match shard.compare_exchange_weak(
+                    cur,
+                    cur - grab,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        got += grab;
+                        taken[s] += grab;
+                        break;
+                    }
+                    Err(actual) => {
+                        cur = actual;
+                        retries += 1;
+                    }
+                }
+            }
+            if got == want {
+                return Ok(retries);
+            }
+        }
+        // Insufficient headroom: hand back what we grabbed.
+        for (s, &amount) in taken.iter().enumerate().take(self.shards) {
+            if amount > 0 {
+                shards[s].fetch_add(amount, Ordering::AcqRel);
+            }
+        }
+        Err(retries)
+    }
+
+    /// Returns `amount` millibits of headroom to the cell, into the home
+    /// shard. Headroom migrates toward the releasing thread's shard —
+    /// the borrow direction of future reservations adapts to where load
+    /// actually lives.
+    fn put(&self, cell: usize, amount: u64, home: usize) {
+        let shards = self.shard_slice(cell);
+        let prev = shards[home].fetch_add(amount, Ordering::AcqRel);
+        debug_assert!(
+            prev + amount <= self.budgets[cell],
+            "release overflows cell budget: headroom {prev} + {amount} > {}",
+            self.budgets[cell]
+        );
+    }
+
+    fn headroom(&self, cell: usize) -> u64 {
+        self.shard_slice(cell)
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .sum()
+    }
+}
+
+impl AdmissionBackend for ShardedBackend {
+    fn servers(&self) -> usize {
+        self.servers
+    }
+
+    fn classes(&self) -> usize {
+        self.classes
+    }
+
+    fn try_reserve_path(
+        &self,
+        route: &[u32],
+        class: usize,
+        rate: f64,
+    ) -> Result<u32, PathReject> {
+        let want = to_millibits(rate);
+        let home = HOME.with(|h| *h) % self.shards;
+        let mut cas_retries = 0u32;
+        for (i, &server) in route.iter().enumerate() {
+            let cell = self.cell(server as usize, class);
+            match self.take(cell, want, home) {
+                Ok(retries) => cas_retries += retries,
+                Err(retries) => {
+                    cas_retries += retries;
+                    for &held in &route[..i] {
+                        self.put(self.cell(held as usize, class), want, home);
+                    }
+                    return Err(PathReject {
+                        server,
+                        retries: cas_retries,
+                    });
+                }
+            }
+        }
+        Ok(cas_retries)
+    }
+
+    fn release_path(&self, route: &[u32], class: usize, rate: f64) {
+        let amount = to_millibits(rate);
+        let home = HOME.with(|h| *h) % self.shards;
+        for &server in route {
+            self.put(self.cell(server as usize, class), amount, home);
+        }
+    }
+
+    fn would_fit(&self, server: usize, class: usize, rate: f64) -> bool {
+        to_millibits(rate) <= self.headroom(self.cell(server, class))
+    }
+
+    fn snapshot(&self, server: usize, class: usize) -> f64 {
+        let cell = self.cell(server, class);
+        (self.budgets[cell] - self.headroom(cell)) as f64 / SCALE
+    }
+
+    fn budget(&self, server: usize, class: usize) -> f64 {
+        self.budgets[self.cell(server, class)] as f64 / SCALE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sharded() -> ShardedBackend {
+        // Two servers at 1 Mb/s, one class at 50%, four shards.
+        ShardedBackend::new(&[1e6, 1e6], &[0.5], 4)
+    }
+
+    #[test]
+    fn single_cell_reserve_matches_atomic_semantics() {
+        let s = sharded();
+        // Budget 500 kb/s; 15 x 32 kb/s fit, the 16th does not.
+        for i in 0..15 {
+            assert!(s.try_reserve_path(&[0], 0, 32_000.0).is_ok(), "flow {i}");
+        }
+        let r = s.try_reserve_path(&[0], 0, 32_000.0);
+        assert_eq!(r, Err(PathReject { server: 0, retries: 0 }));
+        // Other server untouched.
+        assert!(s.try_reserve_path(&[1], 0, 32_000.0).is_ok());
+        assert_eq!(s.snapshot(0, 0), 480_000.0);
+        assert_eq!(s.budget(0, 0), 500_000.0);
+    }
+
+    #[test]
+    fn borrowing_crosses_shards_for_one_big_flow() {
+        // 500 kb/s split across 4 shards is 125 kb/s each; a 400 kb/s
+        // flow must borrow from three neighbors and still succeed.
+        let s = sharded();
+        assert!(s.try_reserve_path(&[0], 0, 400_000.0).is_ok());
+        assert!(!s.would_fit(0, 0, 200_000.0));
+        assert!(s.would_fit(0, 0, 100_000.0));
+        s.release_path(&[0], 0, 400_000.0);
+        assert_eq!(s.snapshot(0, 0), 0.0);
+        assert!(s.try_reserve_path(&[0], 0, 500_000.0).is_ok());
+    }
+
+    #[test]
+    fn failed_path_reservation_leaves_no_residue() {
+        let s = sharded();
+        assert!(s.try_reserve_path(&[1], 0, 500_000.0).is_ok());
+        // Path 0 -> 1 fails on server 1; server 0 must be rolled back.
+        let r = s.try_reserve_path(&[0, 1], 0, 32_000.0);
+        assert_eq!(r.unwrap_err().server, 1);
+        assert_eq!(s.snapshot(0, 0), 0.0);
+    }
+
+    #[test]
+    fn exact_boundary_admission() {
+        let s = sharded();
+        assert!(s.try_reserve_path(&[0], 0, 500_000.0).is_ok());
+        assert!(s.try_reserve_path(&[0], 0, 0.001).is_err());
+        assert_eq!(s.occupancy(0, 0), 1.0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardedBackend::new(&[1e6], &[0.5], 0).shards(), 1);
+        assert_eq!(ShardedBackend::new(&[1e6], &[0.5], 999).shards(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn uneven_budget_distributes_fully() {
+        // 10 millibits over 4 shards: 3,3,2,2 — nothing lost.
+        let s = ShardedBackend::new(&[0.01], &[1.0], 4);
+        assert_eq!(s.headroom(0), 10);
+        assert!(s.try_reserve_path(&[0], 0, 0.01).is_ok());
+        assert_eq!(s.headroom(0), 0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_budget() {
+        let s = Arc::new(ShardedBackend::new(&[1e6], &[0.5], 4));
+        let rate = 32_000.0;
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for _ in 0..100 {
+                    if s.try_reserve_path(&[0], 0, rate).is_ok() {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 15, "exactly budget/rate flows may succeed");
+        assert!(s.snapshot(0, 0) <= 500_000.0);
+    }
+
+    #[test]
+    fn concurrent_reserve_release_balances_to_zero() {
+        let s = Arc::new(ShardedBackend::new(&[1e8], &[0.5], 8));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let rate = 1000.0 + t as f64;
+                for _ in 0..1000 {
+                    if s.try_reserve_path(&[0], 0, rate).is_ok() {
+                        s.release_path(&[0], 0, rate);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot(0, 0), 0.0);
+    }
+}

@@ -106,6 +106,20 @@ pub fn run_churn<P: Policy>(
     class: ClassId,
     cfg: &ChurnConfig,
 ) -> ChurnStats {
+    run_churn_with(policy, pairs, class, cfg, |_, _| {})
+}
+
+/// Like [`run_churn`], with a per-tick hook called after departures and
+/// before the tick's arrival — the place to inject control-plane actions
+/// (e.g. an `AdmissionController::reconfigure` mid-churn) at a
+/// deterministic point in the request sequence.
+pub fn run_churn_with<P: Policy>(
+    policy: &mut P,
+    pairs: &[(NodeId, NodeId)],
+    class: ClassId,
+    cfg: &ChurnConfig,
+    mut on_tick: impl FnMut(u64, &mut P),
+) -> ChurnStats {
     assert!(!pairs.is_empty(), "need candidate pairs");
     assert!(cfg.mean_active > 0.0, "mean_active must be positive");
     let mut rng = SplitMix64::new(cfg.seed);
@@ -128,6 +142,7 @@ pub fn run_churn<P: Policy>(
                 active -= 1;
             }
         }
+        on_tick(tick, policy);
         // One arrival.
         let (src, dst) = pairs[rng.index(pairs.len())];
         stats.offered += 1;

@@ -1,17 +1,37 @@
 //! The utilization-based admission controller.
 //!
-//! Admission of a flow = walk its configured route and CAS-reserve its
-//! class rate on every link server; roll back on the first full link.
-//! O(path length) work, no global locks, no per-flow state anywhere but
-//! at the edge (the returned [`FlowHandle`]). This is the paper's entire
-//! run-time mechanism — the safety of the utilization levels was proven
-//! offline, so no delay computation happens here.
+//! Admission of a flow = walk its configured route and reserve its class
+//! rate on every link server through the generation's backend; roll back
+//! on the first full link. O(path length) work, no global locks, no
+//! per-flow state anywhere but at the edge (the returned [`FlowHandle`]).
+//! This is the paper's entire run-time mechanism — the safety of the
+//! utilization levels was proven offline, so no delay computation
+//! happens here.
+//!
+//! Configuration is *versioned*: the controller holds the current
+//! [`ConfigGeneration`] behind an epoch pointer, and
+//! [`reconfigure`](AdmissionController::reconfigure) installs a new one
+//! without pausing admission. The admit path resolves the pointer with a
+//! thread-local generation cache validated by one atomic epoch load, so
+//! the steady-state cost over a fixed-configuration controller is a load
+//! and a compare (the `reconfig_overhead` bench in `uba-bench` holds
+//! this under a few percent).
+//!
+//! **Transition semantics.** New admits see the new generation's fresh
+//! budgets immediately; flows admitted earlier keep an `Arc` to their
+//! own generation and release against *its* budgets. Until those flows
+//! drain, both generations hold reservations — the per-generation budget
+//! invariant always holds, but the *physical* link carries the union, so
+//! operators watching [`drain`](AdmissionController::drain) (or the
+//! `admission.generations.retired_pinned` gauge) should treat the new
+//! budgets as fully in force only once retired generations empty.
 
+use crate::generation::{BackendKind, ConfigGeneration};
 use crate::metrics::AdmissionMetrics;
-use crate::state::UtilizationState;
 use crate::table::RoutingTable;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use uba_graph::NodeId;
 use uba_obs::trace::{self, EventKind};
 use uba_traffic::{ClassId, ClassSet};
@@ -65,6 +85,41 @@ impl std::fmt::Display for Reject {
     }
 }
 
+/// What [`AdmissionController::reconfigure`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigReport {
+    /// Id of the generation now current.
+    pub generation: u64,
+    /// Id of the generation that was displaced.
+    pub previous: u64,
+    /// Flows that were still pinned to the displaced generation at swap
+    /// time (they drain against its budgets; see
+    /// [`drain`](AdmissionController::drain)).
+    pub pinned_previous: u64,
+}
+
+/// Flows still pinned to retired generations, as reported by
+/// [`AdmissionController::drain`].
+#[derive(Clone, Debug, Default)]
+pub struct DrainStatus {
+    /// `(generation id, live flows)` for every retired generation that
+    /// still holds reservations, oldest first.
+    pub retired: Vec<(u64, u64)>,
+}
+
+impl DrainStatus {
+    /// True when no retired generation holds reservations any more —
+    /// the current generation's budgets are fully in force.
+    pub fn is_drained(&self) -> bool {
+        self.retired.is_empty()
+    }
+
+    /// Total flows still pinned to retired generations.
+    pub fn pinned_flows(&self) -> u64 {
+        self.retired.iter().map(|&(_, n)| n).sum()
+    }
+}
+
 /// The run-time admission controller (shared-state handle; cheap to
 /// clone via `Arc` inside).
 #[derive(Clone, Debug)]
@@ -74,10 +129,14 @@ pub struct AdmissionController {
 
 #[derive(Debug)]
 struct Inner {
-    state: UtilizationState,
-    table: RoutingTable,
-    /// Per-class flow rate `ρ_i` in bits/s.
-    rates: Vec<f64>,
+    /// The current generation. Written only by `reconfigure`; the admit
+    /// path reads it through the thread-local cache below, touching this
+    /// mutex only when the epoch moved.
+    current: Mutex<Arc<ConfigGeneration>>,
+    /// Id of the current generation — the cache-validation epoch.
+    epoch: AtomicU64,
+    /// Displaced generations that still had pinned flows at swap time.
+    retired: Mutex<Vec<Arc<ConfigGeneration>>>,
     /// Instrumentation; `None` for unmetered controllers (the overhead
     /// benchmark's baseline).
     metrics: Option<AdmissionMetrics>,
@@ -86,11 +145,22 @@ struct Inner {
     flow_seq: AtomicU64,
 }
 
+thread_local! {
+    /// Last generation this thread admitted against. Generation ids are
+    /// process-unique, so one cache serves any number of controllers:
+    /// an id match against the owning controller's epoch can never be a
+    /// false positive.
+    static GEN_CACHE: RefCell<Option<Arc<ConfigGeneration>>> = const { RefCell::new(None) };
+}
+
 /// An admitted flow. Dropping the handle releases its bandwidth on every
-/// link of its route (RAII teardown = the paper's flow tear-down message).
+/// link of its route (RAII teardown = the paper's flow tear-down
+/// message) — against the generation it was admitted under, even if the
+/// controller has been reconfigured since.
 #[derive(Debug)]
 pub struct FlowHandle {
     inner: Arc<Inner>,
+    generation: Arc<ConfigGeneration>,
     class: usize,
     rate: f64,
     servers: Box<[u32]>,
@@ -100,7 +170,8 @@ pub struct FlowHandle {
 
 impl AdmissionController {
     /// Builds a controller from the configured routing table, the class
-    /// set, per-server capacities, and the verified utilization assignment.
+    /// set, per-server capacities, and the verified utilization
+    /// assignment, on the default [`AtomicBackend`](crate::AtomicBackend).
     ///
     /// The controller records admission metrics into the process-global
     /// [`uba_obs`] registry (see [`AdmissionMetrics`] for the names).
@@ -110,8 +181,7 @@ impl AdmissionController {
         capacities: &[f64],
         alphas: &[f64],
     ) -> Self {
-        let metrics = AdmissionMetrics::global(classes.len());
-        Self::build(table, classes, capacities, alphas, Some(metrics))
+        Self::with_backend(table, classes, capacities, alphas, BackendKind::Atomic)
     }
 
     /// Like [`new`](Self::new) but with no instrumentation at all — the
@@ -122,31 +192,74 @@ impl AdmissionController {
         capacities: &[f64],
         alphas: &[f64],
     ) -> Self {
-        Self::build(table, classes, capacities, alphas, None)
+        Self::from_generation_with_metrics(
+            ConfigGeneration::new(table, classes, capacities, alphas, BackendKind::Atomic),
+            None,
+        )
     }
 
-    fn build(
+    /// Like [`new`](Self::new) with an explicit reservation backend.
+    pub fn with_backend(
         table: RoutingTable,
         classes: &ClassSet,
         capacities: &[f64],
         alphas: &[f64],
+        kind: BackendKind,
+    ) -> Self {
+        Self::from_generation(ConfigGeneration::new(table, classes, capacities, alphas, kind))
+    }
+
+    /// Adopts an already-built generation (e.g. from
+    /// `uba_routing::Configuration::apply`) as the initial configuration,
+    /// with metrics.
+    pub fn from_generation(generation: ConfigGeneration) -> Self {
+        let metrics = AdmissionMetrics::global(generation.rates().len());
+        Self::from_generation_with_metrics(generation, Some(metrics))
+    }
+
+    fn from_generation_with_metrics(
+        generation: ConfigGeneration,
         metrics: Option<AdmissionMetrics>,
     ) -> Self {
-        assert_eq!(alphas.len(), classes.len(), "one alpha per class");
-        let state = UtilizationState::new(capacities, alphas);
-        let rates = classes.iter().map(|(_, c)| c.bucket.rate).collect();
-        Self {
+        let epoch = generation.id();
+        let ctrl = Self {
             inner: Arc::new(Inner {
-                state,
-                table,
-                rates,
+                current: Mutex::new(Arc::new(generation)),
+                epoch: AtomicU64::new(epoch),
+                retired: Mutex::new(Vec::new()),
                 metrics,
                 flow_seq: AtomicU64::new(0),
             }),
+        };
+        if let Some(m) = &ctrl.inner.metrics {
+            m.generation.set(epoch as f64);
         }
+        ctrl
     }
 
-    /// Attempts to admit one flow of `class` from `src` to `dst`.
+    /// The generation new admissions currently run against. The `Arc`
+    /// stays valid (and releasable-against) even after later
+    /// reconfigurations.
+    #[inline]
+    pub fn current_generation(&self) -> Arc<ConfigGeneration> {
+        let epoch = self.inner.epoch.load(Ordering::Acquire);
+        GEN_CACHE.with(|slot| {
+            {
+                let cached = slot.borrow();
+                if let Some(g) = cached.as_ref() {
+                    if g.id() == epoch {
+                        return Arc::clone(g);
+                    }
+                }
+            }
+            let g = Arc::clone(&self.inner.current.lock().unwrap());
+            *slot.borrow_mut() = Some(Arc::clone(&g));
+            g
+        })
+    }
+
+    /// Attempts to admit one flow of `class` from `src` to `dst` against
+    /// the current generation.
     ///
     /// On success the flow's rate is reserved on every link server of the
     /// configured route and a [`FlowHandle`] is returned; on failure
@@ -157,8 +270,25 @@ impl AdmissionController {
         src: NodeId,
         dst: NodeId,
     ) -> Result<FlowHandle, Reject> {
+        let generation = self.current_generation();
+        self.try_admit_on(&generation, class, src, dst)
+    }
+
+    /// Like [`try_admit`](Self::try_admit) but against an explicitly
+    /// pinned generation — batch admission under one configuration
+    /// snapshot, and the fixed-configuration baseline of the
+    /// `reconfig_overhead` benchmark. The handle releases against
+    /// `generation` regardless of later reconfigurations.
+    pub fn try_admit_on(
+        &self,
+        generation: &Arc<ConfigGeneration>,
+        class: ClassId,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<FlowHandle, Reject> {
         let inner = &self.inner;
-        let rate = inner.rates[class.index()];
+        let backend = generation.backend();
+        let rate = generation.rates()[class.index()];
         // Audit trail: one flight-recorder event per decision. Flow ids
         // are only minted while tracing is on, so a disabled recorder
         // costs the admit path a single relaxed load.
@@ -168,7 +298,7 @@ impl AdmissionController {
         } else {
             0
         };
-        let Some(route) = inner.table.route(src, dst, class) else {
+        let Some(route) = generation.table().route(src, dst, class) else {
             if let Some(m) = &inner.metrics {
                 m.rejects_no_route.inc();
             }
@@ -182,27 +312,43 @@ impl AdmissionController {
             );
             return Err(Reject::NoRoute);
         };
-        let mut cas_retries = 0u64;
-        for (i, &server) in route.iter().enumerate() {
-            let (ok, retries) =
-                inner
-                    .state
-                    .try_reserve_with_retries(server as usize, class.index(), rate);
-            cas_retries += retries as u64;
-            if !ok {
-                // Roll back the prefix we already hold.
-                for &held in &route[..i] {
-                    inner.state.release(held as usize, class.index(), rate);
+        match backend.try_reserve_path(route, class.index(), rate) {
+            Ok(cas_retries) => {
+                if let Some(m) = &inner.metrics {
+                    m.record_admit(route.len());
+                    if cas_retries > 0 {
+                        m.cas_retries.add(cas_retries as u64);
+                    }
                 }
+                tr.emit(
+                    EventKind::Admit,
+                    class.index(),
+                    flow,
+                    route.first().copied().unwrap_or(u32::MAX),
+                    rate,
+                    route.len() as f64,
+                );
+                generation.pin();
+                Ok(FlowHandle {
+                    inner: Arc::clone(inner),
+                    generation: Arc::clone(generation),
+                    class: class.index(),
+                    rate,
+                    servers: route.into(),
+                    flow,
+                })
+            }
+            Err(reject) => {
                 if let Some(m) = &inner.metrics {
                     m.rejects_link_full.inc();
                     m.rejects_link_full_class[class.index()].inc();
-                    if cas_retries > 0 {
-                        m.cas_retries.add(cas_retries);
+                    if reject.retries > 0 {
+                        m.cas_retries.add(reject.retries as u64);
                     }
                 }
-                let reserved_bps = inner.state.reserved(server as usize, class.index());
-                let budget_bps = inner.state.budget(server as usize, class.index());
+                let server = reject.server;
+                let reserved_bps = backend.snapshot(server as usize, class.index());
+                let budget_bps = backend.budget(server as usize, class.index());
                 tr.emit(
                     EventKind::RejectLinkFull,
                     class.index(),
@@ -211,94 +357,141 @@ impl AdmissionController {
                     reserved_bps,
                     budget_bps,
                 );
-                return Err(Reject::LinkFull {
+                Err(Reject::LinkFull {
                     server,
                     class,
                     reserved_bps,
                     budget_bps,
-                });
+                })
             }
         }
-        if let Some(m) = &inner.metrics {
-            m.record_admit(route.len());
-            if cas_retries > 0 {
-                m.cas_retries.add(cas_retries);
-            }
+    }
+
+    /// Installs `next` as the current generation without pausing
+    /// admission. Admissions racing the swap land on whichever
+    /// generation they resolved — either way their budgets are enforced
+    /// and their release goes to the same generation.
+    ///
+    /// The displaced generation is retired; flows admitted under it keep
+    /// draining against its budgets (see [`drain`](Self::drain) and the
+    /// transition-semantics note in the module docs).
+    pub fn reconfigure(&self, next: ConfigGeneration) -> ReconfigReport {
+        let t0 = std::time::Instant::now();
+        let next = Arc::new(next);
+        let next_id = next.id();
+        let old = {
+            let mut cur = self.inner.current.lock().unwrap();
+            let old = std::mem::replace(&mut *cur, next);
+            // Publish the epoch only after the pointer: a reader seeing
+            // the new epoch will find the new generation under the lock.
+            self.inner.epoch.store(next_id, Ordering::Release);
+            old
+        };
+        let swap_ns = t0.elapsed().as_nanos() as f64;
+        let previous = old.id();
+        let pinned_previous = old.pinned();
+        let tr = trace::global();
+        if pinned_previous > 0 {
+            self.inner.retired.lock().unwrap().push(old);
+        } else {
+            tr.emit(EventKind::GenerationRetired, 0, previous, u32::MAX, 0.0, 0.0);
         }
         tr.emit(
-            EventKind::Admit,
-            class.index(),
-            flow,
-            route.first().copied().unwrap_or(u32::MAX),
-            rate,
-            route.len() as f64,
+            EventKind::ReconfigApplied,
+            0,
+            next_id,
+            u32::MAX,
+            previous as f64,
+            pinned_previous as f64,
         );
-        Ok(FlowHandle {
-            inner: Arc::clone(inner),
-            class: class.index(),
-            rate,
-            servers: route.into(),
-            flow,
-        })
+        if let Some(m) = &self.inner.metrics {
+            m.reconfigures.inc();
+            m.reconfigure_ns.record(swap_ns);
+            m.generation.set(next_id as f64);
+        }
+        ReconfigReport {
+            generation: next_id,
+            previous,
+            pinned_previous,
+        }
     }
 
-    /// Reserved rate of `class` on a server, bits/s.
+    /// Reports retired generations that still hold reservations, pruning
+    /// (and trace-marking `GenerationRetired`) the ones that fully
+    /// drained since the last call.
+    pub fn drain(&self) -> DrainStatus {
+        let mut retired = self.inner.retired.lock().unwrap();
+        let tr = trace::global();
+        retired.retain(|g| {
+            if g.pinned() == 0 {
+                tr.emit(EventKind::GenerationRetired, 0, g.id(), u32::MAX, 0.0, 0.0);
+                false
+            } else {
+                true
+            }
+        });
+        let status = DrainStatus {
+            retired: retired.iter().map(|g| (g.id(), g.pinned())).collect(),
+        };
+        drop(retired);
+        if let Some(m) = &self.inner.metrics {
+            m.retired_pinned.set(status.pinned_flows() as f64);
+        }
+        status
+    }
+
+    /// Reserved rate of `class` on a server in the current generation,
+    /// bits/s.
     pub fn reserved(&self, server: usize, class: ClassId) -> f64 {
-        self.inner.state.reserved(server, class.index())
+        self.current_generation().backend().snapshot(server, class.index())
     }
 
-    pub(crate) fn state(&self) -> &UtilizationState {
-        &self.inner.state
-    }
-
-    pub(crate) fn table(&self) -> &RoutingTable {
-        &self.inner.table
-    }
-
-    pub(crate) fn rate_of(&self, class: ClassId) -> f64 {
-        self.inner.rates[class.index()]
-    }
-
-    /// Fraction of the class budget in use on a server.
+    /// Fraction of the class budget in use on a server (current
+    /// generation).
     pub fn occupancy(&self, server: usize, class: ClassId) -> f64 {
-        self.inner.state.occupancy(server, class.index())
+        self.current_generation().backend().occupancy(server, class.index())
     }
 
     /// Upper bound on concurrently admissible flows of `class` on one
     /// link: `⌊α_i·C / ρ_i⌋`.
     pub fn per_link_flow_capacity(&self, server: usize, class: ClassId) -> usize {
-        (self.inner.state.budget(server, class.index()) / self.inner.rates[class.index()]) as usize
+        let g = self.current_generation();
+        (g.backend().budget(server, class.index()) / g.rates()[class.index()]) as usize
     }
 
     /// Snapshot of every server's class occupancy (fraction of its
     /// budget in use) — the operator's utilization dashboard.
     pub fn occupancy_snapshot(&self, class: ClassId) -> Vec<f64> {
-        (0..self.inner.state.servers())
-            .map(|k| self.inner.state.occupancy(k, class.index()))
+        let g = self.current_generation();
+        let backend = g.backend();
+        (0..backend.servers())
+            .map(|k| backend.occupancy(k, class.index()))
             .collect()
     }
 
     /// Recomputes the per-class utilization gauges
     /// (`admission.class<i>.max_share`, `admission.class<i>.reserved_bps`)
-    /// from the live reservation state. O(servers × classes) — called on
-    /// demand (snapshot/report time), never from the admit path. A no-op
-    /// on an unmetered controller.
+    /// from the live reservation state, and the generation-drain gauge.
+    /// O(servers × classes) — called on demand (snapshot/report time),
+    /// never from the admit path. A no-op on an unmetered controller.
     pub fn refresh_gauges(&self) {
         let Some(m) = &self.inner.metrics else {
             return;
         };
         m.flush();
-        let state = &self.inner.state;
-        for class in 0..state.classes() {
+        let g = self.current_generation();
+        let backend = g.backend();
+        for class in 0..backend.classes() {
             let mut max_share = 0.0f64;
             let mut total_bps = 0.0f64;
-            for server in 0..state.servers() {
-                max_share = max_share.max(state.occupancy(server, class));
-                total_bps += state.reserved(server, class);
+            for server in 0..backend.servers() {
+                max_share = max_share.max(backend.occupancy(server, class));
+                total_bps += backend.snapshot(server, class);
             }
             m.class_max_share[class].set(max_share);
             m.class_reserved_bps[class].set(total_bps);
         }
+        self.drain();
     }
 
     /// Publishes this thread's buffered hot-path metric deltas (see
@@ -333,13 +526,20 @@ impl FlowHandle {
     pub fn rate(&self) -> f64 {
         self.rate
     }
+
+    /// Id of the generation the flow was admitted under (and will
+    /// release against).
+    pub fn generation(&self) -> u64 {
+        self.generation.id()
+    }
 }
 
 impl Drop for FlowHandle {
     fn drop(&mut self) {
-        for &server in self.servers.iter() {
-            self.inner.state.release(server as usize, self.class, self.rate);
-        }
+        self.generation
+            .backend()
+            .release_path(&self.servers, self.class, self.rate);
+        self.generation.unpin();
         if let Some(m) = &self.inner.metrics {
             m.record_release();
         }
@@ -361,46 +561,68 @@ mod tests {
     use uba_traffic::TrafficClass;
 
     /// 0 -> 1 -> 2 with routes (0,2) and (1,2); link 1->2 is shared.
-    fn setup(alpha: f64) -> (AdmissionController, usize) {
+    fn topology() -> (RoutingTable, usize, usize) {
         let mut g = Digraph::with_nodes(3);
         let (e01, _) = g.add_link(NodeId(0), NodeId(1), 1.0);
         let (e12, _) = g.add_link(NodeId(1), NodeId(2), 1.0);
         let mut table = RoutingTable::new();
         table.insert(ClassId(0), &Path::from_edges(&g, vec![e01, e12]));
         table.insert(ClassId(0), &Path::from_edges(&g, vec![e12]));
+        (table, e12.index(), g.edge_count())
+    }
+
+    fn setup(alpha: f64) -> (AdmissionController, usize) {
+        setup_on(alpha, BackendKind::Atomic)
+    }
+
+    fn setup_on(alpha: f64, kind: BackendKind) -> (AdmissionController, usize) {
+        let (table, shared, edges) = topology();
         let classes = ClassSet::single(TrafficClass::voip());
-        let caps = vec![1e6; g.edge_count()];
-        let ctrl = AdmissionController::new(table, &classes, &caps, &[alpha]);
-        (ctrl, e12.index())
+        let caps = vec![1e6; edges];
+        let ctrl = AdmissionController::with_backend(table, &classes, &caps, &[alpha], kind);
+        (ctrl, shared)
+    }
+
+    fn fresh_generation(alpha: f64) -> ConfigGeneration {
+        let (table, _, edges) = topology();
+        ConfigGeneration::new(
+            table,
+            &ClassSet::single(TrafficClass::voip()),
+            &vec![1e6; edges],
+            &[alpha],
+            BackendKind::Atomic,
+        )
     }
 
     #[test]
     fn admits_until_shared_link_full() {
-        // alpha 0.32 on 1 Mb/s => 10 voip flows on the shared link.
-        let (ctrl, shared) = setup(0.32);
-        let mut handles = Vec::new();
-        for i in 0..10 {
-            let h = ctrl
-                .try_admit(ClassId(0), NodeId(0), NodeId(2))
-                .unwrap_or_else(|e| panic!("flow {i} rejected: {e:?}"));
-            handles.push(h);
-        }
-        let r = ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2));
-        match r {
-            Err(Reject::LinkFull {
-                server,
-                class,
-                reserved_bps,
-                budget_bps,
-            }) => {
-                assert_eq!(server, shared as u32);
-                assert_eq!(class, ClassId(0));
-                assert_eq!(reserved_bps, 320_000.0);
-                assert_eq!(budget_bps, 320_000.0);
+        for kind in [BackendKind::Atomic, BackendKind::Sharded(4)] {
+            // alpha 0.32 on 1 Mb/s => 10 voip flows on the shared link.
+            let (ctrl, shared) = setup_on(0.32, kind);
+            let mut handles = Vec::new();
+            for i in 0..10 {
+                let h = ctrl
+                    .try_admit(ClassId(0), NodeId(0), NodeId(2))
+                    .unwrap_or_else(|e| panic!("flow {i} rejected: {e:?}"));
+                handles.push(h);
             }
-            other => panic!("expected LinkFull, got {other:?}"),
+            let r = ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2));
+            match r {
+                Err(Reject::LinkFull {
+                    server,
+                    class,
+                    reserved_bps,
+                    budget_bps,
+                }) => {
+                    assert_eq!(server, shared as u32);
+                    assert_eq!(class, ClassId(0));
+                    assert_eq!(reserved_bps, 320_000.0);
+                    assert_eq!(budget_bps, 320_000.0);
+                }
+                other => panic!("expected LinkFull, got {other:?}"),
+            }
+            assert_eq!(ctrl.per_link_flow_capacity(shared, ClassId(0)), 10);
         }
-        assert_eq!(ctrl.per_link_flow_capacity(shared, ClassId(0)), 10);
     }
 
     #[test]
@@ -541,27 +763,125 @@ mod tests {
 
     #[test]
     fn concurrent_admission_respects_budget() {
-        let (ctrl, shared) = setup(0.32);
-        let mut threads = Vec::new();
-        for _ in 0..8 {
-            let ctrl = ctrl.clone();
-            threads.push(std::thread::spawn(move || {
-                let mut held = Vec::new();
-                for _ in 0..5 {
-                    if let Ok(h) = ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)) {
-                        held.push(h);
+        for kind in [BackendKind::Atomic, BackendKind::Sharded(4)] {
+            let (ctrl, shared) = setup_on(0.32, kind);
+            let mut threads = Vec::new();
+            for _ in 0..8 {
+                let ctrl = ctrl.clone();
+                threads.push(std::thread::spawn(move || {
+                    let mut held = Vec::new();
+                    for _ in 0..5 {
+                        if let Ok(h) = ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)) {
+                            held.push(h);
+                        }
                     }
-                }
-                // Keep the handles alive until the main thread has counted
-                // them, so freed capacity cannot be re-admitted mid-test.
-                held
-            }));
+                    // Keep the handles alive until the main thread has counted
+                    // them, so freed capacity cannot be re-admitted mid-test.
+                    held
+                }));
+            }
+            let all: Vec<Vec<FlowHandle>> =
+                threads.into_iter().map(|t| t.join().unwrap()).collect();
+            let admitted: usize = all.iter().map(Vec::len).sum();
+            assert_eq!(admitted, 10, "exactly the link capacity must be admitted");
+            drop(all);
+            assert_eq!(ctrl.reserved(shared, ClassId(0)), 0.0);
         }
-        let all: Vec<Vec<FlowHandle>> =
-            threads.into_iter().map(|t| t.join().unwrap()).collect();
-        let admitted: usize = all.iter().map(Vec::len).sum();
-        assert_eq!(admitted, 10, "exactly the link capacity must be admitted");
-        drop(all);
+    }
+
+    #[test]
+    fn reconfigure_swaps_generation_without_dropping_flows() {
+        let (ctrl, shared) = setup(0.32);
+        let g0 = ctrl.current_generation().id();
+        let held: Vec<_> = (0..10)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).unwrap())
+            .collect();
+        assert!(ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).is_err());
+
+        // Install a half-alpha generation: 5 flows per link from now on.
+        let report = ctrl.reconfigure(fresh_generation(0.16));
+        assert_eq!(report.previous, g0);
+        assert_eq!(report.pinned_previous, 10);
+        assert_eq!(ctrl.current_generation().id(), report.generation);
+        // Old flows keep their generation and still drain against it.
+        assert_eq!(held[0].generation(), g0);
+        let status = ctrl.drain();
+        assert_eq!(status.retired, vec![(g0, 10)]);
+        assert_eq!(status.pinned_flows(), 10);
+
+        // New admissions run against the new (empty) budgets.
+        let new_held: Vec<_> = (0..5)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).unwrap())
+            .collect();
+        assert!(ctrl.try_admit(ClassId(0), NodeId(1), NodeId(2)).is_err());
+        assert_eq!(ctrl.reserved(shared, ClassId(0)), 5.0 * 32_000.0);
+
+        // Draining the old flows balances the old generation to zero and
+        // prunes it from the retired list.
+        drop(held);
+        let status = ctrl.drain();
+        assert!(status.is_drained(), "{status:?}");
+        drop(new_held);
         assert_eq!(ctrl.reserved(shared, ClassId(0)), 0.0);
+    }
+
+    #[test]
+    fn reconfigure_identical_config_is_a_semantic_noop() {
+        // Decision function before == after on a quiescent controller:
+        // saturate, record decisions, release, reconfigure to an
+        // identical generation, repeat — the sequences must match.
+        let (ctrl, _) = setup(0.32);
+        let run = |ctrl: &AdmissionController| {
+            let mut held = Vec::new();
+            let decisions: Vec<bool> = (0..12)
+                .map(|_| match ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)) {
+                    Ok(h) => {
+                        held.push(h);
+                        true
+                    }
+                    Err(_) => false,
+                })
+                .collect();
+            drop(held);
+            decisions
+        };
+        let before = run(&ctrl);
+        let report = ctrl.reconfigure(fresh_generation(0.32));
+        assert_eq!(report.pinned_previous, 0);
+        assert!(ctrl.drain().is_drained());
+        let after = run(&ctrl);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn try_admit_on_pins_the_given_generation() {
+        let (ctrl, _) = setup(0.32);
+        let g0 = ctrl.current_generation();
+        ctrl.reconfigure(fresh_generation(0.32));
+        // Admitting on the displaced generation still works and releases
+        // against it.
+        let h = ctrl.try_admit_on(&g0, ClassId(0), NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(h.generation(), g0.id());
+        assert_eq!(g0.pinned(), 1);
+        assert_eq!(g0.backend().snapshot(2, 0), 32_000.0);
+        assert_eq!(ctrl.reserved(2, ClassId(0)), 0.0, "current gen untouched");
+        drop(h);
+        assert_eq!(g0.pinned(), 0);
+        assert_eq!(g0.backend().snapshot(2, 0), 0.0);
+    }
+
+    #[test]
+    fn generation_cache_follows_controller_switches() {
+        // Two controllers used alternately from one thread: the
+        // process-unique ids keep the thread-local cache correct.
+        let (a, _) = setup(0.32);
+        let (b, _) = setup(0.32);
+        for _ in 0..3 {
+            assert_eq!(a.current_generation().id(), a.inner.epoch.load(Ordering::Relaxed));
+            assert_eq!(b.current_generation().id(), b.inner.epoch.load(Ordering::Relaxed));
+        }
+        a.reconfigure(fresh_generation(0.32));
+        assert_eq!(a.current_generation().id(), a.inner.epoch.load(Ordering::Relaxed));
+        assert_eq!(b.current_generation().id(), b.inner.epoch.load(Ordering::Relaxed));
     }
 }

@@ -6,7 +6,7 @@
 //! tried, the first link that cannot fit the flow, and the
 //! observed-vs-budget utilization and headroom on that link. The dry run
 //! uses the same exact integer-millibit predicate as the real admission
-//! test ([`UtilizationState::would_fit`](crate::UtilizationState)), so
+//! test ([`AdmissionBackend::would_fit`](crate::AdmissionBackend)), so
 //! against an unchanged state the diagnosis can never disagree with what
 //! [`try_admit`](crate::AdmissionController::try_admit) would do —
 //! the explainability contract SDN delay-guarantee controllers expose as
@@ -150,13 +150,17 @@ impl AdmissionController {
     /// [`try_admit`](Self::try_admit) would do for one flow of `class`
     /// from `src` to `dst` right now, and why.
     ///
-    /// On a would-be `LinkFull` the diagnosed link is the *first* link
-    /// along the path whose class headroom cannot fit the flow rate
-    /// (matching the walk order of the real admit path); on a would-be
-    /// admission it is the tightest-headroom link, which is the one that
-    /// will fail first as load grows.
+    /// The diagnosis resolves the configuration generation once and runs
+    /// entirely against that snapshot, so it stays self-consistent even
+    /// if a `reconfigure` lands mid-call. On a would-be `LinkFull` the
+    /// diagnosed link is the *first* link along the path whose class
+    /// headroom cannot fit the flow rate (matching the walk order of the
+    /// real admit path); on a would-be admission it is the
+    /// tightest-headroom link, which is the one that will fail first as
+    /// load grows.
     pub fn explain(&self, class: ClassId, src: NodeId, dst: NodeId) -> Explain {
-        let rate = self.rate_of(class);
+        let generation = self.current_generation();
+        let rate = generation.rates()[class.index()];
         let mut ex = Explain {
             class,
             src,
@@ -168,11 +172,11 @@ impl AdmissionController {
             reserved_bps: 0.0,
             budget_bps: 0.0,
         };
-        let Some(route) = self.table().route(src, dst, class) else {
+        let Some(route) = generation.table().route(src, dst, class) else {
             return ex;
         };
         ex.path = route.to_vec();
-        let state = self.state();
+        let state = generation.backend();
         let c = class.index();
         ex.verdict = ExplainVerdict::Admissible;
         let mut tightest: Option<(u32, f64)> = None;
@@ -181,18 +185,18 @@ impl AdmissionController {
             if !state.would_fit(s, c, rate) {
                 ex.verdict = ExplainVerdict::LinkFull;
                 ex.link = Some(server);
-                ex.reserved_bps = state.reserved(s, c);
+                ex.reserved_bps = state.snapshot(s, c);
                 ex.budget_bps = state.budget(s, c);
                 return ex;
             }
-            let headroom = state.budget(s, c) - state.reserved(s, c);
+            let headroom = state.budget(s, c) - state.snapshot(s, c);
             if tightest.is_none_or(|(_, h)| headroom < h) {
                 tightest = Some((server, headroom));
             }
         }
         if let Some((server, _)) = tightest {
             ex.link = Some(server);
-            ex.reserved_bps = state.reserved(server as usize, c);
+            ex.reserved_bps = state.snapshot(server as usize, c);
             ex.budget_bps = state.budget(server as usize, c);
         }
         ex
@@ -292,5 +296,52 @@ mod tests {
         let msg = ex.to_string();
         assert!(msg.contains(&format!("link {shared} full")), "{msg}");
         assert!(msg.contains("320.0"), "{msg}");
+    }
+
+    #[test]
+    fn explain_json_round_trips_every_verdict() {
+        // Every field of every verdict shape must survive
+        // serialize -> uba_obs::json::parse -> compare.
+        let (ctrl, _) = setup(0.32);
+        let _h: Vec<_> = (0..10)
+            .map(|_| ctrl.try_admit(ClassId(0), NodeId(0), NodeId(2)).unwrap())
+            .collect();
+        let cases = [
+            ctrl.explain(ClassId(0), NodeId(2), NodeId(0)), // no_route
+            ctrl.explain(ClassId(0), NodeId(0), NodeId(2)), // link_full
+        ];
+        let (released, _) = setup(0.32);
+        let admissible = released.explain(ClassId(0), NodeId(0), NodeId(2));
+        use uba_obs::json::JsonValue;
+        for ex in cases.iter().chain(std::iter::once(&admissible)) {
+            let line = ex.to_json_line();
+            let v = uba_obs::json::parse(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            let num = |k: &str| v.get(k).and_then(JsonValue::as_number);
+            assert_eq!(num("class"), Some(ex.class.index() as f64), "{line}");
+            assert_eq!(num("src"), Some(ex.src.0 as f64), "{line}");
+            assert_eq!(num("dst"), Some(ex.dst.0 as f64), "{line}");
+            assert_eq!(
+                v.get("verdict").and_then(JsonValue::as_str),
+                Some(ex.verdict.as_str()),
+                "{line}"
+            );
+            let path: Vec<f64> = match v.get("path") {
+                Some(JsonValue::Array(items)) => {
+                    items.iter().map(|i| i.as_number().unwrap()).collect()
+                }
+                other => panic!("path must be an array, got {other:?}: {line}"),
+            };
+            let expect: Vec<f64> = ex.path.iter().map(|&s| s as f64).collect();
+            assert_eq!(path, expect, "{line}");
+            assert_eq!(num("flow_rate_bps"), Some(ex.flow_rate_bps), "{line}");
+            match ex.link {
+                Some(l) => assert_eq!(num("link"), Some(l as f64), "{line}"),
+                None => assert_eq!(v.get("link"), Some(&JsonValue::Null), "{line}"),
+            }
+            assert_eq!(num("reserved_bps"), Some(ex.reserved_bps), "{line}");
+            assert_eq!(num("budget_bps"), Some(ex.budget_bps), "{line}");
+            assert_eq!(num("utilization"), Some(ex.observed_utilization()), "{line}");
+            assert_eq!(num("headroom_bps"), Some(ex.headroom_bps()), "{line}");
+        }
     }
 }

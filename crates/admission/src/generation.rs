@@ -1,0 +1,164 @@
+//! Immutable configuration generations.
+//!
+//! The paper splits the system into a config-time half (prove a safe
+//! utilization assignment) and a run-time half (admit against it). A
+//! [`ConfigGeneration`] is one *installable unit* of config-time output:
+//! the routing table, the per-class utilization shares, and the budgets
+//! they induce, frozen together with a fresh reservation backend. The
+//! controller swaps an `Arc<ConfigGeneration>` behind an epoch pointer
+//! (see [`AdmissionController::reconfigure`]), so a generation is never
+//! mutated after installation — in-flight flows admitted under it keep
+//! their `Arc` and release against *its* budgets even after it has been
+//! superseded.
+//!
+//! [`AdmissionController::reconfigure`]: crate::AdmissionController::reconfigure
+
+use crate::backend::{AdmissionBackend, AtomicBackend, ShardedBackend};
+use crate::table::RoutingTable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use uba_traffic::ClassSet;
+
+/// Which reservation backend a generation allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// One CAS counter per (server, class) — [`AtomicBackend`].
+    #[default]
+    Atomic,
+    /// Budgets striped across shards with neighbor borrowing —
+    /// [`ShardedBackend`] (shard count clamped to
+    /// `1..=`[`MAX_SHARDS`](crate::backend::MAX_SHARDS)).
+    Sharded(usize),
+}
+
+/// Generation ids are unique across the whole process (not per
+/// controller): a thread-local generation cache can then key on the id
+/// alone, and trace events from different controllers never collide.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One immutable (routing table, alphas, budgets) snapshot plus its
+/// reservation backend.
+#[derive(Debug)]
+pub struct ConfigGeneration {
+    id: u64,
+    table: RoutingTable,
+    /// Per-class flow rate `ρ_i`, bits/s.
+    rates: Vec<f64>,
+    /// Per-class utilization share `α_i` this generation was verified at.
+    alphas: Vec<f64>,
+    backend: Box<dyn AdmissionBackend>,
+    /// Live flows admitted under this generation (incremented on admit,
+    /// decremented when their handle drops) — what `drain` reports.
+    pinned: AtomicU64,
+}
+
+impl ConfigGeneration {
+    /// Freezes a configuration: the committed routing table, the class
+    /// set (for per-flow rates), per-server capacities, and the verified
+    /// utilization assignment, with a fresh backend of the given kind.
+    pub fn new(
+        table: RoutingTable,
+        classes: &ClassSet,
+        capacities: &[f64],
+        alphas: &[f64],
+        kind: BackendKind,
+    ) -> Self {
+        assert_eq!(alphas.len(), classes.len(), "one alpha per class");
+        let backend: Box<dyn AdmissionBackend> = match kind {
+            BackendKind::Atomic => Box::new(AtomicBackend::new(capacities, alphas)),
+            BackendKind::Sharded(n) => Box::new(ShardedBackend::new(capacities, alphas, n)),
+        };
+        Self {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            table,
+            rates: classes.iter().map(|(_, c)| c.bucket.rate).collect(),
+            alphas: alphas.to_vec(),
+            backend,
+            pinned: AtomicU64::new(0),
+        }
+    }
+
+    /// Process-unique generation id (monotone in creation order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The frozen routing table.
+    pub fn table(&self) -> &RoutingTable {
+        &self.table
+    }
+
+    /// Per-class flow rates `ρ_i`, bits/s.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// The utilization assignment this generation was verified at.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas
+    }
+
+    /// The reservation backend holding this generation's budgets.
+    pub fn backend(&self) -> &dyn AdmissionBackend {
+        &*self.backend
+    }
+
+    /// Live flows still holding reservations in this generation.
+    pub fn pinned(&self) -> u64 {
+        self.pinned.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn pin(&self) {
+        self.pinned.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn unpin(&self) {
+        let prev = self.pinned.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "unpin without a matching pin");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uba_traffic::TrafficClass;
+
+    fn generation(kind: BackendKind) -> ConfigGeneration {
+        ConfigGeneration::new(
+            RoutingTable::new(),
+            &ClassSet::single(TrafficClass::voip()),
+            &[1e6, 1e6],
+            &[0.5],
+            kind,
+        )
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotone() {
+        let a = generation(BackendKind::Atomic);
+        let b = generation(BackendKind::Sharded(4));
+        assert!(b.id() > a.id());
+    }
+
+    #[test]
+    fn backend_kind_selects_implementation() {
+        let a = generation(BackendKind::Atomic);
+        let s = generation(BackendKind::Sharded(4));
+        // Both enforce the same budgets.
+        assert_eq!(a.backend().budget(0, 0), 500_000.0);
+        assert_eq!(s.backend().budget(0, 0), 500_000.0);
+        assert_eq!(a.rates(), &[32_000.0]);
+        assert_eq!(a.alphas(), &[0.5]);
+        assert!(format!("{:?}", s.backend()).contains("ShardedBackend"));
+    }
+
+    #[test]
+    fn pin_counting() {
+        let g = generation(BackendKind::Atomic);
+        assert_eq!(g.pinned(), 0);
+        g.pin();
+        g.pin();
+        assert_eq!(g.pinned(), 2);
+        g.unpin();
+        assert_eq!(g.pinned(), 1);
+    }
+}

@@ -3,15 +3,26 @@
 //! After configuration has fixed routes and verified a safe utilization
 //! assignment, admitting a flow reduces to: *does every link server on the
 //! flow's route have `α_i·C` headroom left for its class?* This crate
-//! implements that test so it is cheap, concurrent, and exact:
+//! implements that test so it is cheap, concurrent, exact, and — because
+//! configurations change under load — *versioned*:
 //!
 //! * [`state`] — per-(server, class) reserved-rate counters as lock-free
 //!   atomics with CAS reservation; the class budget is never exceeded,
 //!   even under concurrent admissions.
+//! * [`backend`] — the pluggable reservation-state contract
+//!   ([`AdmissionBackend`]): the CAS counters above as [`AtomicBackend`],
+//!   plus a budget-striping [`ShardedBackend`] that spreads hot-link CAS
+//!   contention across shards with borrow-from-neighbor semantics.
+//! * [`generation`] — immutable [`ConfigGeneration`] snapshots (routing
+//!   table + alphas + budgets + fresh backend), the installable unit of
+//!   config-time output.
 //! * [`table`] — the configured routing table mapping (src, dst, class)
 //!   to the committed route.
 //! * [`controller`] — the utilization-based admission controller with
-//!   RAII flow handles (dropping a handle releases its bandwidth).
+//!   RAII flow handles (dropping a handle releases its bandwidth) and
+//!   live reconfiguration: generations swap behind an epoch pointer
+//!   without pausing admission, and in-flight flows drain against the
+//!   generation they were admitted under.
 //! * [`baseline`] — an intserv-style comparator that re-runs the
 //!   flow-aware general delay analysis over *all* established flows on
 //!   every admission: the O(flows) cost the paper's design eliminates
@@ -28,18 +39,22 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
 pub mod churn;
 pub mod controller;
 pub mod explain;
+pub mod generation;
 pub mod metrics;
 pub mod state;
 pub mod table;
 
+pub use backend::{AdmissionBackend, AtomicBackend, PathReject, ShardedBackend};
 pub use baseline::PerFlowAdmission;
-pub use churn::{run_churn, ChurnConfig, ChurnStats, Policy};
-pub use controller::{AdmissionController, FlowHandle, Reject};
+pub use churn::{run_churn, run_churn_with, ChurnConfig, ChurnStats, Policy};
+pub use controller::{AdmissionController, DrainStatus, FlowHandle, Reject, ReconfigReport};
 pub use explain::{Explain, ExplainVerdict};
+pub use generation::{BackendKind, ConfigGeneration};
 pub use metrics::AdmissionMetrics;
 pub use state::UtilizationState;
 pub use table::RoutingTable;

@@ -132,6 +132,10 @@ thread_local! {
 /// | `admission.path_hops` | histogram | route length per admitted flow |
 /// | `admission.class<i>.max_share` | gauge | peak budget share of class i |
 /// | `admission.class<i>.reserved_bps` | gauge | total reserved rate of class i |
+/// | `admission.generation` | gauge | id of the current config generation |
+/// | `admission.generations.retired_pinned` | gauge | flows pinned to retired generations |
+/// | `admission.reconfigures` | counter | generation swaps applied |
+/// | `admission.reconfigure_ns` | histogram | swap latency (pointer install), ns |
 #[derive(Clone, Debug)]
 pub struct AdmissionMetrics {
     /// Flows admitted.
@@ -152,6 +156,15 @@ pub struct AdmissionMetrics {
     pub class_max_share: Vec<Arc<Gauge>>,
     /// Per-class total reserved rate in bits/s (refreshed on demand).
     pub class_reserved_bps: Vec<Arc<Gauge>>,
+    /// Id of the currently installed configuration generation.
+    pub generation: Arc<Gauge>,
+    /// Flows still pinned to retired generations (refreshed by
+    /// `drain`/`refresh_gauges`).
+    pub retired_pinned: Arc<Gauge>,
+    /// Configuration generation swaps applied.
+    pub reconfigures: Arc<Counter>,
+    /// Latency of the generation-pointer swap itself, nanoseconds.
+    pub reconfigure_ns: Arc<Histogram>,
 }
 
 impl AdmissionMetrics {
@@ -174,6 +187,10 @@ impl AdmissionMetrics {
             class_reserved_bps: (0..classes)
                 .map(|i| registry.gauge(&format!("admission.class{i}.reserved_bps")))
                 .collect(),
+            generation: registry.gauge("admission.generation"),
+            retired_pinned: registry.gauge("admission.generations.retired_pinned"),
+            reconfigures: registry.counter("admission.reconfigures"),
+            reconfigure_ns: registry.histogram("admission.reconfigure_ns", 2.0),
         }
     }
 

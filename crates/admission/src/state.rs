@@ -11,11 +11,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Rates are stored in millibits/second: exact integer accounting with
 /// enough resolution for any practical rate.
-const SCALE: f64 = 1000.0;
+pub(crate) const SCALE: f64 = 1000.0;
 
-fn to_millibits(rate: f64) -> u64 {
+/// Largest millibit value that is exactly representable as an `f64`
+/// (2^53). Above this, `rate * SCALE` silently loses integer precision
+/// and the "exact accounting" invariant would be fiction; 2^53 mb/s is
+/// ~9 Pb/s, far beyond any link this model describes.
+pub(crate) const MAX_EXACT_MILLIBITS: f64 = 9_007_199_254_740_992.0;
+
+pub(crate) fn to_millibits(rate: f64) -> u64 {
     assert!(rate >= 0.0 && rate.is_finite(), "rate must be >= 0");
-    (rate * SCALE).round() as u64
+    let mb = (rate * SCALE).round();
+    assert!(
+        mb <= MAX_EXACT_MILLIBITS,
+        "rate {rate} bits/s exceeds exact millibit accounting range \
+         ({MAX_EXACT_MILLIBITS} mb/s)"
+    );
+    mb as u64
 }
 
 /// Reserved-rate counters for every (server, class) pair.
@@ -271,5 +283,21 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn invalid_alpha_rejected() {
         UtilizationState::new(&[1e6], &[1.5]);
+    }
+
+    #[test]
+    fn millibits_exact_at_the_precision_boundary() {
+        // The largest exactly-representable millibit count converts.
+        assert_eq!(
+            to_millibits(MAX_EXACT_MILLIBITS / SCALE),
+            MAX_EXACT_MILLIBITS as u64
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds exact millibit accounting range")]
+    fn millibits_overflow_rejected() {
+        // 1e16 bits/s -> 1e19 millibits, past f64's exact-integer range.
+        to_millibits(1e16);
     }
 }

@@ -1,0 +1,190 @@
+//! Live-reconfiguration stress: admitters, releases, and generation
+//! swaps all racing, with an observer asserting the budget invariant the
+//! whole time.
+//!
+//! The safety claim under test: at every instant, every generation's
+//! backend holds `reserved ≤ budget` on every (server, class) — the
+//! paper's admission guarantee — no matter how `reconfigure` interleaves
+//! with admissions, and when everything drains, every generation
+//! balances back to exactly zero (releases always land on the admitting
+//! generation).
+//!
+//! The default run is sized for CI; build with `--features prop-tests`
+//! for a heavier soak (more threads, more arrivals, more swaps).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use uba_admission::{
+    AdmissionController, BackendKind, ConfigGeneration, RoutingTable,
+};
+use uba_graph::{Digraph, NodeId, Path};
+use uba_obs::SplitMix64;
+use uba_traffic::{ClassId, ClassSet, TrafficClass};
+
+#[cfg(not(feature = "prop-tests"))]
+const ADMITTERS: usize = 4;
+#[cfg(feature = "prop-tests")]
+const ADMITTERS: usize = 8;
+
+#[cfg(not(feature = "prop-tests"))]
+const ARRIVALS_PER_THREAD: usize = 4_000;
+#[cfg(feature = "prop-tests")]
+const ARRIVALS_PER_THREAD: usize = 40_000;
+
+#[cfg(not(feature = "prop-tests"))]
+const RECONFIGURES: usize = 12;
+#[cfg(feature = "prop-tests")]
+const RECONFIGURES: usize = 100;
+
+/// 0 -> 1 -> 2 with routes (0,2) and (1,2); link 1->2 is shared, so the
+/// two pairs contend for the same budget.
+fn build_generation(alpha: f64, kind: BackendKind) -> ConfigGeneration {
+    let mut g = Digraph::with_nodes(3);
+    let (e01, _) = g.add_link(NodeId(0), NodeId(1), 1.0);
+    let (e12, _) = g.add_link(NodeId(1), NodeId(2), 1.0);
+    let mut table = RoutingTable::new();
+    table.insert(ClassId(0), &Path::from_edges(&g, vec![e01, e12]));
+    table.insert(ClassId(0), &Path::from_edges(&g, vec![e12]));
+    ConfigGeneration::new(
+        table,
+        &ClassSet::single(TrafficClass::voip()),
+        &vec![1e6; g.edge_count()],
+        &[alpha],
+        kind,
+    )
+}
+
+/// Every generation's backend must satisfy `reserved ≤ budget` on every
+/// (server, class) cell.
+fn assert_budget_invariant(generations: &[Arc<ConfigGeneration>]) {
+    for g in generations {
+        let backend = g.backend();
+        for server in 0..backend.servers() {
+            for class in 0..backend.classes() {
+                let reserved = backend.snapshot(server, class);
+                let budget = backend.budget(server, class);
+                assert!(
+                    reserved <= budget + 1e-6,
+                    "generation {}: server {server} class {class} holds {reserved} of {budget}",
+                    g.id()
+                );
+            }
+        }
+    }
+}
+
+fn stress(kind: BackendKind) {
+    let ctrl = AdmissionController::from_generation(build_generation(0.32, kind));
+    // Every generation ever installed, for invariant checks and the
+    // final balance audit.
+    let generations: Arc<Mutex<Vec<Arc<ConfigGeneration>>>> =
+        Arc::new(Mutex::new(vec![ctrl.current_generation()]));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let admitters: Vec<_> = (0..ADMITTERS)
+        .map(|t| {
+            let ctrl = ctrl.clone();
+            std::thread::spawn(move || {
+                let mut rng = SplitMix64::new(0xA11CE + t as u64);
+                let mut held = Vec::new();
+                let (mut admits, mut rejects) = (0u64, 0u64);
+                for _ in 0..ARRIVALS_PER_THREAD {
+                    if !held.is_empty() && rng.next_u64().is_multiple_of(3) {
+                        let i = (rng.next_u64() as usize) % held.len();
+                        held.swap_remove(i);
+                    } else {
+                        let (src, dst) = if rng.next_u64().is_multiple_of(2) {
+                            (NodeId(0), NodeId(2))
+                        } else {
+                            (NodeId(1), NodeId(2))
+                        };
+                        match ctrl.try_admit(ClassId(0), src, dst) {
+                            Ok(h) => {
+                                admits += 1;
+                                held.push(h);
+                            }
+                            Err(_) => rejects += 1,
+                        }
+                    }
+                }
+                drop(held);
+                (admits, rejects)
+            })
+        })
+        .collect();
+
+    let reconfigurer = {
+        let ctrl = ctrl.clone();
+        let generations = Arc::clone(&generations);
+        std::thread::spawn(move || {
+            for i in 0..RECONFIGURES {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+                // Alternate budgets so swaps really change the decision
+                // function mid-flight.
+                let alpha = if i % 2 == 0 { 0.16 } else { 0.32 };
+                ctrl.reconfigure(build_generation(alpha, kind));
+                generations.lock().unwrap().push(ctrl.current_generation());
+                ctrl.drain();
+            }
+        })
+    };
+
+    let observer = {
+        let generations = Arc::clone(&generations);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut checks = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let gens = generations.lock().unwrap().clone();
+                assert_budget_invariant(&gens);
+                checks += 1;
+            }
+            checks
+        })
+    };
+
+    let mut total_admits = 0u64;
+    let mut total_rejects = 0u64;
+    for t in admitters {
+        let (a, r) = t.join().unwrap();
+        total_admits += a;
+        total_rejects += r;
+    }
+    reconfigurer.join().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let checks = observer.join().unwrap();
+
+    assert!(total_admits > 0, "workload never admitted");
+    assert!(total_rejects > 0, "workload never saturated");
+    assert!(checks > 0, "observer never ran");
+
+    // Everything released: every generation ever installed balances to
+    // zero on every cell and holds no pinned flows.
+    let gens = generations.lock().unwrap();
+    assert_eq!(gens.len(), RECONFIGURES + 1);
+    for g in gens.iter() {
+        let backend = g.backend();
+        for server in 0..backend.servers() {
+            for class in 0..backend.classes() {
+                assert_eq!(
+                    backend.snapshot(server, class),
+                    0.0,
+                    "generation {} server {server} class {class} did not balance",
+                    g.id()
+                );
+            }
+        }
+        assert_eq!(g.pinned(), 0, "generation {} still pinned", g.id());
+    }
+    assert!(ctrl.drain().is_drained());
+}
+
+#[test]
+fn concurrent_reconfigure_never_violates_budgets_atomic() {
+    stress(BackendKind::Atomic);
+}
+
+#[test]
+fn concurrent_reconfigure_never_violates_budgets_sharded() {
+    stress(BackendKind::Sharded(4));
+}

@@ -4,7 +4,8 @@
 use crate::scenario::{Scenario, ScenarioError};
 use std::fmt::Write as _;
 use uba::admission::{
-    run_churn, AdmissionController, ChurnConfig, Explain, ExplainVerdict, Reject, RoutingTable,
+    run_churn, AdmissionController, BackendKind, ChurnConfig, ConfigGeneration, Explain,
+    ExplainVerdict, Reject, RoutingTable,
 };
 use uba::delay::fixed_point::SolveConfig;
 use uba::delay::routeset::{Route, RouteSet};
@@ -431,12 +432,9 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
     Ok(out)
 }
 
-/// Builds the SP routing table and an admission controller for a
-/// scenario — shared by `explain` and `serve`.
-pub(crate) fn scenario_controller(
-    sc: &Scenario,
-    metered: bool,
-) -> Result<AdmissionController, ScenarioError> {
+/// SP routing table + per-server capacities for a scenario — the
+/// config-time output every run-time construction starts from.
+fn scenario_table(sc: &Scenario) -> Result<(RoutingTable, Vec<f64>), ScenarioError> {
     let paths = sp_selection(&sc.graph, &sc.pairs)
         .map_err(|p| ScenarioError(format!("no route for pair {p:?}")))?;
     let mut table = RoutingTable::new();
@@ -446,11 +444,133 @@ pub(crate) fn scenario_controller(
         }
     }
     let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    Ok((table, caps))
+}
+
+/// Builds the SP routing table and an admission controller for a
+/// scenario — shared by `explain` and `serve`.
+pub(crate) fn scenario_controller(
+    sc: &Scenario,
+    metered: bool,
+) -> Result<AdmissionController, ScenarioError> {
+    let (table, caps) = scenario_table(sc)?;
     Ok(if metered {
         AdmissionController::new(table, &sc.classes, &caps, &sc.alphas)
     } else {
         AdmissionController::new_unmetered(table, &sc.classes, &caps, &sc.alphas)
     })
+}
+
+/// Builds an installable [`ConfigGeneration`] from a scenario — the unit
+/// [`AdmissionController::reconfigure`] swaps in (the `reconfigure`
+/// command and `serve`'s `POST /reconfigure`).
+pub(crate) fn scenario_generation(sc: &Scenario) -> Result<ConfigGeneration, ScenarioError> {
+    let (table, caps) = scenario_table(sc)?;
+    Ok(ConfigGeneration::new(
+        table,
+        &sc.classes,
+        &caps,
+        &sc.alphas,
+        BackendKind::Atomic,
+    ))
+}
+
+/// Total class budget across all servers of a generation, bits/s.
+fn total_budget_bps(gen: &ConfigGeneration) -> f64 {
+    let backend = gen.backend();
+    let mut total = 0.0;
+    for server in 0..backend.servers() {
+        for class in 0..backend.classes() {
+            total += backend.budget(server, class);
+        }
+    }
+    total
+}
+
+/// `reconfigure`: a live-migration rehearsal. Admits the old scenario's
+/// workload to saturation, installs the new scenario as a fresh
+/// generation *while those flows are held*, and reports the migration:
+/// which flows keep a route under the new configuration, which are
+/// stranded, and how the total class budget moved. The old flows drain
+/// against their own (retired) generation, exactly as a live controller
+/// would behave.
+pub fn cmd_reconfigure(old: &Scenario, new: &Scenario, json: bool) -> Result<String, ScenarioError> {
+    let ctrl = scenario_controller(old, false)?;
+    // Deterministic saturation: round-robin over the pair list in file
+    // order, every class, holding every admitted flow.
+    let mut held: Vec<(uba::admission::FlowHandle, ClassId, usize)> = Vec::new();
+    for (ci, _) in old.classes.iter() {
+        loop {
+            let mut progress = false;
+            for (pi, pair) in old.pairs.iter().enumerate() {
+                if let Ok(h) = ctrl.try_admit(ci, pair.src, pair.dst) {
+                    held.push((h, ci, pi));
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+    let admitted = held.len();
+
+    let next = scenario_generation(new)?;
+    let old_budget = total_budget_bps(&ctrl.current_generation());
+    let new_budget = total_budget_bps(&next);
+    // Flows survive the migration iff the new configuration still routes
+    // their (src, dst, class); the rest are stranded on the retired
+    // generation until they terminate.
+    let (mut kept, mut stranded) = (0usize, 0usize);
+    for (_, ci, pi) in &held {
+        let pair = &old.pairs[*pi];
+        if next.table().route(pair.src, pair.dst, *ci).is_some() {
+            kept += 1;
+        } else {
+            stranded += 1;
+        }
+    }
+    let report = ctrl.reconfigure(next);
+    let headroom_delta = new_budget - old_budget;
+
+    drop(held);
+    let drained = ctrl.drain().is_drained();
+
+    let mut out = String::new();
+    if json {
+        writeln!(
+            out,
+            "{{\"generation\":{},\"previous\":{},\"admitted\":{admitted},\"kept\":{kept},\
+             \"stranded\":{stranded},\"pinned_previous\":{},\"headroom_delta_bps\":{:.1},\
+             \"drained\":{drained}}}",
+            report.generation, report.previous, report.pinned_previous, headroom_delta,
+        )
+        .unwrap();
+        return Ok(out);
+    }
+    writeln!(
+        out,
+        "reconfigure: generation {} -> {}",
+        report.previous, report.generation
+    )
+    .unwrap();
+    writeln!(out, "flows held under old configuration: {admitted}").unwrap();
+    writeln!(out, "  kept (still routable):  {kept}").unwrap();
+    writeln!(out, "  stranded (route gone):  {stranded}").unwrap();
+    writeln!(
+        out,
+        "pinned to retired generation at swap: {}",
+        report.pinned_previous
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "total class budget delta: {:+.1} kb/s",
+        headroom_delta / 1e3
+    )
+    .unwrap();
+    writeln!(out, "retired generation drained after release: {drained}").unwrap();
+    Ok(out)
 }
 
 /// `explain`: replays the scenario's admission workload to saturation —
@@ -726,6 +846,67 @@ mod tests {
             }
         }
         assert!(saw_link_full, "{out}");
+    }
+
+    #[test]
+    fn reconfigure_widened_budget_keeps_every_flow() {
+        let old = ring_scenario();
+        let mut new = ring_scenario();
+        new.alphas = vec![0.4]; // double every link budget
+        let out = cmd_reconfigure(&old, &new, false).unwrap();
+        assert!(out.contains("reconfigure: generation"), "{out}");
+        assert!(out.contains("stranded (route gone):  0"), "{out}");
+        // alpha 0.2 -> 0.4 on 12 ring links of 1 Mb/s: +2400 kb/s.
+        assert!(out.contains("total class budget delta: +2400.0 kb/s"), "{out}");
+        assert!(out.contains("drained after release: true"), "{out}");
+    }
+
+    #[test]
+    fn reconfigure_reports_stranded_flows_and_json_parses() {
+        let scenario_with_pairs = |pairs: &str| {
+            Scenario::from_str(&format!(
+                r#"
+                [topology]
+                kind = "ring"
+                n = 6
+                [network]
+                capacity = 1e6
+                fan_in = 3
+                [[class]]
+                name = "voip"
+                burst = 640
+                rate = 32000
+                deadline = 0.1
+                alpha = 0.2
+                [pairs]
+                mode = "list"
+                list = [{pairs}]
+                "#
+            ))
+            .unwrap()
+        };
+        let old = scenario_with_pairs("\"0-2\", \"1-3\"");
+        let new = scenario_with_pairs("\"0-2\"");
+        let out = cmd_reconfigure(&old, &new, true).unwrap();
+        let v = uba::obs::json::parse(out.trim()).unwrap_or_else(|e| panic!("{e}: {out}"));
+        use uba::obs::json::JsonValue;
+        let num = |k: &str| v.get(k).and_then(JsonValue::as_number).unwrap();
+        assert!(num("generation") > num("previous"));
+        let admitted = num("admitted");
+        assert!(admitted > 0.0);
+        assert_eq!(num("kept") + num("stranded"), admitted);
+        assert!(num("stranded") > 0.0, "pair 1-3 lost its route: {out}");
+        assert_eq!(num("pinned_previous"), admitted);
+        assert_eq!(num("headroom_delta_bps"), 0.0);
+        assert_eq!(v.get("drained"), Some(&JsonValue::Bool(true)));
+        // The rehearsal is deterministic (generation ids are
+        // process-global and monotone, so compare everything else).
+        let out2 = cmd_reconfigure(&old, &new, true).unwrap();
+        let v2 = uba::obs::json::parse(out2.trim()).unwrap();
+        let num2 = |k: &str| v2.get(k).and_then(JsonValue::as_number).unwrap();
+        for k in ["admitted", "kept", "stranded", "pinned_previous", "headroom_delta_bps"] {
+            assert_eq!(num(k), num2(k), "field {k}: {out} vs {out2}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod flags;
 pub mod scenario;
 pub mod serve;
 pub mod toml_lite;

@@ -1,93 +1,71 @@
 //! `uba-cli` — scenario-driven interface to the uba library.
 //!
 //! ```text
-//! uba-cli bounds   <scenario.toml>
-//! uba-cli verify   <scenario.toml>
-//! uba-cli maximize <scenario.toml> [sp|heuristic] [--threads N]
-//! uba-cli simulate <scenario.toml> [horizon_seconds]
-//! uba-cli metrics  <scenario.toml> [--json]
-//! uba-cli explain  <scenario.toml> [--json]
-//! uba-cli serve    <scenario.toml> --port N
+//! uba-cli bounds      <scenario.toml>
+//! uba-cli verify      <scenario.toml>
+//! uba-cli maximize    <scenario.toml> [sp|heuristic] [--threads N]
+//! uba-cli simulate    <scenario.toml> [horizon_seconds]
+//! uba-cli metrics     <scenario.toml> [--json]
+//! uba-cli explain     <scenario.toml> [--json]
+//! uba-cli reconfigure <old.toml> <new.toml> [--json]
+//! uba-cli serve       <scenario.toml> --port N [--bind ADDR]
 //! ```
 //!
 //! Any command also accepts `--metrics` to append a dump of the
 //! process-global metrics registry after its normal output.
 
 use uba_cli::commands::{
-    cmd_bounds, cmd_explain, cmd_maximize, cmd_metrics, cmd_simulate, cmd_verify,
+    cmd_bounds, cmd_explain, cmd_maximize, cmd_metrics, cmd_reconfigure, cmd_simulate, cmd_verify,
     render_global_metrics,
 };
+use uba_cli::flags::{take_flag, take_parsed, take_value};
 use uba_cli::Scenario;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: uba-cli <bounds|verify|maximize|simulate|metrics|explain|serve> <scenario.toml> [args]\n\
+        "usage: uba-cli <bounds|verify|maximize|simulate|metrics|explain|reconfigure|serve> <scenario.toml> [args]\n\
          \n\
-         bounds   — Theorem 4 utilization window for each class\n\
-         verify   — Figure 2 verification of the scenario's alphas on SP routes\n\
-         maximize — Section 5.3 binary search; optional selector sp|heuristic (default heuristic)\n\
-         \x20          --threads N fans candidate verification and solver sweeps across N workers\n\
-         simulate — packet-level validation; optional horizon in seconds (default 0.3)\n\
-         metrics  — exercise every instrumented layer, then dump the metrics registry\n\
-         explain  — replay admissions to saturation and diagnose every rejection\n\
-         \x20          (first failing link, observed vs. budget utilization, headroom)\n\
-         serve    — run a scenario loop and expose /metrics (Prometheus text)\n\
-         \x20          and /trace (flight-recorder JSON-lines); requires --port N\n\
+         bounds      — Theorem 4 utilization window for each class\n\
+         verify      — Figure 2 verification of the scenario's alphas on SP routes\n\
+         maximize    — Section 5.3 binary search; optional selector sp|heuristic (default heuristic)\n\
+         \x20             --threads N fans candidate verification and solver sweeps across N workers\n\
+         simulate    — packet-level validation; optional horizon in seconds (default 0.3)\n\
+         metrics     — exercise every instrumented layer, then dump the metrics registry\n\
+         explain     — replay admissions to saturation and diagnose every rejection\n\
+         \x20             (first failing link, observed vs. budget utilization, headroom)\n\
+         reconfigure — live-migration rehearsal from <old.toml> to <new.toml>: saturate the\n\
+         \x20             old configuration, hot-swap the new one, report kept/stranded flows\n\
+         \x20             and the budget delta\n\
+         serve       — run a scenario loop and expose /metrics (Prometheus), /trace\n\
+         \x20             (flight-recorder JSON-lines), and POST /reconfigure (hot reload);\n\
+         \x20             requires --port N\n\
          \n\
-         flags: --metrics  append a metrics-registry dump after any command\n\
-         \x20       --json     (metrics, explain) line-oriented JSON instead of the table"
+         flags: --metrics    append a metrics-registry dump after any command\n\
+         \x20       --json       (metrics, explain, reconfigure) line-oriented JSON\n\
+         \x20       --bind ADDR  (serve) listen address (default 127.0.0.1)"
     );
+    std::process::exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("{msg}");
     std::process::exit(2);
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let dump_metrics = {
-        let before = args.len();
-        args.retain(|a| a != "--metrics");
-        args.len() != before
-    };
-    let json = {
-        let before = args.len();
-        args.retain(|a| a != "--json");
-        args.len() != before
-    };
-    let threads = match args.iter().position(|a| a == "--threads") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--threads requires a value");
-                std::process::exit(2);
-            }
-            let n = match args[i + 1].parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    eprintln!("--threads expects a positive integer, got '{}'", args[i + 1]);
-                    std::process::exit(2);
-                }
-            };
-            args.drain(i..=i + 1);
-            n
-        }
-        None => 1,
-    };
-    let port = match args.iter().position(|a| a == "--port") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("--port requires a value");
-                std::process::exit(2);
-            }
-            let p = match args[i + 1].parse::<u16>() {
-                Ok(p) if p >= 1 => p,
-                _ => {
-                    eprintln!("--port expects a port number, got '{}'", args[i + 1]);
-                    std::process::exit(2);
-                }
-            };
-            args.drain(i..=i + 1);
-            Some(p)
-        }
-        None => None,
-    };
+    let dump_metrics = take_flag(&mut args, "--metrics");
+    let json = take_flag(&mut args, "--json");
+    let threads = take_parsed(&mut args, "--threads", "a positive integer", |&n: &usize| {
+        n >= 1
+    })
+    .unwrap_or_else(|e| fail(e))
+    .unwrap_or(1);
+    let port: Option<u16> = take_parsed(&mut args, "--port", "a port number", |&p: &u16| p >= 1)
+        .unwrap_or_else(|e| fail(e));
+    let bind = take_value(&mut args, "--bind")
+        .unwrap_or_else(|e| fail(e))
+        .unwrap_or_else(|| "127.0.0.1".into());
     if args.len() < 2 {
         usage();
     }
@@ -116,22 +94,36 @@ fn main() {
         }
         "metrics" => cmd_metrics(&scenario, json),
         "explain" => cmd_explain(&scenario, json),
+        "reconfigure" => {
+            let Some(new_path) = args.get(2) else {
+                eprintln!("reconfigure requires <old.toml> <new.toml>");
+                std::process::exit(2);
+            };
+            match Scenario::from_path(new_path) {
+                Ok(new_sc) => cmd_reconfigure(&scenario, &new_sc, json),
+                Err(e) => {
+                    eprintln!("scenario error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "serve" => {
             let Some(port) = port else {
                 eprintln!("serve requires --port N");
                 std::process::exit(2);
             };
-            let listener = match std::net::TcpListener::bind(("127.0.0.1", port)) {
+            let listener = match std::net::TcpListener::bind((bind.as_str(), port)) {
                 Ok(l) => l,
                 Err(e) => {
-                    eprintln!("cannot bind 127.0.0.1:{port}: {e}");
+                    eprintln!("cannot bind {bind}:{port}: {e}");
                     std::process::exit(1);
                 }
             };
             eprintln!(
-                "serving on http://127.0.0.1:{port} — GET /metrics (Prometheus), /trace (JSON-lines)"
+                "serving on http://{bind}:{port} — GET /metrics (Prometheus), /trace \
+                 (JSON-lines), POST /reconfigure (hot reload)"
             );
-            uba_cli::serve::serve(&scenario, listener, None).map(|()| String::new())
+            uba_cli::serve::serve(&scenario, listener, None, Some(&args[1])).map(|()| String::new())
         }
         _ => usage(),
     };

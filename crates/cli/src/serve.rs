@@ -8,14 +8,19 @@
 //!   exposition format (0.0.4), scrapeable by an unmodified Prometheus.
 //! * `GET /trace` — the flight-recorder tail drained as JSON-lines (one
 //!   event per line plus a `trace_meta` trailer with the drop count).
-//! * `GET /` — a plain-text index of the two endpoints.
+//! * `GET /` — a plain-text index of the endpoints.
+//! * `POST /reconfigure` — hot reload: re-reads the scenario file the
+//!   server was started with, builds a fresh configuration generation,
+//!   and swaps it into the live controller without pausing the churn
+//!   loop. The response reports the new and displaced generation ids and
+//!   how many flows were still pinned to the old one.
 //!
 //! The HTTP surface is deliberately minimal — request-line parsing only,
 //! `Connection: close` on every response — because the workspace builds
 //! offline with zero external dependencies; this is an exposition
 //! endpoint, not a web framework.
 
-use crate::commands::scenario_controller;
+use crate::commands::{scenario_controller, scenario_generation};
 use crate::scenario::{Scenario, ScenarioError};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -32,12 +37,15 @@ const BATCH_ARRIVALS: usize = 500;
 ///
 /// `max_requests` bounds how many connections are served before
 /// returning (`None` = serve forever); tests bind port 0 and pass a
-/// small count. The scenario loop thread is stopped and joined before
-/// returning.
+/// small count. `reload_path` is the scenario file `POST /reconfigure`
+/// re-reads for the hot swap (`None` — tests built from strings — swaps
+/// in a fresh generation of the original scenario instead). The scenario
+/// loop thread is stopped and joined before returning.
 pub fn serve(
     sc: &Scenario,
     listener: TcpListener,
     max_requests: Option<usize>,
+    reload_path: Option<&str>,
 ) -> Result<(), ScenarioError> {
     // Live data for both endpoints: enable the flight recorder, then
     // churn admissions in the background.
@@ -78,7 +86,7 @@ pub fn serve(
             Ok((stream, _)) => {
                 // One slow or broken client must not take the endpoint
                 // down; log to stderr and keep serving.
-                if let Err(e) = handle(stream) {
+                if let Err(e) = handle(stream, sc, &ctrl, reload_path) {
                     eprintln!("serve: request failed: {e}");
                 }
                 served += 1;
@@ -91,7 +99,12 @@ pub fn serve(
     result
 }
 
-fn handle(stream: TcpStream) -> std::io::Result<()> {
+fn handle(
+    stream: TcpStream,
+    sc: &Scenario,
+    ctrl: &uba::admission::AdmissionController,
+    reload_path: Option<&str>,
+) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
@@ -99,25 +112,54 @@ fn handle(stream: TcpStream) -> std::io::Result<()> {
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
     let mut stream = reader.into_inner();
-    if method != "GET" {
-        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
-    }
-    match path {
-        "/metrics" => {
+    match (method, path) {
+        ("GET", "/metrics") => {
             let body = uba::obs::global().snapshot().render_prometheus();
             respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
         }
-        "/trace" => {
+        ("GET", "/trace") => {
             let body = uba::obs::trace::global().drain().to_json_lines();
             respond(&mut stream, "200 OK", "application/x-ndjson", &body)
         }
-        "/" => respond(
+        ("GET", "/") => respond(
             &mut stream,
             "200 OK",
             "text/plain",
-            "uba-cli serve\n  /metrics  Prometheus text format\n  /trace    flight-recorder tail (JSON-lines)\n",
+            "uba-cli serve\n  GET  /metrics      Prometheus text format\n  GET  /trace        flight-recorder tail (JSON-lines)\n  POST /reconfigure  hot-reload the scenario file\n",
         ),
-        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        ("POST", "/reconfigure") => {
+            // Hot reload: rebuild a generation from the scenario file (or
+            // the in-memory scenario when no path is known) and swap it in
+            // while admissions keep running.
+            let built = match reload_path {
+                Some(p) => Scenario::from_path(p).and_then(|s| scenario_generation(&s)),
+                None => scenario_generation(sc),
+            };
+            match built {
+                Ok(gen) => {
+                    let r = ctrl.reconfigure(gen);
+                    ctrl.refresh_gauges();
+                    let body = format!(
+                        "{{\"generation\":{},\"previous\":{},\"pinned_previous\":{}}}\n",
+                        r.generation, r.previous, r.pinned_previous
+                    );
+                    respond(&mut stream, "200 OK", "application/json", &body)
+                }
+                Err(e) => respond(
+                    &mut stream,
+                    "500 Internal Server Error",
+                    "text/plain",
+                    &format!("reconfigure failed: {e}\n"),
+                ),
+            }
+        }
+        ("GET", _) => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "GET only (plus POST /reconfigure)\n",
+        ),
     }
 }
 
@@ -161,13 +203,17 @@ mod tests {
         .unwrap()
     }
 
-    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    fn request(addr: std::net::SocketAddr, method: &str, path: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        write!(stream, "{method} {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
         (head.to_string(), body.to_string())
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        request(addr, "GET", path)
     }
 
     #[test]
@@ -175,7 +221,7 @@ mod tests {
         let sc = ring_scenario();
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let server = std::thread::spawn(move || serve(&sc, listener, Some(4)));
+        let server = std::thread::spawn(move || serve(&sc, listener, Some(4), None));
 
         let (head, body) = get(addr, "/metrics");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
@@ -209,6 +255,43 @@ mod tests {
 
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn post_reconfigure_hot_swaps_the_live_controller() {
+        let sc = ring_scenario();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(&sc, listener, Some(4), None));
+
+        // Two hot reloads while the churn loop is admitting: each installs
+        // a strictly newer generation, displacing the previous one.
+        let (head, body) = request(addr, "POST", "/reconfigure");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let v1 = uba::obs::json::parse(body.trim()).unwrap_or_else(|e| panic!("{e}: {body}"));
+        use uba::obs::json::JsonValue;
+        let gen1 = v1.get("generation").and_then(JsonValue::as_number).unwrap();
+        let prev1 = v1.get("previous").and_then(JsonValue::as_number).unwrap();
+        assert!(gen1 > prev1, "{body}");
+
+        let (_, body) = request(addr, "POST", "/reconfigure");
+        let v2 = uba::obs::json::parse(body.trim()).unwrap_or_else(|e| panic!("{e}: {body}"));
+        assert_eq!(
+            v2.get("previous").and_then(JsonValue::as_number),
+            Some(gen1),
+            "{body}"
+        );
+
+        // The swap shows up on the exposition side.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("# TYPE admission_reconfigures counter"), "{metrics}");
+
+        // Other POST paths stay rejected.
+        let (head, _) = request(addr, "POST", "/metrics");
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
 
         server.join().unwrap().unwrap();
     }

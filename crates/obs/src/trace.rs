@@ -71,6 +71,13 @@ pub enum EventKind {
     /// Simulator: a station backlog reached a new run-wide peak
     /// (`server` = station, `a` = backlog, `b` = sim time s).
     QueueHighWater,
+    /// Admission: a new configuration generation was installed
+    /// (`flow` = new generation id, `a` = previous generation id,
+    /// `b` = flows still pinned to the previous generation).
+    ReconfigApplied,
+    /// Admission: a retired configuration generation fully drained
+    /// (`flow` = generation id).
+    GenerationRetired,
 }
 
 impl EventKind {
@@ -88,6 +95,8 @@ impl EventKind {
             EventKind::SearchProbe => "search_probe",
             EventKind::DeadlineMiss => "deadline_miss",
             EventKind::QueueHighWater => "queue_high_water",
+            EventKind::ReconfigApplied => "reconfig_applied",
+            EventKind::GenerationRetired => "generation_retired",
         }
     }
 }

@@ -270,7 +270,7 @@ pub(crate) fn select_routes_cached(
                             pair.src,
                             pair.dst,
                             cfg.k_candidates,
-                            &|_| true,
+                            |_| true,
                         )
                     })
                     .as_slice(),

@@ -21,11 +21,12 @@
 use crate::heuristic::{choose_route, HeuristicConfig, Selection, SelectionError};
 use crate::pairs::Pair;
 use std::collections::HashSet;
+use uba_admission::{BackendKind, ConfigGeneration, RoutingTable};
 use uba_delay::fixed_point::{solve_two_class, SolveConfig};
 use uba_delay::routeset::{Route, RouteSet};
 use uba_delay::servers::Servers;
 use uba_graph::{Digraph, DynDigraph, EdgeId, NodeId, Path};
-use uba_traffic::{ClassId, TrafficClass};
+use uba_traffic::{ClassId, ClassSet, TrafficClass};
 
 /// A live, incrementally maintained single-class configuration.
 #[derive(Clone, Debug)]
@@ -263,6 +264,30 @@ impl Configuration {
         restored
     }
 
+    /// Materializes the committed configuration as an installable
+    /// [`ConfigGeneration`]: the run-time half of the reconfiguration
+    /// loop. The routing table freezes the current paths, the budgets
+    /// come from the server capacities and the verified `α`, and the
+    /// backend is fresh — hand the result to
+    /// `AdmissionController::reconfigure` to swap it live, or to
+    /// `AdmissionController::from_generation` to start a controller.
+    pub fn apply(&self, kind: BackendKind) -> ConfigGeneration {
+        let mut table = RoutingTable::new();
+        for p in &self.paths {
+            table.insert(ClassId(0), p);
+        }
+        let capacities: Vec<f64> = (0..self.g.edge_count())
+            .map(|k| self.servers.capacity_at(k))
+            .collect();
+        ConfigGeneration::new(
+            table,
+            &ClassSet::single(self.class.clone()),
+            &capacities,
+            &[self.alpha],
+            kind,
+        )
+    }
+
     /// Re-verifies the whole committed configuration from scratch.
     pub fn verify(&self) -> bool {
         solve_two_class(
@@ -387,6 +412,40 @@ mod tests {
         assert!(c.verify());
         // Restoring an intact link is a no-op.
         assert_eq!(c.restore_link(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn apply_installs_and_live_reconfigures_a_controller() {
+        use uba_admission::AdmissionController;
+
+        let mut c = base_config(0.25, 6);
+        let gen = c.apply(BackendKind::Atomic);
+        assert_eq!(gen.alphas(), &[0.25]);
+        assert_eq!(gen.table().len(), c.pairs().len());
+        let ctrl = AdmissionController::from_generation(gen);
+        // Every committed pair is admissible on the fresh budgets; hold
+        // the flows across the swap.
+        let held: Vec<_> = c
+            .pairs()
+            .iter()
+            .map(|p| ctrl.try_admit(ClassId(0), p.src, p.dst).expect("committed pair admits"))
+            .collect();
+
+        // Fail a core link, recompute routes, and install the result
+        // live — the very gap this module used to leave open.
+        c.fail_link(NodeId(0), NodeId(3)).expect("reroutable");
+        let report = ctrl.reconfigure(c.apply(BackendKind::Sharded(4)));
+        assert_eq!(report.pinned_previous as usize, held.len());
+        // New admissions route around the failure.
+        for p in c.pairs() {
+            let h = ctrl.try_admit(ClassId(0), p.src, p.dst).expect("rerouted pair admits");
+            for &s in h.route() {
+                assert!(!c.failed_links().contains(&EdgeId(s)), "route crosses failed link");
+            }
+        }
+        // Old flows drain against the displaced generation.
+        drop(held);
+        assert!(ctrl.drain().is_drained());
     }
 
     #[test]

@@ -52,6 +52,20 @@ impl SimConfig {
     }
 }
 
+/// A mid-run routing reconfiguration for
+/// [`simulate_reconfigured`]: at sim time `at` the listed flows switch
+/// to their new routes. Packets already inside the network finish on the
+/// route they entered with (exactly the live-swap semantics of
+/// `AdmissionController::reconfigure`: in-flight work drains against the
+/// old configuration while new arrivals see the new one).
+#[derive(Clone, Debug)]
+pub struct Reconfiguration {
+    /// Sim time (seconds) at which the swap takes effect.
+    pub at: f64,
+    /// `(flow index, new route)` — flows not listed keep their route.
+    pub reroutes: Vec<(usize, Vec<u32>)>,
+}
+
 const NS: f64 = 1e9;
 
 #[derive(Clone, Copy, Debug)]
@@ -60,11 +74,16 @@ struct Job {
     hop: u16,
     /// Measurement start (ns): arrival at the first real server.
     t0: u64,
+    /// True when the packet entered the network after the mid-run
+    /// reconfiguration and follows the flow's new route.
+    rerouted: bool,
 }
 
 enum Event {
     Arrive(Job),
     Complete { station: u32 },
+    /// The mid-run route swap (pushed once, at the configured time).
+    Reconfigure,
 }
 
 struct Station {
@@ -101,6 +120,49 @@ pub fn simulate_with(
     cfg: &SimConfig,
     discipline: &Discipline,
 ) -> SimReport {
+    run(capacities, flows, cfg, discipline, None)
+}
+
+/// Runs the simulation with a mid-run routing reconfiguration.
+///
+/// Until `reconfig.at` the run is identical to [`simulate_with`]; from
+/// then on, packets entering the network from a rerouted flow follow the
+/// flow's new route, while packets already in flight drain along the old
+/// one. Emissions at exactly `reconfig.at` still use the old routes (the
+/// swap is processed after same-instant arrivals), keeping runs
+/// bit-for-bit deterministic. A `ReconfigApplied` trace event marks the
+/// swap (`a` = swap time in seconds, `b` = number of rerouted flows).
+pub fn simulate_reconfigured(
+    capacities: &[f64],
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    discipline: &Discipline,
+    reconfig: &Reconfiguration,
+) -> SimReport {
+    assert!(
+        reconfig.at.is_finite() && reconfig.at >= 0.0,
+        "reconfiguration time must be finite and non-negative"
+    );
+    for (fi, route) in &reconfig.reroutes {
+        assert!(*fi < flows.len(), "reroute flow index out of range");
+        assert!(!route.is_empty(), "reroute must be non-empty");
+        for &k in route {
+            assert!(
+                (k as usize) < capacities.len(),
+                "reroute server out of range"
+            );
+        }
+    }
+    run(capacities, flows, cfg, discipline, Some(reconfig))
+}
+
+fn run(
+    capacities: &[f64],
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    discipline: &Discipline,
+    reconfig: Option<&Reconfiguration>,
+) -> SimReport {
     let t_run = std::time::Instant::now();
     let metrics = crate::metrics::sim();
     let classes = cfg.deadlines.len();
@@ -133,6 +195,25 @@ pub fn simulate_with(
         r.push(station);
         r.extend_from_slice(&f.route);
         sim_routes.push(r);
+    }
+
+    // Post-swap sim-routes: identical except for rerouted flows, which
+    // get (creating if needed) the shaper for their new first server.
+    let mut sim_routes_b = sim_routes.clone();
+    if let Some(rc) = reconfig {
+        for (fi, new_route) in &rc.reroutes {
+            let key = (flows[*fi].ingress, new_route[0]);
+            let station = *shaper_of.entry(key).or_insert_with(|| {
+                let id = stations.len() as u32;
+                let cap = capacities[new_route[0] as usize];
+                stations.push(Station::new(cap, classes, discipline));
+                id
+            });
+            let mut r = Vec::with_capacity(new_route.len() + 1);
+            r.push(station);
+            r.extend_from_slice(new_route);
+            sim_routes_b[*fi] = r;
+        }
     }
 
     // Event heap ordered by (time, seq).
@@ -179,9 +260,18 @@ pub fn simulate_with(
                     flow: fi as u32,
                     hop: 0,
                     t0: tns,
+                    rerouted: false,
                 }),
             );
         }
+    }
+
+    // The swap event is pushed after every emission, so it carries a
+    // higher sequence number: arrivals at exactly `at` sort before it and
+    // still use the old routes.
+    if let Some(rc) = reconfig {
+        let tns = (rc.at * NS).round() as u64;
+        push(&mut heap, &mut payloads, &mut seq, tns, Event::Reconfigure);
     }
 
     let mut acc: Vec<StatsAccumulator> = vec![StatsAccumulator::default(); classes];
@@ -190,14 +280,25 @@ pub fn simulate_with(
     let mut events = 0u64;
     let mut peak_backlog = 0usize;
     let tracer = uba_obs::trace::global();
+    let mut reconfigured = false;
 
     while let Some(Reverse((t, s))) = heap.pop() {
         events += 1;
         let ev = payloads.remove(&s).expect("payload for event");
         match ev {
-            Event::Arrive(job) => {
+            Event::Arrive(mut job) => {
+                if job.hop == 0 {
+                    // Entering the network: the packet commits to the
+                    // routes in force right now and keeps them for life.
+                    job.rerouted = reconfigured;
+                }
+                let routes = if job.rerouted {
+                    &sim_routes_b
+                } else {
+                    &sim_routes
+                };
                 let f = &flows[job.flow as usize];
-                let st_id = sim_routes[job.flow as usize][job.hop as usize] as usize;
+                let st_id = routes[job.flow as usize][job.hop as usize] as usize;
                 let st = &mut stations[st_id];
                 st.sched.enqueue(
                     f.class,
@@ -245,7 +346,11 @@ pub fn simulate_with(
                     st.current.take().expect("completion without job")
                 };
                 let f = &flows[job.flow as usize];
-                let route = &sim_routes[job.flow as usize];
+                let route = if job.rerouted {
+                    &sim_routes_b[job.flow as usize]
+                } else {
+                    &sim_routes[job.flow as usize]
+                };
                 if job.hop == 0 {
                     // Leaving the access shaper: the guarantee clock
                     // starts now.
@@ -287,6 +392,18 @@ pub fn simulate_with(
                         },
                     );
                 }
+            }
+            Event::Reconfigure => {
+                reconfigured = true;
+                let rc = reconfig.expect("reconfigure event without config");
+                tracer.emit(
+                    uba_obs::EventKind::ReconfigApplied,
+                    0,
+                    0,
+                    u32::MAX,
+                    rc.at,
+                    rc.reroutes.len() as f64,
+                );
             }
         }
     }
@@ -757,6 +874,162 @@ mod tests {
         assert_eq!(m.deadline_misses.get() - misses0, r.total_packets);
         assert!(m.queue_depth.count() > 0);
         assert!(m.peak_backlog.get() >= 1.0);
+    }
+
+    #[test]
+    fn reconfigure_conserves_packets() {
+        // Moving a flow to a fresh link mid-run loses nothing: every
+        // emitted packet is still delivered, on one route or the other.
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0],
+                source: SourceModel::voip_cbr(0.003),
+            },
+        ];
+        let plain = simulate(&[C, C, C], &flows, &cfg(1));
+        let rc = Reconfiguration {
+            at: 0.1,
+            reroutes: vec![(0, vec![2])],
+        };
+        let rec = simulate_reconfigured(&[C, C, C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
+        assert_eq!(rec.total_packets, plain.total_packets);
+    }
+
+    #[test]
+    fn reconfigure_identity_matches_plain_run() {
+        // Swapping a flow onto its own route is a semantic no-op: the
+        // report matches the plain run exactly (one extra heap event).
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![1, 0],
+                source: SourceModel::voip_greedy(0.0),
+            },
+        ];
+        let plain = simulate(&[C, C], &flows, &cfg(1));
+        let rc = Reconfiguration {
+            at: 0.1,
+            reroutes: vec![(0, vec![0, 1])],
+        };
+        let rec = simulate_reconfigured(&[C, C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
+        assert_eq!(rec.total_packets, plain.total_packets);
+        assert_eq!(rec.classes[0].max_delay, plain.classes[0].max_delay);
+        assert_eq!(rec.total_misses(), plain.total_misses());
+        assert_eq!(rec.events, plain.events + 1);
+    }
+
+    #[test]
+    fn reconfigure_runs_are_deterministic() {
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+        ];
+        let rc = Reconfiguration {
+            at: 0.07,
+            reroutes: vec![(1, vec![1])],
+        };
+        let a = simulate_reconfigured(&[C, C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
+        let b = simulate_reconfigured(&[C, C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
+        assert_eq!(a.total_packets, b.total_packets);
+        assert_eq!(a.classes[0].max_delay, b.classes[0].max_delay);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn reconfigure_moves_load_off_the_congested_link() {
+        // Two bulk ingresses merge on server 0 at a joint rate above C,
+        // so a real (post-shaper) queue builds and late packets miss
+        // their deadline. Rerouting one flow to an idle link mid-run
+        // caps the damage — packets entering after the swap see an
+        // empty server, and the old queue drains.
+        let bulk = |ingress| FlowSpec {
+            class: 0,
+            ingress,
+            route: vec![0],
+            source: SourceModel::GreedyOnOff {
+                burst_bits: 64_000.0,
+                rate_bps: 0.9 * C,
+                packet_bits: 8000,
+                start: 0.0,
+            },
+        };
+        let flows = vec![bulk(0), bulk(1)];
+        let c = SimConfig {
+            horizon: 0.2,
+            deadlines: vec![0.02],
+            policers: None,
+        };
+        let plain = simulate(&[C, C], &flows, &c);
+        let rc = Reconfiguration {
+            at: 0.05,
+            reroutes: vec![(1, vec![1])],
+        };
+        let rec = simulate_reconfigured(&[C, C], &flows, &c, &Discipline::StaticPriority, &rc);
+        assert_eq!(rec.total_packets, plain.total_packets);
+        assert!(plain.total_misses() > 0);
+        assert!(
+            rec.total_misses() < plain.total_misses(),
+            "reroute {} vs plain {} misses",
+            rec.total_misses(),
+            plain.total_misses()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "flow index out of range")]
+    fn reconfigure_rejects_bad_flow_index() {
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let rc = Reconfiguration {
+            at: 0.1,
+            reroutes: vec![(3, vec![0])],
+        };
+        simulate_reconfigured(&[C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
+    }
+
+    #[test]
+    #[should_panic(expected = "server out of range")]
+    fn reconfigure_rejects_bad_server() {
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let rc = Reconfiguration {
+            at: 0.1,
+            reroutes: vec![(0, vec![9])],
+        };
+        simulate_reconfigured(&[C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod report;
 pub mod sched;
 pub mod source;
 
-pub use engine::{simulate, simulate_with, FlowSpec, SimConfig};
+pub use engine::{
+    simulate, simulate_reconfigured, simulate_with, FlowSpec, Reconfiguration, SimConfig,
+};
 pub use report::{ClassStats, DelayHistogram, SimReport};
 pub use sched::Discipline;
 pub use source::SourceModel;

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --offline --release (hermetic build)"
 cargo build --offline --release --workspace
 
+echo "==> cargo clippy --workspace -- -D warnings (lint gate)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> cargo test --offline -q (workspace test suite)"
 cargo test --offline --workspace -q
 
@@ -21,5 +24,8 @@ cargo run --offline --release -p uba-bench --bin config_speed -- smoke
 
 echo "==> trace_overhead smoke (flight recorder on vs off on the admit path)"
 cargo run --offline --release -p uba-bench --bin trace_overhead -- smoke
+
+echo "==> reconfig_overhead smoke (versioned admit path vs pinned-generation baseline)"
+cargo run --offline --release -p uba-bench --bin reconfig_overhead -- smoke
 
 echo "==> verify.sh: all checks passed"

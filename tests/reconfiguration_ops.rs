@@ -1,7 +1,7 @@
 //! Operations-loop integration: configuration changes propagate into a
 //! fresh admission plane without disturbing the guarantee machinery.
 
-use uba::admission::{AdmissionController, RoutingTable};
+use uba::admission::{AdmissionController, BackendKind, RoutingTable};
 use uba::prelude::*;
 use uba::routing::Configuration;
 
@@ -65,6 +65,64 @@ fn failure_recovery_keeps_admission_working() {
     // Restoration makes the link routable again for new demand.
     assert_eq!(live.restore_link(NodeId(1), NodeId(4)), 2);
     assert!(live.verify());
+}
+
+#[test]
+fn live_reconfigure_follows_link_failure_without_dropping_calls() {
+    // Same incident as above, but instead of standing up a second
+    // admission plane, the recovered configuration is hot-swapped into
+    // the *live* controller: calls admitted before the failure stay up
+    // (draining against their own generation) while new calls land on
+    // the repaired routes — and on a different backend, since the swap
+    // can also migrate backends.
+    let g = uba::topology::mci();
+    let servers = Servers::uniform(&g, 100e6, 6);
+    let voip = TrafficClass::voip();
+    let alpha = 0.25;
+    let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(4).collect();
+    let sel = select_routes(&g, &servers, &voip, alpha, &pairs, &HeuristicConfig::default())
+        .expect("configurable");
+    let mut live = Configuration::from_selection(
+        g.clone(),
+        servers.clone(),
+        voip.clone(),
+        alpha,
+        HeuristicConfig::default(),
+        sel,
+    );
+
+    let ctrl = AdmissionController::from_generation(live.apply(BackendKind::Atomic));
+    let g1 = ctrl.current_generation().id();
+    let held: Vec<_> = live
+        .pairs()
+        .iter()
+        .map(|p| ctrl.try_admit(ClassId(0), p.src, p.dst).unwrap())
+        .collect();
+
+    live.fail_link(NodeId(1), NodeId(4)).expect("recoverable");
+    assert!(live.verify());
+    let report = ctrl.reconfigure(live.apply(BackendKind::Sharded(4)));
+    assert_eq!(report.previous, g1);
+    assert_eq!(report.pinned_previous, held.len() as u64);
+
+    // New calls run against the repaired routes and fresh budgets.
+    for p in live.pairs() {
+        let h = ctrl
+            .try_admit(ClassId(0), p.src, p.dst)
+            .unwrap_or_else(|e| panic!("pair {p:?} rejected post-swap: {e:?}"));
+        for e in h.route() {
+            assert!(
+                !live.failed_links().contains(&uba::graph::EdgeId(*e)),
+                "admitted route crosses the failed link"
+            );
+        }
+    }
+
+    // The pre-incident calls were never dropped; ending them drains the
+    // retired generation completely.
+    assert_eq!(held[0].generation(), g1);
+    drop(held);
+    assert!(ctrl.drain().is_drained());
 }
 
 #[test]
