@@ -21,8 +21,10 @@
 //!   "total headroom never exceeds the budget".
 
 use crate::state::{to_millibits, UtilizationState, SCALE};
+use crate::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
+use crate::sync::atomic::AtomicUsize;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// The CAS-per-(server, class) backend — [`UtilizationState`] fulfilling
 /// the [`AdmissionBackend`] contract. This is the paper's run-time
@@ -143,9 +145,29 @@ pub const MAX_SHARDS: usize = 16;
 
 /// Round-robin home-shard assignment: each thread gets a stable index at
 /// first use, so threads spread across shards deterministically.
+/// (`Relaxed` suffices: the counter only hands out distinct indices,
+/// it synchronizes nothing.)
+#[cfg(not(loom))]
 static NEXT_HOME: AtomicUsize = AtomicUsize::new(0);
+#[cfg(not(loom))]
 thread_local! {
     static HOME: usize = NEXT_HOME.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's home-shard seed (reduced mod the shard count at
+/// use sites).
+fn home_seed() -> usize {
+    #[cfg(not(loom))]
+    {
+        HOME.with(|h| *h)
+    }
+    // Under the model checker the seed must be a pure function of the
+    // model thread — a process-global counter would assign different
+    // home shards on different executions and break schedule replay.
+    #[cfg(loom)]
+    {
+        uba_loom::thread::current_index()
+    }
 }
 
 /// Budget-striping backend: the headroom of each (server, class) cell is
@@ -246,6 +268,9 @@ impl ShardedBackend {
                 if grab == 0 {
                     break;
                 }
+                // ordering: AcqRel — same reserve/release pairing as the
+                // atomic backend, per shard: a grab of freed headroom
+                // happens-after the put() that freed it.
                 match shard.compare_exchange_weak(
                     cur,
                     cur - grab,
@@ -270,6 +295,8 @@ impl ShardedBackend {
         // Insufficient headroom: hand back what we grabbed.
         for (s, &amount) in taken.iter().enumerate().take(self.shards) {
             if amount > 0 {
+                // ordering: AcqRel — a rollback is a release of headroom
+                // like any other; the next grab must see it published.
                 shards[s].fetch_add(amount, Ordering::AcqRel);
             }
         }
@@ -282,6 +309,8 @@ impl ShardedBackend {
     /// actually lives.
     fn put(&self, cell: usize, amount: u64, home: usize) {
         let shards = self.shard_slice(cell);
+        // ordering: AcqRel — publishes the flow teardown to the take()
+        // CAS that consumes the freed headroom.
         let prev = shards[home].fetch_add(amount, Ordering::AcqRel);
         debug_assert!(
             prev + amount <= self.budgets[cell],
@@ -291,6 +320,10 @@ impl ShardedBackend {
     }
 
     fn headroom(&self, cell: usize) -> u64 {
+        // ordering: Acquire per shard — advisory sum for diagnostics and
+        // dry runs; each load sees a shard no older than what the caller
+        // already observed. The sum itself is not atomic across shards
+        // (snapshot/would_fit are documented as advisory).
         self.shard_slice(cell)
             .iter()
             .map(|s| s.load(Ordering::Acquire))
@@ -314,7 +347,7 @@ impl AdmissionBackend for ShardedBackend {
         rate: f64,
     ) -> Result<u32, PathReject> {
         let want = to_millibits(rate);
-        let home = HOME.with(|h| *h) % self.shards;
+        let home = home_seed() % self.shards;
         let mut cas_retries = 0u32;
         for (i, &server) in route.iter().enumerate() {
             let cell = self.cell(server as usize, class);
@@ -337,7 +370,7 @@ impl AdmissionBackend for ShardedBackend {
 
     fn release_path(&self, route: &[u32], class: usize, rate: f64) {
         let amount = to_millibits(rate);
-        let home = HOME.with(|h| *h) % self.shards;
+        let home = home_seed() % self.shards;
         for &server in route {
             self.put(self.cell(server as usize, class), amount, home);
         }
@@ -349,7 +382,14 @@ impl AdmissionBackend for ShardedBackend {
 
     fn snapshot(&self, server: usize, class: usize) -> f64 {
         let cell = self.cell(server, class);
-        (self.budgets[cell] - self.headroom(cell)) as f64 / SCALE
+        // Saturating: the shard sum is advisory and can transiently
+        // *exceed* the budget under concurrency — headroom migrates on
+        // release (taken from one shard, returned to the releaser's home
+        // shard), so a reader that sees the source shard before an
+        // admit's take and the destination shard after the matching
+        // release's put counts the same quantum twice. Clamp instead of
+        // underflowing; at quiescence the sum is exact.
+        self.budgets[cell].saturating_sub(self.headroom(cell)) as f64 / SCALE
     }
 
     fn budget(&self, server: usize, class: usize) -> f64 {

@@ -7,8 +7,7 @@
 //! utilization-based controller against the per-flow baseline under
 //! identical request sequences.
 
-use std::time::Instant;
-use uba_obs::SplitMix64;
+use uba_obs::{SplitMix64, Stopwatch};
 use uba_graph::NodeId;
 use uba_traffic::ClassId;
 
@@ -146,9 +145,9 @@ pub fn run_churn_with<P: Policy>(
         // One arrival.
         let (src, dst) = pairs[rng.index(pairs.len())];
         stats.offered += 1;
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let admitted = policy.admit(class, src, dst);
-        stats.admit_ns += t0.elapsed().as_nanos();
+        stats.admit_ns += t0.elapsed_ns() as u128;
         if let Some(h) = admitted {
             stats.accepted += 1;
             active += 1;

@@ -28,10 +28,10 @@
 
 use crate::generation::{BackendKind, ConfigGeneration};
 use crate::metrics::AdmissionMetrics;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 use crate::table::RoutingTable;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use uba_graph::NodeId;
 use uba_obs::trace::{self, EventKind};
 use uba_traffic::{ClassId, ClassSet};
@@ -242,6 +242,9 @@ impl AdmissionController {
     /// reconfigurations.
     #[inline]
     pub fn current_generation(&self) -> Arc<ConfigGeneration> {
+        // ordering: Acquire pairs with the Release epoch store in
+        // `reconfigure` — a thread that reads the new epoch is
+        // guaranteed to find the new generation pointer under the lock.
         let epoch = self.inner.epoch.load(Ordering::Acquire);
         GEN_CACHE.with(|slot| {
             {
@@ -376,18 +379,21 @@ impl AdmissionController {
     /// draining against its budgets (see [`drain`](Self::drain) and the
     /// transition-semantics note in the module docs).
     pub fn reconfigure(&self, next: ConfigGeneration) -> ReconfigReport {
-        let t0 = std::time::Instant::now();
+        let sw = uba_obs::Stopwatch::start();
         let next = Arc::new(next);
         let next_id = next.id();
         let old = {
             let mut cur = self.inner.current.lock().unwrap();
             let old = std::mem::replace(&mut *cur, next);
-            // Publish the epoch only after the pointer: a reader seeing
-            // the new epoch will find the new generation under the lock.
+            // Publish the epoch only after the pointer, still under the
+            // lock.
+            // ordering: Release pairs with the Acquire epoch load in
+            // `current_generation` — a reader seeing the new epoch will
+            // find the new generation pointer when it takes the lock.
             self.inner.epoch.store(next_id, Ordering::Release);
             old
         };
-        let swap_ns = t0.elapsed().as_nanos() as f64;
+        let swap_ns = sw.elapsed_ns();
         let previous = old.id();
         let pinned_previous = old.pinned();
         let tr = trace::global();

@@ -14,8 +14,8 @@
 //! [`AdmissionController::reconfigure`]: crate::AdmissionController::reconfigure
 
 use crate::backend::{AdmissionBackend, AtomicBackend, ShardedBackend};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::table::RoutingTable;
-use std::sync::atomic::{AtomicU64, Ordering};
 use uba_traffic::ClassSet;
 
 /// Which reservation backend a generation allocates.
@@ -104,14 +104,24 @@ impl ConfigGeneration {
 
     /// Live flows still holding reservations in this generation.
     pub fn pinned(&self) -> u64 {
+        // ordering: Acquire pairs with the AcqRel unpin — an observer
+        // that sees `pinned() == 0` (the retire/drain decision) also
+        // sees every drained flow's backend release.
         self.pinned.load(Ordering::Acquire)
     }
 
     pub(crate) fn pin(&self) {
+        // ordering: AcqRel keeps pin in the same cell-wide RMW order as
+        // unpin, so the count can never transiently underflow to an
+        // observer (Relaxed would suffice for the count alone, but the
+        // symmetric edge documents the pin/unpin protocol).
         self.pinned.fetch_add(1, Ordering::AcqRel);
     }
 
     pub(crate) fn unpin(&self) {
+        // ordering: AcqRel — the release half publishes the flow's
+        // backend release before the drop to zero that lets drain()
+        // retire this generation.
         let prev = self.pinned.fetch_sub(1, Ordering::AcqRel);
         debug_assert!(prev > 0, "unpin without a matching pin");
     }

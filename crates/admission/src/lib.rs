@@ -37,6 +37,7 @@
 //!   headroom), the audit-trail companion to the flight-recorder events
 //!   the admit path emits into [`uba_obs::trace`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;
@@ -47,6 +48,7 @@ pub mod explain;
 pub mod generation;
 pub mod metrics;
 pub mod state;
+pub(crate) mod sync;
 pub mod table;
 
 pub use backend::{AdmissionBackend, AtomicBackend, PathReject, ShardedBackend};

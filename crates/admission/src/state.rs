@@ -7,7 +7,7 @@
 //! without locks, and the budget check is exact (rates are accounted in
 //! integer millibits/second, so no floating-point drift can accumulate).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Rates are stored in millibits/second: exact integer accounting with
 /// enough resolution for any practical rate.
@@ -112,6 +112,10 @@ impl UtilizationState {
             if next > budget {
                 return (false, retries);
             }
+            // ordering: AcqRel — the success edge orders this reserve
+            // against the release fetch_sub on the same cell, so a
+            // reserve that consumes freed headroom happens-after the
+            // flow teardown that freed it; failure reloads need no edge.
             match cell.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
                 Ok(_) => return (true, retries),
                 Err(actual) => {
@@ -131,6 +135,9 @@ impl UtilizationState {
     pub fn would_fit(&self, server: usize, class: usize, rate: f64) -> bool {
         let want = to_millibits(rate);
         let i = self.idx(server, class);
+        // ordering: Acquire pairs with the AcqRel reserve/release RMWs
+        // so a dry run that observes freed headroom also observes the
+        // teardown writes that freed it.
         let cur = self.reserved[i].load(Ordering::Acquire);
         match cur.checked_add(want) {
             Some(next) => next <= self.budgets[i],
@@ -146,6 +153,9 @@ impl UtilizationState {
     pub fn release(&self, server: usize, class: usize, rate: f64) {
         let amount = to_millibits(rate);
         let i = self.idx(server, class);
+        // ordering: AcqRel — the release publishes the flow's teardown
+        // to the next reserve CAS that consumes the freed headroom (the
+        // counterpart of the reserve edge above).
         let prev = self.reserved[i].fetch_sub(amount, Ordering::AcqRel);
         assert!(
             prev >= amount,
@@ -155,6 +165,8 @@ impl UtilizationState {
 
     /// Reserved rate of `class` on `server` in bits/s.
     pub fn reserved(&self, server: usize, class: usize) -> f64 {
+        // ordering: Acquire — diagnostics reads see a cell state no
+        // older than any reservation the caller already observed.
         self.reserved[self.idx(server, class)].load(Ordering::Acquire) as f64 / SCALE
     }
 
@@ -170,6 +182,7 @@ impl UtilizationState {
         if b == 0 {
             0.0
         } else {
+            // ordering: Acquire — same advisory-read edge as `reserved`.
             self.reserved[self.idx(server, class)].load(Ordering::Acquire) as f64 / b as f64
         }
     }

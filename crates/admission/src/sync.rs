@@ -1,0 +1,35 @@
+//! Sync primitives for the lock-free admission core.
+//!
+//! The shimmed modules (`state`, `backend`, `generation`, `controller`)
+//! import their atomics, `Arc`, and `Mutex` from here instead of
+//! `std::sync` directly (the `xtask check` shim-purity rule enforces
+//! it). A normal build re-exports `std` wholesale — the shim compiles
+//! away entirely and the admit path is byte-for-byte what it was (the
+//! `obs_overhead`/`reconfig_overhead` benches gate this). Under
+//! `RUSTFLAGS="--cfg loom"` the same names resolve to `uba-loom`'s
+//! modeled primitives, turning every atomic op and lock acquisition in
+//! the reservation/reconfigure protocol into an explored schedule point
+//! (see `tests/loom_models.rs`).
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Arc, Mutex};
+
+/// Atomics for the shimmed modules; `std::sync::atomic` unless `--cfg
+/// loom` swaps in the model checker's versions.
+#[cfg(not(loom))]
+pub(crate) mod atomic {
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(loom)]
+pub(crate) use uba_loom::sync::{Arc, Mutex};
+
+/// Atomics for the shimmed modules; `std::sync::atomic` unless `--cfg
+/// loom` swaps in the model checker's versions.
+#[cfg(loom)]
+pub(crate) mod atomic {
+    // `AtomicUsize` is only used by the sharded backend's home-shard
+    // counter, which is `cfg(not(loom))` (the model uses the scheduler's
+    // deterministic thread index instead), so it is not re-exported here.
+    pub use uba_loom::sync::atomic::{AtomicU64, Ordering};
+}

@@ -4,6 +4,7 @@
 //! (see `DESIGN.md` §4 for the experiment index); the Criterion benches in
 //! `benches/` measure the run-time claims (admission latency, solver
 //! scaling, parallel speedup).
+#![forbid(unsafe_code)]
 
 use uba::admission::{AdmissionController, RoutingTable};
 use uba::prelude::*;

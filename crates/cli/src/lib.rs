@@ -1,6 +1,7 @@
 //! Library side of the `uba-cli` binary: scenario files and command
 //! implementations (kept in a lib so they are unit-testable).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;

@@ -52,6 +52,11 @@ pub fn serve(
     uba::obs::trace::global().set_enabled(true);
     let ctrl = scenario_controller(sc, true)?;
     let pairs: Vec<(NodeId, NodeId)> = sc.pairs.iter().map(|p| (p.src, p.dst)).collect();
+    // Relaxed is sufficient for the stop flag: it carries no data — the
+    // churn thread publishes nothing the main thread reads through it,
+    // and `join()` below is the real synchronization point (it gives
+    // happens-before for everything the loop wrote). The flag only has
+    // to become visible *eventually*, which any ordering guarantees.
     let stop = Arc::new(AtomicBool::new(false));
     let loop_thread = {
         let ctrl = ctrl.clone();

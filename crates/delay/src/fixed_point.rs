@@ -272,11 +272,11 @@ fn solve_instrumented(
         routes.len() as f64,
         if warm.is_some() { 1.0 } else { 0.0 },
     );
-    let t0 = std::time::Instant::now();
+    let t0 = uba_obs::Stopwatch::start();
     let (outcome, iterations, residual, stats) =
         solve_core(servers, class, alphas, routes, tentative, cfg, warm, scratch);
     let m = crate::metrics::solver();
-    m.seconds.record(t0.elapsed().as_secs_f64());
+    m.seconds.record(t0.elapsed_secs());
     m.iterations.record(iterations as f64);
     m.residual.record(residual);
     if outcome == Outcome::IterationLimit {

@@ -31,6 +31,7 @@
 //! own Table 1 numbers plus degeneracy checks (Theorem 5 with one class
 //! must equal Theorem 3 — enforced by unit tests).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bound;

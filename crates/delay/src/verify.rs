@@ -73,7 +73,7 @@ pub fn verify(
 ) -> VerifyReport {
     assert!(!classes.is_empty(), "need at least one real-time class");
     assert_eq!(alphas.len(), classes.len(), "one alpha per class");
-    let t0 = std::time::Instant::now();
+    let t0 = uba_obs::Stopwatch::start();
 
     let (outcome, server_delays, route_delays, iterations) = if classes.len() == 1 {
         let (_, class) = classes.iter().next().unwrap();
@@ -92,7 +92,7 @@ pub fn verify(
         .fold(f64::INFINITY, f64::min);
 
     let m = crate::metrics::solver();
-    m.verify_seconds.record(t0.elapsed().as_secs_f64());
+    m.verify_seconds.record(t0.elapsed_secs());
     if outcome.is_safe() {
         m.verify_safe.inc();
     } else {

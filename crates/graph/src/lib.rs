@@ -23,6 +23,7 @@
 //! Everything is implemented from scratch on `std`; no external crates
 //! are used.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apsp;

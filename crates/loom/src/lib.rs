@@ -1,0 +1,53 @@
+//! Bounded model checking for the workspace's lock-free code.
+//!
+//! The admission hot path is a web of atomics — CAS reservation loops,
+//! budget shards with neighbor borrowing, an epoch-pointer generation
+//! swap, a drop-oldest trace ring. Stress tests sample a handful of
+//! interleavings per run; this crate *enumerates* them. A model is a
+//! closure using the [`thread`] and [`sync`] primitives; [`model`] (or a
+//! configured [`Builder`]) runs the closure under a cooperative
+//! scheduler that owns every scheduling decision, then backtracks
+//! depth-first through the tree of decisions until either every
+//! interleaving within the configured bounds has been executed or one of
+//! them fails an assertion — in which case the failing schedule is
+//! re-raised as an ordinary test panic, annotated with how many
+//! executions it took to find.
+//!
+//! The workspace cannot depend on the real `loom` crate (the build is
+//! hermetic: no registry), so this is an in-tree replacement with the
+//! same shape: code under test imports `std::sync::atomic`/`Mutex`
+//! normally and this crate's versions under `--cfg loom` (see the `sync`
+//! shim modules in `uba-admission` and `uba-obs`), and model tests are
+//! compiled only with `RUSTFLAGS="--cfg loom"`.
+//!
+//! ## What is (and is not) modeled
+//!
+//! * **Interleavings, exhaustively (within bounds).** Every atomic
+//!   operation, mutex acquisition, spawn, and join is a schedule point;
+//!   the scheduler explores every choice of runnable thread at every
+//!   point, depth-first, with optional context-switch bounding
+//!   ([`Builder::preemption_bound`]) in the spirit of CHESS — most
+//!   concurrency bugs need only a couple of preemptions.
+//! * **Sequential consistency, not weak memory.** Modeled atomics
+//!   execute at `SeqCst` regardless of the ordering argument, so this
+//!   checker finds *operation-interleaving* bugs (lost updates, double
+//!   counts, torn multi-step protocols, deadlocks) but not
+//!   *reordering* bugs that only a weaker-than-SC memory model exposes.
+//!   The `Ordering` arguments are still type-checked, and the `xtask`
+//!   linter separately requires every non-`Relaxed` ordering in the
+//!   tree to carry a written justification.
+//! * **Deadlocks.** A state where live threads exist but none is
+//!   runnable fails the model with a diagnostic.
+//! * **Determinism is required.** A model closure must behave
+//!   identically when re-executed under the same schedule prefix
+//!   (no wall-clock branching, no OS randomness); the scheduler verifies
+//!   replay determinism and fails loudly if it is violated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{model, Builder, Exploration};

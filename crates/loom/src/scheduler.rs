@@ -1,0 +1,504 @@
+//! The cooperative scheduler and depth-first schedule exploration.
+//!
+//! One *execution* runs the model closure with every model thread mapped
+//! to a real OS thread, but with exactly one thread runnable at a time:
+//! at every schedule point (atomic op, mutex acquire, spawn, join,
+//! yield) the running thread hands control to the scheduler, which
+//! either replays a recorded decision or — at the exploration frontier —
+//! records the full set of runnable threads and picks the first. After
+//! the execution finishes, the deepest decision with an untried
+//! alternative is advanced and the model re-runs; when every decision is
+//! exhausted, the state space (within bounds) is covered.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Panic payload used to tear down sibling threads once an execution has
+/// already failed; never escapes [`Builder::check`].
+struct Sentinel;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Waiting for the model mutex with this id to be released.
+    BlockedMutex(u64),
+    /// Waiting for this thread index to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: the runnable threads at that point
+/// (in exploration order) and which of them was chosen.
+#[derive(Clone, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    chosen: usize,
+}
+
+enum Abort {
+    /// A model thread panicked (a failed assertion, usually).
+    Panic(Box<dyn std::any::Any + Send>),
+    /// The scheduler itself gave up: deadlock, depth bound, divergence.
+    Error(String),
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    preemption_bound: Option<usize>,
+    max_branches: usize,
+}
+
+struct ExecState {
+    status: Vec<Status>,
+    active: usize,
+    /// Registered minus finished threads.
+    live: usize,
+    /// Index of the next decision in `path`.
+    step: usize,
+    path: Vec<Choice>,
+    /// Context switches taken so far while the switched-from thread was
+    /// still runnable (the CHESS preemption counter).
+    preemptions: usize,
+    /// Model mutexes currently held: mutex id → holder thread.
+    held: HashMap<u64, usize>,
+    abort: Option<Abort>,
+    config: Config,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cond: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The execution the calling thread is controlled by, if any. Model
+/// primitives used outside a model (static initializers, test setup)
+/// fall back to plain `SeqCst` std behavior with no schedule points.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Hands control to the scheduler at an interleaving-relevant point.
+/// No-op outside a model.
+pub(crate) fn yield_point() {
+    if let Some((exec, me)) = current() {
+        exec.switch(me);
+    }
+}
+
+fn sentinel() -> ! {
+    resume_unwind(Box::new(Sentinel))
+}
+
+impl Execution {
+    fn new(path: Vec<Choice>, config: Config) -> Self {
+        Self {
+            state: Mutex::new(ExecState {
+                status: Vec::new(),
+                active: 0,
+                live: 0,
+                step: 0,
+                path,
+                preemptions: 0,
+                held: HashMap::new(),
+                abort: None,
+                config,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.status.push(Status::Runnable);
+        st.live += 1;
+        st.status.len() - 1
+    }
+
+    /// The exploration-ordered runnable set at a schedule point reached
+    /// by `me` (`None` when the point is a thread finishing): `me` first
+    /// so depth-first search tries "keep running" before any preemption,
+    /// then the rest by index. With the preemption budget exhausted and
+    /// `me` still runnable, the only option is to continue `me`.
+    fn options_for(st: &ExecState, me: Option<usize>) -> Vec<usize> {
+        let runnable =
+            |t: usize| st.status[t] == Status::Runnable;
+        if let (Some(bound), Some(m)) = (st.config.preemption_bound, me) {
+            if st.preemptions >= bound && runnable(m) {
+                return vec![m];
+            }
+        }
+        let mut opts = Vec::new();
+        if let Some(m) = me {
+            if runnable(m) {
+                opts.push(m);
+            }
+        }
+        for t in 0..st.status.len() {
+            if Some(t) != me && runnable(t) {
+                opts.push(t);
+            }
+        }
+        opts
+    }
+
+    /// Takes (or replays) the scheduling decision at the current step and
+    /// installs the chosen thread as active. Must be called with the
+    /// state locked; sets `abort` instead of choosing when the model is
+    /// stuck (deadlock), too deep, or nondeterministic.
+    fn schedule_locked(&self, st: &mut ExecState, me: Option<usize>) {
+        if st.abort.is_some() {
+            self.cond.notify_all();
+            return;
+        }
+        let options = Self::options_for(st, me);
+        if options.is_empty() {
+            if st.live > 0 {
+                let waits: Vec<String> = st
+                    .status
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !matches!(s, Status::Finished))
+                    .map(|(t, s)| format!("thread {t}: {s:?}"))
+                    .collect();
+                st.abort = Some(Abort::Error(format!(
+                    "deadlock: {} live thread(s), none runnable [{}]",
+                    st.live,
+                    waits.join(", ")
+                )));
+            }
+            self.cond.notify_all();
+            return;
+        }
+        if st.step == st.path.len() {
+            if st.path.len() >= st.config.max_branches {
+                st.abort = Some(Abort::Error(format!(
+                    "schedule depth exceeded max_branches = {}",
+                    st.config.max_branches
+                )));
+                self.cond.notify_all();
+                return;
+            }
+            st.path.push(Choice { options: options.clone(), chosen: 0 });
+        } else if st.path[st.step].options != options {
+            st.abort = Some(Abort::Error(format!(
+                "nondeterministic model: replay step {} expected runnable set {:?}, found {:?} \
+                 (model closures must not branch on wall-clock time or other ambient state)",
+                st.step, st.path[st.step].options, options
+            )));
+            self.cond.notify_all();
+            return;
+        }
+        let c = &st.path[st.step];
+        let next = c.options[c.chosen];
+        if let Some(m) = me {
+            if next != m && st.status[m] == Status::Runnable {
+                st.preemptions += 1;
+            }
+        }
+        st.step += 1;
+        st.active = next;
+        self.cond.notify_all();
+    }
+
+    /// A full schedule point: decide who runs next, then wait until this
+    /// thread is active again. Panics with the sentinel once the
+    /// execution has aborted.
+    pub(crate) fn switch(&self, me: usize) {
+        let mut st = self.lock();
+        self.schedule_locked(&mut st, Some(me));
+        while st.abort.is_none() && st.active != me {
+            st = match self.cond.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        let aborted = st.abort.is_some();
+        drop(st);
+        if aborted {
+            sentinel();
+        }
+    }
+
+    /// Marks `me` blocked with `status`, schedules someone else, and
+    /// waits until `me` is runnable *and* active again.
+    fn block(&self, me: usize, status: Status) {
+        let mut st = self.lock();
+        st.status[me] = status;
+        self.schedule_locked(&mut st, Some(me));
+        while st.abort.is_none() && !(st.status[me] == Status::Runnable && st.active == me) {
+            st = match self.cond.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        let aborted = st.abort.is_some();
+        drop(st);
+        if aborted {
+            sentinel();
+        }
+    }
+
+    /// Model-mutex acquire: spin over (block-until-free, try-take).
+    pub(crate) fn mutex_lock(&self, me: usize, id: u64) {
+        self.switch(me);
+        loop {
+            let mut st = self.lock();
+            if st.abort.is_some() {
+                drop(st);
+                sentinel();
+            }
+            if let std::collections::hash_map::Entry::Vacant(e) = st.held.entry(id) {
+                e.insert(me);
+                return;
+            }
+            drop(st);
+            self.block(me, Status::BlockedMutex(id));
+        }
+    }
+
+    /// Model-mutex release: wakes every thread blocked on `id` (they
+    /// re-contend at their next schedule).
+    pub(crate) fn mutex_unlock(&self, id: u64) {
+        let mut st = self.lock();
+        st.held.remove(&id);
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedMutex(id) {
+                *s = Status::Runnable;
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Blocks until thread `target` finishes. Returns immediately if it
+    /// already has.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        loop {
+            let st = self.lock();
+            if st.abort.is_some() {
+                drop(st);
+                sentinel();
+            }
+            if st.status[target] == Status::Finished {
+                return;
+            }
+            drop(st);
+            self.block(me, Status::BlockedJoin(target));
+        }
+    }
+
+    /// First wait of a freshly spawned thread: it may not run until the
+    /// scheduler picks it. Returns false when the execution aborted
+    /// before the thread ever ran.
+    fn wait_first_turn(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        while st.abort.is_none() && st.active != me {
+            st = match self.cond.wait(st) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        st.abort.is_none()
+    }
+
+    /// Retires a thread, records its panic (if real), wakes joiners, and
+    /// schedules a successor.
+    fn finish(&self, me: usize, result: Result<(), Box<dyn std::any::Any + Send>>) {
+        let mut st = self.lock();
+        st.status[me] = Status::Finished;
+        st.live -= 1;
+        for s in st.status.iter_mut() {
+            if *s == Status::BlockedJoin(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if let Err(payload) = result {
+            if !payload.is::<Sentinel>() && st.abort.is_none() {
+                st.abort = Some(Abort::Panic(payload));
+            }
+        }
+        if st.live > 0 && st.abort.is_none() {
+            self.schedule_locked(&mut st, None);
+        } else {
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// Entry point of every controlled OS thread.
+pub(crate) fn controlled_main(exec: Arc<Execution>, idx: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), idx)));
+    let result = if exec.wait_first_turn(idx) {
+        catch_unwind(AssertUnwindSafe(f)).map_err(|e| e as Box<dyn std::any::Any + Send>)
+    } else {
+        Err(Box::new(Sentinel) as Box<dyn std::any::Any + Send>)
+    };
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    exec.finish(idx, result);
+}
+
+/// Spawns a controlled model thread inside the current execution and
+/// returns its index. Panics outside a model.
+pub(crate) fn spawn_controlled(f: impl FnOnce() + Send + 'static) -> usize {
+    let (exec, me) = current().expect("uba-loom: thread::spawn outside a model");
+    let idx = exec.register_thread();
+    let exec2 = Arc::clone(&exec);
+    std::thread::spawn(move || controlled_main(exec2, idx, f));
+    // Give the scheduler the chance to run the child before the parent's
+    // next step — spawn is itself an interleaving-relevant point.
+    exec.switch(me);
+    idx
+}
+
+/// How an exploration ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exploration {
+    /// Every schedule within the configured bounds was executed.
+    Complete {
+        /// Number of distinct executions performed.
+        executions: usize,
+    },
+    /// The iteration cap stopped the search first.
+    IterationCap {
+        /// Number of distinct executions performed.
+        executions: usize,
+    },
+}
+
+impl Exploration {
+    /// Number of distinct executions performed.
+    pub fn executions(&self) -> usize {
+        match *self {
+            Exploration::Complete { executions } | Exploration::IterationCap { executions } => {
+                executions
+            }
+        }
+    }
+}
+
+/// Configures and runs a bounded model check. [`model`] is the
+/// all-defaults shorthand.
+#[derive(Clone, Copy, Debug)]
+pub struct Builder {
+    /// Maximum context switches away from a still-runnable thread per
+    /// execution (`None` = unbounded, i.e. full DFS). Most concurrency
+    /// bugs surface within 2; the bound keeps big models polynomial.
+    pub preemption_bound: Option<usize>,
+    /// Cap on distinct executions; exploration stops (with a note on
+    /// stderr) when it is reached.
+    pub max_iterations: usize,
+    /// Cap on schedule points in a single execution; exceeding it fails
+    /// the model (it almost always means an unbounded retry loop).
+    pub max_branches: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: None,
+            max_iterations: 100_000,
+            max_branches: 10_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` under every schedule within the bounds. Panics (with the
+    /// model's own panic payload) on the first failing schedule.
+    pub fn check<F>(&self, f: F) -> Exploration
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let config = Config {
+            preemption_bound: self.preemption_bound,
+            max_branches: self.max_branches,
+        };
+        let mut path: Vec<Choice> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            let exec = Arc::new(Execution::new(std::mem::take(&mut path), config));
+            let root = exec.register_thread();
+            debug_assert_eq!(root, 0);
+            let exec2 = Arc::clone(&exec);
+            let f2 = Arc::clone(&f);
+            let driver = std::thread::spawn(move || controlled_main(exec2, 0, move || f2()));
+            {
+                let mut st = exec.lock();
+                while st.live > 0 {
+                    st = match exec.cond.wait(st) {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                }
+                path = std::mem::take(&mut st.path);
+                let abort = st.abort.take();
+                drop(st);
+                let _ = driver.join();
+                match abort {
+                    Some(Abort::Panic(payload)) => {
+                        eprintln!(
+                            "uba-loom: counterexample after {executions} execution(s), \
+                             schedule depth {}",
+                            path.len()
+                        );
+                        resume_unwind(payload);
+                    }
+                    Some(Abort::Error(msg)) => {
+                        panic!("uba-loom: {msg} (after {executions} execution(s))");
+                    }
+                    None => {}
+                }
+            }
+            // Depth-first advance: drop exhausted tail decisions, bump the
+            // deepest one with an untried alternative.
+            loop {
+                match path.last_mut() {
+                    None => return Exploration::Complete { executions },
+                    Some(c) => {
+                        if c.chosen + 1 < c.options.len() {
+                            c.chosen += 1;
+                            break;
+                        }
+                        path.pop();
+                    }
+                }
+            }
+            if executions >= self.max_iterations {
+                eprintln!(
+                    "uba-loom: iteration cap {} reached; exploration truncated",
+                    self.max_iterations
+                );
+                return Exploration::IterationCap { executions };
+            }
+        }
+    }
+}
+
+/// Checks `f` under every interleaving with the default bounds (full
+/// DFS, 100k-execution cap). See [`Builder`] to bound preemptions for
+/// larger models.
+pub fn model<F>(f: F) -> Exploration
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

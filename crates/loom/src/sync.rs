@@ -1,0 +1,242 @@
+//! Model-aware replacements for `std::sync` primitives.
+//!
+//! Each atomic wraps its std counterpart; every operation first hands
+//! control to the scheduler ([`scheduler::yield_point`]) so the op
+//! becomes an interleaving point, then executes at `SeqCst` regardless
+//! of the requested ordering (the checker models sequential consistency
+//! — see the crate docs). Outside a model the yield is a no-op, so the
+//! types also work in plain `#[test]`s and static initializers.
+
+use crate::scheduler::{self, yield_point};
+
+pub use std::sync::atomic::Ordering;
+pub use std::sync::{Arc, LockResult, OnceLock};
+
+/// Modeled atomics; import as `use uba_loom::sync::atomic::{...}`.
+pub mod atomic {
+    pub use super::Ordering;
+
+    macro_rules! model_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Creates the atomic. `const` so it works in statics.
+                pub const fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                /// Modeled load (executes at `SeqCst`).
+                pub fn load(&self, _order: super::Ordering) -> $ty {
+                    super::yield_point();
+                    self.0.load(super::Ordering::SeqCst)
+                }
+
+                /// Modeled store (executes at `SeqCst`).
+                pub fn store(&self, v: $ty, _order: super::Ordering) {
+                    super::yield_point();
+                    self.0.store(v, super::Ordering::SeqCst)
+                }
+
+                /// Modeled swap (executes at `SeqCst`).
+                pub fn swap(&self, v: $ty, _order: super::Ordering) -> $ty {
+                    super::yield_point();
+                    self.0.swap(v, super::Ordering::SeqCst)
+                }
+
+                /// Modeled compare-exchange (executes at `SeqCst`).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: super::Ordering,
+                    _failure: super::Ordering,
+                ) -> Result<$ty, $ty> {
+                    super::yield_point();
+                    self.0.compare_exchange(
+                        current,
+                        new,
+                        super::Ordering::SeqCst,
+                        super::Ordering::SeqCst,
+                    )
+                }
+
+                /// Modeled weak compare-exchange. Never fails spuriously —
+                /// spurious failure would add schedule-independent
+                /// nondeterminism, and every correct retry loop must
+                /// tolerate its absence anyway.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: super::Ordering,
+                    failure: super::Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Modeled `fetch_update` (executes at `SeqCst`).
+                pub fn fetch_update<F>(
+                    &self,
+                    _set_order: super::Ordering,
+                    _fetch_order: super::Ordering,
+                    f: F,
+                ) -> Result<$ty, $ty>
+                where
+                    F: FnMut($ty) -> Option<$ty>,
+                {
+                    super::yield_point();
+                    self.0.fetch_update(
+                        super::Ordering::SeqCst,
+                        super::Ordering::SeqCst,
+                        f,
+                    )
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            model_atomic!($(#[$doc])* $name, $std, $ty);
+
+            impl $name {
+                /// Modeled `fetch_add` (executes at `SeqCst`).
+                pub fn fetch_add(&self, v: $ty, _order: super::Ordering) -> $ty {
+                    super::yield_point();
+                    self.0.fetch_add(v, super::Ordering::SeqCst)
+                }
+
+                /// Modeled `fetch_sub` (executes at `SeqCst`).
+                pub fn fetch_sub(&self, v: $ty, _order: super::Ordering) -> $ty {
+                    super::yield_point();
+                    self.0.fetch_sub(v, super::Ordering::SeqCst)
+                }
+
+                /// Modeled `fetch_max` (executes at `SeqCst`).
+                pub fn fetch_max(&self, v: $ty, _order: super::Ordering) -> $ty {
+                    super::yield_point();
+                    self.0.fetch_max(v, super::Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        /// Modeled [`std::sync::atomic::AtomicBool`].
+        AtomicBool,
+        AtomicBool,
+        bool
+    );
+    model_atomic_int!(
+        /// Modeled [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+    model_atomic_int!(
+        /// Modeled [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    model_atomic_int!(
+        /// Modeled [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+}
+
+static NEXT_MUTEX_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// A modeled [`std::sync::Mutex`]. Contention is resolved entirely at
+/// the model level (a held-map in the scheduler, with blocked threads
+/// parked until the holder releases), so the inner std mutex is
+/// uncontended by construction — a preempted holder can never deadlock
+/// the real OS threads. Outside a model it degrades to a plain mutex.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: u64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates the mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            id: NEXT_MUTEX_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Modeled lock. Mirrors std's signature (`LockResult`) so call
+    /// sites written as `.lock().unwrap()` compile unchanged; modeled
+    /// mutexes are never poisoned (a model panic aborts the execution
+    /// before anyone re-locks).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((exec, me)) = scheduler::current() {
+            exec.mutex_lock(me, self.id);
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            Ok(MutexGuard { mutex: self, guard: Some(guard) })
+        } else {
+            match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard { mutex: self, guard: Some(g) }),
+                Err(p) => Ok(MutexGuard {
+                    mutex: self,
+                    guard: Some(p.into_inner()),
+                }),
+            }
+        }
+    }
+
+    /// Consumes the mutex, returning the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.inner.into_inner() {
+            Ok(v) => Ok(v),
+            Err(p) => Ok(p.into_inner()),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model-level lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std guard before the model-level unlock wakes
+        // waiters, so a woken thread can never contend the inner mutex.
+        self.guard.take();
+        if let Some((exec, _)) = scheduler::current() {
+            exec.mutex_unlock(self.mutex.id);
+        }
+    }
+}

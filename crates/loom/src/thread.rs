@@ -1,0 +1,63 @@
+//! Modeled threads: spawn/join under scheduler control.
+
+use crate::scheduler;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a modeled thread; [`join`](JoinHandle::join) blocks (at the
+/// model level) until it finishes and yields its return value.
+pub struct JoinHandle<T> {
+    idx: usize,
+    slot: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish. Unlike std this never returns a
+    /// panic payload: a panicking model thread fails the whole execution
+    /// before any joiner resumes.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, me) = scheduler::current().expect("uba-loom: join outside a model");
+        exec.join_thread(me, self.idx);
+        let value = match self.slot.lock() {
+            Ok(mut g) => g.take(),
+            Err(p) => p.into_inner().take(),
+        };
+        Ok(value.expect("uba-loom: joined thread produced no value"))
+    }
+}
+
+/// Spawns a modeled thread. The closure runs on a real OS thread, but
+/// only when the scheduler makes it active; the spawn itself is a
+/// schedule point (the child may run before `spawn` returns).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let idx = scheduler::spawn_controlled(move || {
+        let value = f();
+        match slot2.lock() {
+            Ok(mut g) => *g = Some(value),
+            Err(p) => *p.into_inner() = Some(value),
+        }
+    });
+    JoinHandle { idx, slot }
+}
+
+/// A plain schedule point: lets the scheduler preempt here. No-op
+/// outside a model.
+pub fn yield_now() {
+    scheduler::yield_point();
+}
+
+/// The calling thread's 0-based index within the current execution
+/// (0 = the model closure's root thread), or 0 outside a model.
+///
+/// Replaces identity sources that would break schedule replay — e.g.
+/// `ShardedBackend`'s home-shard assignment uses a process-global
+/// counter in production but must be a deterministic function of the
+/// model thread under `--cfg loom`.
+pub fn current_index() -> usize {
+    scheduler::current().map(|(_, idx)| idx).unwrap_or(0)
+}

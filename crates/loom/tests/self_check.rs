@@ -1,0 +1,283 @@
+//! The model checker checking itself: seeded concurrency bugs must be
+//! found, correct protocols must pass exhaustively, and the exploration
+//! bookkeeping (schedule counts, bounds, deadlock detection) must hold.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use uba_loom::sync::atomic::{AtomicU64, Ordering};
+use uba_loom::sync::{Arc, Mutex};
+use uba_loom::{model, thread, Builder, Exploration};
+
+/// A non-atomic read-modify-write (load, then store) must lose an
+/// update under some interleaving — the checker has to find it.
+#[test]
+fn finds_seeded_lost_update() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let v = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        let cur = v.load(Ordering::Relaxed);
+                        v.store(cur + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::Relaxed), 2, "lost update");
+        });
+    }));
+    assert!(result.is_err(), "the lost update must be discovered");
+}
+
+/// The same counter done right (fetch_add) passes every interleaving.
+#[test]
+fn fetch_add_counter_is_exhaustively_correct() {
+    let explored = model(|| {
+        let v = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                thread::spawn(move || {
+                    v.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.load(Ordering::Relaxed), 2);
+    });
+    assert!(matches!(explored, Exploration::Complete { .. }));
+    // Two threads, each with a handful of schedule points: more than one
+    // schedule must exist, else nothing was actually explored.
+    assert!(explored.executions() > 1, "{explored:?}");
+}
+
+/// A CAS retry loop (the admission reserve idiom) never loses a update.
+#[test]
+fn cas_retry_loop_is_exhaustively_correct() {
+    let explored = model(|| {
+        let v = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                thread::spawn(move || loop {
+                    let cur = v.load(Ordering::Relaxed);
+                    if v.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.load(Ordering::Relaxed), 2);
+    });
+    assert!(matches!(explored, Exploration::Complete { .. }));
+}
+
+/// Mutexes provide mutual exclusion: a guarded non-atomic RMW is safe,
+/// and a model-level preemption inside the critical section must not
+/// deadlock the real OS threads.
+#[test]
+fn mutex_guards_compound_updates() {
+    model(|| {
+        let v = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                thread::spawn(move || {
+                    let mut g = v.lock().unwrap();
+                    let cur = *g;
+                    thread::yield_now(); // invite a preemption mid-section
+                    *g = cur + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*v.lock().unwrap(), 2);
+    });
+}
+
+/// ABBA lock ordering deadlocks under some schedule; the checker must
+/// report it rather than hang.
+#[test]
+fn detects_abba_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+            drop(_ga);
+            drop(_gb);
+            t.join().unwrap();
+        });
+    }));
+    let err = result.expect_err("ABBA must deadlock under some schedule");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// Join returns the spawned closure's value, and spawn order is not
+/// execution order (the child may run first).
+#[test]
+fn join_returns_value() {
+    model(|| {
+        let h = thread::spawn(|| 41u64 + 1);
+        assert_eq!(h.join().unwrap(), 42);
+    });
+}
+
+/// A preemption bound of 0 still runs (a single round-robin-free
+/// schedule per completion order), and bounding shrinks the schedule
+/// count versus the full DFS.
+#[test]
+fn preemption_bound_shrinks_exploration() {
+    fn two_writers() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let v = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        v.fetch_add(1, Ordering::Relaxed);
+                        v.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::Relaxed), 4);
+        }
+    }
+    let full = Builder::new().check(two_writers());
+    let bounded = Builder {
+        preemption_bound: Some(1),
+        ..Builder::new()
+    }
+    .check(two_writers());
+    assert!(matches!(full, Exploration::Complete { .. }));
+    assert!(matches!(bounded, Exploration::Complete { .. }));
+    assert!(
+        bounded.executions() < full.executions(),
+        "bound must prune: bounded {} vs full {}",
+        bounded.executions(),
+        full.executions()
+    );
+}
+
+/// The iteration cap truncates exploration and says so.
+#[test]
+fn iteration_cap_truncates() {
+    let explored = Builder {
+        max_iterations: 3,
+        ..Builder::new()
+    }
+    .check(|| {
+        let v = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let v = Arc::clone(&v);
+                thread::spawn(move || {
+                    v.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+    assert_eq!(explored, Exploration::IterationCap { executions: 3 });
+}
+
+/// `thread::current_index` is stable per thread within an execution and
+/// distinct across threads — the property ShardedBackend's loom home
+/// shard assignment relies on.
+#[test]
+fn current_index_is_per_thread_deterministic() {
+    model(|| {
+        assert_eq!(thread::current_index(), 0, "root thread is index 0");
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    let a = thread::current_index();
+                    thread::yield_now();
+                    let b = thread::current_index();
+                    assert_eq!(a, b, "index stable across preemptions");
+                    seen.lock().unwrap().push(a);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ids = seen.lock().unwrap().clone();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2], "children get distinct nonzero indices");
+    });
+}
+
+/// Model primitives degrade to plain std behavior outside `model()`, so
+/// shimmed code keeps working in ordinary unit tests compiled with
+/// `--cfg loom`.
+#[test]
+fn primitives_work_outside_a_model() {
+    let v = AtomicU64::new(1);
+    v.fetch_add(1, Ordering::SeqCst);
+    assert_eq!(v.load(Ordering::Acquire), 2);
+    let m = Mutex::new(5u64);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    assert_eq!(thread::current_index(), 0);
+}
+
+/// Failing schedules replay deterministically: the same seeded bug is
+/// found in the same number of executions every time.
+#[test]
+fn exploration_is_deterministic() {
+    fn count_until_failure() -> usize {
+        static EXECS: AtomicUsize = AtomicUsize::new(0);
+        EXECS.store(0, StdOrdering::SeqCst);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            model(|| {
+                EXECS.fetch_add(1, StdOrdering::SeqCst);
+                let v = Arc::new(AtomicU64::new(0));
+                let v2 = Arc::clone(&v);
+                let t = thread::spawn(move || {
+                    let cur = v2.load(Ordering::Relaxed);
+                    v2.store(cur + 1, Ordering::Relaxed);
+                });
+                let cur = v.load(Ordering::Relaxed);
+                v.store(cur + 1, Ordering::Relaxed);
+                t.join().unwrap();
+                assert_eq!(v.load(Ordering::Relaxed), 2);
+            });
+        }));
+        assert!(result.is_err());
+        EXECS.load(StdOrdering::SeqCst)
+    }
+    let first = count_until_failure();
+    let second = count_until_failure();
+    assert_eq!(first, second, "same bug, same schedule, same count");
+}

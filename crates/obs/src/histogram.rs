@@ -6,7 +6,7 @@
 //! without locks), and p50/p90/p99/max readout. Recording costs three
 //! relaxed atomic ops — cheap enough to stay on in the admit path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log2 buckets. Bucket 0 is `[0, base)`; bucket `i >= 1` is
 /// `[base·2^(i-1), base·2^i)`; the last bucket also absorbs overflow.
@@ -259,6 +259,31 @@ mod tests {
         h.record(-3.0);
         assert_eq!(h.count(), 3);
         assert!(h.max().is_finite());
+    }
+
+    #[test]
+    fn concurrent_max_keeps_the_largest_sample() {
+        // Regression for the running-max update: `fetch_max` on the f64
+        // bit pattern must never lose the largest sample, whatever the
+        // interleaving (the loom model in uba-admission checks a small
+        // instance exhaustively; this stresses a big one).
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::with_base(1.0));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        h.record(f64::from(t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.max(), 7999.0);
     }
 
     #[test]

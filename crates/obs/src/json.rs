@@ -266,7 +266,11 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // The scanned range is ASCII (digits, sign, dot, exponent), so
+        // this cannot fail — but the parser stays textually panic-free
+        // (xtask's parser-unwrap rule), so route it through the error.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| JsonError {

@@ -24,6 +24,7 @@
 //! * [`rng`] — the workspace's deterministic SplitMix64 PRNG (in-tree
 //!   replacement for the `rand` crate; the build is fully offline).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod histogram;
@@ -32,11 +33,12 @@ pub mod metrics;
 pub mod registry;
 pub mod rng;
 pub mod span;
+pub(crate) mod sync;
 pub mod trace;
 
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge};
 pub use registry::{global, Registry, Snapshot, SnapshotValue};
 pub use rng::SplitMix64;
-pub use span::Span;
+pub use span::{Span, Stopwatch};
 pub use trace::{Event, EventKind, Tracer};

@@ -5,7 +5,7 @@
 //! atomicity of the update itself is needed. Increments from any number
 //! of threads sum exactly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing event counter.
 #[derive(Debug, Default)]
@@ -53,20 +53,15 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
-    /// Adds `delta` (CAS loop; exact under concurrency up to f64
-    /// rounding).
+    /// Adds `delta` (atomic read-modify-write; exact under concurrency
+    /// up to f64 rounding).
     pub fn add(&self, delta: f64) {
-        let mut cur = self.0.load(Ordering::Relaxed);
-        loop {
-            let next = (f64::from_bits(cur) + delta).to_bits();
-            match self
-                .0
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => return,
-                Err(actual) => cur = actual,
-            }
-        }
+        // fetch_update is the hand-rolled load + compare_exchange_weak
+        // retry loop, minus the chance of getting it subtly wrong — the
+        // closure always returns Some, so the Err branch is unreachable.
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+            Some((f64::from_bits(cur) + delta).to_bits())
+        });
     }
 
     /// Current value.

@@ -47,6 +47,37 @@ impl Drop for Span<'_> {
     }
 }
 
+/// A started wall-clock timer with no histogram attached — for call
+/// sites that want the elapsed value itself (solver phase timings, the
+/// reconfigure swap cost) rather than a recorded sample.
+///
+/// This is the workspace's only sanctioned `Instant::now` outside
+/// benchmarks: the `xtask check` clock-discipline rule keeps every other
+/// crate off the raw clock so simulations and model checks stay
+/// deterministic, and timing flows through one auditable type.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self { t0: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`start`](Self::start).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Nanoseconds elapsed since [`start`](Self::start), as `f64` (the
+    /// shape histograms record).
+    pub fn elapsed_ns(&self) -> f64 {
+        self.t0.elapsed().as_nanos() as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,30 @@
+//! Sync primitives for the lock-free observability modules.
+//!
+//! The shimmed modules (`trace`, `metrics`, `histogram`) import their
+//! atomics, `Mutex`, and `OnceLock` from here instead of `std::sync`
+//! directly (the `xtask check` shim-purity rule enforces it). A normal
+//! build re-exports `std` wholesale — the shim compiles away entirely.
+//! Under `RUSTFLAGS="--cfg loom"` the same names resolve to `uba-loom`'s
+//! modeled primitives, so the bounded model checker can exhaustively
+//! interleave the trace ring's publish/drain protocol and the metric
+//! CAS loops (see `crates/admission/tests/loom_models.rs`).
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, OnceLock};
+
+/// Atomics for the shimmed modules; `std::sync::atomic` unless `--cfg
+/// loom` swaps in the model checker's versions.
+#[cfg(not(loom))]
+pub(crate) mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}
+
+#[cfg(loom)]
+pub(crate) use uba_loom::sync::{Mutex, OnceLock};
+
+/// Atomics for the shimmed modules; `std::sync::atomic` unless `--cfg
+/// loom` swaps in the model checker's versions.
+#[cfg(loom)]
+pub(crate) mod atomic {
+    pub use uba_loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+}

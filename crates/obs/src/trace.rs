@@ -20,10 +20,10 @@
 //! compiled into the admit path unconditionally (`uba-bench`'s
 //! `trace_overhead` binary checks the enabled cost too).
 
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::{Mutex, OnceLock};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Ring capacity of the process-global tracer (events retained).
@@ -81,6 +81,25 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in declaration order. Lets tooling (the metrics
+    /// manifest test, exporters) enumerate the tracepoint namespace
+    /// without a hand-maintained list.
+    pub const ALL: [EventKind; 13] = [
+        EventKind::Admit,
+        EventKind::RejectLinkFull,
+        EventKind::RejectNoRoute,
+        EventKind::Release,
+        EventKind::SolveBegin,
+        EventKind::SolveEnd,
+        EventKind::WarmStartAccept,
+        EventKind::WarmStartFallback,
+        EventKind::SearchProbe,
+        EventKind::DeadlineMiss,
+        EventKind::QueueHighWater,
+        EventKind::ReconfigApplied,
+        EventKind::GenerationRetired,
+    ];
+
     /// Stable lower-snake name used in the JSON exposition.
     pub fn as_str(self) -> &'static str {
         match self {

@@ -14,6 +14,7 @@
 //! * [`search`] — the Section 5.3 binary search for the maximum safe
 //!   utilization, seeded with the Theorem 4 bounds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounds;

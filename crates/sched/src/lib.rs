@@ -14,6 +14,7 @@
 //! same *"compare utilization against a precomputed safe level"* pattern
 //! lifted from one CPU/token-ring to a network of link servers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod rta;

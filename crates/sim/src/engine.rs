@@ -163,7 +163,7 @@ fn run(
     discipline: &Discipline,
     reconfig: Option<&Reconfiguration>,
 ) -> SimReport {
-    let t_run = std::time::Instant::now();
+    let t_run = uba_obs::Stopwatch::start();
     let metrics = crate::metrics::sim();
     let classes = cfg.deadlines.len();
     assert!(classes > 0, "need at least one class deadline");
@@ -419,7 +419,7 @@ fn run(
         events,
         peak_backlog,
     };
-    let elapsed = t_run.elapsed().as_secs_f64();
+    let elapsed = t_run.elapsed_secs();
     metrics.runs.inc();
     metrics.events.add(events);
     metrics.packets.add(total_packets);

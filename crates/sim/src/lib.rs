@@ -23,6 +23,7 @@
 //!   is orders of magnitude below the bounds for the paper's parameters.
 //!   The validation tests allow exactly that slack.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

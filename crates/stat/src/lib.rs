@@ -24,6 +24,7 @@
 //! form), and Monte Carlo — plus the configuration-time threshold search
 //! [`max_flows`] and the resulting multiplexing-gain accounting.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod admission;

@@ -12,6 +12,7 @@
 //! are the link servers; every physical link is bidirectional and has unit
 //! weight (hop-count routing, as in the paper).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generators;

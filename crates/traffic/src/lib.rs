@@ -14,6 +14,7 @@
 //!
 //! All quantities are in bits, seconds, and bits/second.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bucket;

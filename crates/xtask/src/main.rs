@@ -1,0 +1,46 @@
+//! Repo invariant linter. See `check` module docs and DESIGN.md §9.
+#![forbid(unsafe_code)]
+
+mod check;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {
+            let root = std::env::var("CARGO_MANIFEST_DIR")
+                .map(|d| {
+                    std::path::Path::new(&d)
+                        .parent()
+                        .and_then(|p| p.parent())
+                        .expect("xtask lives two levels below the workspace root")
+                        .to_path_buf()
+                })
+                .unwrap_or_else(|_| std::path::PathBuf::from("."));
+            match check::run(&root) {
+                Ok(stats) => {
+                    println!(
+                        "xtask check: ok ({} files, {} justified orderings, {} metric names)",
+                        stats.files, stats.justified_orderings, stats.metric_names
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("xtask check: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- check\n  (got: {:?})",
+                other
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --offline --release (hermetic build)"
 cargo build --offline --release --workspace
 
+echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks)"
+cargo run --offline -q -p xtask -- check
+
 echo "==> cargo clippy --workspace -- -D warnings (lint gate)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -27,5 +30,20 @@ cargo run --offline --release -p uba-bench --bin trace_overhead -- smoke
 
 echo "==> reconfig_overhead smoke (versioned admit path vs pinned-generation baseline)"
 cargo run --offline --release -p uba-bench --bin reconfig_overhead -- smoke
+
+# Bounded model checking of the lock-free admission paths (uba-loom, the
+# in-tree checker). The preemption-bounded smoke pass finishes in seconds;
+# the exhaustive pass (full DFS, no preemption bound) runs only when
+# UBA_LOOM_EXHAUSTIVE=1 is set — it is minutes, not seconds.
+echo "==> loom bounded models (concurrency smoke: admission + obs under --cfg loom)"
+RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+  cargo test --offline -q -p uba-admission -p uba-obs --test loom_models
+
+if [[ "${UBA_LOOM_EXHAUSTIVE:-0}" == "1" ]]; then
+  echo "==> loom exhaustive models (full DFS via --features prop-tests)"
+  RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+    cargo test --offline -q -p uba-admission -p uba-obs --test loom_models \
+      --features uba-admission/prop-tests
+fi
 
 echo "==> verify.sh: all checks passed"

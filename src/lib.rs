@@ -37,6 +37,7 @@
 //!
 //! See `examples/` for full scenarios and `crates/bench` for the
 //! regeneration of every table and figure of the paper's evaluation.
+#![forbid(unsafe_code)]
 
 pub use uba_admission as admission;
 pub use uba_delay as delay;
