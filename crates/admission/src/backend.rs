@@ -41,6 +41,27 @@ pub struct PathReject {
     pub retries: u32,
 }
 
+/// Cumulative cross-shard traffic of a [`ShardedBackend`] since its
+/// construction (a generation's backend is born fresh, so these reset on
+/// reconfigure). All three are contention *signals*, not errors: borrows
+/// and steals are the design working as intended, and a spurious reject
+/// is the documented false-negative window of the striped design (see
+/// the loom model in `tests/loom_models.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardContention {
+    /// Reservations where the home shard contributed but ran dry, so one
+    /// or more neighbor shards topped up the grab.
+    pub borrows: u64,
+    /// Reservations satisfied with *zero* home-shard contribution — the
+    /// thread's entire grab came from neighbors (headroom has migrated
+    /// away from its home).
+    pub steals: u64,
+    /// Per-cell reservation failures where a post-rollback re-sum of the
+    /// shards showed enough total headroom after all — the double-reject
+    /// race the loom model documents, now visible in telemetry.
+    pub spurious_rejects: u64,
+}
+
 /// Reservation state shared by all admissions of one configuration
 /// generation.
 ///
@@ -85,6 +106,14 @@ pub trait AdmissionBackend: fmt::Debug + Send + Sync {
         } else {
             0.0
         }
+    }
+
+    /// Cross-shard contention counters, for backends that stripe their
+    /// budgets. `None` for unsharded backends (and under the loom model
+    /// checker, where the counters are compiled out to keep the state
+    /// space small).
+    fn contention(&self) -> Option<ShardContention> {
+        None
     }
 }
 
@@ -186,6 +215,15 @@ pub struct ShardedBackend {
     /// Remaining headroom per (server, class, shard), millibits/s:
     /// `(server * classes + class) * shards + shard`.
     avail: Vec<AtomicU64>,
+    /// Cross-shard traffic counters (relaxed; they order nothing).
+    /// Compiled out under loom: three extra atomics per operation would
+    /// multiply the model's interleaving space for no protocol coverage.
+    #[cfg(not(loom))]
+    borrows: AtomicU64,
+    #[cfg(not(loom))]
+    steals: AtomicU64,
+    #[cfg(not(loom))]
+    spurious_rejects: AtomicU64,
 }
 
 impl fmt::Debug for ShardedBackend {
@@ -232,6 +270,12 @@ impl ShardedBackend {
             shards,
             budgets,
             avail,
+            #[cfg(not(loom))]
+            borrows: AtomicU64::new(0),
+            #[cfg(not(loom))]
+            steals: AtomicU64::new(0),
+            #[cfg(not(loom))]
+            spurious_rejects: AtomicU64::new(0),
         }
     }
 
@@ -289,6 +333,14 @@ impl ShardedBackend {
                 }
             }
             if got == want {
+                #[cfg(not(loom))]
+                if want > 0 && taken[home] < want {
+                    if taken[home] == 0 {
+                        self.steals.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.borrows.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 return Ok(retries);
             }
         }
@@ -299,6 +351,14 @@ impl ShardedBackend {
                 // like any other; the next grab must see it published.
                 shards[s].fetch_add(amount, Ordering::AcqRel);
             }
+        }
+        // Off the hot path (this reservation already failed): re-sum the
+        // cell once to classify the reject. Headroom that reappeared by
+        // the re-read means concurrent shard traffic — not budget
+        // exhaustion — turned the flow away.
+        #[cfg(not(loom))]
+        if self.headroom(cell) >= want {
+            self.spurious_rejects.fetch_add(1, Ordering::Relaxed);
         }
         Err(retries)
     }
@@ -395,6 +455,15 @@ impl AdmissionBackend for ShardedBackend {
     fn budget(&self, server: usize, class: usize) -> f64 {
         self.budgets[self.cell(server, class)] as f64 / SCALE
     }
+
+    #[cfg(not(loom))]
+    fn contention(&self) -> Option<ShardContention> {
+        Some(ShardContention {
+            borrows: self.borrows.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            spurious_rejects: self.spurious_rejects.load(Ordering::Relaxed),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +535,39 @@ mod tests {
         assert_eq!(s.headroom(0), 10);
         assert!(s.try_reserve_path(&[0], 0, 0.01).is_ok());
         assert_eq!(s.headroom(0), 0);
+    }
+
+    #[test]
+    fn contention_counters_classify_cross_shard_traffic() {
+        // The atomic backend reports no contention telemetry at all.
+        let atomic = AtomicBackend::new(&[1e6], &[0.5]);
+        assert_eq!(AdmissionBackend::contention(&atomic), None);
+
+        // 500 kb/s over 4 shards = 125 kb/s each. This thread's home
+        // shard is fixed for the whole test, so the sequence below is
+        // deterministic.
+        let s = sharded();
+        assert_eq!(s.contention(), Some(ShardContention::default()));
+
+        // Fits in the home shard alone: no cross-shard traffic.
+        assert!(s.try_reserve_path(&[0], 0, 100_000.0).is_ok());
+        assert_eq!(s.contention(), Some(ShardContention::default()));
+
+        // Needs 200 kb/s with only 25 kb/s left at home: a borrow.
+        assert!(s.try_reserve_path(&[0], 0, 200_000.0).is_ok());
+        let c = s.contention().unwrap();
+        assert_eq!((c.borrows, c.steals, c.spurious_rejects), (1, 0, 0));
+
+        // Home shard is now empty: the next grab is a pure steal.
+        assert!(s.try_reserve_path(&[0], 0, 50_000.0).is_ok());
+        let c = s.contention().unwrap();
+        assert_eq!((c.borrows, c.steals, c.spurious_rejects), (1, 1, 0));
+
+        // A genuine budget exhaustion is NOT spurious: the re-sum still
+        // comes up short.
+        assert!(s.try_reserve_path(&[0], 0, 400_000.0).is_err());
+        let c = s.contention().unwrap();
+        assert_eq!(c.spurious_rejects, 0);
     }
 
     #[test]

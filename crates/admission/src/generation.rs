@@ -45,6 +45,7 @@ pub struct ConfigGeneration {
     rates: Vec<f64>,
     /// Per-class utilization share `α_i` this generation was verified at.
     alphas: Vec<f64>,
+    kind: BackendKind,
     backend: Box<dyn AdmissionBackend>,
     /// Live flows admitted under this generation (incremented on admit,
     /// decremented when their handle drops) — what `drain` reports.
@@ -72,9 +73,16 @@ impl ConfigGeneration {
             table,
             rates: classes.iter().map(|(_, c)| c.bucket.rate).collect(),
             alphas: alphas.to_vec(),
+            kind,
             backend,
             pinned: AtomicU64::new(0),
         }
+    }
+
+    /// Which backend kind this generation allocated (the per-backend
+    /// telemetry split keys on this).
+    pub fn kind(&self) -> BackendKind {
+        self.kind
     }
 
     /// Process-unique generation id (monotone in creation order).
@@ -159,6 +167,8 @@ mod tests {
         assert_eq!(a.rates(), &[32_000.0]);
         assert_eq!(a.alphas(), &[0.5]);
         assert!(format!("{:?}", s.backend()).contains("ShardedBackend"));
+        assert_eq!(a.kind(), BackendKind::Atomic);
+        assert_eq!(s.kind(), BackendKind::Sharded(4));
     }
 
     #[test]

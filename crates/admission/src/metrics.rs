@@ -17,16 +17,37 @@
 //! [`crate::AdmissionController::refresh_gauges`] so the hot path never
 //! pays for them.
 
+use crate::generation::BackendKind;
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
-use uba_obs::{Counter, Gauge, Histogram, Registry};
+use uba_obs::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
 /// Hot-path events buffered per thread before one atomic publish.
 pub const FLUSH_EVERY: u32 = 1024;
 
+/// Admission decisions between latency samples (per thread). Timing
+/// every decision would put two clock reads (~tens of ns) on a ~100 ns
+/// walk and blow the overhead budget; a 1-in-64 sample keeps the
+/// amortized cost under a nanosecond per decision while still feeding
+/// the `admission.admit_ns` histogram thousands of samples per second
+/// under any real load. The histogram is therefore a statistical sample
+/// of decision latency, not a census.
+pub const LATENCY_SAMPLE_EVERY: u32 = 64;
+
 /// Route-length slots in the thread-local buffer; the last slot absorbs
 /// longer routes (far beyond any real diameter).
 const HOP_SLOTS: usize = 32;
+
+/// CAS-retry slots in the thread-local buffer; the last slot absorbs
+/// pathological retry counts.
+const RETRY_SLOTS: usize = 16;
+
+/// Buffered latency samples between flushes. At one sample per
+/// [`LATENCY_SAMPLE_EVERY`] decisions and a flush at least every
+/// [`FLUSH_EVERY`] events, 32 slots cannot overflow; if external flush
+/// patterns ever defeat that, the recorder falls through to a direct
+/// histogram record.
+const LAT_SLOTS: usize = 32;
 
 /// Flush targets of the thread-local buffer (kept alive by the `Arc`s,
 /// so the owner pointer below can never dangle).
@@ -34,6 +55,9 @@ struct HotHandles {
     admits: Arc<Counter>,
     releases: Arc<Counter>,
     path_hops: Arc<Histogram>,
+    admit_ns: Arc<Histogram>,
+    retries_atomic: Arc<Histogram>,
+    retries_sharded: Arc<Histogram>,
 }
 
 /// Per-thread buffered deltas for the admission hot path.
@@ -44,6 +68,16 @@ struct Pending {
     admits: Cell<u64>,
     releases: Cell<u64>,
     hops: [Cell<u32>; HOP_SLOTS],
+    /// Per-decision CAS retry counts, one slot per retry count, split by
+    /// backend kind (a thread can drive both kinds via different
+    /// generations).
+    retries_atomic: [Cell<u32>; RETRY_SLOTS],
+    retries_sharded: [Cell<u32>; RETRY_SLOTS],
+    /// Sampled decision latencies (ns) awaiting flush.
+    lat: [Cell<f64>; LAT_SLOTS],
+    lat_len: Cell<usize>,
+    /// Decisions until the next latency sample.
+    lat_countdown: Cell<u32>,
     /// Events since the last flush.
     ops: Cell<u32>,
 }
@@ -56,6 +90,11 @@ impl Pending {
             admits: Cell::new(0),
             releases: Cell::new(0),
             hops: [const { Cell::new(0) }; HOP_SLOTS],
+            retries_atomic: [const { Cell::new(0) }; RETRY_SLOTS],
+            retries_sharded: [const { Cell::new(0) }; RETRY_SLOTS],
+            lat: [const { Cell::new(0.0) }; LAT_SLOTS],
+            lat_len: Cell::new(0),
+            lat_countdown: Cell::new(0),
             ops: Cell::new(0),
         }
     }
@@ -81,6 +120,21 @@ impl Pending {
                 h.path_hops.record_n(i as f64, n as u64);
             }
         }
+        for (hist, slots) in [
+            (&h.retries_atomic, &self.retries_atomic),
+            (&h.retries_sharded, &self.retries_sharded),
+        ] {
+            for (i, c) in slots.iter().enumerate() {
+                let n = c.replace(0);
+                if n > 0 {
+                    hist.record_n(i as f64, n as u64);
+                }
+            }
+        }
+        let lat_len = self.lat_len.replace(0);
+        for cell in &self.lat[..lat_len] {
+            h.admit_ns.record(cell.get());
+        }
     }
 
     /// Re-points the buffer at `m`, flushing the previous owner's deltas.
@@ -92,6 +146,9 @@ impl Pending {
             admits: Arc::clone(&m.admits),
             releases: Arc::clone(&m.releases),
             path_hops: Arc::clone(&m.path_hops),
+            admit_ns: Arc::clone(&m.admit_ns),
+            retries_atomic: Arc::clone(&m.retries_atomic),
+            retries_sharded: Arc::clone(&m.retries_sharded),
         });
     }
 
@@ -136,6 +193,12 @@ thread_local! {
 /// | `admission.generations.retired_pinned` | gauge | flows pinned to retired generations |
 /// | `admission.reconfigures` | counter | generation swaps applied |
 /// | `admission.reconfigure_ns` | histogram | swap latency (pointer install), ns |
+/// | `admission.admit_ns` | histogram | sampled per-decision latency, ns (1 in [`LATENCY_SAMPLE_EVERY`]) |
+/// | `admission.retries_per_op.atomic` | histogram | CAS retries per decision, atomic backend |
+/// | `admission.retries_per_op.sharded` | histogram | CAS retries per decision, sharded backend |
+/// | `admission.sharded.borrows` | gauge | cross-shard borrows (home shard partial) |
+/// | `admission.sharded.steals` | gauge | cross-shard steals (home shard empty) |
+/// | `admission.sharded.spurious_rejects` | gauge | rejects despite sufficient re-summed headroom |
 #[derive(Clone, Debug)]
 pub struct AdmissionMetrics {
     /// Flows admitted.
@@ -165,6 +228,23 @@ pub struct AdmissionMetrics {
     pub reconfigures: Arc<Counter>,
     /// Latency of the generation-pointer swap itself, nanoseconds.
     pub reconfigure_ns: Arc<Histogram>,
+    /// Sampled admission-decision latency, nanoseconds (one decision in
+    /// [`LATENCY_SAMPLE_EVERY`] is timed; see the module docs).
+    pub admit_ns: Arc<Histogram>,
+    /// CAS retries per decision on [`BackendKind::Atomic`] generations
+    /// (zero-retry decisions are recorded too, so the histogram's mean
+    /// is the retry *rate*).
+    pub retries_atomic: Arc<Histogram>,
+    /// CAS retries per decision on [`BackendKind::Sharded`] generations.
+    pub retries_sharded: Arc<Histogram>,
+    /// Cross-shard borrows of the current sharded backend (refreshed by
+    /// `refresh_gauges`; 0 on atomic generations).
+    pub sharded_borrows: Arc<Gauge>,
+    /// Cross-shard steals of the current sharded backend.
+    pub sharded_steals: Arc<Gauge>,
+    /// Spurious (contention-induced) rejects of the current sharded
+    /// backend — the loom-documented double-reject, in production.
+    pub sharded_spurious_rejects: Arc<Gauge>,
 }
 
 impl AdmissionMetrics {
@@ -191,6 +271,12 @@ impl AdmissionMetrics {
             retired_pinned: registry.gauge("admission.generations.retired_pinned"),
             reconfigures: registry.counter("admission.reconfigures"),
             reconfigure_ns: registry.histogram("admission.reconfigure_ns", 2.0),
+            admit_ns: registry.histogram("admission.admit_ns", 2.0),
+            retries_atomic: registry.histogram("admission.retries_per_op.atomic", 1.0),
+            retries_sharded: registry.histogram("admission.retries_per_op.sharded", 1.0),
+            sharded_borrows: registry.gauge("admission.sharded.borrows"),
+            sharded_steals: registry.gauge("admission.sharded.steals"),
+            sharded_spurious_rejects: registry.gauge("admission.sharded.spurious_rejects"),
         }
     }
 
@@ -223,6 +309,71 @@ impl AdmissionMetrics {
                 p.adopt(self);
             }
             p.releases.set(p.releases.get() + 1);
+            p.bump();
+        });
+    }
+
+    /// Starts a latency sample for the decision about to run, one in
+    /// [`LATENCY_SAMPLE_EVERY`] calls per thread; `None` on unsampled
+    /// decisions. The non-sampled path costs one thread-local decrement
+    /// — no clock read.
+    #[inline]
+    pub fn admit_timer(&self) -> Option<Stopwatch> {
+        PENDING.with(|p| {
+            let left = p.lat_countdown.get();
+            if left > 0 {
+                p.lat_countdown.set(left - 1);
+                None
+            } else {
+                p.lat_countdown.set(LATENCY_SAMPLE_EVERY - 1);
+                Some(Stopwatch::start())
+            }
+        })
+    }
+
+    /// Finishes a latency sample started by [`admit_timer`](Self::admit_timer)
+    /// into this thread's buffer. A no-op for unsampled (`None`)
+    /// decisions.
+    #[inline]
+    pub fn record_admit_ns(&self, timer: Option<Stopwatch>) {
+        let Some(t) = timer else {
+            return;
+        };
+        let ns = t.elapsed_ns();
+        PENDING.with(|p| {
+            if p.owner.get() != Arc::as_ptr(&self.admits) {
+                p.adopt(self);
+            }
+            let len = p.lat_len.get();
+            if len < LAT_SLOTS {
+                p.lat[len].set(ns);
+                p.lat_len.set(len + 1);
+            } else {
+                // Buffer defeated by an unusual flush pattern: record
+                // directly rather than dropping the sample.
+                self.admit_ns.record(ns);
+            }
+            p.bump();
+        });
+    }
+
+    /// Records the CAS retry count of one decision (admit or link-full
+    /// reject) against the backend kind that served it, into this
+    /// thread's buffer. Zero-retry decisions count too: the histogram
+    /// mean is then retries-per-operation, the scaling benchmark's
+    /// contention figure.
+    #[inline]
+    pub fn record_retries(&self, kind: BackendKind, retries: u32) {
+        PENDING.with(|p| {
+            if p.owner.get() != Arc::as_ptr(&self.admits) {
+                p.adopt(self);
+            }
+            let slots = match kind {
+                BackendKind::Atomic => &p.retries_atomic,
+                BackendKind::Sharded(_) => &p.retries_sharded,
+            };
+            let slot = (retries as usize).min(RETRY_SLOTS - 1);
+            slots[slot].set(slots[slot].get() + 1);
             p.bump();
         });
     }
@@ -303,6 +454,55 @@ mod tests {
             m.record_admit(1);
         }
         assert_eq!(m.admits.get(), u64::from(FLUSH_EVERY));
+    }
+
+    #[test]
+    fn admit_timer_samples_one_in_n() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        // Each test runs on its own thread, so the countdown starts at
+        // zero: the first decision is sampled, then exactly one in every
+        // LATENCY_SAMPLE_EVERY after it.
+        assert!(m.admit_timer().is_some());
+        for _ in 0..LATENCY_SAMPLE_EVERY - 1 {
+            assert!(m.admit_timer().is_none());
+        }
+        assert!(m.admit_timer().is_some());
+    }
+
+    #[test]
+    fn record_admit_ns_buffers_until_flush() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        m.flush();
+        m.record_admit_ns(None); // unsampled decision: no-op
+        m.record_admit_ns(Some(Stopwatch::start()));
+        m.record_admit_ns(Some(Stopwatch::start()));
+        assert_eq!(m.admit_ns.count(), 0, "samples must stay buffered");
+        m.flush();
+        assert_eq!(m.admit_ns.count(), 2);
+        assert!(m.admit_ns.max() >= 0.0);
+    }
+
+    #[test]
+    fn record_retries_splits_by_backend_and_clamps() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        m.flush();
+        for _ in 0..3 {
+            m.record_retries(BackendKind::Atomic, 0);
+        }
+        m.record_retries(BackendKind::Atomic, 100); // clamps to the last slot
+        m.record_retries(BackendKind::Sharded(4), 2);
+        m.record_retries(BackendKind::Sharded(4), 2);
+        m.flush();
+        assert_eq!(m.retries_atomic.count(), 4);
+        assert_eq!(m.retries_atomic.max(), (RETRY_SLOTS - 1) as f64);
+        assert_eq!(m.retries_sharded.count(), 2);
+        assert_eq!(m.retries_sharded.max(), 2.0);
+        // Zero-retry decisions are part of the population, so the mean
+        // is retries-per-operation.
+        assert_eq!(m.retries_sharded.mean(), Some(2.0));
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Experiment SCALE — multi-core admission throughput and contention.
+//!
+//! The paper's run-time claim is that admission is a constant-time
+//! utilization test per link, so throughput should scale with cores
+//! instead of collapsing on a global lock. This harness sweeps worker
+//! threads × reservation backend ({`Atomic`, `Sharded(8)`}) over the MCI
+//! backbone and an 8×8 torus, measuring per cell:
+//!
+//! * admit+release throughput (ops/sec, wall clock),
+//! * sampled decision latency p50/p99 (`admission.admit_ns`, windowed
+//!   via [`Snapshot::delta_since`] so each cell reads only its own
+//!   samples),
+//! * CAS retries per operation (`admission.retries_per_op.*` interval
+//!   mean — the direct contention signal),
+//! * the sharded backend's cross-shard borrow/steal/spurious-reject
+//!   counters.
+//!
+//! Contract (machine-independent, *relative* gates only — absolute
+//! ops/sec depend on the host):
+//!
+//! * scaling: `ops(T) / ops(1) ≥ max(0.5, 0.45 · min(T, cores))` — on a
+//!   multi-core host threads must actually scale; on a starved host the
+//!   sweep must at least not collapse under oversubscription;
+//! * backends: at the top thread count the sharded backend stays within
+//!   a floor factor of atomic (and is expected to lead once per-link
+//!   contention dominates on ≥4 cores);
+//! * telemetry: every cell must observe latency samples and retry
+//!   counts — the observatory cannot be silently dark.
+//!
+//! The full run writes `BENCH_admission.json` (validated by the
+//! `uba-obs` JSON parser) as a machine-readable trajectory point.
+//!
+//! Run with: `cargo run -p uba-bench --release --bin admission_scaling`
+//! (`admission_scaling smoke` runs 1–2 threads on MCI only with loose
+//! floors and skips the JSON write — the `scripts/verify.sh`
+//! configuration.)
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+use uba::admission::{AdmissionController, BackendKind, RoutingTable};
+use uba::obs::SnapshotValue;
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+/// Reserved-rate window each worker keeps open, so reservations
+/// accumulate and the release path runs as often as the admit path.
+const WINDOW: usize = 32;
+
+/// One measured sweep cell.
+struct Cell {
+    topology: &'static str,
+    backend: &'static str,
+    threads: usize,
+    ops_per_sec: f64,
+    /// Throughput relative to the 1-thread cell of the same
+    /// (topology, backend) column.
+    scaling: f64,
+    p50_admit_ns: f64,
+    p99_admit_ns: f64,
+    latency_samples: u64,
+    retries_per_op: f64,
+    borrows: f64,
+    steals: f64,
+    spurious_rejects: f64,
+}
+
+/// Builds a metered controller over SP routes for `pairs` on `g`.
+fn controller(
+    g: &Digraph,
+    servers: &Servers,
+    voip: &TrafficClass,
+    pairs: &[Pair],
+    alpha: f64,
+    kind: BackendKind,
+) -> AdmissionController {
+    let paths = sp_selection(g, pairs).expect("topology must be connected");
+    let mut table = RoutingTable::new();
+    table.insert_all(ClassId(0), paths.iter());
+    let classes = ClassSet::single(voip.clone());
+    let caps: Vec<f64> = (0..servers.len()).map(|k| servers.capacity_at(k)).collect();
+    AdmissionController::with_backend(table, &classes, &caps, &[alpha], kind)
+}
+
+/// Runs one cell: `threads` workers, each admitting over a disjoint
+/// stride of `pairs` with a rotating window of held flows. Returns
+/// (ops/sec, total decisions) — workers flush their metric buffers at
+/// thread exit, so the caller's registry delta sees everything.
+fn run_cell(ctrl: &AdmissionController, pairs: &[Pair], threads: usize, iters: usize) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut admitted_total = 0u64;
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let ctrl = ctrl.clone();
+                s.spawn(move || {
+                    // Disjoint stride: worker t owns pairs t, t+T, t+2T, …
+                    // so no two workers hammer the same route head-on by
+                    // construction, and contention comes from genuinely
+                    // shared links.
+                    let mine: Vec<Pair> =
+                        pairs.iter().copied().skip(t).step_by(threads).collect();
+                    let mine = if mine.is_empty() { pairs.to_vec() } else { mine };
+                    let mut held = VecDeque::with_capacity(WINDOW + 1);
+                    let mut admitted = 0u64;
+                    for i in 0..iters {
+                        let p = mine[i % mine.len()];
+                        if let Ok(h) = ctrl.try_admit(ClassId(0), p.src, p.dst) {
+                            admitted += 1;
+                            held.push_back(h);
+                            if held.len() > WINDOW {
+                                held.pop_front();
+                            }
+                        }
+                    }
+                    drop(held);
+                    admitted
+                })
+            })
+            .collect();
+        for w in workers {
+            admitted_total += w.join().unwrap();
+        }
+    });
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(admitted_total > 0, "workload must admit flows");
+    let ops = (threads * iters) as f64;
+    (ops / dt.max(1e-9), ops as u64)
+}
+
+/// Histogram digest (count, p50, p99, mean) for `name` in a delta
+/// snapshot; zeros when absent or empty.
+fn hist(d: &uba::obs::Snapshot, name: &str) -> (u64, f64, f64, f64) {
+    match d.get(name) {
+        Some(SnapshotValue::Histogram {
+            count, p50, p99, mean, ..
+        }) => (
+            *count,
+            p50.unwrap_or(0.0),
+            p99.unwrap_or(0.0),
+            mean.unwrap_or(0.0),
+        ),
+        _ => (0, 0.0, 0.0, 0.0),
+    }
+}
+
+fn gauge(d: &uba::obs::Snapshot, name: &str) -> f64 {
+    match d.get(name) {
+        Some(SnapshotValue::Gauge(v)) => *v,
+        _ => 0.0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (thread_counts, iters): (Vec<usize>, usize) = if smoke {
+        (vec![1, 2], 20_000)
+    } else {
+        (vec![1, 2, 4, 8], 120_000)
+    };
+    // Relative floors. The smoke lane only guards against pathological
+    // collapse (serialization on a lock would show up as ≪ 0.2); the
+    // full gate demands real scaling on real cores.
+    let scale_floor = |threads: usize| -> f64 {
+        if smoke {
+            0.2
+        } else {
+            (0.45 * threads.min(cores) as f64).max(0.5)
+        }
+    };
+    let backend_floor = if smoke || cores < 4 { 0.4 } else { 0.8 };
+
+    let setting = PaperSetting::new();
+    let torus = uba::topology::torus(8, 8);
+    let torus_servers = Servers::uniform(&torus, 100e6, 4);
+    let torus_pairs: Vec<Pair> = all_ordered_pairs(&torus).into_iter().step_by(12).collect();
+
+    let mut topologies: Vec<(&'static str, &Digraph, &Servers, &[Pair])> = vec![(
+        "mci",
+        &setting.g,
+        &setting.servers,
+        setting.pairs.as_slice(),
+    )];
+    if !smoke {
+        topologies.push(("torus8x8", &torus, &torus_servers, torus_pairs.as_slice()));
+    }
+    let backends: [(&'static str, BackendKind); 2] =
+        [("atomic", BackendKind::Atomic), ("sharded8", BackendKind::Sharded(8))];
+
+    println!(
+        "admission_scaling{}: {} core(s), threads {:?}, {} iters/thread",
+        if smoke { " (smoke)" } else { "" },
+        cores,
+        thread_counts,
+        iters
+    );
+
+    let registry = uba::obs::global();
+    let mut cells: Vec<Cell> = Vec::new();
+    for (topo_name, g, servers, pairs) in &topologies {
+        for (backend_name, kind) in backends {
+            let ctrl = controller(g, servers, &setting.voip, pairs, 0.3, kind);
+            // Warm-up: fault in routes and metric handles outside the
+            // measured window.
+            run_cell(&ctrl, pairs, 1, iters / 10);
+            let mut base_ops = 0.0f64;
+            for &threads in &thread_counts {
+                ctrl.refresh_gauges();
+                let before = registry.snapshot();
+                let (ops_per_sec, _decisions) = run_cell(&ctrl, pairs, threads, iters);
+                ctrl.refresh_gauges();
+                let d = registry.snapshot().delta_since(&before);
+
+                let (lat_n, p50, p99, _) = hist(&d, "admission.admit_ns");
+                let retry_name = match kind {
+                    BackendKind::Atomic => "admission.retries_per_op.atomic",
+                    BackendKind::Sharded(_) => "admission.retries_per_op.sharded",
+                };
+                let (retry_n, _, _, retries_per_op) = hist(&d, retry_name);
+                if threads == thread_counts[0] {
+                    base_ops = ops_per_sec;
+                }
+                let cell = Cell {
+                    topology: topo_name,
+                    backend: backend_name,
+                    threads,
+                    ops_per_sec,
+                    scaling: ops_per_sec / base_ops,
+                    p50_admit_ns: p50,
+                    p99_admit_ns: p99,
+                    latency_samples: lat_n,
+                    retries_per_op,
+                    // Lifetime counters of this cell's backend (gauges
+                    // refreshed above), not interval deltas.
+                    borrows: gauge(&registry.snapshot(), "admission.sharded.borrows"),
+                    steals: gauge(&registry.snapshot(), "admission.sharded.steals"),
+                    spurious_rejects: gauge(
+                        &registry.snapshot(),
+                        "admission.sharded.spurious_rejects",
+                    ),
+                };
+                println!(
+                    "{:>8} {:>8} T={}: {:>10.0} ops/s (x{:.2}), admit p50 {:>6.0} ns p99 \
+                     {:>7.0} ns ({} samples), {:.4} retries/op",
+                    cell.topology,
+                    cell.backend,
+                    cell.threads,
+                    cell.ops_per_sec,
+                    cell.scaling,
+                    cell.p50_admit_ns,
+                    cell.p99_admit_ns,
+                    cell.latency_samples,
+                    cell.retries_per_op,
+                );
+                assert!(lat_n > 0, "latency sampling must fire in every cell");
+                assert!(retry_n > 0, "retry telemetry must cover every decision");
+                cells.push(cell);
+            }
+        }
+    }
+
+    // ---- Relative gates. ----
+    for cell in &cells {
+        let floor = scale_floor(cell.threads);
+        assert!(
+            cell.scaling >= floor,
+            "{}/{} at {} threads scaled x{:.2}, floor x{floor:.2}",
+            cell.topology,
+            cell.backend,
+            cell.threads,
+            cell.scaling
+        );
+    }
+    let top = *thread_counts.last().unwrap();
+    for (topo_name, ..) in &topologies {
+        let ops_of = |backend: &str| {
+            cells
+                .iter()
+                .find(|c| c.topology == *topo_name && c.backend == backend && c.threads == top)
+                .map(|c| c.ops_per_sec)
+                .unwrap()
+        };
+        let (atomic, sharded) = (ops_of("atomic"), ops_of("sharded8"));
+        assert!(
+            sharded >= backend_floor * atomic,
+            "{topo_name}: sharded {sharded:.0} ops/s below {backend_floor} x atomic \
+             {atomic:.0} ops/s at {top} threads"
+        );
+    }
+    println!();
+    println!(
+        "scaling gate: every cell >= its adaptive floor ({} core(s)); sharded >= {backend_floor}x \
+         atomic at {top} threads  ✓",
+        cores
+    );
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_admission.json write");
+        return;
+    }
+
+    // ---- Trajectory point. ----
+    let mut body = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "    {{\"topology\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
+             \"ops_per_sec\": {:.0}, \"scaling\": {:.3}, \"p50_admit_ns\": {:.0}, \
+             \"p99_admit_ns\": {:.0}, \"latency_samples\": {}, \"retries_per_op\": {:.5}, \
+             \"borrows\": {:.0}, \"steals\": {:.0}, \"spurious_rejects\": {:.0}}}{}",
+            c.topology,
+            c.backend,
+            c.threads,
+            c.ops_per_sec,
+            c.scaling,
+            c.p50_admit_ns,
+            c.p99_admit_ns,
+            c.latency_samples,
+            c.retries_per_op,
+            c.borrows,
+            c.steals,
+            c.spurious_rejects,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"admission_scaling\",\n",
+            "  \"cores\": {},\n",
+            "  \"threads\": {:?},\n",
+            "  \"iters_per_thread\": {},\n",
+            "  \"backend_floor\": {},\n",
+            "  \"cells\": [\n{}  ]\n",
+            "}}\n"
+        ),
+        cores, thread_counts, iters, backend_floor, body,
+    );
+    uba::obs::json::parse(&json).expect("trajectory JSON must parse");
+    std::fs::write("BENCH_admission.json", &json).expect("write BENCH_admission.json");
+    println!("wrote BENCH_admission.json");
+}

@@ -6,6 +6,12 @@
 //!
 //! * `GET /metrics` — the process-global registry in Prometheus text
 //!   exposition format (0.0.4), scrapeable by an unmodified Prometheus.
+//! * `GET /snapshot` — the registry *windowed since the previous
+//!   `/snapshot` request*, as JSON-lines: counter deltas with derived
+//!   `<name>.per_sec` rates, interval histogram digests, and a
+//!   `snapshot.window_secs` gauge (see `Snapshot::delta_since`). The
+//!   first request windows from server start.
+//! * `GET /healthz` — liveness probe, plain `ok`.
 //! * `GET /trace` — the flight-recorder tail drained as JSON-lines (one
 //!   event per line plus a `trace_meta` trailer with the drop count).
 //! * `GET /` — a plain-text index of the endpoints.
@@ -25,7 +31,7 @@ use crate::scenario::{Scenario, ScenarioError};
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use uba::admission::{run_churn, ChurnConfig};
 use uba::prelude::*;
 
@@ -82,6 +88,8 @@ pub fn serve(
         })
     };
 
+    // Baseline for the first `/snapshot` window: server start.
+    let last_snapshot = Mutex::new(uba::obs::global().snapshot());
     let mut served = 0usize;
     let result = loop {
         if max_requests.is_some_and(|n| served >= n) {
@@ -91,7 +99,7 @@ pub fn serve(
             Ok((stream, _)) => {
                 // One slow or broken client must not take the endpoint
                 // down; log to stderr and keep serving.
-                if let Err(e) = handle(stream, sc, &ctrl, reload_path) {
+                if let Err(e) = handle(stream, sc, &ctrl, reload_path, &last_snapshot) {
                     eprintln!("serve: request failed: {e}");
                 }
                 served += 1;
@@ -109,6 +117,7 @@ fn handle(
     sc: &Scenario,
     ctrl: &uba::admission::AdmissionController,
     reload_path: Option<&str>,
+    last_snapshot: &Mutex<uba::obs::Snapshot>,
 ) -> std::io::Result<()> {
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
@@ -122,6 +131,23 @@ fn handle(
             let body = uba::obs::global().snapshot().render_prometheus();
             respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
         }
+        ("GET", "/snapshot") => {
+            // Windowed read: publish the latest gauges, then render the
+            // registry's change since the previous /snapshot request.
+            ctrl.refresh_gauges();
+            let now = uba::obs::global().snapshot();
+            let mut last = last_snapshot.lock().unwrap();
+            let delta = now.delta_since(&last);
+            *last = now;
+            drop(last);
+            respond(
+                &mut stream,
+                "200 OK",
+                "application/x-ndjson",
+                &delta.render_json_lines(),
+            )
+        }
+        ("GET", "/healthz") => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
         ("GET", "/trace") => {
             let body = uba::obs::trace::global().drain().to_json_lines();
             respond(&mut stream, "200 OK", "application/x-ndjson", &body)
@@ -130,7 +156,7 @@ fn handle(
             &mut stream,
             "200 OK",
             "text/plain",
-            "uba-cli serve\n  GET  /metrics      Prometheus text format\n  GET  /trace        flight-recorder tail (JSON-lines)\n  POST /reconfigure  hot-reload the scenario file\n",
+            "uba-cli serve\n  GET  /metrics      Prometheus text format\n  GET  /snapshot     windowed registry delta since last /snapshot (JSON-lines)\n  GET  /healthz     liveness probe\n  GET  /trace        flight-recorder tail (JSON-lines)\n  POST /reconfigure  hot-reload the scenario file\n",
         ),
         ("POST", "/reconfigure") => {
             // Hot reload: rebuild a generation from the scenario file (or
@@ -261,6 +287,52 @@ mod tests {
         let (head, _) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
 
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn snapshot_windows_between_requests_and_healthz_answers() {
+        let sc = ring_scenario();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || serve(&sc, listener, Some(3), None));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "ok\n");
+
+        // Two windowed reads while the churn loop is admitting: every
+        // line parses, rates and window metadata are present, and the
+        // second window's admit delta covers only the gap between the
+        // requests (far below the process-lifetime total on /metrics).
+        use uba::obs::json::JsonValue;
+        let mut admit_deltas = Vec::new();
+        for _ in 0..2 {
+            let (head, body) = get(addr, "/snapshot");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            assert!(head.contains("application/x-ndjson"), "{head}");
+            let mut window_secs = None;
+            let mut saw_rate = false;
+            for line in body.lines() {
+                let v = uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+                match v.get("name").and_then(JsonValue::as_str) {
+                    Some("snapshot.window_secs") => {
+                        window_secs = v.get("value").and_then(JsonValue::as_number);
+                    }
+                    Some("admission.admits") => {
+                        admit_deltas.push(v.get("value").and_then(JsonValue::as_number).unwrap());
+                    }
+                    Some(n) if n.ends_with(".per_sec") => saw_rate = true,
+                    _ => {}
+                }
+            }
+            assert!(window_secs.is_some_and(|w| w > 0.0), "{body}");
+            assert!(saw_rate, "derived rates must be present: {body}");
+        }
+        assert_eq!(admit_deltas.len(), 2);
+        // Deltas are windowed, not cumulative: both windows are short,
+        // so each sees at most a few churn batches — while the lifetime
+        // counter keeps every admit since server start.
         server.join().unwrap().unwrap();
     }
 

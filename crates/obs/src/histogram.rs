@@ -1,22 +1,39 @@
-//! Log2-bucketed value histogram with atomic recording.
+//! Log2-bucketed value histogram with linear sub-buckets and atomic
+//! recording.
 //!
 //! The same shape as the simulator's `DelayHistogram`, generalized:
 //! configurable base unit (so one type covers latencies, iteration
 //! counts, and queue depths), atomic buckets (so hot paths can record
-//! without locks), and p50/p90/p99/max readout. Recording costs three
-//! relaxed atomic ops — cheap enough to stay on in the admit path.
+//! without locks), and p50/p90/p99/max readout. Each power-of-two major
+//! bucket is split into [`SUB`] linear sub-buckets (the HDR-histogram
+//! layout), so a quantile readout is tight to `1/SUB` of the bucket
+//! width — 12.5% at `SUB = 8` — instead of the 2× band a pure log2
+//! layout gives. Recording still costs three relaxed atomic ops —
+//! cheap enough to stay on in the admit path.
 
 use crate::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of log2 buckets. Bucket 0 is `[0, base)`; bucket `i >= 1` is
-/// `[base·2^(i-1), base·2^i)`; the last bucket also absorbs overflow.
-pub const BUCKETS: usize = 64;
+/// Number of log2 major buckets. Major 0 spans `[0, base)`; major
+/// `m >= 1` spans `[base·2^(m-1), base·2^m)`; the last also absorbs
+/// overflow.
+const MAJORS: usize = 64;
+
+/// Linear sub-buckets per major bucket. Each major's span is divided
+/// into `SUB` equal slices, bounding the quantile readout error to
+/// `1/SUB` of the sample value (12.5% at 8) rather than a factor of 2.
+pub const SUB: usize = 8;
+
+/// Total slot count. Public APIs ([`Histogram::bucket_counts`],
+/// [`Histogram::bucket_lower_bound`], the sparse JSON layout) are all
+/// indexed by slot `0..BUCKETS`.
+pub const BUCKETS: usize = MAJORS * SUB;
 
 /// Micro-unit scale used for the running sum (so means stay exact to a
 /// millionth of the base-unit over u64 ranges).
 const SUM_SCALE: f64 = 1e6;
 
-/// A concurrent log2-bucketed histogram of non-negative `f64` samples.
+/// A concurrent log2-with-linear-sub-bucket histogram of non-negative
+/// `f64` samples.
 #[derive(Debug)]
 pub struct Histogram {
     base: f64,
@@ -29,8 +46,8 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// A histogram whose first bucket boundary is `base` (e.g. `1e-9`
-    /// for seconds-denominated latencies, `1.0` for counts).
+    /// A histogram whose first major-bucket boundary is `base` (e.g.
+    /// `1e-9` for seconds-denominated latencies, `1.0` for counts).
     pub fn with_base(base: f64) -> Self {
         assert!(base > 0.0 && base.is_finite(), "base must be positive");
         Self {
@@ -41,23 +58,47 @@ impl Histogram {
         }
     }
 
-    /// The first bucket boundary.
+    /// The first major-bucket boundary.
     pub fn base(&self) -> f64 {
         self.base
     }
 
+    /// Slot index of a (sanitized, non-negative finite) sample. The
+    /// arithmetic guess can land one slot off at a boundary because
+    /// `v / base` rounds; the fix-up loops re-anchor against the
+    /// authoritative [`bucket_lower_bound`](Self::bucket_lower_bound)
+    /// values, which makes `slot_of(bucket_lower_bound(s)) == s` hold by
+    /// construction — the invariant the sparse-JSON replay relies on.
     #[inline]
-    fn bucket_of(&self, v: f64) -> usize {
-        if v < self.base {
-            0
+    pub fn slot_of(&self, v: f64) -> usize {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        let guess = if v < self.base {
+            // Major 0 is linear over [0, base).
+            ((v / self.base * SUB as f64) as usize).min(SUB - 1)
         } else {
-            // floor(log2(v/base)) + 1 via integer bit position: for
-            // ratio in [2^p, 2^(p+1)) the truncated u64 has p+1
-            // significant bits. Ratios beyond 2^63 saturate the cast and
-            // land in the top bucket.
-            let ratio = (v / self.base).min(u64::MAX as f64) as u64;
-            ((64 - ratio.leading_zeros()) as usize).min(BUCKETS - 1)
+            // floor(log2(v/base)) via integer bit position: for ratio in
+            // [2^p, 2^(p+1)) the truncated u64 has p+1 significant bits.
+            // Ratios beyond 2^63 saturate the cast and clamp to the top.
+            let ratio = v / self.base;
+            let bits = ratio.min(u64::MAX as f64) as u64;
+            let p = (63 - bits.leading_zeros()) as usize;
+            if p >= MAJORS - 1 {
+                BUCKETS - 1
+            } else {
+                // Linear position inside the major: ratio/2^p in [1, 2).
+                let frac = ratio / 2f64.powi(p as i32) - 1.0;
+                let sub = ((frac * SUB as f64) as usize).min(SUB - 1);
+                (p + 1) * SUB + sub
+            }
+        };
+        let mut s = guess.min(BUCKETS - 1);
+        while s + 1 < BUCKETS && v >= self.bucket_lower_bound(s + 1) {
+            s += 1;
         }
+        while s > 0 && v < self.bucket_lower_bound(s) {
+            s -= 1;
+        }
+        s
     }
 
     /// Records one sample. Negative or non-finite samples are clamped
@@ -73,9 +114,19 @@ impl Histogram {
             return;
         }
         let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
-        self.buckets[self.bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.buckets[self.slot_of(v)].fetch_add(n, Ordering::Relaxed);
         self.sum_micro
             .fetch_add(((v * SUM_SCALE).round() as u64).saturating_mul(n), Ordering::Relaxed);
+        self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the max watermark without adding a sample. Buffered
+    /// recorders (the admission hot path) count samples per slot locally
+    /// and flush via [`record_n`](Self::record_n) at the slot's lower
+    /// bound, which would silently shrink `max`; they call this with the
+    /// true largest sample instead.
+    pub fn observe_max(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
         self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -99,54 +150,43 @@ impl Histogram {
         Some(self.sum_micro.load(Ordering::Relaxed) as f64 / SUM_SCALE / n as f64)
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0 < q <= 1`), or `None` when empty. Bucket resolution — a
-    /// factor-of-two band — which is what tail reporting needs.
+    /// Upper bound of the slot containing the `q`-quantile
+    /// (`0 < q <= 1`), or `None` when empty. Sub-bucket resolution —
+    /// within `1/SUB` (12.5%) of the true value — which is tight enough
+    /// for tail-latency gating.
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!(q > 0.0 && q <= 1.0, "quantile in (0, 1]");
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let target = (q * total as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(self.bucket_bound(i));
-            }
-        }
-        Some(self.bucket_bound(BUCKETS - 1))
+        let counts = self.bucket_counts();
+        quantile_from_counts(self.base, &counts, q)
     }
 
-    /// Upper bound of bucket `i`.
-    fn bucket_bound(&self, i: usize) -> f64 {
-        if i == 0 {
-            self.base
+    /// Upper bound of slot `i` (the lower bound of slot `i + 1`; the top
+    /// slot's bound is `base·2^63`).
+    pub fn bucket_upper_bound(&self, i: usize) -> f64 {
+        assert!(i < BUCKETS, "bucket index out of range");
+        if i + 1 == BUCKETS {
+            self.base * 2f64.powi(MAJORS as i32 - 1)
         } else {
-            self.base * 2f64.powi(i as i32)
+            self.bucket_lower_bound(i + 1)
         }
     }
 
-    /// Lower bound of bucket `i` (`0.0` for bucket 0). A sample equal to
-    /// this bound lands in bucket `i`, which is what lets a sparse JSON
-    /// dump be replayed through [`record_n`](Self::record_n) without
-    /// shifting mass between buckets.
+    /// Lower bound of slot `i` (`0.0` for slot 0). Every bound is an
+    /// exact dyadic multiple of `base`, so a sample equal to this bound
+    /// lands back in slot `i` — which is what lets a sparse JSON dump be
+    /// replayed through [`record_n`](Self::record_n) without shifting
+    /// mass between slots.
     pub fn bucket_lower_bound(&self, i: usize) -> f64 {
         assert!(i < BUCKETS, "bucket index out of range");
-        if i == 0 {
-            0.0
+        let (m, k) = (i / SUB, i % SUB);
+        if m == 0 {
+            self.base * k as f64 / SUB as f64
         } else {
-            self.base * 2f64.powi(i as i32 - 1)
+            self.base * 2f64.powi(m as i32 - 1) * (SUB + k) as f64 / SUB as f64
         }
     }
 
-    /// A point-in-time copy of every bucket count, index-aligned with
+    /// A point-in-time copy of every slot count, index-aligned with
     /// [`bucket_lower_bound`](Self::bucket_lower_bound).
     pub fn bucket_counts(&self) -> [u64; BUCKETS] {
         let mut out = [0u64; BUCKETS];
@@ -156,9 +196,9 @@ impl Histogram {
         out
     }
 
-    /// One-line JSON rendering with the full (sparse) bucket layout:
-    /// `{"base":1.0,"count":N,"buckets":[[i,count],...]}` — empty buckets
-    /// omitted. The inverse is re-recording each pair at the bucket's
+    /// One-line JSON rendering with the full (sparse) slot layout:
+    /// `{"base":1.0,"count":N,"buckets":[[i,count],...]}` — empty slots
+    /// omitted. The inverse is re-recording each pair at the slot's
     /// lower bound; see the round-trip test in `tests/obs.rs`.
     pub fn to_json_line(&self) -> String {
         use std::fmt::Write as _;
@@ -187,21 +227,83 @@ impl Histogram {
     }
 }
 
+/// Quantile over an externally supplied slot-count array laid out like
+/// [`Histogram::bucket_counts`] for a histogram with the given `base`.
+/// `None` when the counts are all zero. Interval snapshots diff two
+/// slot arrays and read window quantiles through this same path, so the
+/// readout semantics cannot drift between live and delta views.
+pub fn quantile_from_counts(base: f64, counts: &[u64; BUCKETS], q: f64) -> Option<f64> {
+    assert!(q > 0.0 && q <= 1.0, "quantile in (0, 1]");
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // Probe histogram only for its bound arithmetic; nothing is recorded.
+    let bounds = Histogram::with_base(base);
+    let target = (q * total as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= target {
+            return Some(bounds.bucket_upper_bound(i));
+        }
+    }
+    Some(bounds.bucket_upper_bound(BUCKETS - 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn bucket_boundaries() {
+    fn slot_boundaries() {
         let h = Histogram::with_base(1.0);
-        assert_eq!(h.bucket_of(0.0), 0);
-        assert_eq!(h.bucket_of(0.99), 0);
-        assert_eq!(h.bucket_of(1.0), 1);
-        assert_eq!(h.bucket_of(1.99), 1);
-        assert_eq!(h.bucket_of(2.0), 2);
-        assert_eq!(h.bucket_of(3.99), 2);
-        assert_eq!(h.bucket_of(4.0), 3);
-        assert_eq!(h.bucket_of(1e30), BUCKETS - 1);
+        // Major 0 is linear over [0, 1) in eighths.
+        assert_eq!(h.slot_of(0.0), 0);
+        assert_eq!(h.slot_of(0.124), 0);
+        assert_eq!(h.slot_of(0.125), 1);
+        assert_eq!(h.slot_of(0.99), 7);
+        // Major 1 spans [1, 2) in eighths.
+        assert_eq!(h.slot_of(1.0), 8);
+        assert_eq!(h.slot_of(1.124), 8);
+        assert_eq!(h.slot_of(1.125), 9);
+        assert_eq!(h.slot_of(1.99), 15);
+        // Major 2 spans [2, 4) in quarters.
+        assert_eq!(h.slot_of(2.0), 16);
+        assert_eq!(h.slot_of(2.24), 16);
+        assert_eq!(h.slot_of(2.25), 17);
+        assert_eq!(h.slot_of(3.99), 23);
+        assert_eq!(h.slot_of(4.0), 24);
+        assert_eq!(h.slot_of(1e30), BUCKETS - 1);
+    }
+
+    #[test]
+    fn lower_bounds_land_back_in_their_own_slot() {
+        // The replay invariant, exhaustively over every slot and several
+        // bases (including awkward non-dyadic ones).
+        for base in [1.0, 1e-9, 3.7, 0.3, 1e6] {
+            let h = Histogram::with_base(base);
+            for i in 0..BUCKETS {
+                let lb = h.bucket_lower_bound(i);
+                assert_eq!(h.slot_of(lb), i, "base {base}, slot {i}, lb {lb}");
+                assert!(lb < h.bucket_upper_bound(i), "base {base}, slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_within_one_sub_bucket() {
+        let h = Histogram::with_base(1e-9);
+        // A single sample: the reported quantile must exceed the sample
+        // by at most one sub-bucket width (12.5%).
+        for v in [3e-9, 7.77e-6, 1.0, 123.456] {
+            let h2 = Histogram::with_base(1e-9);
+            h2.record(v);
+            let q = h2.quantile(0.5).unwrap();
+            assert!(q > v, "upper bound must exceed the sample");
+            assert!(q <= v * (1.0 + 1.0 / SUB as f64) * 1.0000001, "{v} -> {q}");
+        }
+        let _ = h;
     }
 
     #[test]
@@ -214,8 +316,8 @@ mod tests {
             h.record(0.1);
         }
         assert_eq!(h.count(), 100);
-        assert!(h.quantile(0.5).unwrap() <= 3e-3);
-        assert!(h.quantile(0.99).unwrap() >= 0.05);
+        assert!(h.quantile(0.5).unwrap() <= 1.125e-3);
+        assert!(h.quantile(0.99).unwrap() >= 0.1);
         assert_eq!(h.max(), 0.1);
         let mean = h.mean().unwrap();
         assert!((mean - (90.0 * 1e-3 + 10.0 * 0.1) / 100.0).abs() < 1e-6);
@@ -235,15 +337,16 @@ mod tests {
         let h = Histogram::with_base(1.0);
         h.record(5.0);
         assert_eq!(h.count(), 1);
-        // 5 lies in [4, 8): every quantile reports the bucket top.
-        assert_eq!(h.quantile(0.01), Some(8.0));
-        assert_eq!(h.quantile(1.0), Some(8.0));
+        // 5 lies in [5, 5.5) — major [4, 8), sub-bucket 2 — so every
+        // quantile reports the sub-bucket top.
+        assert_eq!(h.quantile(0.01), Some(5.5));
+        assert_eq!(h.quantile(1.0), Some(5.5));
         assert_eq!(h.max(), 5.0);
         assert_eq!(h.mean(), Some(5.0));
     }
 
     #[test]
-    fn overflow_lands_in_top_bucket() {
+    fn overflow_lands_in_top_slot() {
         let h = Histogram::with_base(1.0);
         h.record(f64::MAX);
         assert_eq!(h.count(), 1);
@@ -259,6 +362,19 @@ mod tests {
         h.record(-3.0);
         assert_eq!(h.count(), 3);
         assert!(h.max().is_finite());
+    }
+
+    #[test]
+    fn observe_max_raises_watermark_without_counting() {
+        let h = Histogram::with_base(1.0);
+        h.observe_max(9.5);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 9.5);
+        // A smaller later watermark cannot lower it; hostile input is
+        // clamped like record.
+        h.observe_max(1.0);
+        h.observe_max(f64::NAN);
+        assert_eq!(h.max(), 9.5);
     }
 
     #[test]
@@ -297,5 +413,18 @@ mod tests {
         assert_eq!(a.count(), b.count());
         assert_eq!(a.quantile(0.5), b.quantile(0.5));
         assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn quantile_from_counts_matches_live_readout() {
+        let h = Histogram::with_base(1e-9);
+        for i in 1..=1000 {
+            h.record(i as f64 * 3.1e-8);
+        }
+        let counts = h.bucket_counts();
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(quantile_from_counts(1e-9, &counts, q), h.quantile(q));
+        }
+        assert_eq!(quantile_from_counts(1e-9, &[0; BUCKETS], 0.5), None);
     }
 }

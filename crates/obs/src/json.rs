@@ -4,8 +4,8 @@
 //! [`Snapshot::render_json_lines`](crate::Snapshot::render_json_lines)
 //! can be parsed back — by tests asserting round-trips and by any
 //! tooling that wants structured access without external crates. Covers
-//! the full JSON grammar except `\uXXXX` surrogate pairs (single
-//! escapes are handled).
+//! the full JSON grammar, including `\uXXXX` escapes with UTF-16
+//! surrogate pairs for astral-plane characters.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -219,19 +219,38 @@ impl<'a> Parser<'a> {
                         b'b' => out.push('\u{8}'),
                         b'f' => out.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("short \\u escape"));
+                            let code = self.hex4()?;
+                            match code {
+                                // High surrogate: must be followed by
+                                // `\uDC00..=\uDFFF`; the pair decodes to
+                                // one astral-plane scalar (RFC 8259 §7).
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let scalar = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(scalar)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?,
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired low surrogate"));
+                                }
+                                _ => out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| self.err("bad \\u escape"))?,
+                                ),
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("surrogate \\u escape"))?,
-                            );
                         }
                         _ => return Err(self.err("unknown escape")),
                     }
@@ -253,6 +272,19 @@ impl<'a> Parser<'a> {
                 }
             }
         }
+    }
+
+    /// Reads the four hex digits of a `\uXXXX` escape and advances past
+    /// them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("short \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
     }
 
     fn number(&mut self) -> Result<JsonValue, JsonError> {
@@ -324,5 +356,60 @@ mod tests {
             parse("\"héllo → wörld\"").unwrap(),
             JsonValue::String("héllo → wörld".into())
         );
+    }
+
+    #[test]
+    fn unicode_escapes_basic_plane() {
+        assert_eq!(
+            parse(r#""\u0041\u00e9\u2192""#).unwrap(),
+            JsonValue::String("Aé→".into())
+        );
+        // Escaped and literal forms parse to the same string.
+        assert_eq!(parse(r#""\u2192""#).unwrap(), parse("\"→\"").unwrap());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_astral_characters() {
+        // U+1F600 (😀) = D83D DE00, U+10348 (𐍈) = D800 DF48.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            JsonValue::String("😀".into())
+        );
+        assert_eq!(
+            parse(r#""\uD800\uDF48""#).unwrap(),
+            JsonValue::String("𐍈".into())
+        );
+        // Pair surrounded by other content, and mixed with a literal
+        // astral character.
+        assert_eq!(
+            parse(r#""a\ud83d\ude00z😀""#).unwrap(),
+            JsonValue::String("a😀z😀".into())
+        );
+    }
+
+    #[test]
+    fn astral_round_trip_through_snapshot_rendering() {
+        // A metric name holding an astral-plane character survives
+        // render_json_lines -> parse intact (the renderer passes it
+        // through literally; the parser must accept either form).
+        let r = crate::Registry::new();
+        r.counter("astral.𐍈.😀").add(1);
+        let line = r.snapshot().render_json_lines();
+        let v = parse(line.trim()).unwrap();
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("astral.𐍈.😀"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_not_panicking() {
+        // Unpaired high surrogate (end of string, or followed by a
+        // non-escape / wrong escape), and a bare low surrogate.
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ud83dx""#).is_err());
+        assert!(parse(r#""\ud83d\n""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+        assert!(parse(r#""\ude00""#).is_err());
+        // Truncated escapes at end of input.
+        assert!(parse(r#""\ud83d\ude0"#).is_err());
+        assert!(parse(r#""\u00"#).is_err());
     }
 }

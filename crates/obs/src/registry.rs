@@ -2,12 +2,16 @@
 //!
 //! Registration (name lookup) takes a lock; recording does not — callers
 //! hold `Arc`s to their metrics and touch only atomics on hot paths.
-//! Snapshots render as an aligned human-readable table or as
-//! line-oriented JSON (one object per metric per line), both hand-rolled
-//! in the workspace's no-external-deps style.
+//! Snapshots render as an aligned human-readable table, line-oriented
+//! JSON (one object per metric per line), or the Prometheus text format,
+//! all hand-rolled in the workspace's no-external-deps style. Two
+//! snapshots taken at different times can be diffed with
+//! [`Snapshot::delta_since`] into a windowed view: counter deltas plus
+//! `ops/sec` rates, and per-interval histogram digests.
 
-use crate::histogram::Histogram;
+use crate::histogram::{quantile_from_counts, Histogram, BUCKETS};
 use crate::metrics::{Counter, Gauge};
+use crate::span::Stopwatch;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -23,6 +27,14 @@ enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Seconds on the process-monotonic snapshot clock (starts at the first
+/// reading). Snapshots are stamped with this so a pair of them defines a
+/// rate window without any caller-managed clock.
+fn process_secs() -> f64 {
+    static CLOCK: OnceLock<Stopwatch> = OnceLock::new();
+    CLOCK.get_or_init(Stopwatch::start).elapsed_secs()
 }
 
 impl Registry {
@@ -78,7 +90,7 @@ impl Registry {
     }
 
     /// A point-in-time reading of every registered metric, sorted by
-    /// name.
+    /// name and stamped with the process-monotonic clock.
     pub fn snapshot(&self) -> Snapshot {
         let m = self.metrics.lock().unwrap();
         let entries = m
@@ -87,20 +99,51 @@ impl Registry {
                 let value = match metric {
                     Metric::Counter(c) => SnapshotValue::Counter(c.get()),
                     Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
-                    Metric::Histogram(h) => SnapshotValue::Histogram {
-                        count: h.count(),
-                        p50: h.quantile(0.5),
-                        p90: h.quantile(0.9),
-                        p99: h.quantile(0.99),
-                        max: h.max(),
-                        mean: h.mean(),
-                    },
+                    Metric::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        SnapshotValue::Histogram {
+                            count: h.count(),
+                            p50: h.quantile(0.5),
+                            p90: h.quantile(0.9),
+                            p99: h.quantile(0.99),
+                            max: h.max(),
+                            mean: h.mean(),
+                            base: h.base(),
+                            buckets: sparse(&counts),
+                        }
+                    }
                 };
                 (name.clone(), value)
             })
             .collect();
-        Snapshot { entries }
+        Snapshot {
+            entries,
+            at: process_secs(),
+        }
     }
+}
+
+/// Sparse `(slot, count)` pairs from a dense slot array.
+fn sparse(counts: &[u64; BUCKETS]) -> Vec<(u32, u64)> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c != 0)
+        .map(|(i, &c)| (i as u32, c))
+        .collect()
+}
+
+/// Dense slot array from sparse `(slot, count)` pairs; out-of-range
+/// slots are ignored (a snapshot never produces them, but deltas must
+/// not panic on hand-built inputs).
+fn dense(buckets: &[(u32, u64)]) -> [u64; BUCKETS] {
+    let mut out = [0u64; BUCKETS];
+    for &(i, c) in buckets {
+        if let Some(slot) = out.get_mut(i as usize) {
+            *slot = c;
+        }
+    }
+    out
 }
 
 /// The process-wide registry the instrumented crates (admission, delay,
@@ -121,16 +164,22 @@ pub enum SnapshotValue {
     Histogram {
         /// Samples recorded.
         count: u64,
-        /// Median (bucket upper bound), `None` when empty.
+        /// Median (slot upper bound), `None` when empty.
         p50: Option<f64>,
-        /// 90th percentile (bucket upper bound), `None` when empty.
+        /// 90th percentile (slot upper bound), `None` when empty.
         p90: Option<f64>,
-        /// 99th percentile (bucket upper bound), `None` when empty.
+        /// 99th percentile (slot upper bound), `None` when empty.
         p99: Option<f64>,
         /// Largest sample (exact), `0.0` when empty.
         max: f64,
         /// Mean (exact to the micro-unit), `None` when empty.
         mean: Option<f64>,
+        /// First major-bucket boundary of the source histogram.
+        base: f64,
+        /// Sparse `(slot, count)` pairs, ascending by slot. Slot `i`'s
+        /// bounds come from [`Histogram::bucket_lower_bound`] on a
+        /// histogram with the same `base`.
+        buckets: Vec<(u32, u64)>,
     },
 }
 
@@ -139,6 +188,9 @@ pub enum SnapshotValue {
 pub struct Snapshot {
     /// `(name, value)` pairs sorted by name.
     pub entries: Vec<(String, SnapshotValue)>,
+    /// Seconds on the process-monotonic clock when the snapshot was
+    /// taken (see [`Snapshot::delta_since`]).
+    pub at: f64,
 }
 
 /// Formats an `f64` so it is valid JSON (non-finite becomes `null`) and
@@ -217,6 +269,106 @@ impl Snapshot {
             .map(|(_, v)| v)
     }
 
+    /// The window between `earlier` and this snapshot, as a derived
+    /// snapshot:
+    ///
+    /// * every counter becomes its delta over the window, plus a
+    ///   `<name>.per_sec` gauge with the rate;
+    /// * every histogram becomes its per-interval digest (quantiles and
+    ///   mean over only the window's samples, computed from diffed slot
+    ///   counts), plus a `<name>.per_sec` sample-rate gauge — `max`
+    ///   stays the lifetime watermark since a high-water mark cannot be
+    ///   diffed;
+    /// * gauges pass through at their current value;
+    /// * a `snapshot.window_secs` gauge carries the window length.
+    ///
+    /// Metrics absent from `earlier` (registered mid-window) diff
+    /// against zero. The derived names are rendering-only — they are
+    /// never registered, so the metric manifest tracks only source
+    /// names.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        // Guard against same-instant snapshots; rates over a degenerate
+        // window would divide by zero.
+        let window = (self.at - earlier.at).max(1e-9);
+        let mut entries: Vec<(String, SnapshotValue)> = Vec::with_capacity(self.entries.len() + 1);
+        for (name, value) in &self.entries {
+            match value {
+                SnapshotValue::Counter(v) => {
+                    let v0 = match earlier.get(name) {
+                        Some(SnapshotValue::Counter(v0)) => *v0,
+                        _ => 0,
+                    };
+                    let d = v.saturating_sub(v0);
+                    entries.push((name.clone(), SnapshotValue::Counter(d)));
+                    entries.push((
+                        format!("{name}.per_sec"),
+                        SnapshotValue::Gauge(d as f64 / window),
+                    ));
+                }
+                SnapshotValue::Gauge(v) => {
+                    entries.push((name.clone(), SnapshotValue::Gauge(*v)));
+                }
+                SnapshotValue::Histogram {
+                    count,
+                    max,
+                    mean,
+                    base,
+                    buckets,
+                    ..
+                } => {
+                    let (count0, mean0, buckets0) = match earlier.get(name) {
+                        Some(SnapshotValue::Histogram {
+                            count,
+                            mean,
+                            buckets,
+                            ..
+                        }) => (*count, *mean, dense(buckets)),
+                        _ => (0, None, [0u64; BUCKETS]),
+                    };
+                    let now = dense(buckets);
+                    let mut diff = [0u64; BUCKETS];
+                    for i in 0..BUCKETS {
+                        diff[i] = now[i].saturating_sub(buckets0[i]);
+                    }
+                    let dcount = count.saturating_sub(count0);
+                    let dsum = mean.unwrap_or(0.0) * *count as f64
+                        - mean0.unwrap_or(0.0) * count0 as f64;
+                    let dmean = if dcount > 0 {
+                        Some(dsum / dcount as f64)
+                    } else {
+                        None
+                    };
+                    entries.push((
+                        name.clone(),
+                        SnapshotValue::Histogram {
+                            count: dcount,
+                            p50: quantile_from_counts(*base, &diff, 0.5),
+                            p90: quantile_from_counts(*base, &diff, 0.9),
+                            p99: quantile_from_counts(*base, &diff, 0.99),
+                            max: *max,
+                            mean: dmean,
+                            base: *base,
+                            buckets: sparse(&diff),
+                        },
+                    ));
+                    entries.push((
+                        format!("{name}.per_sec"),
+                        SnapshotValue::Gauge(dcount as f64 / window),
+                    ));
+                }
+            }
+        }
+        entries.push((
+            "snapshot.window_secs".to_string(),
+            SnapshotValue::Gauge(window),
+        ));
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Snapshot {
+            entries,
+            at: self.at,
+        }
+    }
+
     /// The one iteration over the registry every rendering shares: walks
     /// the sorted entries and hands each `(name, value)` to `row`. Table,
     /// JSON, and Prometheus output are all thin row formatters over this
@@ -253,6 +405,7 @@ impl Snapshot {
                 p99,
                 max,
                 mean,
+                ..
             } => {
                 let q = |v: &Option<f64>| match v {
                     Some(x) => format!("{x:.3e}"),
@@ -278,6 +431,10 @@ impl Snapshot {
     /// {"name":"admission.admits","type":"counter","value":42}
     /// {"name":"delay.solve.iterations","type":"histogram","count":3,...}
     /// ```
+    ///
+    /// Histogram lines carry the digest plus the sparse slot layout
+    /// (`"base"`, `"buckets":[[slot,count],...]`), so an external
+    /// consumer can re-bucket or diff without any extra endpoint.
     pub fn render_json_lines(&self) -> String {
         self.render_with(|out, name, value| {
             let name = json_escape(name);
@@ -301,28 +458,41 @@ impl Snapshot {
                     p99,
                     max,
                     mean,
+                    base,
+                    buckets,
                 } => {
-                    writeln!(
+                    write!(
                         out,
                         "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{count},\
-                         \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"mean\":{},\
+                         \"base\":{},\"buckets\":[",
                         json_opt(*p50),
                         json_opt(*p90),
                         json_opt(*p99),
                         json_num(*max),
                         json_opt(*mean),
+                        json_num(*base),
                     )
                     .unwrap();
+                    for (i, (slot, c)) in buckets.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        write!(out, "[{slot},{c}]").unwrap();
+                    }
+                    out.push_str("]}\n");
                 }
             }
         })
     }
 
     /// Renders the Prometheus text exposition format (0.0.4). Counters
-    /// and gauges map directly; histograms are exposed as summaries
-    /// (`{quantile="..."}` series plus `_sum`/`_count`), since the log2
-    /// digest already holds quantiles rather than cumulative buckets.
-    /// Metric names are sanitized into `[a-zA-Z0-9_:]`.
+    /// and gauges map directly; histograms are native Prometheus
+    /// histograms — cumulative `_bucket{le="..."}` series over the
+    /// non-empty slots' upper bounds (ascending, closed by `+Inf`) plus
+    /// `_sum`/`_count` — now that the sub-bucketed layout is fine
+    /// enough for server-side quantile math. Metric names are sanitized
+    /// into `[a-zA-Z0-9_:]`.
     pub fn render_prometheus(&self) -> String {
         self.render_with(|out, name, value| {
             let name = prom_name(name);
@@ -335,18 +505,22 @@ impl Snapshot {
                 }
                 SnapshotValue::Histogram {
                     count,
-                    p50,
-                    p90,
-                    p99,
                     mean,
+                    base,
+                    buckets,
                     ..
                 } => {
-                    writeln!(out, "# TYPE {name} summary").unwrap();
-                    for (q, v) in [("0.5", p50), ("0.9", p90), ("0.99", p99)] {
-                        if let Some(v) = v {
-                            writeln!(out, "{name}{{quantile=\"{q}\"}} {}", prom_num(*v)).unwrap();
-                        }
+                    writeln!(out, "# TYPE {name} histogram").unwrap();
+                    // Bounds-only histogram; sparse slots are already
+                    // ascending, so cumulation preserves `le` order.
+                    let bounds = Histogram::with_base(*base);
+                    let mut cum = 0u64;
+                    for &(slot, c) in buckets {
+                        cum += c;
+                        let le = prom_num(bounds.bucket_upper_bound(slot as usize));
+                        writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}").unwrap();
                     }
+                    writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}").unwrap();
                     let sum = mean.map_or(0.0, |m| m * *count as f64);
                     writeln!(out, "{name}_sum {}\n{name}_count {count}", prom_num(sum)).unwrap();
                 }
@@ -387,12 +561,109 @@ mod tests {
         assert_eq!(names, vec!["a.gauge", "b.count", "c.hist"]);
         assert_eq!(s.get("b.count"), Some(&SnapshotValue::Counter(3)));
         match s.get("c.hist").unwrap() {
-            SnapshotValue::Histogram { count, max, .. } => {
+            SnapshotValue::Histogram {
+                count,
+                max,
+                base,
+                buckets,
+                ..
+            } => {
                 assert_eq!(*count, 1);
                 assert_eq!(*max, 4.0);
+                assert_eq!(*base, 1.0);
+                assert_eq!(buckets.len(), 1);
+                assert_eq!(buckets[0].1, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshots_are_clock_stamped() {
+        let r = Registry::new();
+        let a = r.snapshot();
+        let b = r.snapshot();
+        assert!(a.at >= 0.0);
+        assert!(b.at >= a.at);
+    }
+
+    #[test]
+    fn delta_since_diffs_counters_and_rates() {
+        let r = Registry::new();
+        let c = r.counter("ops");
+        c.add(10);
+        let mut early = r.snapshot();
+        early.at = 0.0;
+        c.add(40);
+        let mut late = r.snapshot();
+        late.at = 2.0; // Pin the window so the rate is deterministic.
+        let d = late.delta_since(&early);
+        assert_eq!(d.get("ops"), Some(&SnapshotValue::Counter(40)));
+        assert_eq!(d.get("ops.per_sec"), Some(&SnapshotValue::Gauge(20.0)));
+        assert_eq!(
+            d.get("snapshot.window_secs"),
+            Some(&SnapshotValue::Gauge(2.0))
+        );
+        // Derived entries stay name-sorted so renderings are stable.
+        let names: Vec<&str> = d.entries.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn delta_since_computes_interval_histogram_digest() {
+        let r = Registry::new();
+        let h = r.histogram("lat", 1.0);
+        // Before the window: a slow regime.
+        for _ in 0..100 {
+            h.record(1000.0);
+        }
+        let early = r.snapshot();
+        // Inside the window: a fast regime.
+        for _ in 0..100 {
+            h.record(2.0);
+        }
+        let mut late = r.snapshot();
+        late.at = early.at + 1.0;
+        let d = late.delta_since(&early);
+        match d.get("lat").unwrap() {
+            SnapshotValue::Histogram {
+                count,
+                p50,
+                p99,
+                mean,
+                ..
+            } => {
+                // Only the window's 100 fast samples appear: the interval
+                // p50/p99 reflect 2.0, not the lifetime 1000.0 mass.
+                assert_eq!(*count, 100);
+                assert!(p50.unwrap() <= 2.25, "{p50:?}");
+                assert!(p99.unwrap() <= 2.25, "{p99:?}");
+                assert!((mean.unwrap() - 2.0).abs() < 1e-6, "{mean:?}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.get("lat.per_sec"), Some(&SnapshotValue::Gauge(100.0)));
+        // The lifetime view is unaffected.
+        match late.get("lat").unwrap() {
+            SnapshotValue::Histogram { count, p99, .. } => {
+                assert_eq!(*count, 200);
+                assert!(p99.unwrap() >= 1000.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_since_handles_metrics_registered_mid_window() {
+        let r = Registry::new();
+        let early = r.snapshot();
+        r.counter("born.later").add(5);
+        let mut late = r.snapshot();
+        late.at = early.at + 1.0;
+        let d = late.delta_since(&early);
+        assert_eq!(d.get("born.later"), Some(&SnapshotValue::Counter(5)));
     }
 
     #[test]
@@ -421,16 +692,12 @@ mod tests {
         assert!(text.contains("admission_admits 42"), "{text}");
         assert!(text.contains("# TYPE util_link_3 gauge"), "{text}");
         assert!(text.contains("util_link_3 +Inf"), "{text}");
-        assert!(text.contains("# TYPE delay_solve_seconds summary"), "{text}");
-        assert!(
-            text.contains("delay_solve_seconds{quantile=\"0.5\"}"),
-            "{text}"
-        );
+        assert!(text.contains("# TYPE delay_solve_seconds histogram"), "{text}");
+        assert!(text.contains("delay_solve_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
         assert!(text.contains("delay_solve_seconds_count 2"), "{text}");
-        // Empty histograms emit no quantile series but still expose
-        // sum/count.
+        // Empty histograms emit only the +Inf bucket and sum/count.
+        assert!(text.contains("delay_empty_bucket{le=\"+Inf\"} 0"), "{text}");
         assert!(text.contains("delay_empty_count 0"), "{text}");
-        assert!(!text.contains("delay_empty{"), "{text}");
         // Every non-comment line is `name[{labels}] value`.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (name, value) = line.rsplit_once(' ').expect("sample line");

@@ -29,9 +29,9 @@ fn concurrent_counter_and_histogram_sum_exactly() {
     }
     assert_eq!(c.get(), (THREADS * PER_THREAD) as u64);
     assert_eq!(h.count(), (THREADS * PER_THREAD) as u64);
-    // All samples below 37, so every quantile is bounded by the bucket
-    // containing 36 ([32, 64) -> upper bound 64).
-    assert_eq!(h.quantile(1.0), Some(64.0));
+    // All samples below 37, so every quantile is bounded by the slot
+    // containing 36 (major [32, 64), sub-bucket [36, 40) -> bound 40).
+    assert_eq!(h.quantile(1.0), Some(40.0));
     assert_eq!(h.max(), 36.0);
 }
 
@@ -167,6 +167,98 @@ fn histogram_bucket_json_round_trips() {
     assert_eq!(rebuilt.count(), src.count());
     assert_eq!(rebuilt.quantile(0.5), src.quantile(0.5));
     assert_eq!(rebuilt.quantile(0.99), src.quantile(0.99));
+}
+
+#[test]
+fn prometheus_histogram_buckets_are_cumulative_and_ordered() {
+    let r = Registry::new();
+    let h = r.histogram("lat.admit", 1.0);
+    // Three distinct slots: 0.5 (major 0), 5.0 ([5, 5.5)), 5.0 again,
+    // and 100.0 — cumulative counts must be non-decreasing.
+    h.record(0.5);
+    h.record(5.0);
+    h.record(5.0);
+    h.record(100.0);
+    let text = r.snapshot().render_prometheus();
+    assert!(text.contains("# TYPE lat_admit histogram"), "{text}");
+
+    // Collect the bucket series in emission order.
+    let mut les: Vec<f64> = Vec::new();
+    let mut cums: Vec<u64> = Vec::new();
+    for line in text.lines().filter(|l| l.starts_with("lat_admit_bucket{")) {
+        let le = line
+            .split("le=\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        les.push(if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() });
+        cums.push(cum);
+    }
+    // One series per non-empty slot plus +Inf.
+    assert_eq!(les.len(), 4, "{text}");
+    assert_eq!(les[3], f64::INFINITY);
+    assert!(les.windows(2).all(|w| w[0] < w[1]), "le must ascend: {les:?}");
+    assert!(cums.windows(2).all(|w| w[0] <= w[1]), "must be cumulative: {cums:?}");
+    // The +Inf bucket equals _count, and the middle slot holds both 5.0
+    // samples (cumulative 3 = 1 below + 2 here).
+    assert_eq!(cums[3], 4);
+    assert_eq!(cums, vec![1, 3, 4, 4]);
+    assert!(text.contains("lat_admit_count 4"), "{text}");
+}
+
+#[test]
+fn prometheus_names_are_sanitized() {
+    let r = Registry::new();
+    r.histogram("9weird.name-with spaces\"", 1.0).record(2.0);
+    r.counter("admission.admits.per_sec\n").inc();
+    let text = r.snapshot().render_prometheus();
+    // Leading digit gets a prefix; every non-[a-zA-Z0-9_:] byte becomes
+    // an underscore, so labels and newlines cannot break the exposition.
+    assert!(text.contains("# TYPE _9weird_name_with_spaces_ histogram"), "{text}");
+    assert!(text.contains("_9weird_name_with_spaces__bucket{le=\""), "{text}");
+    assert!(text.contains("admission_admits_per_sec_ 1"), "{text}");
+    for line in text.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(!name.is_empty() && !value.is_empty(), "{line}");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_delta_renders_in_every_format() {
+    let r = Registry::new();
+    let c = r.counter("win.ops");
+    let h = r.histogram("win.lat", 1.0);
+    c.add(3);
+    h.record(4.0);
+    let mut early = r.snapshot();
+    early.at = 0.0;
+    c.add(17);
+    h.record(4.0);
+    let mut late = r.snapshot();
+    late.at = 4.0;
+    let d = late.delta_since(&early);
+    // The same render_with path serves the derived snapshot: rates and
+    // window metadata show up in all three formats.
+    let json = d.render_json_lines();
+    for line in json.lines() {
+        json::parse(line).expect("delta line must be valid JSON");
+    }
+    assert!(json.contains("\"name\":\"win.ops.per_sec\""), "{json}");
+    assert!(json.contains("\"name\":\"snapshot.window_secs\""), "{json}");
+    let table = d.render_table();
+    assert!(table.contains("win.ops.per_sec"), "{table}");
+    let prom = d.render_prometheus();
+    assert!(prom.contains("win_ops_per_sec 4.25"), "{prom}");
+    match d.get("win.lat").unwrap() {
+        SnapshotValue::Histogram { count, .. } => assert_eq!(*count, 1),
+        other => panic!("unexpected {other:?}"),
+    }
 }
 
 #[test]

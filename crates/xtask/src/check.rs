@@ -30,6 +30,11 @@
 //! 6. **parser-unwrap** — the hand-rolled parsers (`toml_lite`, obs
 //!    `json`) must stay panic-free on arbitrary input: no `.unwrap()` /
 //!    `.expect("…")` in their non-test code.
+//! 7. **bench-smoke-wiring** — every `uba-bench` binary that implements
+//!    a `"smoke"` mode must be invoked (as `--bin <name>`) by
+//!    `scripts/verify.sh`, so a perf gate cannot be added and then
+//!    silently left out of the verification lane. Paper-regeneration
+//!    binaries without a smoke mode are exempt.
 //!
 //! The linter is line-based on purpose: it runs in milliseconds with no
 //! dependencies, and every rule is about *local* textual discipline
@@ -131,6 +136,7 @@ pub fn run(root: &Path) -> Result<Stats, Vec<String>> {
     }
     let manifest = manifest.unwrap_or_default();
 
+    let verify_sh = fs::read_to_string(root.join("scripts/verify.sh")).unwrap_or_default();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -142,6 +148,10 @@ pub fn run(root: &Path) -> Result<Stats, Vec<String>> {
         };
         stats.files += 1;
         lint_file(&rel, &source, &manifest, &allowlist, &mut violations, &mut stats);
+        // Rule 7: bench smoke gates must be wired into the verify lane.
+        if let Some(v) = check_bench_wiring(&rel, &source, &verify_sh) {
+            violations.push(v);
+        }
     }
 
     if violations.is_empty() {
@@ -586,6 +596,28 @@ fn lint_file(
     }
 }
 
+/// Rule 7: a `uba-bench` binary whose source implements a `"smoke"`
+/// mode (the marker every verify-lane gate carries) must be invoked as
+/// `--bin <name>` somewhere in `scripts/verify.sh`. Returns the
+/// violation, if any.
+fn check_bench_wiring(rel: &str, source: &str, verify_sh: &str) -> Option<Violation> {
+    let stem = rel
+        .strip_prefix("crates/bench/src/bin/")?
+        .strip_suffix(".rs")?;
+    if !source.contains("\"smoke\"") {
+        return None; // paper regenerator with no smoke lane — exempt
+    }
+    let wired = verify_sh.contains(&format!("--bin {stem}"));
+    (!wired).then(|| Violation {
+        file: rel.to_string(),
+        line: 0,
+        rule: "bench-smoke-wiring",
+        msg: format!(
+            "binary `{stem}` has a smoke mode but scripts/verify.sh never runs `--bin {stem}`"
+        ),
+    })
+}
+
 /// Pulls the metric name out of a registration call on `raw_line`:
 /// either a direct literal or a `format!` template (whose `{…}` holes
 /// become `*` globs).
@@ -766,6 +798,26 @@ mod tests {
             .is_empty());
         let below_cfg = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicU64; }";
         assert!(lint_source("crates/admission/src/state.rs", below_cfg, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn bench_smoke_binaries_must_be_wired_into_verify() {
+        let smoke_src = r#"fn main() { let smoke = std::env::args().nth(1).as_deref() == Some("smoke"); }"#;
+        let verify = "cargo run --offline --release -p uba-bench --bin obs_overhead -- smoke\n";
+        // Wired: no violation.
+        assert!(check_bench_wiring("crates/bench/src/bin/obs_overhead.rs", smoke_src, verify)
+            .is_none());
+        // Smoke mode but never run by verify.sh: violation.
+        let v = check_bench_wiring("crates/bench/src/bin/new_gate.rs", smoke_src, verify)
+            .expect("unwired smoke gate must be flagged");
+        assert!(v.to_string().contains("bench-smoke-wiring"), "{v}");
+        assert!(v.to_string().contains("new_gate"), "{v}");
+        // No smoke mode (paper regenerator): exempt.
+        assert!(
+            check_bench_wiring("crates/bench/src/bin/table1.rs", "fn main() {}", verify).is_none()
+        );
+        // Non-bench files never match.
+        assert!(check_bench_wiring("crates/cli/src/main.rs", smoke_src, verify).is_none());
     }
 
     #[test]

@@ -31,6 +31,9 @@ cargo run --offline --release -p uba-bench --bin trace_overhead -- smoke
 echo "==> reconfig_overhead smoke (versioned admit path vs pinned-generation baseline)"
 cargo run --offline --release -p uba-bench --bin reconfig_overhead -- smoke
 
+echo "==> admission_scaling smoke (multi-thread throughput, latency + contention telemetry)"
+cargo run --offline --release -p uba-bench --bin admission_scaling -- smoke
+
 # Bounded model checking of the lock-free admission paths (uba-loom, the
 # in-tree checker). The preemption-bounded smoke pass finishes in seconds;
 # the exhaustive pass (full DFS, no preemption bound) runs only when
