@@ -10,20 +10,31 @@
 //!   CAS loop ([`UtilizationState`]). Exact, strict (over-release
 //!   panics), and the contention hot spot is the counter of a hot link.
 //! * [`ShardedBackend`] — each (server, class) budget striped across N
-//!   headroom shards; threads grab from their home shard first and
-//!   borrow from neighbor shards on local exhaustion. Under a single
-//!   thread the admit/reject sequence is *identical* to the atomic
-//!   backend (a reservation succeeds iff total headroom suffices); under
-//!   many threads the CAS traffic on a hot cell spreads across N cache
-//!   lines. The trade: over-release of a single flow can no longer be
-//!   detected per-cell (headroom is fungible across shards), so the
-//!   strict accounting assert of the atomic backend is only checked as
-//!   "total headroom never exceeds the budget".
+//!   headroom shards, each on its own cache line. Reservation is
+//!   **two-phase**: phase 1 is one all-or-nothing CAS against the
+//!   thread's home shard (the lock-free fast path); phase 2, entered
+//!   only when the home shard cannot cover the whole grab, borrows from
+//!   neighbor shards *under a per-cell borrow lock*. Serializing the
+//!   cross-shard path is what makes rejection exact: a reject happens
+//!   only after a full no-progress sweep of every shard under the lock —
+//!   a genuine-exhaustion witness — so the spurious double-reject of the
+//!   old lock-free borrow (two threads each draining their home shard,
+//!   finding the other's empty, and both rolling back despite sufficient
+//!   total headroom; documented by PR 5's loom model) cannot happen.
+//!   Single-threaded the admit/reject sequence is *identical* to the
+//!   atomic backend (a reservation succeeds iff total headroom
+//!   suffices); under many threads the CAS traffic on a hot cell spreads
+//!   across N cache lines and only shortfall traffic takes the lock.
+//!   The trade: over-release of a single flow can no longer be detected
+//!   per-cell (headroom is fungible across shards), so the strict
+//!   accounting assert of the atomic backend is only checked as "total
+//!   headroom never exceeds the budget".
 
 use crate::state::{to_millibits, UtilizationState, SCALE};
 use crate::sync::atomic::{AtomicU64, Ordering};
 #[cfg(not(loom))]
 use crate::sync::atomic::AtomicUsize;
+use crate::sync::{CachePadded, Mutex};
 use std::fmt;
 
 /// The CAS-per-(server, class) backend — [`UtilizationState`] fulfilling
@@ -41,12 +52,31 @@ pub struct PathReject {
     pub retries: u32,
 }
 
+/// One aggregated (server, class) demand of an admission batch: the
+/// summed rate of every batched flow whose route crosses that cell. The
+/// controller pre-aggregates a slice of flows into these so the backend
+/// pays one reservation per *touched cell* instead of one per
+/// (flow × hop) — see
+/// [`AdmissionController::try_admit_batch`](crate::AdmissionController::try_admit_batch).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellDemand {
+    /// Raw link-server index.
+    pub server: u32,
+    /// Traffic-class index.
+    pub class: u32,
+    /// Aggregate rate to reserve, bits/s.
+    pub rate: f64,
+}
+
 /// Cumulative cross-shard traffic of a [`ShardedBackend`] since its
 /// construction (a generation's backend is born fresh, so these reset on
-/// reconfigure). All three are contention *signals*, not errors: borrows
-/// and steals are the design working as intended, and a spurious reject
-/// is the documented false-negative window of the striped design (see
-/// the loom model in `tests/loom_models.rs`).
+/// reconfigure). Borrows and steals are contention *signals*, not
+/// errors: they are the striped design working as intended. Spurious
+/// rejects are structurally impossible under the two-phase protocol (a
+/// reject carries a no-progress sweep witness taken under the borrow
+/// lock); the counter is kept as a tripwire — the `admission_scaling`
+/// bench gates it at zero, so any future lock-free reject path that
+/// reintroduces the race fails the gate instead of shipping silently.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardContention {
     /// Reservations where the home shard contributed but ran dry, so one
@@ -56,9 +86,8 @@ pub struct ShardContention {
     /// thread's entire grab came from neighbors (headroom has migrated
     /// away from its home).
     pub steals: u64,
-    /// Per-cell reservation failures where a post-rollback re-sum of the
-    /// shards showed enough total headroom after all — the double-reject
-    /// race the loom model documents, now visible in telemetry.
+    /// Rejections without a genuine-exhaustion witness. Always zero
+    /// under the two-phase protocol; see the struct docs.
     pub spurious_rejects: u64,
 }
 
@@ -86,6 +115,36 @@ pub trait AdmissionBackend: fmt::Debug + Send + Sync {
 
     /// Releases a previously successful path reservation.
     fn release_path(&self, route: &[u32], class: usize, rate: f64);
+
+    /// Reserves every aggregated cell demand of a batch, all-or-nothing
+    /// across the whole set: one cell reservation per *touched cell*
+    /// instead of one per (flow × hop). On failure nothing stays
+    /// reserved and the first failing server is reported. `demands` must
+    /// not repeat a (server, class) pair — aggregate before calling.
+    /// Returns total CAS retries on success.
+    ///
+    /// The default implementation reserves cell-by-cell through
+    /// [`try_reserve_path`](Self::try_reserve_path), which already costs
+    /// exactly one CAS (or one two-phase grab) per cell on both in-tree
+    /// backends, and rolls back the reserved prefix on failure.
+    fn try_reserve_batch(&self, demands: &[CellDemand]) -> Result<u32, PathReject> {
+        let mut cas_retries = 0u32;
+        for (i, d) in demands.iter().enumerate() {
+            match self.try_reserve_path(&[d.server], d.class as usize, d.rate) {
+                Ok(retries) => cas_retries += retries,
+                Err(reject) => {
+                    for held in &demands[..i] {
+                        self.release_path(&[held.server], held.class as usize, held.rate);
+                    }
+                    return Err(PathReject {
+                        server: reject.server,
+                        retries: cas_retries + reject.retries,
+                    });
+                }
+            }
+        }
+        Ok(cas_retries)
+    }
 
     /// Whether one `rate` reservation would fit on (server, class) right
     /// now, without reserving anything. Must use the same exact integer
@@ -199,24 +258,66 @@ fn home_seed() -> usize {
     }
 }
 
-/// Budget-striping backend: the headroom of each (server, class) cell is
-/// split across `shards` atomic counters. A reservation drains its home
-/// shard first and borrows from neighbor shards (in deterministic wrap
-/// order) when the home shard runs dry, rolling back partial grabs if
-/// the total headroom is insufficient — so single-threaded decisions
-/// match [`AtomicBackend`] exactly, while concurrent threads mostly
-/// touch distinct cache lines.
+/// One stripe of a cell's budget. `CachePadded` at every use site: the
+/// pre-audit layout packed eight `AtomicU64` shards into one 64-byte
+/// line, so "striped" threads still collided on the same line — the
+/// false sharing the stripes exist to remove (padding audit, DESIGN.md
+/// §11).
+#[derive(Debug)]
+struct Shard {
+    /// Remaining headroom, millibits/s.
+    avail: AtomicU64,
+    /// Monotone meter: millibits ever reserved by grabs homed here.
+    /// Never decremented; snapshot() subtracts the release meter from it
+    /// to get an outstanding sum that can never overshoot the budget
+    /// (see `snapshot`). Compiled out under loom — two extra atomics per
+    /// operation would multiply the model's interleaving space, and the
+    /// models only read snapshots at quiescence where budget − headroom
+    /// is already exact.
+    #[cfg(not(loom))]
+    reserved_meter: AtomicU64,
+    /// Monotone meter: millibits ever released into this home shard.
+    #[cfg(not(loom))]
+    released_meter: AtomicU64,
+}
+
+impl Shard {
+    fn new(avail: u64) -> Self {
+        Self {
+            avail: AtomicU64::new(avail),
+            #[cfg(not(loom))]
+            reserved_meter: AtomicU64::new(0),
+            #[cfg(not(loom))]
+            released_meter: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Budget-striping backend with the two-phase reserve-then-borrow
+/// protocol: the headroom of each (server, class) cell is split across
+/// `shards` cache-line-padded counters. Phase 1 reserves the whole grab
+/// from the thread's home shard with one CAS; only a home-shard
+/// shortfall enters phase 2, which borrows from neighbor shards (in
+/// deterministic wrap order) under the cell's borrow lock. Rejection
+/// requires a full no-progress sweep of every shard under that lock, so
+/// a flow is turned away only on genuine budget exhaustion — never
+/// because concurrent threads transiently held each other's headroom.
+/// Single-threaded decisions match [`AtomicBackend`] exactly, while
+/// concurrent threads mostly touch distinct cache lines.
 pub struct ShardedBackend {
     servers: usize,
     classes: usize,
     shards: usize,
     /// Budget per (server, class), millibits/s — for `budget`/`snapshot`.
     budgets: Vec<u64>,
-    /// Remaining headroom per (server, class, shard), millibits/s:
+    /// Headroom stripes per (server, class, shard):
     /// `(server * classes + class) * shards + shard`.
-    avail: Vec<AtomicU64>,
+    slots: Vec<CachePadded<Shard>>,
+    /// Per-cell borrow locks serializing phase 2 (cross-shard grabs).
+    /// Phase-1 CASes and releases never take them.
+    borrow_locks: Vec<Mutex<()>>,
     /// Cross-shard traffic counters (relaxed; they order nothing).
-    /// Compiled out under loom: three extra atomics per operation would
+    /// Compiled out under loom: extra atomics per operation would
     /// multiply the model's interleaving space for no protocol coverage.
     #[cfg(not(loom))]
     borrows: AtomicU64,
@@ -251,16 +352,18 @@ impl ShardedBackend {
         let servers = capacities.len();
         let classes = alphas.len();
         let mut budgets = Vec::with_capacity(servers * classes);
-        let mut avail = Vec::with_capacity(servers * classes * shards);
+        let mut slots = Vec::with_capacity(servers * classes * shards);
+        let mut borrow_locks = Vec::with_capacity(servers * classes);
         for &c in capacities {
             assert!(c > 0.0 && c.is_finite(), "capacity must be positive");
             for &a in alphas {
                 let b = to_millibits(a * c);
                 budgets.push(b);
+                borrow_locks.push(Mutex::new(()));
                 let base = b / shards as u64;
                 let extra = b % shards as u64;
                 for s in 0..shards as u64 {
-                    avail.push(AtomicU64::new(base + u64::from(s < extra)));
+                    slots.push(CachePadded::new(Shard::new(base + u64::from(s < extra))));
                 }
             }
         }
@@ -269,7 +372,8 @@ impl ShardedBackend {
             classes,
             shards,
             budgets,
-            avail,
+            slots,
+            borrow_locks,
             #[cfg(not(loom))]
             borrows: AtomicU64::new(0),
             #[cfg(not(loom))]
@@ -291,74 +395,140 @@ impl ShardedBackend {
     }
 
     #[inline]
-    fn shard_slice(&self, cell: usize) -> &[AtomicU64] {
-        &self.avail[cell * self.shards..(cell + 1) * self.shards]
+    fn shard_slice(&self, cell: usize) -> &[CachePadded<Shard>] {
+        &self.slots[cell * self.shards..(cell + 1) * self.shards]
     }
 
-    /// Grabs `want` millibits from the cell's shards, home shard first.
-    /// All-or-nothing: on insufficient total headroom every partial grab
-    /// is returned and `Err(retries)` reported.
+    /// Records `amount` millibits as reserved, on the home stripe's
+    /// meter. (`Relaxed`: the meters are monotone and independent; the
+    /// ordering that makes their difference meaningful lives on the
+    /// snapshot read side.)
+    #[cfg(not(loom))]
+    #[inline]
+    fn meter_reserved(&self, cell: usize, amount: u64, home: usize) {
+        self.slots[cell * self.shards + home]
+            .reserved_meter
+            .fetch_add(amount, Ordering::Relaxed);
+    }
+
+    #[cfg(loom)]
+    #[inline]
+    fn meter_reserved(&self, _cell: usize, _amount: u64, _home: usize) {}
+
+    /// Grabs `want` millibits from the cell. Phase 1: one all-or-nothing
+    /// CAS against the home shard — the lock-free fast path, which a
+    /// thread whose releases refill its own home shard stays on
+    /// indefinitely. Phase 2 on shortfall: `borrow_locked`.
     fn take(&self, cell: usize, want: u64, home: usize) -> Result<u32, u32> {
+        if want == 0 {
+            return Ok(0);
+        }
+        let shard = &self.shard_slice(cell)[home].avail;
+        let mut retries = 0u32;
+        let mut cur = shard.load(Ordering::Relaxed);
+        while cur >= want {
+            // ordering: AcqRel — same reserve/release pairing as the
+            // atomic backend, per shard: a grab of freed headroom
+            // happens-after the put() that freed it.
+            match shard.compare_exchange_weak(
+                cur,
+                cur - want,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.meter_reserved(cell, want, home);
+                    return Ok(retries);
+                }
+                Err(actual) => {
+                    cur = actual;
+                    retries += 1;
+                }
+            }
+        }
+        self.borrow_locked(cell, want, home, retries)
+    }
+
+    /// Phase 2: cross-shard borrow under the cell's borrow lock. Sweeps
+    /// the shards home-first in wrap order, grabbing whatever each one
+    /// holds, and re-sweeps as long as a full pass still found headroom
+    /// (a concurrent release can land in an already-passed shard
+    /// mid-sweep; each re-sweep requires fresh headroom to have
+    /// appeared, so the loop terminates). Rejection requires a full
+    /// **no-progress** sweep: every shard was observed empty while no
+    /// other borrower could interleave — the genuine-exhaustion witness
+    /// that makes spurious double-rejects impossible. On rejection every
+    /// partial grab is returned to the exact shard it came from.
+    #[cold]
+    fn borrow_locked(
+        &self,
+        cell: usize,
+        want: u64,
+        home: usize,
+        mut retries: u32,
+    ) -> Result<u32, u32> {
+        let _guard = self.borrow_locks[cell].lock().unwrap();
         let shards = self.shard_slice(cell);
         let mut got = 0u64;
         let mut taken = [0u64; MAX_SHARDS];
-        let mut retries = 0u32;
-        for k in 0..self.shards {
-            let s = (home + k) % self.shards;
-            let shard = &shards[s];
-            let mut cur = shard.load(Ordering::Relaxed);
-            loop {
-                let grab = cur.min(want - got);
-                if grab == 0 {
-                    break;
-                }
-                // ordering: AcqRel — same reserve/release pairing as the
-                // atomic backend, per shard: a grab of freed headroom
-                // happens-after the put() that freed it.
-                match shard.compare_exchange_weak(
-                    cur,
-                    cur - grab,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        got += grab;
-                        taken[s] += grab;
+        loop {
+            let mut progressed = false;
+            for k in 0..self.shards {
+                let s = (home + k) % self.shards;
+                let shard = &shards[s].avail;
+                let mut cur = shard.load(Ordering::Relaxed);
+                loop {
+                    let grab = cur.min(want - got);
+                    if grab == 0 {
                         break;
                     }
-                    Err(actual) => {
-                        cur = actual;
-                        retries += 1;
+                    // ordering: AcqRel — same reserve/release pairing as
+                    // the phase-1 CAS: a grab of freed headroom
+                    // happens-after the put() that freed it.
+                    match shard.compare_exchange_weak(
+                        cur,
+                        cur - grab,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            got += grab;
+                            taken[s] += grab;
+                            progressed = true;
+                            break;
+                        }
+                        Err(actual) => {
+                            cur = actual;
+                            retries += 1;
+                        }
                     }
                 }
-            }
-            if got == want {
-                #[cfg(not(loom))]
-                if want > 0 && taken[home] < want {
+                if got == want {
+                    #[cfg(not(loom))]
                     if taken[home] == 0 {
                         self.steals.fetch_add(1, Ordering::Relaxed);
-                    } else {
+                    } else if taken[home] < want {
                         self.borrows.fetch_add(1, Ordering::Relaxed);
                     }
+                    self.meter_reserved(cell, want, home);
+                    return Ok(retries);
                 }
-                return Ok(retries);
+            }
+            if !progressed {
+                break;
             }
         }
-        // Insufficient headroom: hand back what we grabbed.
+        // Genuine exhaustion (witnessed by the final no-progress sweep):
+        // hand every partial grab back to the shard it came from.
+        // `spurious_rejects` is deliberately not classified here — a
+        // witnessed reject is never spurious, and a racy post-rollback
+        // re-sum (the old classifier) would miscount late releases.
         for (s, &amount) in taken.iter().enumerate().take(self.shards) {
             if amount > 0 {
                 // ordering: AcqRel — a rollback is a release of headroom
                 // like any other; the next grab must see it published.
-                shards[s].fetch_add(amount, Ordering::AcqRel);
+                shards[s].avail.fetch_add(amount, Ordering::AcqRel);
             }
-        }
-        // Off the hot path (this reservation already failed): re-sum the
-        // cell once to classify the reject. Headroom that reappeared by
-        // the re-read means concurrent shard traffic — not budget
-        // exhaustion — turned the flow away.
-        #[cfg(not(loom))]
-        if self.headroom(cell) >= want {
-            self.spurious_rejects.fetch_add(1, Ordering::Relaxed);
         }
         Err(retries)
     }
@@ -366,12 +536,20 @@ impl ShardedBackend {
     /// Returns `amount` millibits of headroom to the cell, into the home
     /// shard. Headroom migrates toward the releasing thread's shard —
     /// the borrow direction of future reservations adapts to where load
-    /// actually lives.
+    /// actually lives, and a thread that admits and releases its own
+    /// flows keeps its home shard warm (pure phase-1 traffic).
     fn put(&self, cell: usize, amount: u64, home: usize) {
-        let shards = self.shard_slice(cell);
+        // Meter the release *before* publishing the headroom: snapshot()
+        // may then momentarily under-count outstanding rate, but can
+        // never over-count it past the budget (see `snapshot`).
+        #[cfg(not(loom))]
+        self.slots[cell * self.shards + home]
+            .released_meter
+            .fetch_add(amount, Ordering::Relaxed);
+        let slot = &self.shard_slice(cell)[home].avail;
         // ordering: AcqRel — publishes the flow teardown to the take()
         // CAS that consumes the freed headroom.
-        let prev = shards[home].fetch_add(amount, Ordering::AcqRel);
+        let prev = slot.fetch_add(amount, Ordering::AcqRel);
         debug_assert!(
             prev + amount <= self.budgets[cell],
             "release overflows cell budget: headroom {prev} + {amount} > {}",
@@ -383,10 +561,10 @@ impl ShardedBackend {
         // ordering: Acquire per shard — advisory sum for diagnostics and
         // dry runs; each load sees a shard no older than what the caller
         // already observed. The sum itself is not atomic across shards
-        // (snapshot/would_fit are documented as advisory).
+        // (would_fit is documented as advisory).
         self.shard_slice(cell)
             .iter()
-            .map(|s| s.load(Ordering::Acquire))
+            .map(|s| s.avail.load(Ordering::Acquire))
             .sum()
     }
 }
@@ -440,16 +618,56 @@ impl AdmissionBackend for ShardedBackend {
         to_millibits(rate) <= self.headroom(self.cell(server, class))
     }
 
+    /// Exact outstanding sum from the per-shard monotone meters (PR 5's
+    /// saturating budget-clamp workaround is gone — the old
+    /// budget − headroom sum could transiently *overshoot* the budget
+    /// when a whole admit/release pair landed inside the scan window,
+    /// double-counting the migrating quantum).
+    ///
+    /// Reading every reserve meter first and every release meter second
+    /// bounds the difference by the true outstanding rate at the moment
+    /// between the two passes: reserve reads are monotone under-reads,
+    /// release reads monotone over-reads, so
+    /// `Σreserved − Σreleased ≤ outstanding ≤ budget` always — the
+    /// direction diagnostics care about — and the sum is exact whenever
+    /// the cell is quiescent (`reconfig_stress` asserts both).
     fn snapshot(&self, server: usize, class: usize) -> f64 {
         let cell = self.cell(server, class);
-        // Saturating: the shard sum is advisory and can transiently
-        // *exceed* the budget under concurrency — headroom migrates on
-        // release (taken from one shard, returned to the releaser's home
-        // shard), so a reader that sees the source shard before an
-        // admit's take and the destination shard after the matching
-        // release's put counts the same quantum twice. Clamp instead of
-        // underflowing; at quiescence the sum is exact.
-        self.budgets[cell].saturating_sub(self.headroom(cell)) as f64 / SCALE
+        #[cfg(not(loom))]
+        {
+            let shards = self.shard_slice(cell);
+            let mut reserved = 0u64;
+            for s in shards {
+                // ordering: Acquire — pins the reserve-meter pass before
+                // the release-meter pass below (an Acquire load forbids
+                // hoisting the later loads above it); that pass order is
+                // what makes the subtraction one-sided (see fn docs).
+                reserved += s.reserved_meter.load(Ordering::Acquire);
+            }
+            let mut released = 0u64;
+            for s in shards {
+                // ordering: Acquire — pairs with the meter updates
+                // preceding each put(); see above.
+                released += s.released_meter.load(Ordering::Acquire);
+            }
+            // A reserve→release pair completing entirely between the two
+            // passes can make `released` overtake the reserve sum read
+            // earlier; that transient reads as zero outstanding — an
+            // under-count, never an overshoot.
+            reserved.saturating_sub(released) as f64 / SCALE
+        }
+        #[cfg(loom)]
+        {
+            // Meters are compiled out under the model checker; the
+            // models read snapshots only at quiescence, where
+            // budget − headroom is exact (and `checked_sub` turns any
+            // overshoot into a model failure).
+            self.budgets[cell]
+                .checked_sub(self.headroom(cell))
+                .expect("shard headroom exceeds cell budget")
+                as f64
+                / SCALE
+        }
     }
 
     fn budget(&self, server: usize, class: usize) -> f64 {
@@ -538,6 +756,49 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_stays_exact_through_churn() {
+        // The meters must track outstanding rate exactly through
+        // admit/release/reject churn (this is the PR 5 saturating-sum
+        // workaround, retired).
+        let s = sharded();
+        assert!(s.try_reserve_path(&[0, 1], 0, 150_000.0).is_ok());
+        assert!(s.try_reserve_path(&[0], 0, 300_000.0).is_ok());
+        assert!(s.try_reserve_path(&[0], 0, 100_000.0).is_err());
+        assert_eq!(s.snapshot(0, 0), 450_000.0);
+        assert_eq!(s.snapshot(1, 0), 150_000.0);
+        s.release_path(&[0], 0, 300_000.0);
+        assert_eq!(s.snapshot(0, 0), 150_000.0);
+        s.release_path(&[0, 1], 0, 150_000.0);
+        assert_eq!(s.snapshot(0, 0), 0.0);
+        assert_eq!(s.snapshot(1, 0), 0.0);
+    }
+
+    #[test]
+    fn batch_reserve_is_all_or_nothing() {
+        for (name, backend) in [
+            ("atomic", Box::new(AtomicBackend::new(&[1e6, 1e6], &[0.5])) as Box<dyn AdmissionBackend>),
+            ("sharded", Box::new(ShardedBackend::new(&[1e6, 1e6], &[0.5], 4))),
+        ] {
+            // 300k + 150k on server 0, 150k on server 1: fits.
+            let ok = backend.try_reserve_batch(&[
+                CellDemand { server: 0, class: 0, rate: 450_000.0 },
+                CellDemand { server: 1, class: 0, rate: 150_000.0 },
+            ]);
+            assert!(ok.is_ok(), "{name}");
+            assert_eq!(backend.snapshot(0, 0), 450_000.0, "{name}");
+            // Second batch: server 1 fits, server 0 does not — nothing
+            // of the batch may remain reserved.
+            let err = backend.try_reserve_batch(&[
+                CellDemand { server: 1, class: 0, rate: 100_000.0 },
+                CellDemand { server: 0, class: 0, rate: 100_000.0 },
+            ]);
+            assert_eq!(err.unwrap_err().server, 0, "{name}");
+            assert_eq!(backend.snapshot(1, 0), 150_000.0, "{name}");
+            assert_eq!(backend.snapshot(0, 0), 450_000.0, "{name}");
+        }
+    }
+
+    #[test]
     fn contention_counters_classify_cross_shard_traffic() {
         // The atomic backend reports no contention telemetry at all.
         let atomic = AtomicBackend::new(&[1e6], &[0.5]);
@@ -549,7 +810,7 @@ mod tests {
         let s = sharded();
         assert_eq!(s.contention(), Some(ShardContention::default()));
 
-        // Fits in the home shard alone: no cross-shard traffic.
+        // Fits in the home shard alone: phase 1, no cross-shard traffic.
         assert!(s.try_reserve_path(&[0], 0, 100_000.0).is_ok());
         assert_eq!(s.contention(), Some(ShardContention::default()));
 
@@ -563,11 +824,25 @@ mod tests {
         let c = s.contention().unwrap();
         assert_eq!((c.borrows, c.steals, c.spurious_rejects), (1, 1, 0));
 
-        // A genuine budget exhaustion is NOT spurious: the re-sum still
-        // comes up short.
+        // A genuine budget exhaustion carries its no-progress sweep
+        // witness — by construction never spurious.
         assert!(s.try_reserve_path(&[0], 0, 400_000.0).is_err());
         let c = s.contention().unwrap();
         assert_eq!(c.spurious_rejects, 0);
+    }
+
+    #[test]
+    fn rejected_borrow_returns_grabs_to_their_shards() {
+        // Drain 350k of 500k, then fail a 400k grab: the 150k the sweep
+        // grabbed must flow back so a 150k reservation still succeeds
+        // and the per-shard distribution is unchanged (phase-1-visible).
+        let s = sharded();
+        assert!(s.try_reserve_path(&[0], 0, 350_000.0).is_ok());
+        assert!(s.try_reserve_path(&[0], 0, 400_000.0).is_err());
+        assert_eq!(s.snapshot(0, 0), 350_000.0);
+        assert!(s.would_fit(0, 0, 150_000.0));
+        assert!(s.try_reserve_path(&[0], 0, 150_000.0).is_ok());
+        assert_eq!(s.occupancy(0, 0), 1.0);
     }
 
     #[test]
@@ -611,5 +886,32 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot(0, 0), 0.0);
+    }
+
+    #[test]
+    fn two_phase_admits_when_total_headroom_suffices_under_contention() {
+        // The no-spurious-reject property, stress-tested natively (the
+        // loom model in tests/loom_models.rs proves it exhaustively for
+        // bounded schedules): when aggregate demand fits the budget,
+        // every contender must be admitted, no matter how headroom is
+        // distributed across shards mid-flight.
+        for _ in 0..50 {
+            let s = Arc::new(ShardedBackend::new(&[1e6], &[1.0], 4));
+            // 4 threads × 250k on a 1 Mb/s budget: all must fit.
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let s = Arc::clone(&s);
+                handles.push(std::thread::spawn(move || {
+                    s.try_reserve_path(&[0], 0, 250_000.0).is_ok()
+                }));
+            }
+            let admitted = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&ok| ok)
+                .count();
+            assert_eq!(admitted, 4, "sufficient total headroom must admit all");
+            assert_eq!(s.contention().unwrap().spurious_rejects, 0);
+        }
     }
 }

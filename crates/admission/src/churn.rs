@@ -18,6 +18,18 @@ pub trait Policy {
     type Handle;
     /// Attempts to admit one flow.
     fn admit(&mut self, class: ClassId, src: NodeId, dst: NodeId) -> Option<Self::Handle>;
+    /// Attempts to admit a burst of simultaneous requests; the default
+    /// admits them one by one. Policies with a batched fast path (the
+    /// utilization controller) override this.
+    fn admit_burst(
+        &mut self,
+        class: ClassId,
+        reqs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<Self::Handle>> {
+        reqs.iter()
+            .map(|&(src, dst)| self.admit(class, src, dst))
+            .collect()
+    }
     /// Releases an admitted flow.
     fn release(&mut self, handle: Self::Handle);
 }
@@ -26,6 +38,21 @@ impl Policy for crate::AdmissionController {
     type Handle = crate::FlowHandle;
     fn admit(&mut self, class: ClassId, src: NodeId, dst: NodeId) -> Option<Self::Handle> {
         self.try_admit(class, src, dst).ok()
+    }
+    fn admit_burst(
+        &mut self,
+        class: ClassId,
+        reqs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<Self::Handle>> {
+        let specs: Vec<crate::FlowSpec> = reqs
+            .iter()
+            .map(|&(src, dst)| crate::FlowSpec { class, src, dst })
+            .collect();
+        self.try_admit_batch(&specs)
+            .flows
+            .into_iter()
+            .map(Result::ok)
+            .collect()
     }
     fn release(&mut self, handle: Self::Handle) {
         drop(handle);
@@ -172,6 +199,72 @@ pub fn run_churn_with<P: Policy>(
     stats
 }
 
+/// Like [`run_churn`], but arrivals come in bursts: each tick offers
+/// `burst` simultaneous requests for one uniformly chosen pair (a
+/// "conference call" arrival) admitted through [`Policy::admit_burst`]
+/// — for the utilization controller, the batched fast path. With
+/// `burst == 1` the request sequence is identical to [`run_churn`]'s.
+pub fn run_churn_bursts<P: Policy>(
+    policy: &mut P,
+    pairs: &[(NodeId, NodeId)],
+    class: ClassId,
+    cfg: &ChurnConfig,
+    burst: usize,
+) -> ChurnStats {
+    assert!(!pairs.is_empty(), "need candidate pairs");
+    assert!(burst >= 1, "burst must be at least 1");
+    assert!(cfg.mean_active > 0.0, "mean_active must be positive");
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut held: Vec<Option<P::Handle>> = Vec::new();
+    let mut stats = ChurnStats::default();
+    let mut active = 0usize;
+    let mut reqs: Vec<(NodeId, NodeId)> = Vec::with_capacity(burst);
+
+    let mut tick = 0u64;
+    while stats.offered < cfg.arrivals {
+        while let Some(&std::cmp::Reverse((due, slot))) = departures.peek() {
+            if due > tick {
+                break;
+            }
+            departures.pop();
+            if let Some(h) = held[slot].take() {
+                policy.release(h);
+                active -= 1;
+            }
+        }
+        let n = burst.min(cfg.arrivals - stats.offered);
+        let (src, dst) = pairs[rng.index(pairs.len())];
+        reqs.clear();
+        reqs.resize(n, (src, dst));
+        stats.offered += n;
+        let t0 = Stopwatch::start();
+        let admitted = policy.admit_burst(class, &reqs);
+        stats.admit_ns += t0.elapsed_ns() as u128;
+        for h in admitted.into_iter().flatten() {
+            stats.accepted += 1;
+            active += 1;
+            stats.peak_active = stats.peak_active.max(active);
+            let u: f64 = rng.range_f64(1e-12, 1.0);
+            let hold = (-cfg.mean_active * u.ln()).ceil() as u64;
+            let slot = held.len();
+            held.push(Some(h));
+            departures.push(std::cmp::Reverse((tick + hold.max(1), slot)));
+        }
+        tick += 1;
+    }
+    for h in held.into_iter().flatten() {
+        policy.release(h);
+    }
+    stats.mean_admit_ns = if stats.offered > 0 {
+        stats.admit_ns as f64 / stats.offered as f64
+    } else {
+        0.0
+    };
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +331,38 @@ mod tests {
         let s2 = run_churn(&mut c2, &pairs, ClassId(0), &cfg);
         assert_eq!(s1.accepted, s2.accepted);
         assert_eq!(s1.peak_active, s2.peak_active);
+    }
+
+    #[test]
+    fn burst_of_one_matches_run_churn() {
+        let cfg = ChurnConfig {
+            arrivals: 400,
+            mean_active: 20.0,
+            seed: 11,
+        };
+        let (mut one_by_one, pairs) = controller(0.2);
+        let (mut bursty, _) = controller(0.2);
+        let a = run_churn(&mut one_by_one, &pairs, ClassId(0), &cfg);
+        let b = run_churn_bursts(&mut bursty, &pairs, ClassId(0), &cfg, 1);
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.peak_active, b.peak_active);
+    }
+
+    #[test]
+    fn bursty_churn_saturates_and_balances() {
+        let (mut ctrl, pairs) = controller(0.1); // 3 flows per link
+        let cfg = ChurnConfig {
+            arrivals: 480,
+            mean_active: 50.0,
+            seed: 5,
+        };
+        let stats = run_churn_bursts(&mut ctrl, &pairs, ClassId(0), &cfg, 8);
+        assert_eq!(stats.offered, 480);
+        assert!(stats.accepted > 0);
+        assert!(stats.blocking() > 0.0);
+        assert!(stats.peak_active <= 6, "peak {}", stats.peak_active);
+        assert_eq!(ctrl.reserved(2, ClassId(0)), 0.0);
     }
 
     #[test]

@@ -26,8 +26,10 @@
 //! `admission.generations.retired_pinned` gauge) should treat the new
 //! budgets as fully in force only once retired generations empty.
 
+use crate::backend::CellDemand;
 use crate::generation::{BackendKind, ConfigGeneration};
 use crate::metrics::AdmissionMetrics;
+use crate::state::{to_millibits, SCALE};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex};
 use crate::table::RoutingTable;
@@ -82,6 +84,49 @@ impl std::fmt::Display for Reject {
                 )
             }
         }
+    }
+}
+
+/// One flow of a batched admission request (see
+/// [`AdmissionController::try_admit_batch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Traffic class of the flow.
+    pub class: ClassId,
+    /// Ingress node.
+    pub src: NodeId,
+    /// Egress node.
+    pub dst: NodeId,
+}
+
+/// What [`AdmissionController::try_admit_batch`] decided, per flow and
+/// in aggregate.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-flow results, in request order. Dropping an `Ok` handle
+    /// releases that flow exactly as if it had been admitted alone.
+    pub flows: Vec<Result<FlowHandle, Reject>>,
+    /// `true` when one aggregated reservation decided the whole batch
+    /// (every routed flow admitted together, one CAS per touched cell);
+    /// `false` when the aggregate did not fit and each flow was re-tried
+    /// one by one (partial admission, per-flow reject detail).
+    pub fast_path: bool,
+}
+
+impl BatchOutcome {
+    /// Number of admitted flows.
+    pub fn admitted(&self) -> usize {
+        self.flows.iter().filter(|f| f.is_ok()).count()
+    }
+
+    /// Number of rejected flows.
+    pub fn rejected(&self) -> usize {
+        self.flows.len() - self.admitted()
+    }
+
+    /// Consumes the outcome, keeping only the admitted handles.
+    pub fn into_handles(self) -> Vec<FlowHandle> {
+        self.flows.into_iter().filter_map(Result::ok).collect()
     }
 }
 
@@ -374,6 +419,192 @@ impl AdmissionController {
                     reserved_bps,
                     budget_bps,
                 })
+            }
+        }
+    }
+
+    /// Admits a whole slice of flows as one batched decision against the
+    /// current generation.
+    ///
+    /// The fixed per-decision overheads of [`try_admit`](Self::try_admit)
+    /// — the generation epoch load, the pin RMW, the tracepoint publish,
+    /// one CAS round-trip per link per flow — are paid once per *batch*:
+    /// the slice's demand is pre-aggregated per touched (server, class)
+    /// cell (identical (class, src, dst) triples share one route lookup)
+    /// and reserved with one CAS per cell via
+    /// [`try_reserve_batch`](crate::AdmissionBackend::try_reserve_batch).
+    /// If the aggregate fits, every routed flow is admitted together
+    /// (`fast_path`); if not, the batch falls back to the sequential
+    /// path flow-by-flow in slice order, yielding exactly the decisions
+    /// and reject diagnostics a non-batched caller would have seen.
+    /// Flows with no configured route are rejected either way and never
+    /// block the rest of the batch.
+    pub fn try_admit_batch(&self, specs: &[FlowSpec]) -> BatchOutcome {
+        let generation = self.current_generation();
+        self.try_admit_batch_on(&generation, specs)
+    }
+
+    /// Like [`try_admit_batch`](Self::try_admit_batch) but against an
+    /// explicitly pinned generation (the batched counterpart of
+    /// [`try_admit_on`](Self::try_admit_on)).
+    pub fn try_admit_batch_on(
+        &self,
+        generation: &Arc<ConfigGeneration>,
+        specs: &[FlowSpec],
+    ) -> BatchOutcome {
+        if specs.is_empty() {
+            return BatchOutcome {
+                flows: Vec::new(),
+                fast_path: true,
+            };
+        }
+        let inner = &self.inner;
+        let backend = generation.backend();
+        let timer = inner.metrics.as_ref().and_then(AdmissionMetrics::admit_timer);
+        let tr = trace::global();
+        // Dedupe identical (class, src, dst) triples: one route lookup
+        // and one demand contribution per unique triple. `uniq_of[i]` is
+        // flow i's index into `uniq`.
+        let mut uniq: Vec<(FlowSpec, Option<&[u32]>, u64)> = Vec::new();
+        let mut uniq_of: Vec<usize> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            match uniq.iter().position(|(s, _, _)| s == spec) {
+                Some(j) => {
+                    uniq[j].2 += 1;
+                    uniq_of.push(j);
+                }
+                None => {
+                    uniq_of.push(uniq.len());
+                    uniq.push((
+                        *spec,
+                        generation.table().route(spec.src, spec.dst, spec.class),
+                        1,
+                    ));
+                }
+            }
+        }
+        // Aggregate per-(server, class) demand in exact millibits — the
+        // batched reservation asks for precisely the sum of the per-flow
+        // grants, so batch admission can never out-admit (or under-admit)
+        // the same flows reserved one by one.
+        let mut entries: Vec<(u64, u64)> = Vec::new();
+        for (spec, route, count) in &uniq {
+            if let Some(r) = route {
+                let rate_mb = to_millibits(generation.rates()[spec.class.index()]);
+                for &server in *r {
+                    entries.push((
+                        (u64::from(server) << 32) | spec.class.index() as u64,
+                        count * rate_mb,
+                    ));
+                }
+            }
+        }
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(entries.len());
+        for (key, mb) in entries {
+            match merged.last_mut() {
+                Some((k, acc)) if *k == key => *acc += mb,
+                _ => merged.push((key, mb)),
+            }
+        }
+        let demands: Vec<CellDemand> = merged
+            .iter()
+            .map(|&(key, mb)| CellDemand {
+                server: (key >> 32) as u32,
+                class: (key & u64::from(u32::MAX)) as u32,
+                // Exact round-trip: aggregated millibit totals stay far
+                // below the 2^53 integrality guard, so the backend's
+                // `to_millibits(rate)` recovers `mb` bit-for-bit.
+                rate: mb as f64 / SCALE,
+            })
+            .collect();
+        let no_route = uniq_of.iter().filter(|&&j| uniq[j].1.is_none()).count();
+        let routed = specs.len() - no_route;
+        match backend.try_reserve_batch(&demands) {
+            Ok(cas_retries) => {
+                // Audit-trail flow ids: one contiguous block per batch
+                // (a single RMW), so each flow's release stays
+                // individually attributable in the trace.
+                let flow_base = if tr.enabled() {
+                    inner.flow_seq.fetch_add(specs.len() as u64, Ordering::Relaxed) + 1
+                } else {
+                    0
+                };
+                generation.pin_n(routed as u64);
+                let flows: Vec<Result<FlowHandle, Reject>> = uniq_of
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &j)| {
+                        let (spec, route, _) = &uniq[j];
+                        match route {
+                            Some(route) => Ok(FlowHandle {
+                                inner: Arc::clone(inner),
+                                generation: Arc::clone(generation),
+                                class: spec.class.index(),
+                                rate: generation.rates()[spec.class.index()],
+                                servers: (*route).into(),
+                                flow: if flow_base == 0 {
+                                    0
+                                } else {
+                                    flow_base + i as u64
+                                },
+                            }),
+                            None => Err(Reject::NoRoute),
+                        }
+                    })
+                    .collect();
+                if let Some(m) = &inner.metrics {
+                    for &j in &uniq_of {
+                        if let Some(route) = uniq[j].1 {
+                            m.record_admit(route.len());
+                        }
+                    }
+                    if no_route > 0 {
+                        m.rejects_no_route.add(no_route as u64);
+                    }
+                    if cas_retries > 0 {
+                        m.cas_retries.add(u64::from(cas_retries));
+                    }
+                    // One batched decision = one entry in the per-backend
+                    // retry histogram (total retries across the batch).
+                    m.record_retries(generation.kind(), cas_retries);
+                    m.batches.inc();
+                    m.record_admit_ns(timer);
+                }
+                // One coalesced tracepoint for the whole slice.
+                tr.emit(
+                    EventKind::AdmitBatch,
+                    0,
+                    flow_base,
+                    u32::MAX,
+                    routed as f64,
+                    no_route as f64,
+                );
+                BatchOutcome {
+                    flows,
+                    fast_path: true,
+                }
+            }
+            Err(_) => {
+                // Aggregate does not fit: per-flow fallback in slice
+                // order — decision-for-decision the sequential path
+                // (partial admission, per-flow tracepoints and reject
+                // detail). The timer sample here covers aggregation plus
+                // the failed batch reserve; each fallback admit samples
+                // its own latency as usual.
+                if let Some(m) = &inner.metrics {
+                    m.batches.inc();
+                    m.batch_fallbacks.inc();
+                    m.record_admit_ns(timer);
+                }
+                let flows = specs
+                    .iter()
+                    .map(|s| self.try_admit_on(generation, s.class, s.src, s.dst))
+                    .collect();
+                BatchOutcome {
+                    flows,
+                    fast_path: false,
+                }
             }
         }
     }
@@ -919,6 +1150,109 @@ mod tests {
         assert_eq!(g0.backend().snapshot(2, 0), 32_000.0);
         assert_eq!(ctrl.reserved(2, ClassId(0)), 0.0, "current gen untouched");
         drop(h);
+        assert_eq!(g0.pinned(), 0);
+        assert_eq!(g0.backend().snapshot(2, 0), 0.0);
+    }
+
+    #[test]
+    fn batch_fast_path_admits_everything_that_fits() {
+        for kind in [BackendKind::Atomic, BackendKind::Sharded(4)] {
+            let (ctrl, shared) = setup_on(0.32, kind);
+            let specs = vec![
+                FlowSpec {
+                    class: ClassId(0),
+                    src: NodeId(0),
+                    dst: NodeId(2),
+                };
+                10
+            ];
+            let out = ctrl.try_admit_batch(&specs);
+            assert!(out.fast_path, "{kind:?}");
+            assert_eq!(out.admitted(), 10, "{kind:?}");
+            assert_eq!(ctrl.occupancy(shared, ClassId(0)), 1.0);
+            assert_eq!(ctrl.current_generation().pinned(), 10);
+            let handles = out.into_handles();
+            assert_eq!(handles[0].route().len(), 2);
+            drop(handles);
+            assert_eq!(ctrl.reserved(shared, ClassId(0)), 0.0);
+            assert_eq!(ctrl.current_generation().pinned(), 0);
+        }
+    }
+
+    #[test]
+    fn batch_fallback_matches_sequential_decisions() {
+        for kind in [BackendKind::Atomic, BackendKind::Sharded(4)] {
+            // 12 flows against a 10-flow link: the aggregate cannot fit,
+            // so the batch falls back and admits exactly the prefix the
+            // sequential path would.
+            let (ctrl, shared) = setup_on(0.32, kind);
+            let specs = vec![
+                FlowSpec {
+                    class: ClassId(0),
+                    src: NodeId(1),
+                    dst: NodeId(2),
+                };
+                12
+            ];
+            let out = ctrl.try_admit_batch(&specs);
+            assert!(!out.fast_path, "{kind:?}");
+            assert_eq!(out.admitted(), 10, "{kind:?}");
+            assert_eq!(out.rejected(), 2);
+            // Request order is preserved: the prefix admits, the tail
+            // rejects with full link diagnostics.
+            assert!(out.flows[..10].iter().all(Result::is_ok));
+            for r in &out.flows[10..] {
+                match r {
+                    Err(Reject::LinkFull { server, .. }) => {
+                        assert_eq!(*server, shared as u32)
+                    }
+                    other => panic!("expected LinkFull, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_routes_unroutable_flows_around_the_fast_path() {
+        let (ctrl, _) = setup(0.32);
+        let good = FlowSpec {
+            class: ClassId(0),
+            src: NodeId(0),
+            dst: NodeId(2),
+        };
+        let unroutable = FlowSpec {
+            class: ClassId(0),
+            src: NodeId(2),
+            dst: NodeId(0),
+        };
+        let out = ctrl.try_admit_batch(&[good, unroutable, good]);
+        assert!(out.fast_path, "no-route flows must not force a fallback");
+        assert_eq!(out.admitted(), 2);
+        assert_eq!(out.flows[1].as_ref().err(), Some(&Reject::NoRoute));
+        // Empty batches are a no-op.
+        let out = ctrl.try_admit_batch(&[]);
+        assert!(out.fast_path);
+        assert_eq!(out.flows.len(), 0);
+    }
+
+    #[test]
+    fn batch_on_pinned_generation_survives_reconfigure() {
+        let (ctrl, _) = setup(0.32);
+        let g0 = ctrl.current_generation();
+        ctrl.reconfigure(fresh_generation(0.32));
+        let out = ctrl.try_admit_batch_on(
+            &g0,
+            &[FlowSpec {
+                class: ClassId(0),
+                src: NodeId(0),
+                dst: NodeId(2),
+            }; 3],
+        );
+        assert!(out.fast_path);
+        assert_eq!(g0.pinned(), 3);
+        assert_eq!(g0.backend().snapshot(2, 0), 3.0 * 32_000.0);
+        assert_eq!(ctrl.reserved(2, ClassId(0)), 0.0, "current gen untouched");
+        drop(out);
         assert_eq!(g0.pinned(), 0);
         assert_eq!(g0.backend().snapshot(2, 0), 0.0);
     }

@@ -126,6 +126,16 @@ impl ConfigGeneration {
         self.pinned.fetch_add(1, Ordering::AcqRel);
     }
 
+    /// Pins `n` flows with one RMW — the batched admission path admits a
+    /// whole slice under a single pin update instead of one per flow.
+    pub(crate) fn pin_n(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        // ordering: AcqRel — same edge as `pin`, amortized over a batch.
+        self.pinned.fetch_add(n, Ordering::AcqRel);
+    }
+
     pub(crate) fn unpin(&self) {
         // ordering: AcqRel — the release half publishes the flow's
         // backend release before the drop to zero that lets drain()

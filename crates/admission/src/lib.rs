@@ -12,14 +12,18 @@
 //! * [`backend`] — the pluggable reservation-state contract
 //!   ([`AdmissionBackend`]): the CAS counters above as [`AtomicBackend`],
 //!   plus a budget-striping [`ShardedBackend`] that spreads hot-link CAS
-//!   contention across shards with borrow-from-neighbor semantics.
+//!   contention across cache-padded shards with a two-phase
+//!   reserve-then-borrow protocol (a reject always carries a
+//!   genuine-exhaustion witness — no spurious double-rejects).
 //! * [`generation`] — immutable [`ConfigGeneration`] snapshots (routing
 //!   table + alphas + budgets + fresh backend), the installable unit of
 //!   config-time output.
 //! * [`table`] — the configured routing table mapping (src, dst, class)
 //!   to the committed route.
 //! * [`controller`] — the utilization-based admission controller with
-//!   RAII flow handles (dropping a handle releases its bandwidth) and
+//!   RAII flow handles (dropping a handle releases its bandwidth),
+//!   batched admission ([`AdmissionController::try_admit_batch`]:
+//!   per-slice demand aggregation, one reservation per touched cell) and
 //!   live reconfiguration: generations swap behind an epoch pointer
 //!   without pausing admission, and in-flight flows drain against the
 //!   generation they were admitted under.
@@ -51,10 +55,12 @@ pub mod state;
 pub(crate) mod sync;
 pub mod table;
 
-pub use backend::{AdmissionBackend, AtomicBackend, PathReject, ShardedBackend};
+pub use backend::{AdmissionBackend, AtomicBackend, CellDemand, PathReject, ShardedBackend};
 pub use baseline::PerFlowAdmission;
-pub use churn::{run_churn, run_churn_with, ChurnConfig, ChurnStats, Policy};
-pub use controller::{AdmissionController, DrainStatus, FlowHandle, Reject, ReconfigReport};
+pub use churn::{run_churn, run_churn_bursts, run_churn_with, ChurnConfig, ChurnStats, Policy};
+pub use controller::{
+    AdmissionController, BatchOutcome, DrainStatus, FlowHandle, FlowSpec, Reject, ReconfigReport,
+};
 pub use explain::{Explain, ExplainVerdict};
 pub use generation::{BackendKind, ConfigGeneration};
 pub use metrics::AdmissionMetrics;

@@ -18,6 +18,7 @@
 //! pays for them.
 
 use crate::generation::BackendKind;
+use crate::sync::CachePadded;
 use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use uba_obs::{Counter, Gauge, Histogram, Registry, Stopwatch};
@@ -171,7 +172,12 @@ impl Drop for Pending {
 }
 
 thread_local! {
-    static PENDING: Pending = const { Pending::new() };
+    // CachePadded: TLS blocks of different threads can be allocated
+    // adjacently, and this buffer's counters are the hottest stores on
+    // the admit path — padding keeps one thread's buffer from
+    // false-sharing a cache line with a neighbor thread's (DESIGN.md §11
+    // padding audit).
+    static PENDING: CachePadded<Pending> = const { CachePadded::new(Pending::new()) };
 }
 
 /// Handles to every admission-layer metric.
@@ -198,7 +204,9 @@ thread_local! {
 /// | `admission.retries_per_op.sharded` | histogram | CAS retries per decision, sharded backend |
 /// | `admission.sharded.borrows` | gauge | cross-shard borrows (home shard partial) |
 /// | `admission.sharded.steals` | gauge | cross-shard steals (home shard empty) |
-/// | `admission.sharded.spurious_rejects` | gauge | rejects despite sufficient re-summed headroom |
+/// | `admission.sharded.spurious_rejects` | gauge | contention-induced rejects (structurally 0 under the two-phase protocol; a tripwire) |
+/// | `admission.batches` | counter | batched admission decisions ([`try_admit_batch`](crate::AdmissionController::try_admit_batch)) |
+/// | `admission.batch_fallbacks` | counter | batches whose aggregate did not fit (re-tried flow-by-flow) |
 #[derive(Clone, Debug)]
 pub struct AdmissionMetrics {
     /// Flows admitted.
@@ -243,8 +251,16 @@ pub struct AdmissionMetrics {
     /// Cross-shard steals of the current sharded backend.
     pub sharded_steals: Arc<Gauge>,
     /// Spurious (contention-induced) rejects of the current sharded
-    /// backend — the loom-documented double-reject, in production.
+    /// backend. Structurally zero under the two-phase borrow protocol;
+    /// kept as a regression tripwire (the scaling bench gates on it).
     pub sharded_spurious_rejects: Arc<Gauge>,
+    /// Batched admission decisions
+    /// ([`try_admit_batch`](crate::AdmissionController::try_admit_batch)
+    /// calls, fast path or fallback).
+    pub batches: Arc<Counter>,
+    /// Batches whose aggregate demand did not fit and were re-tried
+    /// flow-by-flow.
+    pub batch_fallbacks: Arc<Counter>,
 }
 
 impl AdmissionMetrics {
@@ -277,6 +293,8 @@ impl AdmissionMetrics {
             sharded_borrows: registry.gauge("admission.sharded.borrows"),
             sharded_steals: registry.gauge("admission.sharded.steals"),
             sharded_spurious_rejects: registry.gauge("admission.sharded.spurious_rejects"),
+            batches: registry.counter("admission.batches"),
+            batch_fallbacks: registry.counter("admission.batch_fallbacks"),
         }
     }
 
@@ -383,7 +401,7 @@ impl AdmissionMetrics {
     /// the recording thread; other threads publish on their own flushes
     /// (at the latest on thread exit).
     pub fn flush(&self) {
-        PENDING.with(Pending::flush);
+        PENDING.with(|p| p.flush());
     }
 }
 

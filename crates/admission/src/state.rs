@@ -38,6 +38,11 @@ pub struct UtilizationState {
     /// Budget `α_i · C_k` per (server, class), millibits/s.
     budgets: Vec<u64>,
     /// Currently reserved rate per (server, class), millibits/s.
+    // padding: cells are shared by every thread by design (one counter
+    // per (server, class) is the whole point of the atomic backend), so
+    // per-cell cache-line padding would only grow the table ~16x without
+    // removing any sharing. Cross-thread isolation lives in the sharded
+    // backend instead.
     reserved: Vec<AtomicU64>,
 }
 

@@ -33,3 +33,41 @@ pub(crate) mod atomic {
     // deterministic thread index instead), so it is not re-exported here.
     pub use uba_loom::sync::atomic::{AtomicU64, Ordering};
 }
+
+/// Pads (and aligns) `T` to two cache lines so adjacent slots of an
+/// array never share a line. 128 bytes, not 64: Intel's spatial
+/// prefetcher pulls line pairs, and aarch64 big cores have 128-byte
+/// lines — padding to the pair kills both destructive-interference
+/// modes. Used for the sharded backend's per-shard slots (the whole
+/// point of striping a budget is that each stripe gets its own line;
+/// see DESIGN.md §11 for the padding audit).
+#[cfg(not(loom))]
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T>(pub T);
+
+/// Under the model checker padding is pointless (there is no cache) and
+/// alignment would only bloat the model state, so the shim is a
+/// transparent wrapper with the same API.
+#[cfg(loom)]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    pub(crate) const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

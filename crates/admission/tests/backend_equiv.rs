@@ -7,8 +7,15 @@
 //! deterministic admit/release sequences (SplitMix64) through
 //! controllers on both backends over real topologies (the paper's MCI
 //! backbone and a ring) and require decision-for-decision agreement.
+//!
+//! The batched fast path is held to the same bar: `try_admit_batch` must
+//! be decision-equivalent to one-by-one admission (the aggregate fitting
+//! is order-independent; the fallback replays the sequential walk), and
+//! sharded batches must never admit a flow the atomic backend rejects.
 
-use uba_admission::{AdmissionController, BackendKind, RoutingTable};
+use uba_admission::{
+    AdmissionController, BackendKind, FlowHandle, FlowSpec, Reject, RoutingTable,
+};
 use uba_graph::Digraph;
 use uba_obs::SplitMix64;
 use uba_routing::{all_ordered_pairs, sp_selection, Pair};
@@ -63,6 +70,145 @@ fn assert_equivalent(g: &Digraph, name: &str) {
         assert!(a.iter().any(|&d| d), "{name}/{seed}: no admissions");
         assert!(a.iter().any(|&d| !d), "{name}/{seed}: no rejections");
         assert_eq!(a, s, "{name}/{seed}: backends disagreed");
+    }
+}
+
+/// The same churn workload as [`decision_sequence`], but arrivals come
+/// in seeded batches of 1–8 and `admit` decides how a batch is admitted
+/// (batched or one-by-one) — the RNG draws are identical either way, so
+/// two drivers over the same seed see the same flows with the same
+/// lifetimes.
+fn batched_decision_sequence<F>(
+    ctrl: &AdmissionController,
+    pairs: &[Pair],
+    seed: u64,
+    arrivals: usize,
+    admit: F,
+) -> Vec<bool>
+where
+    F: Fn(&AdmissionController, &[FlowSpec]) -> Vec<Result<FlowHandle, Reject>>,
+{
+    let mut rng = SplitMix64::new(seed);
+    let mut held: Vec<(usize, FlowHandle)> = Vec::new();
+    let mut decisions = Vec::with_capacity(arrivals);
+    let mut step = 0usize;
+    while step < arrivals {
+        held.retain(|(deadline, _)| *deadline > step);
+        let batch = (1 + (rng.next_u64() % 8) as usize).min(arrivals - step);
+        let specs: Vec<FlowSpec> = (0..batch)
+            .map(|_| {
+                let p = pairs[(rng.next_u64() as usize) % pairs.len()];
+                FlowSpec {
+                    class: ClassId(0),
+                    src: p.src,
+                    dst: p.dst,
+                }
+            })
+            .collect();
+        let lifetimes: Vec<usize> = (0..batch)
+            .map(|_| 1 + (rng.next_u64() % 512) as usize)
+            .collect();
+        for (i, r) in admit(ctrl, &specs).into_iter().enumerate() {
+            match r {
+                Ok(h) => {
+                    decisions.push(true);
+                    held.push((step + lifetimes[i], h));
+                }
+                Err(_) => decisions.push(false),
+            }
+        }
+        step += batch;
+    }
+    decisions
+}
+
+fn admit_batched(c: &AdmissionController, specs: &[FlowSpec]) -> Vec<Result<FlowHandle, Reject>> {
+    c.try_admit_batch(specs).flows
+}
+
+fn admit_one_by_one(
+    c: &AdmissionController,
+    specs: &[FlowSpec],
+) -> Vec<Result<FlowHandle, Reject>> {
+    specs.iter().map(|s| c.try_admit(s.class, s.src, s.dst)).collect()
+}
+
+/// Batch admission is decision-equivalent to admitting the same flows
+/// one by one on the atomic backend: the aggregated fast path admits a
+/// batch iff the sequential walk would have admitted every flow, and the
+/// fallback replays the sequential walk exactly — so the per-flow
+/// decision sequences are identical through saturation churn.
+#[test]
+fn batch_matches_sequential_on_atomic() {
+    for (g, name) in [(uba_topology::mci(), "mci"), (uba_topology::ring(8), "ring")] {
+        let pairs = all_ordered_pairs(&g);
+        for seed in [7, 42] {
+            let batched = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
+            let sequential = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
+            let b = batched_decision_sequence(&batched, &pairs, seed, 2_000, admit_batched);
+            let s =
+                batched_decision_sequence(&sequential, &pairs, seed, 2_000, admit_one_by_one);
+            assert!(b.iter().any(|&d| d), "{name}/{seed}: no admissions");
+            assert!(b.iter().any(|&d| !d), "{name}/{seed}: no rejections");
+            assert_eq!(b, s, "{name}/{seed}: batch disagreed with sequential");
+        }
+    }
+}
+
+/// A batch the fast path admits is order-independent: the same flows
+/// admitted one by one succeed in forward *and* reverse order (the
+/// aggregate fitting every touched cell is a symmetric condition).
+#[test]
+fn fast_path_batches_admit_in_either_order() {
+    let g = uba_topology::ring(8);
+    let pairs = all_ordered_pairs(&g);
+    // alpha 0.2 on 1 Mb/s = 6 voip flows per link; a 6-flow batch of
+    // mixed pairs fits from empty.
+    let specs: Vec<FlowSpec> = (0..6)
+        .map(|i| {
+            let p = pairs[(i * 5) % pairs.len()];
+            FlowSpec {
+                class: ClassId(0),
+                src: p.src,
+                dst: p.dst,
+            }
+        })
+        .collect();
+    let ctrl = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
+    let out = ctrl.try_admit_batch(&specs);
+    assert!(out.fast_path, "6 flows against empty budgets must fast-path");
+    assert_eq!(out.admitted(), specs.len());
+    drop(out);
+    for reverse in [false, true] {
+        let ctrl = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
+        let mut order = specs.clone();
+        if reverse {
+            order.reverse();
+        }
+        let handles = admit_one_by_one(&ctrl, &order);
+        assert!(
+            handles.iter().all(Result::is_ok),
+            "sequential admit (reverse={reverse}) must admit the whole fast-path batch"
+        );
+    }
+}
+
+/// Single-threaded, sharded batch admission makes exactly the atomic
+/// backend's decisions — in particular it never admits a flow the atomic
+/// backend would reject (the containment direction of the equivalence).
+#[test]
+fn sharded_batch_never_admits_what_atomic_rejects() {
+    let g = uba_topology::ring(6);
+    let pairs = all_ordered_pairs(&g);
+    let reference = {
+        let ctrl = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
+        batched_decision_sequence(&ctrl, &pairs, 99, 1_500, admit_batched)
+    };
+    assert!(reference.iter().any(|&d| !d), "workload must saturate");
+    for shards in [1, 4, 16] {
+        let ctrl = controller_on(&g, &pairs, 0.2, BackendKind::Sharded(shards));
+        let got = batched_decision_sequence(&ctrl, &pairs, 99, 1_500, admit_batched);
+        assert_eq!(got, reference, "{shards}-shard batch disagreed with atomic");
     }
 }
 

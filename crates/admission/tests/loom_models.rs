@@ -21,12 +21,19 @@
 //!
 //! 1. The class budget is never exceeded by concurrent reservations, on
 //!    both backends, and concurrent release republishes headroom exactly.
+//!    On the sharded backend the two-phase reserve-then-borrow protocol
+//!    additionally guarantees *no spurious rejects*: whenever aggregate
+//!    demand fits the budget, every contender is admitted (PR 5's model
+//!    documented the old lock-free borrow failing exactly this).
 //! 2. An admit racing a reconfigure lands on exactly one generation —
 //!    never lost, never double-counted.
 //! 3. A pinned `FlowHandle` always releases against the generation that
 //!    admitted it, even when the drop races a reconfigure.
 //! 4. The trace ring never tears an event under concurrent publish and
 //!    drain.
+//! 5. A *batched* admit racing a reconfigure never strands a
+//!    reservation: the whole batch lands on one generation and balances
+//!    to zero when its handles drop.
 
 #![cfg(loom)]
 
@@ -34,7 +41,7 @@ use std::sync::Arc;
 
 use uba_admission::{
     AdmissionBackend, AdmissionController, AtomicBackend, BackendKind, ConfigGeneration,
-    RoutingTable, ShardedBackend,
+    FlowSpec, RoutingTable, ShardedBackend,
 };
 use uba_graph::{Digraph, NodeId, Path};
 use uba_loom::{Builder, Exploration};
@@ -68,12 +75,13 @@ fn assert_complete(e: Exploration) {
 
 /// Two concurrent reservations against a budget that fits only one:
 /// never may both win, and every loser leaves no residue. `must_admit`
-/// additionally requires that *some* flow wins — true for the atomic
-/// backend (the first CAS to execute succeeds), but **not** for the
-/// sharded one: the checker finds the schedule where each thread drains
-/// its home shard, sees the neighbor empty, and rolls back, so both are
-/// (safely) rejected. Spurious rejection under contention is the
-/// documented price of striping; budget safety is what this proves.
+/// additionally requires that *some* flow wins — true for **both**
+/// backends now: the atomic backend because the first CAS to execute
+/// succeeds, and the sharded one because phase 2's locked sweep rejects
+/// only on a no-progress pass over every shard (PR 5's model found the
+/// old lock-free borrow double-rejecting here — each thread drained its
+/// home shard, saw the neighbor empty, and rolled back; the two-phase
+/// protocol makes that schedule impossible).
 fn budget_never_admits_two<B, F>(make: F, must_admit: bool)
 where
     B: AdmissionBackend + 'static,
@@ -102,8 +110,30 @@ fn atomic_backend_budget_admits_exactly_one_of_two() {
 }
 
 #[test]
-fn sharded_backend_budget_never_admits_two() {
-    budget_never_admits_two(|| ShardedBackend::new(&[1000.0], &[1.0], 2), false);
+fn sharded_backend_budget_admits_exactly_one_of_two() {
+    budget_never_admits_two(|| ShardedBackend::new(&[1000.0], &[1.0], 2), true);
+}
+
+/// The no-spurious-reject guarantee head-on: 300 + 600 against a 1000
+/// budget striped 500/500. The old lock-free borrow had schedules where
+/// both threads held partial grabs, each saw the rest missing, and both
+/// rolled back — rejecting 900 of demand against 1000 of budget. Under
+/// the two-phase protocol every schedule admits both.
+#[test]
+fn sharded_two_phase_admits_all_when_total_headroom_suffices() {
+    assert_complete(bounds().check(|| {
+        let b = Arc::new(ShardedBackend::new(&[1000.0], &[1.0], 2));
+        let b2 = Arc::clone(&b);
+        let rival = uba_loom::thread::spawn(move || b2.try_reserve_path(&[0], 0, 600.0).is_ok());
+        let mine = b.try_reserve_path(&[0], 0, 300.0).is_ok();
+        let theirs = rival.join().unwrap();
+        assert!(
+            mine && theirs,
+            "900 of demand against 1000 of budget must always fully admit \
+             (spurious reject: mine={mine} theirs={theirs})"
+        );
+        assert_eq!(b.snapshot(0, 0), 900.0);
+    }));
 }
 
 /// Concurrent reserve/release churn: whatever interleaving happens, all
@@ -138,11 +168,6 @@ fn atomic_backend_reserve_release_balances_to_zero() {
 
 #[test]
 fn sharded_backend_reserve_release_balances_to_zero() {
-    // Note: with 2 shards two overlapping 600s may *both* be rejected
-    // (each drains its home shard and finds the neighbor empty, then
-    // rolls back) — sharding trades spurious rejection under contention
-    // for cache-line spread, and this model proves the rollback is
-    // residue-free either way.
     reserve_release_balances(|| ShardedBackend::new(&[1000.0], &[1.0], 2));
 }
 
@@ -235,6 +260,58 @@ fn pinned_handle_releases_against_its_admitting_generation() {
         assert_eq!(gen1.backend().snapshot(0, 0), 0.0, "release went to gen1");
         let gen2 = ctrl.current_generation();
         assert_eq!(gen2.backend().snapshot(0, 0), 0.0, "gen2 was never touched");
+        assert!(ctrl.drain().is_drained());
+    }));
+}
+
+/// A batched admit racing a reconfigure never strands a reservation:
+/// the whole batch resolves to exactly one generation, every handle
+/// releases against that generation, and once the handles drop both
+/// generations balance to zero and the controller drains.
+#[test]
+fn batch_admit_racing_reconfigure_strands_nothing() {
+    assert_complete(bounds().check(|| {
+        let classes = ClassSet::single(TrafficClass::voip());
+        let ctrl = AdmissionController::new_unmetered(one_link_table(), &classes, &[1e6], &[0.5]);
+        let gen1 = ctrl.current_generation();
+
+        let c = ctrl.clone();
+        let admitter = uba_loom::thread::spawn(move || {
+            let spec = FlowSpec {
+                class: ClassId(0),
+                src: NodeId(0),
+                dst: NodeId(1),
+            };
+            c.try_admit_batch(&[spec, spec])
+        });
+        let c = ctrl.clone();
+        let swapper = uba_loom::thread::spawn(move || c.reconfigure(fresh_generation()));
+
+        let out = admitter.join().unwrap();
+        swapper.join().unwrap();
+        let gen2 = ctrl.current_generation();
+        assert!(out.fast_path, "ample budget: the aggregate always fits");
+        assert_eq!(out.admitted(), 2, "ample budget must admit the batch");
+
+        let handles = out.into_handles();
+        let admitted_on = handles[0].generation();
+        assert!(
+            handles.iter().all(|h| h.generation() == admitted_on),
+            "a batch must land on exactly one generation"
+        );
+        let batch_rate = 2.0 * handles[0].rate();
+        let (on1, on2) = (gen1.backend().snapshot(0, 0), gen2.backend().snapshot(0, 0));
+        if admitted_on == gen1.id() {
+            assert_eq!((on1, on2), (batch_rate, 0.0), "batch must land on gen1 only");
+        } else {
+            assert_eq!(admitted_on, gen2.id(), "unknown admitting generation");
+            assert_eq!((on1, on2), (0.0, batch_rate), "batch must land on gen2 only");
+        }
+
+        drop(handles);
+        assert_eq!(gen1.backend().snapshot(0, 0), 0.0, "reservation stranded on gen1");
+        assert_eq!(gen2.backend().snapshot(0, 0), 0.0, "reservation stranded on gen2");
+        assert_eq!(gen1.pinned() + gen2.pinned(), 0);
         assert!(ctrl.drain().is_drained());
     }));
 }

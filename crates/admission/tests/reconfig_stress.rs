@@ -55,7 +55,10 @@ fn build_generation(alpha: f64, kind: BackendKind) -> ConfigGeneration {
 }
 
 /// Every generation's backend must satisfy `reserved ≤ budget` on every
-/// (server, class) cell.
+/// (server, class) cell — exactly, with no epsilon. The sharded
+/// backend's snapshot sums monotone reserve/release meters in an order
+/// that can only undercount outstanding reservations, so a mid-flight
+/// reading never exceeds the budget the CAS loop enforces.
 fn assert_budget_invariant(generations: &[Arc<ConfigGeneration>]) {
     for g in generations {
         let backend = g.backend();
@@ -64,7 +67,7 @@ fn assert_budget_invariant(generations: &[Arc<ConfigGeneration>]) {
                 let reserved = backend.snapshot(server, class);
                 let budget = backend.budget(server, class);
                 assert!(
-                    reserved <= budget + 1e-6,
+                    reserved <= budget,
                     "generation {}: server {server} class {class} holds {reserved} of {budget}",
                     g.id()
                 );

@@ -4,7 +4,9 @@
 //! utilization test per link, so throughput should scale with cores
 //! instead of collapsing on a global lock. This harness sweeps worker
 //! threads × reservation backend ({`Atomic`, `Sharded(8)`}) over the MCI
-//! backbone and an 8×8 torus, measuring per cell:
+//! backbone, an 8×8 torus, and a deliberately bottlenecked `hotlink`
+//! star (every pair crosses one shared 10 Mb/s link, so the contention
+//! counters cannot stay dark), measuring per cell:
 //!
 //! * admit+release throughput (ops/sec, wall clock),
 //! * sampled decision latency p50/p99 (`admission.admit_ns`, windowed
@@ -15,15 +17,30 @@
 //! * the sharded backend's cross-shard borrow/steal/spurious-reject
 //!   counters.
 //!
+//! A second sweep drives the batched admission fast path: bursts of
+//! `batch ∈ {1, 8, 32}` same-pair arrivals through `try_admit_batch`,
+//! single-threaded on MCI (cells carry `batch ≥ 1`; the per-flow
+//! `try_admit` cells carry `batch = 0`).
+//!
 //! Contract (machine-independent, *relative* gates only — absolute
 //! ops/sec depend on the host):
 //!
 //! * scaling: `ops(T) / ops(1) ≥ max(0.5, 0.45 · min(T, cores))` — on a
 //!   multi-core host threads must actually scale; on a starved host the
-//!   sweep must at least not collapse under oversubscription;
+//!   sweep must at least not collapse under oversubscription (the
+//!   bottlenecked `hotlink` topology is exempt: it serializes on one
+//!   budget cell *by design*);
 //! * backends: at the top thread count the sharded backend stays within
 //!   a floor factor of atomic (and is expected to lead once per-link
 //!   contention dominates on ≥4 cores);
+//! * batching: `ops(batch=32) ≥ 1.5 · ops(batch=1)` per backend — the
+//!   aggregated reserve + amortized pin/trace/metrics must actually pay;
+//! * correctness tripwires: `spurious_rejects == 0` in every sharded
+//!   cell (the two-phase borrow protocol makes them structurally
+//!   impossible), the sharded hotlink cells must record cross-shard
+//!   borrows (the contended workload exercises phase 2), and on hosts
+//!   with ≥4 real cores the contended hotlink cells must observe CAS
+//!   retries;
 //! * telemetry: every cell must observe latency samples and retry
 //!   counts — the observatory cannot be silently dark.
 //!
@@ -38,7 +55,7 @@
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Instant;
-use uba::admission::{AdmissionController, BackendKind, RoutingTable};
+use uba::admission::{AdmissionController, BackendKind, FlowHandle, FlowSpec, RoutingTable};
 use uba::obs::SnapshotValue;
 use uba::prelude::*;
 use uba_bench::PaperSetting;
@@ -52,6 +69,9 @@ struct Cell {
     topology: &'static str,
     backend: &'static str,
     threads: usize,
+    /// Burst size through `try_admit_batch`; `0` means the per-flow
+    /// `try_admit` path.
+    batch: usize,
     ops_per_sec: f64,
     /// Throughput relative to the 1-thread cell of the same
     /// (topology, backend) column.
@@ -128,6 +148,68 @@ fn run_cell(ctrl: &AdmissionController, pairs: &[Pair], threads: usize, iters: u
     (ops / dt.max(1e-9), ops as u64)
 }
 
+/// Star-through-a-bottleneck: `sources` leaf routers feed one hub, and
+/// every (leaf → sink) pair crosses the single hub→sink link. At 10 Mb/s
+/// and α = 0.3 that link budgets ≈93 voip flows — less than the workers'
+/// combined held windows — so admissions genuinely contend for one
+/// budget cell and the CAS-retry / cross-shard-borrow telemetry has to
+/// fire.
+fn hotlink(sources: usize) -> (Digraph, Vec<Pair>) {
+    let hub = NodeId(sources as u32);
+    let sink = NodeId(sources as u32 + 1);
+    let mut g = Digraph::with_nodes(sources + 2);
+    for i in 0..sources {
+        g.add_link(NodeId(i as u32), hub, 1.0);
+    }
+    g.add_link(hub, sink, 1.0);
+    let pairs = (0..sources)
+        .map(|i| Pair {
+            src: NodeId(i as u32),
+            dst: sink,
+        })
+        .collect();
+    (g, pairs)
+}
+
+/// Runs one batched cell: a single worker admitting `iters` flows in
+/// bursts of `batch` same-pair arrivals through `try_admit_batch`, with
+/// the same rotating held window as [`run_cell`]. Returns flow-decisions
+/// per second (comparable with the per-flow cells).
+fn run_batch_cell(ctrl: &AdmissionController, pairs: &[Pair], batch: usize, iters: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut held: VecDeque<FlowHandle> = VecDeque::with_capacity(WINDOW + batch);
+    let mut specs: Vec<FlowSpec> = Vec::with_capacity(batch);
+    let mut admitted = 0u64;
+    let mut burst = 0usize;
+    let mut done = 0usize;
+    while done < iters {
+        let n = batch.min(iters - done);
+        let p = pairs[burst % pairs.len()];
+        burst += 1;
+        specs.clear();
+        specs.resize(
+            n,
+            FlowSpec {
+                class: ClassId(0),
+                src: p.src,
+                dst: p.dst,
+            },
+        );
+        for h in ctrl.try_admit_batch(&specs).flows.into_iter().flatten() {
+            admitted += 1;
+            held.push_back(h);
+        }
+        while held.len() > WINDOW {
+            held.pop_front();
+        }
+        done += n;
+    }
+    drop(held);
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(admitted > 0, "batched workload must admit flows");
+    iters as f64 / dt.max(1e-9)
+}
+
 /// Histogram digest (count, p50, p99, mean) for `name` in a delta
 /// snapshot; zeros when absent or empty.
 fn hist(d: &uba::obs::Snapshot, name: &str) -> (u64, f64, f64, f64) {
@@ -175,6 +257,8 @@ fn main() {
     let torus = uba::topology::torus(8, 8);
     let torus_servers = Servers::uniform(&torus, 100e6, 4);
     let torus_pairs: Vec<Pair> = all_ordered_pairs(&torus).into_iter().step_by(12).collect();
+    let (hot_g, hot_pairs) = hotlink(16);
+    let hot_servers = Servers::uniform(&hot_g, 10e6, 4);
 
     let mut topologies: Vec<(&'static str, &Digraph, &Servers, &[Pair])> = vec![(
         "mci",
@@ -185,6 +269,9 @@ fn main() {
     if !smoke {
         topologies.push(("torus8x8", &torus, &torus_servers, torus_pairs.as_slice()));
     }
+    // The contended star runs in both lanes: its gates are about
+    // telemetry liveness, not throughput, so the smoke lane covers them.
+    topologies.push(("hotlink", &hot_g, &hot_servers, hot_pairs.as_slice()));
     let backends: [(&'static str, BackendKind); 2] =
         [("atomic", BackendKind::Atomic), ("sharded8", BackendKind::Sharded(8))];
 
@@ -225,6 +312,7 @@ fn main() {
                     topology: topo_name,
                     backend: backend_name,
                     threads,
+                    batch: 0,
                     ops_per_sec,
                     scaling: ops_per_sec / base_ops,
                     p50_admit_ns: p50,
@@ -260,8 +348,76 @@ fn main() {
         }
     }
 
+    // ---- Batched admission sweep (single-threaded bursts on MCI). ----
+    let batch_sizes: [usize; 3] = [1, 8, 32];
+    for (backend_name, kind) in backends {
+        let ctrl = controller(
+            &setting.g,
+            &setting.servers,
+            &setting.voip,
+            &setting.pairs,
+            0.3,
+            kind,
+        );
+        run_batch_cell(&ctrl, &setting.pairs, 1, iters / 10);
+        let mut base_ops = 0.0f64;
+        for &batch in &batch_sizes {
+            ctrl.refresh_gauges();
+            let before = registry.snapshot();
+            let ops_per_sec = run_batch_cell(&ctrl, &setting.pairs, batch, iters);
+            ctrl.refresh_gauges();
+            let d = registry.snapshot().delta_since(&before);
+            let (lat_n, p50, p99, _) = hist(&d, "admission.admit_ns");
+            let retry_name = match kind {
+                BackendKind::Atomic => "admission.retries_per_op.atomic",
+                BackendKind::Sharded(_) => "admission.retries_per_op.sharded",
+            };
+            let (retry_n, _, _, retries_per_op) = hist(&d, retry_name);
+            if batch == batch_sizes[0] {
+                base_ops = ops_per_sec;
+            }
+            let cell = Cell {
+                topology: "mci",
+                backend: backend_name,
+                threads: 1,
+                batch,
+                ops_per_sec,
+                scaling: ops_per_sec / base_ops,
+                p50_admit_ns: p50,
+                p99_admit_ns: p99,
+                latency_samples: lat_n,
+                retries_per_op,
+                borrows: gauge(&registry.snapshot(), "admission.sharded.borrows"),
+                steals: gauge(&registry.snapshot(), "admission.sharded.steals"),
+                spurious_rejects: gauge(
+                    &registry.snapshot(),
+                    "admission.sharded.spurious_rejects",
+                ),
+            };
+            println!(
+                "{:>8} {:>8} B={}: {:>10.0} flows/s (x{:.2} vs B=1), admit p50 {:>6.0} ns \
+                 ({} samples)",
+                cell.topology,
+                cell.backend,
+                cell.batch,
+                cell.ops_per_sec,
+                cell.scaling,
+                cell.p50_admit_ns,
+                cell.latency_samples,
+            );
+            assert!(lat_n > 0, "latency sampling must fire in every batch cell");
+            assert!(retry_n > 0, "retry telemetry must cover every batch");
+            cells.push(cell);
+        }
+    }
+
     // ---- Relative gates. ----
     for cell in &cells {
+        // The hotlink star serializes on one budget cell by design, and
+        // batch cells are single-threaded: neither is a scaling claim.
+        if cell.topology == "hotlink" || cell.batch > 0 {
+            continue;
+        }
         let floor = scale_floor(cell.threads);
         assert!(
             cell.scaling >= floor,
@@ -274,10 +430,16 @@ fn main() {
     }
     let top = *thread_counts.last().unwrap();
     for (topo_name, ..) in &topologies {
+        if *topo_name == "hotlink" {
+            continue;
+        }
         let ops_of = |backend: &str| {
             cells
                 .iter()
-                .find(|c| c.topology == *topo_name && c.backend == backend && c.threads == top)
+                .find(|c| {
+                    c.topology == *topo_name && c.backend == backend && c.threads == top
+                        && c.batch == 0
+                })
                 .map(|c| c.ops_per_sec)
                 .unwrap()
         };
@@ -288,10 +450,63 @@ fn main() {
              {atomic:.0} ops/s at {top} threads"
         );
     }
+
+    // Batching must amortize: one pinned generation, one aggregated
+    // reserve per touched link, one tracepoint per burst.
+    const BATCH_FLOOR: f64 = 1.5;
+    for (backend_name, _) in backends {
+        let ops_at = |batch: usize| {
+            cells
+                .iter()
+                .find(|c| c.backend == backend_name && c.batch == batch)
+                .map(|c| c.ops_per_sec)
+                .unwrap()
+        };
+        let (b1, b32) = (ops_at(1), ops_at(32));
+        assert!(
+            b32 >= BATCH_FLOOR * b1,
+            "{backend_name}: batch=32 {b32:.0} flows/s below {BATCH_FLOOR} x batch=1 {b1:.0}"
+        );
+    }
+
+    // Two-phase tripwires: spurious rejects are structurally impossible,
+    // and the contended star must actually exercise cross-shard borrows.
+    for c in cells.iter().filter(|c| c.backend == "sharded8") {
+        assert!(
+            c.spurious_rejects == 0.0,
+            "{}/{} T={} B={}: {} spurious rejects (two-phase borrow must eliminate them)",
+            c.topology,
+            c.backend,
+            c.threads,
+            c.batch,
+            c.spurious_rejects
+        );
+    }
+    assert!(
+        cells
+            .iter()
+            .any(|c| c.topology == "hotlink" && c.backend == "sharded8" && c.borrows > 0.0),
+        "hotlink never exercised cross-shard borrowing"
+    );
+    // CAS retries need true parallelism: on a single core a
+    // compare-exchange only fails if preemption lands inside the
+    // ~10 ns load→CAS window, which a short run may never observe.
+    if !smoke && cores >= 4 {
+        let contended_retries: f64 = cells
+            .iter()
+            .filter(|c| c.topology == "hotlink" && c.threads >= 4)
+            .map(|c| c.retries_per_op)
+            .sum();
+        assert!(
+            contended_retries > 0.0,
+            "hotlink at >=4 threads on {cores} cores must observe CAS retries"
+        );
+    }
     println!();
     println!(
-        "scaling gate: every cell >= its adaptive floor ({} core(s)); sharded >= {backend_floor}x \
-         atomic at {top} threads  ✓",
+        "scaling gate: every non-hotlink cell >= its adaptive floor ({} core(s)); sharded >= \
+         {backend_floor}x atomic at {top} threads; batch=32 >= {BATCH_FLOOR}x batch=1; \
+         spurious_rejects == 0 in every sharded cell  ✓",
         cores
     );
 
@@ -305,13 +520,14 @@ fn main() {
     for (i, c) in cells.iter().enumerate() {
         let _ = writeln!(
             body,
-            "    {{\"topology\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \
+            "    {{\"topology\": \"{}\", \"backend\": \"{}\", \"threads\": {}, \"batch\": {}, \
              \"ops_per_sec\": {:.0}, \"scaling\": {:.3}, \"p50_admit_ns\": {:.0}, \
              \"p99_admit_ns\": {:.0}, \"latency_samples\": {}, \"retries_per_op\": {:.5}, \
              \"borrows\": {:.0}, \"steals\": {:.0}, \"spurious_rejects\": {:.0}}}{}",
             c.topology,
             c.backend,
             c.threads,
+            c.batch,
             c.ops_per_sec,
             c.scaling,
             c.p50_admit_ns,
@@ -332,10 +548,11 @@ fn main() {
             "  \"threads\": {:?},\n",
             "  \"iters_per_thread\": {},\n",
             "  \"backend_floor\": {},\n",
+            "  \"batch_floor\": {},\n",
             "  \"cells\": [\n{}  ]\n",
             "}}\n"
         ),
-        cores, thread_counts, iters, backend_floor, body,
+        cores, thread_counts, iters, backend_floor, BATCH_FLOOR, body,
     );
     uba::obs::json::parse(&json).expect("trajectory JSON must parse");
     std::fs::write("BENCH_admission.json", &json).expect("write BENCH_admission.json");

@@ -32,12 +32,17 @@ use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use uba::admission::{run_churn, ChurnConfig};
+use uba::admission::{run_churn_bursts, ChurnConfig};
 use uba::prelude::*;
 
 /// Churn arrivals per background-loop batch (small, so the loop stays
 /// responsive to shutdown and the gauges refresh often).
 const BATCH_ARRIVALS: usize = 500;
+
+/// Arrivals per burst in the background churn: bursts go through the
+/// controller's batched fast path, so `/metrics` exports live
+/// `admission.batches` data alongside the per-flow counters.
+const CHURN_BURST: usize = 8;
 
 /// Runs the exposition server on an already-bound listener.
 ///
@@ -71,7 +76,7 @@ pub fn serve(
             let mut policy = ctrl.clone();
             let mut seed = 42u64;
             while !stop.load(Ordering::Relaxed) {
-                run_churn(
+                run_churn_bursts(
                     &mut policy,
                     &pairs,
                     ClassId(0),
@@ -80,6 +85,7 @@ pub fn serve(
                         mean_active: 64.0,
                         seed,
                     },
+                    CHURN_BURST,
                 );
                 seed = seed.wrapping_add(1);
                 ctrl.refresh_gauges();

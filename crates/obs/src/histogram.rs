@@ -37,6 +37,9 @@ const SUM_SCALE: f64 = 1e6;
 #[derive(Debug)]
 pub struct Histogram {
     base: f64,
+    // padding: bucket writes are sparse (threads batch locally and flush
+    // every FLUSH_EVERY ops), so contention on any one line is rare;
+    // padding each slot would blow a histogram up to ~64 KiB.
     buckets: [AtomicU64; BUCKETS],
     /// Running sum in micro-units (`value · 1e6`, rounded).
     sum_micro: AtomicU64,

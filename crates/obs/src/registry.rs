@@ -619,13 +619,16 @@ mod tests {
         for _ in 0..100 {
             h.record(1000.0);
         }
-        let early = r.snapshot();
+        let mut early = r.snapshot();
+        // Pin both stamps so the rate is deterministic ((x + 1.0) − x
+        // is not exactly 1.0 for arbitrary clock readings x).
+        early.at = 0.0;
         // Inside the window: a fast regime.
         for _ in 0..100 {
             h.record(2.0);
         }
         let mut late = r.snapshot();
-        late.at = early.at + 1.0;
+        late.at = 1.0;
         let d = late.delta_since(&early);
         match d.get("lat").unwrap() {
             SnapshotValue::Histogram {

@@ -28,3 +28,38 @@ pub(crate) use uba_loom::sync::{Mutex, OnceLock};
 pub(crate) mod atomic {
     pub use uba_loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 }
+
+/// Pads (and aligns) `T` to two cache lines (128 bytes: Intel's spatial
+/// prefetcher pulls line pairs, aarch64 big cores have 128-byte lines).
+/// Applied to the per-thread trace/metric staging buffers so a buffer
+/// that happens to be allocated next to another thread's TLS block
+/// never false-shares its hot tail counters (DESIGN.md §11 audit).
+#[cfg(not(loom))]
+#[repr(align(128))]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T>(pub T);
+
+/// Transparent under the model checker — there is no cache to pad for,
+/// and alignment would only bloat the model state.
+#[cfg(loom)]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T>(pub T);
+
+impl<T> CachePadded<T> {
+    pub(crate) const fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}

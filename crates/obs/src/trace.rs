@@ -21,7 +21,7 @@
 //! `trace_overhead` binary checks the enabled cost too).
 
 use crate::sync::atomic::{AtomicBool, Ordering};
-use crate::sync::{Mutex, OnceLock};
+use crate::sync::{CachePadded, Mutex, OnceLock};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -78,13 +78,19 @@ pub enum EventKind {
     /// Admission: a retired configuration generation fully drained
     /// (`flow` = generation id).
     GenerationRetired,
+    /// Admission: a batched slice of flows was decided in one aggregated
+    /// reservation (`flow` = first flow id of the slice, `a` = flows
+    /// admitted, `b` = flows rejected for lack of a route). Per-flow
+    /// admit tracepoints are coalesced into this one event on the batch
+    /// fast path; releases still trace per flow.
+    AdmitBatch,
 }
 
 impl EventKind {
     /// Every kind, in declaration order. Lets tooling (the metrics
     /// manifest test, exporters) enumerate the tracepoint namespace
     /// without a hand-maintained list.
-    pub const ALL: [EventKind; 13] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Admit,
         EventKind::RejectLinkFull,
         EventKind::RejectNoRoute,
@@ -98,6 +104,7 @@ impl EventKind {
         EventKind::QueueHighWater,
         EventKind::ReconfigApplied,
         EventKind::GenerationRetired,
+        EventKind::AdmitBatch,
     ];
 
     /// Stable lower-snake name used in the JSON exposition.
@@ -116,6 +123,7 @@ impl EventKind {
             EventKind::QueueHighWater => "queue_high_water",
             EventKind::ReconfigApplied => "reconfig_applied",
             EventKind::GenerationRetired => "generation_retired",
+            EventKind::AdmitBatch => "admit_batch",
         }
     }
 }
@@ -407,11 +415,15 @@ impl Drop for LocalBuf {
 
 thread_local! {
     // `const` init keeps the TLS access on the emit path branch-light.
-    static LOCAL: LocalBuf = const {
-        LocalBuf {
+    // CachePadded: TLS blocks of different threads can be allocated
+    // adjacently; padding the staging buffer keeps one thread's hot
+    // Vec len/ptr from false-sharing a line with a neighbor thread's
+    // (DESIGN.md §11 padding audit).
+    static LOCAL: CachePadded<LocalBuf> = const {
+        CachePadded::new(LocalBuf {
             buf: std::cell::RefCell::new(Vec::new()),
             batch_t: std::cell::Cell::new(0),
-        }
+        })
     };
 }
 

@@ -35,6 +35,14 @@
 //!    `scripts/verify.sh`, so a perf gate cannot be added and then
 //!    silently left out of the verification lane. Paper-regeneration
 //!    binaries without a smoke mode are exempt.
+//! 8. **shared-array-padding** — a raw `AtomicU64` array indexed
+//!    per-shard or per-thread (`Vec<AtomicU64>`, `Box<[AtomicU64]>`,
+//!    `[AtomicU64; N]`) invites false sharing: neighbouring slots land
+//!    on one cache line and every CAS bounces it between cores. Such
+//!    fields must either wrap their slots in the `CachePadded` shim or
+//!    carry a `// padding:` waiver comment nearby explaining why
+//!    sharing is acceptable (e.g. sparse writes, or cells that are
+//!    all-thread-shared by design).
 //!
 //! The linter is line-based on purpose: it runs in milliseconds with no
 //! dependencies, and every rule is about *local* textual discipline
@@ -552,6 +560,31 @@ fn lint_file(
             }
         }
 
+        // Rule 8: raw shared atomic arrays must be padded or waived.
+        // (A `CachePadded`-wrapped slot type never matches the raw
+        // patterns, so only genuinely unpadded arrays are flagged.)
+        if !is_checker_infra(rel) {
+            for pat in ["Vec<AtomicU64>", "Box<[AtomicU64]>", "[AtomicU64;"] {
+                if line.code.contains(pat) {
+                    let lo = idx.saturating_sub(JUSTIFICATION_WINDOW);
+                    let waived = lines[lo..=idx]
+                        .iter()
+                        .any(|l| l.comment.contains("padding:"));
+                    if !waived {
+                        vio(
+                            violations,
+                            idx,
+                            "shared-array-padding",
+                            format!(
+                                "`{pat}` without `CachePadded` slots or a `// padding:` waiver \
+                                 within {JUSTIFICATION_WINDOW} lines"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
         // Rule 4a: registered metric names must be manifested.
         for reg in [".counter(", ".gauge(", ".histogram("] {
             let mut from = 0;
@@ -818,6 +851,34 @@ mod tests {
         );
         // Non-bench files never match.
         assert!(check_bench_wiring("crates/cli/src/main.rs", smoke_src, verify).is_none());
+    }
+
+    #[test]
+    fn unpadded_atomic_array_fails_and_waiver_passes() {
+        for pat in [
+            "reserved: Vec<AtomicU64>,",
+            "slots: Box<[AtomicU64]>,",
+            "buckets: [AtomicU64; 64],",
+        ] {
+            let bad = format!("struct S {{\n    {pat}\n}}");
+            let v = lint_source("crates/admission/src/lib.rs", &bad, &manifest());
+            assert_eq!(v.len(), 1, "{pat}: {v:?}");
+            assert!(v[0].contains("shared-array-padding"), "{v:?}");
+
+            let waived = format!(
+                "struct S {{\n    // padding: sparse writes, sharing acceptable\n    {pat}\n}}"
+            );
+            assert!(
+                lint_source("crates/admission/src/lib.rs", &waived, &manifest()).is_empty(),
+                "waiver must silence {pat}"
+            );
+        }
+        // CachePadded slots never match the raw patterns.
+        let padded = "struct S {\n    slots: Vec<CachePadded<Shard>>,\n}";
+        assert!(lint_source("crates/admission/src/lib.rs", padded, &manifest()).is_empty());
+        // Unit-test code is exempt like every code rule.
+        let in_tests = "#[cfg(test)]\nmod tests { struct S { a: Vec<AtomicU64> } }";
+        assert!(lint_source("crates/admission/src/state.rs", in_tests, &manifest()).is_empty());
     }
 
     #[test]

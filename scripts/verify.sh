@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --offline --release (hermetic build)"
 cargo build --offline --release --workspace
 
-echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks)"
+echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding)"
 cargo run --offline -q -p xtask -- check
 
 echo "==> cargo clippy --workspace -- -D warnings (lint gate)"
