@@ -9,7 +9,7 @@
 
 use uba_obs::{SplitMix64, Stopwatch};
 use uba_graph::NodeId;
-use uba_traffic::ClassId;
+use uba_traffic::{BurstModel, ClassId};
 
 /// An admission policy under test.
 pub trait Policy {
@@ -265,6 +265,75 @@ pub fn run_churn_bursts<P: Policy>(
     stats
 }
 
+/// Like [`run_churn_bursts`], but each tick's burst size is drawn from
+/// a [`BurstModel`] — mostly single requests with occasional large
+/// slugs — instead of being constant. At the same mean offered rate
+/// this produces the high inter-arrival-CV workload the admission
+/// path's arrival telemetry ([`crate::arrival`]) is designed to flag;
+/// the serve loop's background churn uses it so burst gauges and
+/// overuse transitions are visible out of the box. Deterministic for a
+/// fixed seed, as always.
+pub fn run_churn_bursty<P: Policy>(
+    policy: &mut P,
+    pairs: &[(NodeId, NodeId)],
+    class: ClassId,
+    cfg: &ChurnConfig,
+    model: &BurstModel,
+) -> ChurnStats {
+    assert!(!pairs.is_empty(), "need candidate pairs");
+    assert!(cfg.mean_active > 0.0, "mean_active must be positive");
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut departures: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    let mut held: Vec<Option<P::Handle>> = Vec::new();
+    let mut stats = ChurnStats::default();
+    let mut active = 0usize;
+    let mut reqs: Vec<(NodeId, NodeId)> = Vec::new();
+
+    let mut tick = 0u64;
+    while stats.offered < cfg.arrivals {
+        while let Some(&std::cmp::Reverse((due, slot))) = departures.peek() {
+            if due > tick {
+                break;
+            }
+            departures.pop();
+            if let Some(h) = held[slot].take() {
+                policy.release(h);
+                active -= 1;
+            }
+        }
+        let drawn = model.sample(rng.range_f64(0.0, 1.0)) as usize;
+        let n = drawn.min(cfg.arrivals - stats.offered).max(1);
+        let (src, dst) = pairs[rng.index(pairs.len())];
+        reqs.clear();
+        reqs.resize(n, (src, dst));
+        stats.offered += n;
+        let t0 = Stopwatch::start();
+        let admitted = policy.admit_burst(class, &reqs);
+        stats.admit_ns += t0.elapsed_ns() as u128;
+        for h in admitted.into_iter().flatten() {
+            stats.accepted += 1;
+            active += 1;
+            stats.peak_active = stats.peak_active.max(active);
+            let u: f64 = rng.range_f64(1e-12, 1.0);
+            let hold = (-cfg.mean_active * u.ln()).ceil() as u64;
+            let slot = held.len();
+            held.push(Some(h));
+            departures.push(std::cmp::Reverse((tick + hold.max(1), slot)));
+        }
+        tick += 1;
+    }
+    for h in held.into_iter().flatten() {
+        policy.release(h);
+    }
+    stats.mean_admit_ns = if stats.offered > 0 {
+        stats.admit_ns as f64 / stats.offered as f64
+    } else {
+        0.0
+    };
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +432,26 @@ mod tests {
         assert!(stats.blocking() > 0.0);
         assert!(stats.peak_active <= 6, "peak {}", stats.peak_active);
         assert_eq!(ctrl.reserved(2, ClassId(0)), 0.0);
+    }
+
+    #[test]
+    fn bursty_model_churn_is_deterministic_and_offers_exactly_n() {
+        let cfg = ChurnConfig {
+            arrivals: 600,
+            mean_active: 20.0,
+            seed: 9,
+        };
+        let model = BurstModel::with_mean_cv(8.0, 2.5);
+        let (mut c1, pairs) = controller(0.1);
+        let (mut c2, _) = controller(0.1);
+        let s1 = run_churn_bursty(&mut c1, &pairs, ClassId(0), &cfg, &model);
+        let s2 = run_churn_bursty(&mut c2, &pairs, ClassId(0), &cfg, &model);
+        assert_eq!(s1.offered, 600);
+        assert_eq!(s1.accepted, s2.accepted);
+        assert_eq!(s1.peak_active, s2.peak_active);
+        assert!(s1.accepted > 0);
+        assert!(s1.peak_active <= 6, "peak {}", s1.peak_active);
+        assert_eq!(c1.reserved(2, ClassId(0)), 0.0);
     }
 
     #[test]

@@ -368,6 +368,7 @@ impl AdmissionController {
             Ok(cas_retries) => {
                 if let Some(m) = &inner.metrics {
                     m.record_admit(route.len());
+                    m.record_arrival(class.index());
                     if cas_retries > 0 {
                         m.cas_retries.add(cas_retries as u64);
                     }
@@ -396,6 +397,9 @@ impl AdmissionController {
                 if let Some(m) = &inner.metrics {
                     m.rejects_link_full.inc();
                     m.rejects_link_full_class[class.index()].inc();
+                    // Offered load includes link-full rejects: the burst
+                    // estimators must see demand the budget turned away.
+                    m.record_arrival(class.index());
                     if reject.retries > 0 {
                         m.cas_retries.add(reject.retries as u64);
                     }
@@ -557,6 +561,7 @@ impl AdmissionController {
                     for &j in &uniq_of {
                         if let Some(route) = uniq[j].1 {
                             m.record_admit(route.len());
+                            m.record_arrival(uniq[j].0.class.index());
                         }
                     }
                     if no_route > 0 {

@@ -32,7 +32,13 @@
 //!   every admission: the O(flows) cost the paper's design eliminates
 //!   (experiment S-AC).
 //! * [`churn`] — a deterministic flow-churn workload driver for
-//!   benchmarking both policies under identical request sequences.
+//!   benchmarking both policies under identical request sequences,
+//!   including a bursty (high-CV) mode built on
+//!   [`uba_traffic::BurstModel`].
+//! * [`arrival`] — observe-only burst/overuse telemetry: per-class EWMA
+//!   arrival-rate and inter-arrival-CV estimators plus a GCC-style
+//!   overuse detector, fed from the buffered metrics path and published
+//!   as `admission.arrival.*` / `admission.overuse_state` gauges.
 //! * [`metrics`] — admission-path instrumentation (counters for
 //!   admits/rejects/CAS retries, a path-length histogram, per-class
 //!   utilization gauges) recorded into the [`uba_obs`] registry.
@@ -44,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod backend;
 pub mod baseline;
 pub mod churn;
@@ -55,9 +62,12 @@ pub mod state;
 pub(crate) mod sync;
 pub mod table;
 
+pub use arrival::{ArrivalEstimator, ArrivalMonitor, OveruseDetector, OveruseState, RateAction};
 pub use backend::{AdmissionBackend, AtomicBackend, CellDemand, PathReject, ShardedBackend};
 pub use baseline::PerFlowAdmission;
-pub use churn::{run_churn, run_churn_bursts, run_churn_with, ChurnConfig, ChurnStats, Policy};
+pub use churn::{
+    run_churn, run_churn_bursts, run_churn_bursty, run_churn_with, ChurnConfig, ChurnStats, Policy,
+};
 pub use controller::{
     AdmissionController, BatchOutcome, DrainStatus, FlowHandle, FlowSpec, Reject, ReconfigReport,
 };

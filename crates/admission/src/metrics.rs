@@ -17,10 +17,11 @@
 //! [`crate::AdmissionController::refresh_gauges`] so the hot path never
 //! pays for them.
 
+use crate::arrival::ArrivalMonitor;
 use crate::generation::BackendKind;
 use crate::sync::CachePadded;
 use std::cell::{Cell, RefCell};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use uba_obs::{Counter, Gauge, Histogram, Registry, Stopwatch};
 
 /// Hot-path events buffered per thread before one atomic publish.
@@ -50,6 +51,77 @@ const RETRY_SLOTS: usize = 16;
 /// histogram record.
 const LAT_SLOTS: usize = 32;
 
+/// Per-class arrival-count slots in the thread-local buffer; classes
+/// beyond the last slot fold into it (mirrored by
+/// [`ArrivalMonitor::observe`]).
+const ARRIVAL_SLOTS: usize = 8;
+
+/// Shared endpoint of the buffered arrival counts: the per-class
+/// estimators/detectors ([`crate::arrival`]) plus the gauges they
+/// publish. Fed once per thread-buffer flush — one clock read and one
+/// uncontended mutex acquisition per [`FLUSH_EVERY`] hot-path events,
+/// which is what keeps the observe-only telemetry inside the `<5%`
+/// overhead budget (`slo_overhead` in `uba-bench` checks this).
+#[derive(Debug)]
+pub struct ArrivalSink {
+    monitor: Mutex<ArrivalMonitor>,
+    class_rate: Vec<Arc<Gauge>>,
+    class_cv: Vec<Arc<Gauge>>,
+    overuse_state: Arc<Gauge>,
+}
+
+impl ArrivalSink {
+    fn new(registry: &Registry, classes: usize) -> Self {
+        let classes = classes.max(1);
+        Self {
+            monitor: Mutex::new(ArrivalMonitor::new(classes)),
+            class_rate: (0..classes)
+                .map(|i| registry.gauge(&format!("admission.arrival.class{i}.rate")))
+                .collect(),
+            class_cv: (0..classes)
+                .map(|i| registry.gauge(&format!("admission.arrival.class{i}.cv")))
+                .collect(),
+            overuse_state: registry.gauge("admission.overuse_state"),
+        }
+    }
+
+    /// Feeds one batch of per-class arrival counts observed "now" (on
+    /// the snapshot clock) and republishes the gauges. All-zero counts
+    /// are meaningful: they are the idle heartbeat that decays the rate
+    /// estimates.
+    fn observe(&self, counts: &[u64]) {
+        let t = uba_obs::process_secs();
+        let mut mon = self.monitor.lock().unwrap_or_else(|p| p.into_inner());
+        mon.observe(t, counts);
+        for (i, g) in self.class_rate.iter().enumerate() {
+            g.set(mon.rate(i));
+        }
+        for (i, g) in self.class_cv.iter().enumerate() {
+            g.set(mon.cv(i));
+        }
+        self.overuse_state.set(mon.worst_state().as_gauge());
+    }
+
+    /// Smoothed arrival rate of `class` (offered admissions/sec).
+    pub fn rate(&self, class: usize) -> f64 {
+        let mon = self.monitor.lock().unwrap_or_else(|p| p.into_inner());
+        mon.rate(class)
+    }
+
+    /// Inter-arrival CV estimate of `class`.
+    pub fn cv(&self, class: usize) -> f64 {
+        let mon = self.monitor.lock().unwrap_or_else(|p| p.into_inner());
+        mon.cv(class)
+    }
+
+    /// Worst detector state across classes (the value behind the
+    /// `admission.overuse_state` gauge).
+    pub fn worst_state(&self) -> crate::arrival::OveruseState {
+        let mon = self.monitor.lock().unwrap_or_else(|p| p.into_inner());
+        mon.worst_state()
+    }
+}
+
 /// Flush targets of the thread-local buffer (kept alive by the `Arc`s,
 /// so the owner pointer below can never dangle).
 struct HotHandles {
@@ -59,6 +131,7 @@ struct HotHandles {
     admit_ns: Arc<Histogram>,
     retries_atomic: Arc<Histogram>,
     retries_sharded: Arc<Histogram>,
+    arrival: Arc<ArrivalSink>,
 }
 
 /// Per-thread buffered deltas for the admission hot path.
@@ -69,6 +142,9 @@ struct Pending {
     admits: Cell<u64>,
     releases: Cell<u64>,
     hops: [Cell<u32>; HOP_SLOTS],
+    /// Per-class offered-arrival counts (admits + link-full rejects)
+    /// awaiting one [`ArrivalSink::observe`] call at flush.
+    arrivals: [Cell<u32>; ARRIVAL_SLOTS],
     /// Per-decision CAS retry counts, one slot per retry count, split by
     /// backend kind (a thread can drive both kinds via different
     /// generations).
@@ -91,6 +167,7 @@ impl Pending {
             admits: Cell::new(0),
             releases: Cell::new(0),
             hops: [const { Cell::new(0) }; HOP_SLOTS],
+            arrivals: [const { Cell::new(0) }; ARRIVAL_SLOTS],
             retries_atomic: [const { Cell::new(0) }; RETRY_SLOTS],
             retries_sharded: [const { Cell::new(0) }; RETRY_SLOTS],
             lat: [const { Cell::new(0.0) }; LAT_SLOTS],
@@ -136,6 +213,13 @@ impl Pending {
         for cell in &self.lat[..lat_len] {
             h.admit_ns.record(cell.get());
         }
+        let mut counts = [0u64; ARRIVAL_SLOTS];
+        for (slot, c) in counts.iter_mut().zip(&self.arrivals) {
+            *slot = u64::from(c.replace(0));
+        }
+        // Unconditional: an all-zero batch is the idle heartbeat that
+        // lets the rate estimators decay between bursts.
+        h.arrival.observe(&counts);
     }
 
     /// Re-points the buffer at `m`, flushing the previous owner's deltas.
@@ -150,6 +234,7 @@ impl Pending {
             admit_ns: Arc::clone(&m.admit_ns),
             retries_atomic: Arc::clone(&m.retries_atomic),
             retries_sharded: Arc::clone(&m.retries_sharded),
+            arrival: Arc::clone(&m.arrival),
         });
     }
 
@@ -207,6 +292,9 @@ thread_local! {
 /// | `admission.sharded.spurious_rejects` | gauge | contention-induced rejects (structurally 0 under the two-phase protocol; a tripwire) |
 /// | `admission.batches` | counter | batched admission decisions ([`try_admit_batch`](crate::AdmissionController::try_admit_batch)) |
 /// | `admission.batch_fallbacks` | counter | batches whose aggregate did not fit (re-tried flow-by-flow) |
+/// | `admission.arrival.class<i>.rate` | gauge | EWMA offered-arrival rate of class i (admits + link-full rejects)/s |
+/// | `admission.arrival.class<i>.cv` | gauge | inter-arrival CV estimate of class i (burstiness) |
+/// | `admission.overuse_state` | gauge | GCC-style overuse detector, worst class: 1 overuse / 0 normal / −1 underuse |
 #[derive(Clone, Debug)]
 pub struct AdmissionMetrics {
     /// Flows admitted.
@@ -261,6 +349,10 @@ pub struct AdmissionMetrics {
     /// Batches whose aggregate demand did not fit and were re-tried
     /// flow-by-flow.
     pub batch_fallbacks: Arc<Counter>,
+    /// Burst/overuse telemetry endpoint: per-class arrival estimators
+    /// and the overuse detector, fed from the thread buffers at flush
+    /// and published as `admission.arrival.*` / `admission.overuse_state`.
+    pub arrival: Arc<ArrivalSink>,
 }
 
 impl AdmissionMetrics {
@@ -295,6 +387,7 @@ impl AdmissionMetrics {
             sharded_spurious_rejects: registry.gauge("admission.sharded.spurious_rejects"),
             batches: registry.counter("admission.batches"),
             batch_fallbacks: registry.counter("admission.batch_fallbacks"),
+            arrival: Arc::new(ArrivalSink::new(registry, classes)),
         }
     }
 
@@ -327,6 +420,23 @@ impl AdmissionMetrics {
                 p.adopt(self);
             }
             p.releases.set(p.releases.get() + 1);
+            p.bump();
+        });
+    }
+
+    /// Records one offered arrival for `class` (an admission attempt
+    /// that reached the reservation walk: admitted or link-full
+    /// rejected) into this thread's buffer. Classes beyond the buffer's
+    /// slot count fold into the last slot. The aggregated counts feed
+    /// the arrival estimators and overuse detector once per flush.
+    #[inline]
+    pub fn record_arrival(&self, class: usize) {
+        PENDING.with(|p| {
+            if p.owner.get() != Arc::as_ptr(&self.admits) {
+                p.adopt(self);
+            }
+            let slot = class.min(ARRIVAL_SLOTS - 1);
+            p.arrivals[slot].set(p.arrivals[slot].get() + 1);
             p.bump();
         });
     }
@@ -521,6 +631,31 @@ mod tests {
         // Zero-retry decisions are part of the population, so the mean
         // is retries-per-operation.
         assert_eq!(m.retries_sharded.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn record_arrival_feeds_estimators_and_gauges_at_flush() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 2);
+        m.flush();
+        assert_eq!(m.arrival.rate(0), 0.0);
+        // Spread arrivals across several flushes with real wall-clock
+        // gaps so the time-weighted estimator sees distinct instants.
+        for _ in 0..4 {
+            for _ in 0..50 {
+                m.record_arrival(0);
+            }
+            m.record_arrival(5); // folds into the last slot → class 1
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            m.flush();
+        }
+        assert!(m.arrival.rate(0) > 0.0, "rate {}", m.arrival.rate(0));
+        let snap = r.snapshot();
+        assert!(snap.get("admission.arrival.class0.rate").is_some());
+        assert!(snap.get("admission.arrival.class1.cv").is_some());
+        assert!(snap.get("admission.overuse_state").is_some());
+        // Out-of-range classes fold rather than vanish.
+        assert!(m.arrival.rate(1) > 0.0, "folded rate {}", m.arrival.rate(1));
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Experiment SLO — admit-path overhead of live SLO evaluation.
+//!
+//! `uba-cli serve` runs an [`SloEngine`] against full registry
+//! snapshots on a polling thread while the admission fast path (which
+//! now also feeds the per-class arrival estimators and the overuse
+//! detector at every flush) keeps admitting. The engine is only
+//! acceptable if a polling evaluator — snapshotting and evaluating
+//! every 2 ms, several times faster than serve's per-churn-batch
+//! cadence — leaves the admit path unmoved, *including on a single
+//! core*, where every microsecond the evaluator spends is stolen from
+//! the admit path directly. (A zero-sleep evaluator is deliberately not
+//! the subject: full-registry snapshots in a spin loop measure
+//! timeslicing and cacheline ping-pong, a load no polling consumer
+//! generates.)
+//!
+//! Protocol: the same interleaved admit+release batches as
+//! `obs_overhead`, on one metered controller; odd batches run quiet,
+//! even batches run with the hostile evaluator thread alive. Reports
+//! the median per-batch overhead.
+//!
+//! Contract: median overhead below 5%.
+//!
+//! Run with: `cargo run -p uba-bench --release --bin slo_overhead`
+//! (`slo_overhead smoke` runs a shorter loop with a looser bound — the
+//! `scripts/verify.sh` configuration.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use uba::admission::AdmissionController;
+use uba::obs::{standard_rules, SloConfig, SloEngine};
+use uba::prelude::*;
+use uba_bench::PaperSetting;
+
+/// One measured batch: round-robin admit+release over the pair set
+/// (identical to the `obs_overhead` workload).
+fn batch(ctrl: &AdmissionController, pairs: &[Pair], iters: usize) -> f64 {
+    let t0 = Instant::now();
+    let mut admitted = 0usize;
+    for i in 0..iters {
+        let p = pairs[i % pairs.len()];
+        if let Ok(handle) = ctrl.try_admit(ClassId(0), p.src, p.dst) {
+            admitted += 1;
+            drop(handle);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(admitted > 0, "workload must exercise the admit path");
+    std::hint::black_box(admitted);
+    dt
+}
+
+/// Runs `batch` while an evaluator thread snapshots the global registry
+/// and closes an SLO window every 2 ms. The batch only starts once
+/// the evaluator has anchored and closed its first window, so every
+/// measured admit overlaps live evaluation.
+fn batch_under_evaluation(ctrl: &AdmissionController, pairs: &[Pair], iters: usize) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+    let evaluator = {
+        let stop = Arc::clone(&stop);
+        let started = Arc::clone(&started);
+        std::thread::spawn(move || {
+            let mut engine =
+                SloEngine::new(uba::obs::global(), standard_rules(&SloConfig::default()));
+            engine.evaluate(uba::obs::global().snapshot()); // anchor
+            let mut windows = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                engine.evaluate(uba::obs::global().snapshot());
+                windows += 1;
+                started.store(true, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            windows
+        })
+    };
+    while !started.load(Ordering::Relaxed) {
+        std::thread::yield_now();
+    }
+    let dt = batch(ctrl, pairs, iters);
+    stop.store(true, Ordering::Relaxed);
+    let windows = evaluator.join().expect("evaluator thread");
+    assert!(windows > 0, "the evaluator must close at least one window");
+    dt
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("smoke");
+    let (rounds, iters, bound_pct) = if smoke {
+        (7, 20_000, 50.0)
+    } else {
+        (15, 200_000, 5.0)
+    };
+
+    let setting = PaperSetting::new();
+    let (metered, _) = setting.controller_pair(0.3);
+    let pairs = &setting.pairs;
+
+    // Warm-up: fault in routes, branch predictors, metric handles, and
+    // the slo.* gauge registrations.
+    batch(&metered, pairs, iters / 4);
+    batch_under_evaluation(&metered, pairs, iters / 4);
+
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Alternate which subject goes first within the round.
+        let (t_evaluated, t_quiet) = if round % 2 == 0 {
+            let e = batch_under_evaluation(&metered, pairs, iters);
+            let q = batch(&metered, pairs, iters);
+            (e, q)
+        } else {
+            let q = batch(&metered, pairs, iters);
+            let e = batch_under_evaluation(&metered, pairs, iters);
+            (e, q)
+        };
+        let pct = (t_evaluated / t_quiet - 1.0) * 100.0;
+        ratios.push(pct);
+        println!(
+            "round {round:>2}: evaluated {:>8.3} ms, quiet {:>8.3} ms, overhead {pct:+6.2}%",
+            t_evaluated * 1e3,
+            t_quiet * 1e3,
+        );
+    }
+
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    println!();
+    println!(
+        "median SLO-evaluation overhead: {median:+.2}% over {rounds} rounds of {iters} admits \
+         (bound {bound_pct}%)"
+    );
+    assert!(
+        median < bound_pct,
+        "admit path under SLO evaluation {median:.2}% over quiet baseline, bound {bound_pct}%"
+    );
+    println!("overhead check: median < {bound_pct}%  ✓");
+}

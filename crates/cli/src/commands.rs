@@ -271,7 +271,8 @@ pub fn cmd_simulate(sc: &Scenario, horizon: f64) -> Result<String, ScenarioError
 /// `metrics`: exercise every instrumented layer on the scenario —
 /// Figure 2 verification (delay solver), an admission churn workload
 /// plus saturation to the first link-full rejection (admission
-/// controller), and a short packet simulation — then dump the metrics
+/// controller), a short packet simulation, and one SLO evaluation
+/// window over the scenario's `[slo]` rules — then dump the metrics
 /// registry.
 pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
     let mut out = String::new();
@@ -426,6 +427,20 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
         )
         .unwrap();
     }
+
+    // 4. SLO engine: anchor, then close one evaluation window over
+    // everything the sections above produced, so the `slo.*` gauges and
+    // counters are registered and live in the dump below.
+    let mut slo = uba::obs::SloEngine::new(uba::obs::global(), uba::obs::standard_rules(&sc.slo));
+    slo.evaluate(uba::obs::global().snapshot());
+    let firing = slo.evaluate(uba::obs::global().snapshot());
+    writeln!(
+        out,
+        "slo: {} rules evaluated, {firing} firing, {} active alerts",
+        uba::obs::standard_rules(&sc.slo).len(),
+        slo.active_alerts().len()
+    )
+    .unwrap();
 
     writeln!(out).unwrap();
     out.push_str(&render_global_metrics(json));
@@ -783,6 +798,11 @@ mod tests {
         assert!(out.contains("admission.admits"), "{out}");
         assert!(out.contains("delay.solve.iterations"), "{out}");
         assert!(out.contains("sim.queue_depth"), "{out}");
+        // ... plus the SLO engine and the arrival telemetry.
+        assert!(out.contains("rules evaluated"), "{out}");
+        assert!(out.contains("slo.deadline_miss_ratio.state"), "{out}");
+        assert!(out.contains("admission.arrival.class0.rate"), "{out}");
+        assert!(out.contains("admission.overuse_state"), "{out}");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! uba-cli explain     <scenario.toml> [--json]
 //! uba-cli reconfigure <old.toml> <new.toml> [--json]
 //! uba-cli serve       <scenario.toml> --port N [--bind ADDR]
+//! uba-cli watch       --port N [--bind ADDR] [--interval-ms MS] [--iterations K]
 //! ```
 //!
 //! Any command also accepts `--metrics` to append a dump of the
@@ -23,7 +24,7 @@ use uba_cli::Scenario;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: uba-cli <bounds|verify|maximize|simulate|metrics|explain|reconfigure|serve> <scenario.toml> [args]\n\
+        "usage: uba-cli <bounds|verify|maximize|simulate|metrics|explain|reconfigure|serve|watch> <scenario.toml> [args]\n\
          \n\
          bounds      — Theorem 4 utilization window for each class\n\
          verify      — Figure 2 verification of the scenario's alphas on SP routes\n\
@@ -36,13 +37,17 @@ fn usage() -> ! {
          reconfigure — live-migration rehearsal from <old.toml> to <new.toml>: saturate the\n\
          \x20             old configuration, hot-swap the new one, report kept/stranded flows\n\
          \x20             and the budget delta\n\
-         serve       — run a scenario loop and expose /metrics (Prometheus), /trace\n\
-         \x20             (flight-recorder JSON-lines), and POST /reconfigure (hot reload);\n\
+         serve       — run a scenario loop and expose /metrics (Prometheus), /snapshot,\n\
+         \x20             /trace, /slo, /alerts, and POST /reconfigure (hot reload);\n\
          \x20             requires --port N\n\
+         watch       — poll a running serve endpoint's /snapshot + /slo and print a\n\
+         \x20             one-line-per-rule SLO status each interval; requires --port N\n\
          \n\
-         flags: --metrics    append a metrics-registry dump after any command\n\
-         \x20       --json       (metrics, explain, reconfigure) line-oriented JSON\n\
-         \x20       --bind ADDR  (serve) listen address (default 127.0.0.1)"
+         flags: --metrics         append a metrics-registry dump after any command\n\
+         \x20       --json            (metrics, explain, reconfigure) line-oriented JSON\n\
+         \x20       --bind ADDR       (serve, watch) address (default 127.0.0.1)\n\
+         \x20       --interval-ms MS  (watch) poll interval (default 1000)\n\
+         \x20       --iterations K    (watch) stop after K polls (default: run forever)"
     );
     std::process::exit(2);
 }
@@ -66,6 +71,26 @@ fn main() {
     let bind = take_value(&mut args, "--bind")
         .unwrap_or_else(|e| fail(e))
         .unwrap_or_else(|| "127.0.0.1".into());
+    let interval_ms = take_parsed(&mut args, "--interval-ms", "a positive integer", |&n: &u64| {
+        n >= 1
+    })
+    .unwrap_or_else(|e| fail(e))
+    .unwrap_or(1000);
+    let iterations: Option<usize> =
+        take_parsed(&mut args, "--iterations", "a positive integer", |&n: &usize| n >= 1)
+            .unwrap_or_else(|e| fail(e));
+    // `watch` talks to a running server: no scenario file to load.
+    if args.first().map(String::as_str) == Some("watch") {
+        let Some(port) = port else {
+            eprintln!("watch requires --port N");
+            std::process::exit(2);
+        };
+        if let Err(e) = uba_cli::serve::watch(&format!("{bind}:{port}"), interval_ms, iterations) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     if args.len() < 2 {
         usage();
     }
@@ -120,8 +145,8 @@ fn main() {
                 }
             };
             eprintln!(
-                "serving on http://{bind}:{port} — GET /metrics (Prometheus), /trace \
-                 (JSON-lines), POST /reconfigure (hot reload)"
+                "serving on http://{bind}:{port} — GET /metrics (Prometheus), /snapshot, \
+                 /trace, /slo, /alerts (JSON-lines), POST /reconfigure (hot reload)"
             );
             uba_cli::serve::serve(&scenario, listener, None, Some(&args[1])).map(|()| String::new())
         }

@@ -3,6 +3,7 @@
 
 use crate::toml_lite::{parse, Document, Table, Value};
 use uba::graph::{Digraph, NodeId};
+use uba::obs::SloConfig;
 use uba::prelude::*;
 
 /// A fully resolved scenario.
@@ -18,6 +19,9 @@ pub struct Scenario {
     pub alphas: Vec<f64>,
     /// Demanded pairs.
     pub pairs: Vec<Pair>,
+    /// SLO thresholds and hysteresis (the `[slo]` section; defaults
+    /// apply when absent). Consumed by `serve` and `metrics`.
+    pub slo: SloConfig,
 }
 
 /// Scenario loading error: parse error or semantic problem.
@@ -94,6 +98,29 @@ fn build_topology(t: &Table) -> Result<Digraph, ScenarioError> {
             num_or(t, "hosts", 2.0)? as usize,
         ),
         other => return Err(bad(format!("unknown topology kind '{other}'"))),
+    })
+}
+
+/// Parses the optional `[slo]` section against [`SloConfig::default`]:
+/// `miss_ratio`, `reject_per_sec`, `max_share`, `admit_p99_ns`,
+/// `for_windows`, `clear_windows`. Window counts must be ≥ 1.
+fn parse_slo(t: Option<&Table>) -> Result<SloConfig, ScenarioError> {
+    let d = SloConfig::default();
+    let Some(t) = t else { return Ok(d) };
+    let windows = |key: &str, default: u32| -> Result<u32, ScenarioError> {
+        let n = num_or(t, key, default as f64)?;
+        if n < 1.0 || n.fract() != 0.0 {
+            return Err(bad(format!("slo.{key} must be a positive integer")));
+        }
+        Ok(n as u32)
+    };
+    Ok(SloConfig {
+        miss_ratio: num_or(t, "miss_ratio", d.miss_ratio)?,
+        reject_per_sec: num_or(t, "reject_per_sec", d.reject_per_sec)?,
+        max_share: num_or(t, "max_share", d.max_share)?,
+        admit_p99_ns: num_or(t, "admit_p99_ns", d.admit_p99_ns)?,
+        for_windows: windows("for_windows", d.for_windows)?,
+        clear_windows: windows("clear_windows", d.clear_windows)?,
     })
 }
 
@@ -174,12 +201,15 @@ impl Scenario {
             other => return Err(bad(format!("unknown pairs mode '{other}'"))),
         };
 
+        let slo = parse_slo(doc.table("slo"))?;
+
         Ok(Scenario {
             graph,
             servers,
             classes,
             alphas,
             pairs,
+            slo,
         })
     }
 
@@ -268,6 +298,33 @@ mod tests {
         .unwrap();
         assert_eq!(s.classes.len(), 2);
         assert_eq!(s.alphas, vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn slo_section_defaults_and_overrides() {
+        let s = Scenario::from_str("").unwrap();
+        assert_eq!(s.slo, SloConfig::default());
+        let s = Scenario::from_str(
+            r#"
+            [slo]
+            miss_ratio = 0.05
+            for_windows = 3
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.slo.miss_ratio, 0.05);
+        assert_eq!(s.slo.for_windows, 3);
+        // Untouched keys keep their defaults.
+        assert_eq!(s.slo.clear_windows, SloConfig::default().clear_windows);
+        assert_eq!(s.slo.max_share, SloConfig::default().max_share);
+    }
+
+    #[test]
+    fn slo_window_counts_must_be_positive_integers() {
+        for bad in ["for_windows = 0", "clear_windows = 1.5"] {
+            let e = Scenario::from_str(&format!("[slo]\n{bad}")).unwrap_err();
+            assert!(e.0.contains("positive integer"), "{e}");
+        }
     }
 
     #[test]

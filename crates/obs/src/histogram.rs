@@ -419,6 +419,65 @@ mod tests {
     }
 
     #[test]
+    fn quantile_from_counts_empty_digest_is_none() {
+        // An all-zero slot array (empty window digest) has no quantiles
+        // at any q, including the extremes.
+        let counts = [0u64; BUCKETS];
+        for q in [0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile_from_counts(1.0, &counts, q), None, "q={q}");
+            assert_eq!(quantile_from_counts(1e-9, &counts, q), None, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_from_counts_single_slot_mass() {
+        // All mass in one slot: every quantile reports that slot's upper
+        // bound, regardless of q or how much mass there is.
+        let bounds = Histogram::with_base(1.0);
+        for slot in [0, 1, 7, 8, 100, BUCKETS - 2] {
+            let mut counts = [0u64; BUCKETS];
+            counts[slot] = 12_345;
+            let expect = bounds.bucket_upper_bound(slot);
+            for q in [0.001, 0.5, 0.99, 1.0] {
+                assert_eq!(
+                    quantile_from_counts(1.0, &counts, q),
+                    Some(expect),
+                    "slot={slot} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_from_counts_max_slot_overflow_bucket() {
+        // Mass in the top (overflow) slot reads back as its synthetic
+        // upper bound base·2^63 — both alone and as the tail of a
+        // distribution with lower mass.
+        let mut counts = [0u64; BUCKETS];
+        counts[BUCKETS - 1] = 3;
+        assert_eq!(
+            quantile_from_counts(1.0, &counts, 0.5),
+            Some(2f64.powi(63))
+        );
+        counts[0] = 97;
+        // 97% of the mass is in slot 0; the p99 crosses into overflow.
+        let h = Histogram::with_base(1.0);
+        assert_eq!(
+            quantile_from_counts(1.0, &counts, 0.5),
+            Some(h.bucket_upper_bound(0))
+        );
+        assert_eq!(
+            quantile_from_counts(1.0, &counts, 0.99),
+            Some(2f64.powi(63))
+        );
+        // A non-unit base scales the overflow bound with it.
+        assert_eq!(
+            quantile_from_counts(1e-9, &counts, 1.0),
+            Some(1e-9 * 2f64.powi(63))
+        );
+    }
+
+    #[test]
     fn quantile_from_counts_matches_live_readout() {
         let h = Histogram::with_base(1e-9);
         for i in 1..=1000 {

@@ -19,6 +19,10 @@
 //! * [`trace`] — a fixed-capacity flight recorder of structured events
 //!   (admission decisions, solver sweeps, simulator deadline misses),
 //!   drained to JSON-lines with an explicit drop count.
+//! * [`slo`] — declarative SLO rules with hysteresis evaluated over
+//!   snapshot windows, driving a firing→resolved alert state machine
+//!   (`slo.*` gauges, `alert_fire`/`alert_resolve` trace events, and a
+//!   bounded alert log).
 //! * [`json`] — a minimal JSON parser so snapshots can be round-tripped
 //!   in tests and consumed by scripts.
 //! * [`rng`] — the workspace's deterministic SplitMix64 PRNG (in-tree
@@ -32,13 +36,15 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod rng;
+pub mod slo;
 pub mod span;
 pub(crate) mod sync;
 pub mod trace;
 
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge};
-pub use registry::{global, Registry, Snapshot, SnapshotValue};
+pub use registry::{global, process_secs, Registry, Snapshot, SnapshotValue};
+pub use slo::{standard_rules, Alert, Cmp, RuleState, SloConfig, SloEngine, SloRule, SloSignal};
 pub use rng::SplitMix64;
 pub use span::{Span, Stopwatch};
 pub use trace::{Event, EventKind, Tracer};

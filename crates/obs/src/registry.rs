@@ -31,8 +31,11 @@ pub struct Registry {
 
 /// Seconds on the process-monotonic snapshot clock (starts at the first
 /// reading). Snapshots are stamped with this so a pair of them defines a
-/// rate window without any caller-managed clock.
-fn process_secs() -> f64 {
+/// rate window without any caller-managed clock. Public so the other
+/// crates (which are banned from reading wall clocks directly — xtask
+/// rule 5) can timestamp coarse events like arrival-rate updates and
+/// serve uptime on the same clock the snapshots use.
+pub fn process_secs() -> f64 {
     static CLOCK: OnceLock<Stopwatch> = OnceLock::new();
     CLOCK.get_or_init(Stopwatch::start).elapsed_secs()
 }
@@ -287,9 +290,13 @@ impl Snapshot {
     /// never registered, so the metric manifest tracks only source
     /// names.
     pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
-        // Guard against same-instant snapshots; rates over a degenerate
-        // window would divide by zero.
-        let window = (self.at - earlier.at).max(1e-9);
+        // Two snapshots inside one clock tick give a zero-width (or,
+        // with hand-pinned stamps, negative) window. A rate over it is
+        // meaningless — and clamping the divisor instead would report
+        // ~1e10/s garbage for a one-tick delta — so degenerate windows
+        // report honest 0.0 rates and a 0.0 `snapshot.window_secs`.
+        let window = (self.at - earlier.at).max(0.0);
+        let rate = |d: f64| if window > 0.0 { d / window } else { 0.0 };
         let mut entries: Vec<(String, SnapshotValue)> = Vec::with_capacity(self.entries.len() + 1);
         for (name, value) in &self.entries {
             match value {
@@ -302,7 +309,7 @@ impl Snapshot {
                     entries.push((name.clone(), SnapshotValue::Counter(d)));
                     entries.push((
                         format!("{name}.per_sec"),
-                        SnapshotValue::Gauge(d as f64 / window),
+                        SnapshotValue::Gauge(rate(d as f64)),
                     ));
                 }
                 SnapshotValue::Gauge(v) => {
@@ -353,7 +360,7 @@ impl Snapshot {
                     ));
                     entries.push((
                         format!("{name}.per_sec"),
-                        SnapshotValue::Gauge(dcount as f64 / window),
+                        SnapshotValue::Gauge(rate(dcount as f64)),
                     ));
                 }
             }
@@ -656,6 +663,36 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn delta_since_zero_width_window_reports_zero_rates() {
+        // Two snapshots inside one clock tick (identical stamps) must
+        // not divide by zero or report a clamped-divisor garbage rate.
+        let r = Registry::new();
+        let c = r.counter("ops");
+        let h = r.histogram("lat", 1.0);
+        c.add(10);
+        let mut early = r.snapshot();
+        c.add(7);
+        h.record(2.0);
+        let mut late = r.snapshot();
+        late.at = 3.5;
+        early.at = 3.5;
+        let d = late.delta_since(&early);
+        // Deltas still flow; the derived rates are honest zeros.
+        assert_eq!(d.get("ops"), Some(&SnapshotValue::Counter(7)));
+        assert_eq!(d.get("ops.per_sec"), Some(&SnapshotValue::Gauge(0.0)));
+        assert_eq!(d.get("lat.per_sec"), Some(&SnapshotValue::Gauge(0.0)));
+        assert_eq!(
+            d.get("snapshot.window_secs"),
+            Some(&SnapshotValue::Gauge(0.0))
+        );
+        // A clock that appears to run backwards (hand-pinned stamps)
+        // degrades the same way instead of producing negative rates.
+        early.at = 4.0;
+        let d = late.delta_since(&early);
+        assert_eq!(d.get("ops.per_sec"), Some(&SnapshotValue::Gauge(0.0)));
     }
 
     #[test]

@@ -84,13 +84,21 @@ pub enum EventKind {
     /// admit tracepoints are coalesced into this one event on the batch
     /// fast path; releases still trace per flow.
     AdmitBatch,
+    /// SLO engine: a rule crossed into firing after breaching for its
+    /// `for` hysteresis count of consecutive windows (`flow` = rule
+    /// index, `a` = observed value, `b` = threshold).
+    AlertFire,
+    /// SLO engine: a firing rule resolved after holding clear for its
+    /// `clear` hysteresis count of consecutive windows (`flow` = rule
+    /// index, `a` = observed value, `b` = threshold).
+    AlertResolve,
 }
 
 impl EventKind {
     /// Every kind, in declaration order. Lets tooling (the metrics
     /// manifest test, exporters) enumerate the tracepoint namespace
     /// without a hand-maintained list.
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 16] = [
         EventKind::Admit,
         EventKind::RejectLinkFull,
         EventKind::RejectNoRoute,
@@ -105,6 +113,8 @@ impl EventKind {
         EventKind::ReconfigApplied,
         EventKind::GenerationRetired,
         EventKind::AdmitBatch,
+        EventKind::AlertFire,
+        EventKind::AlertResolve,
     ];
 
     /// Stable lower-snake name used in the JSON exposition.
@@ -124,6 +134,8 @@ impl EventKind {
             EventKind::ReconfigApplied => "reconfig_applied",
             EventKind::GenerationRetired => "generation_retired",
             EventKind::AdmitBatch => "admit_batch",
+            EventKind::AlertFire => "alert_fire",
+            EventKind::AlertResolve => "alert_resolve",
         }
     }
 }

@@ -68,6 +68,27 @@ pub struct Reconfiguration {
 
 const NS: f64 = 1e9;
 
+/// Cumulative progress of a running simulation, handed to the observer
+/// of [`simulate_observed`] / [`simulate_reconfigured_observed`] at
+/// each observation interval and once more at the end of the run.
+///
+/// By the time the observer runs, the engine has already published the
+/// covered packet/miss deltas into the global `sim.packets` /
+/// `sim.deadline_misses` counters, so an observer that snapshots the
+/// registry (e.g. to feed [`uba_obs::SloEngine`]) sees the window it is
+/// being told about.
+#[derive(Clone, Copy, Debug)]
+pub struct SimProgress {
+    /// Sim time of the observation, seconds.
+    pub t: f64,
+    /// Packets delivered end to end so far.
+    pub packets: u64,
+    /// Deadline misses so far.
+    pub misses: u64,
+    /// True exactly once, on the final end-of-run observation.
+    pub done: bool,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Job {
     flow: u32,
@@ -120,7 +141,34 @@ pub fn simulate_with(
     cfg: &SimConfig,
     discipline: &Discipline,
 ) -> SimReport {
-    run(capacities, flows, cfg, discipline, None)
+    run(capacities, flows, cfg, discipline, None, None)
+}
+
+/// Like [`simulate_with`], but invokes `observer` every `every` sim
+/// seconds (measured on packet deliveries) and once at the end of the
+/// run, with cumulative delivery/miss tallies.
+///
+/// Observed runs also publish `sim.packets` / `sim.deadline_misses`
+/// *incrementally* — the delta covered by each observation is added
+/// just before the observer runs, with the remainder published at the
+/// end — so windowed consumers ([`uba_obs::Snapshot::delta_since`],
+/// the SLO engine) see deadline misses as they happen instead of one
+/// end-of-run burst. Lifetime totals are unchanged. Observation points
+/// are derived from deterministic sim time, so runs stay bit-for-bit
+/// reproducible.
+pub fn simulate_observed(
+    capacities: &[f64],
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    discipline: &Discipline,
+    every: f64,
+    observer: &mut dyn FnMut(SimProgress),
+) -> SimReport {
+    assert!(
+        every > 0.0 && every.is_finite(),
+        "observation interval must be positive"
+    );
+    run(capacities, flows, cfg, discipline, None, Some((every, observer)))
 }
 
 /// Runs the simulation with a mid-run routing reconfiguration.
@@ -153,7 +201,48 @@ pub fn simulate_reconfigured(
             );
         }
     }
-    run(capacities, flows, cfg, discipline, Some(reconfig))
+    run(capacities, flows, cfg, discipline, Some(reconfig), None)
+}
+
+/// [`simulate_reconfigured`] with the observation/incremental-publish
+/// behavior of [`simulate_observed`] — the combination that lets an SLO
+/// engine watch deadline-miss behavior change across a mid-run route
+/// swap (see the `slo_sees_misses_across_a_route_swap` test).
+pub fn simulate_reconfigured_observed(
+    capacities: &[f64],
+    flows: &[FlowSpec],
+    cfg: &SimConfig,
+    discipline: &Discipline,
+    reconfig: &Reconfiguration,
+    every: f64,
+    observer: &mut dyn FnMut(SimProgress),
+) -> SimReport {
+    assert!(
+        every > 0.0 && every.is_finite(),
+        "observation interval must be positive"
+    );
+    assert!(
+        reconfig.at.is_finite() && reconfig.at >= 0.0,
+        "reconfiguration time must be finite and non-negative"
+    );
+    for (fi, route) in &reconfig.reroutes {
+        assert!(*fi < flows.len(), "reroute flow index out of range");
+        assert!(!route.is_empty(), "reroute must be non-empty");
+        for &k in route {
+            assert!(
+                (k as usize) < capacities.len(),
+                "reroute server out of range"
+            );
+        }
+    }
+    run(
+        capacities,
+        flows,
+        cfg,
+        discipline,
+        Some(reconfig),
+        Some((every, observer)),
+    )
 }
 
 fn run(
@@ -162,6 +251,7 @@ fn run(
     cfg: &SimConfig,
     discipline: &Discipline,
     reconfig: Option<&Reconfiguration>,
+    observe: Option<(f64, &mut dyn FnMut(SimProgress))>,
 ) -> SimReport {
     let t_run = uba_obs::Stopwatch::start();
     let metrics = crate::metrics::sim();
@@ -277,13 +367,22 @@ fn run(
     let mut acc: Vec<StatsAccumulator> = vec![StatsAccumulator::default(); classes];
     let mut histograms = vec![crate::report::DelayHistogram::default(); classes];
     let mut total_packets = 0u64;
+    let mut total_misses = 0u64;
     let mut events = 0u64;
     let mut peak_backlog = 0usize;
     let tracer = uba_obs::trace::global();
     let mut reconfigured = false;
+    // Observation state: next sim-time mark, and how much of the
+    // packet/miss tallies has already been published incrementally.
+    let mut observe = observe;
+    let mut next_obs = observe.as_ref().map(|&(every, _)| every);
+    let mut published_packets = 0u64;
+    let mut published_misses = 0u64;
+    let mut last_t = 0u64;
 
     while let Some(Reverse((t, s))) = heap.pop() {
         events += 1;
+        last_t = t;
         let ev = payloads.remove(&s).expect("payload for event");
         match ev {
             Event::Arrive(mut job) => {
@@ -363,6 +462,7 @@ fn run(
                     let delay = (t - job.t0) as f64 / NS;
                     let deadline = cfg.deadlines[f.class];
                     if delay > deadline {
+                        total_misses += 1;
                         tracer.emit(
                             uba_obs::EventKind::DeadlineMiss,
                             f.class,
@@ -375,6 +475,29 @@ fn run(
                     acc[f.class].record(delay, deadline);
                     histograms[f.class].record(delay);
                     total_packets += 1;
+                    if let (Some((every, obs)), Some(mark)) =
+                        (observe.as_mut(), next_obs.as_mut())
+                    {
+                        let t_secs = t as f64 / NS;
+                        if t_secs >= *mark {
+                            while *mark <= t_secs {
+                                *mark += *every;
+                            }
+                            // Publish the covered delta before the
+                            // observer runs, so a registry snapshot
+                            // taken inside it reflects this window.
+                            metrics.packets.add(total_packets - published_packets);
+                            metrics.deadline_misses.add(total_misses - published_misses);
+                            published_packets = total_packets;
+                            published_misses = total_misses;
+                            obs(SimProgress {
+                                t: t_secs,
+                                packets: total_packets,
+                                misses: total_misses,
+                                done: false,
+                            });
+                        }
+                    }
                 }
                 // Start the next queued packet, if any.
                 let st = &mut stations[st_id];
@@ -422,14 +545,24 @@ fn run(
     let elapsed = t_run.elapsed_secs();
     metrics.runs.inc();
     metrics.events.add(events);
-    metrics.packets.add(total_packets);
-    metrics.deadline_misses.add(report.total_misses());
+    // Observed runs published most of these deltas mid-run; only the
+    // remainder lands here, so lifetime totals match unobserved runs.
+    metrics.packets.add(total_packets - published_packets);
+    metrics.deadline_misses.add(total_misses - published_misses);
     metrics.policed_drops.add(policed_drops.iter().sum());
     metrics.run_seconds.record(elapsed);
     if elapsed > 0.0 {
         metrics.events_per_sec.set(events as f64 / elapsed);
     }
     metrics.peak_backlog.set(peak_backlog as f64);
+    if let Some((_, obs)) = observe.as_mut() {
+        obs(SimProgress {
+            t: last_t as f64 / NS,
+            packets: total_packets,
+            misses: total_misses,
+            done: true,
+        });
+    }
     report
 }
 
@@ -998,6 +1131,163 @@ mod tests {
             rec.total_misses(),
             plain.total_misses()
         );
+    }
+
+    #[test]
+    fn observed_run_reports_monotone_progress_and_exact_totals() {
+        let m = crate::metrics::sim();
+        let (packets0, misses0) = (m.packets.get(), m.deadline_misses.get());
+        let flows = vec![FlowSpec {
+            class: 0,
+            ingress: 0,
+            route: vec![0],
+            source: SourceModel::voip_cbr(0.0),
+        }];
+        let tight = SimConfig {
+            horizon: 0.1,
+            deadlines: vec![1e-12], // every packet misses
+            policers: None,
+        };
+        let mut seen: Vec<SimProgress> = Vec::new();
+        let r = simulate_observed(
+            &[C],
+            &flows,
+            &tight,
+            &Discipline::StaticPriority,
+            0.02,
+            &mut |p| seen.push(p),
+        );
+        assert!(seen.len() >= 3, "only {} observations", seen.len());
+        for w in seen.windows(2) {
+            assert!(w[1].t >= w[0].t);
+            assert!(w[1].packets >= w[0].packets);
+            assert!(w[1].misses >= w[0].misses);
+        }
+        let last = seen.last().unwrap();
+        assert!(last.done);
+        assert!(!seen[0].done);
+        assert_eq!(last.packets, r.total_packets);
+        assert_eq!(last.misses, r.total_misses());
+        // Mid-run observations saw genuinely partial tallies.
+        assert!(seen[0].packets < r.total_packets);
+        // Incremental publishing left the lifetime counters exactly
+        // where an unobserved run would have.
+        assert_eq!(m.packets.get() - packets0, r.total_packets);
+        assert_eq!(m.deadline_misses.get() - misses0, r.total_misses());
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_report() {
+        let flows = vec![
+            FlowSpec {
+                class: 0,
+                ingress: 0,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+            FlowSpec {
+                class: 0,
+                ingress: 1,
+                route: vec![0, 1],
+                source: SourceModel::voip_greedy(0.0),
+            },
+        ];
+        let plain = simulate(&[C, C], &flows, &cfg(1));
+        let observed = simulate_observed(
+            &[C, C],
+            &flows,
+            &cfg(1),
+            &Discipline::StaticPriority,
+            0.01,
+            &mut |_| {},
+        );
+        assert_eq!(observed.total_packets, plain.total_packets);
+        assert_eq!(observed.events, plain.events);
+        assert_eq!(observed.classes[0].max_delay, plain.classes[0].max_delay);
+    }
+
+    #[test]
+    fn slo_sees_misses_across_a_route_swap() {
+        // The end-to-end story of ISSUE 8's tentpole, in miniature: a
+        // congested link drives the deadline-miss SLO pending→firing;
+        // the mid-run reroute drains the queue, misses stop, and the
+        // rule resolves. The observer bridges sim progress into a
+        // private registry so the test is immune to other tests'
+        // traffic on the global counters, and miss-ratio rules are
+        // window-width independent, so this is fully deterministic.
+        use uba_obs::{Cmp, Registry, RuleState, SloEngine, SloRule, SloSignal};
+        let bulk = |ingress| FlowSpec {
+            class: 0,
+            ingress,
+            route: vec![0],
+            source: SourceModel::GreedyOnOff {
+                burst_bits: 64_000.0,
+                rate_bps: 0.9 * C,
+                packet_bits: 8000,
+                start: 0.0,
+            },
+        };
+        let flows = vec![bulk(0), bulk(1)];
+        let c = SimConfig {
+            horizon: 0.4,
+            deadlines: vec![0.02],
+            policers: None,
+        };
+        // Both flows move to their own fresh link: server 0 drains its
+        // backlog at full rate, and each flow alone at 0.9C is
+        // miss-free — so post-drain windows are clean and the rule can
+        // actually resolve within the horizon.
+        let rc = Reconfiguration {
+            at: 0.05,
+            reroutes: vec![(0, vec![1]), (1, vec![2])],
+        };
+        let registry = Registry::new();
+        let packets = registry.counter("sim.packets");
+        let misses = registry.counter("sim.deadline_misses");
+        let rule = SloRule::named(
+            "deadline_miss_ratio",
+            SloSignal::Ratio {
+                numerator: "sim.deadline_misses".into(),
+                denominator: "sim.packets".into(),
+            },
+            Cmp::Above,
+            0.01,
+            2,
+            2,
+        );
+        let mut engine = SloEngine::new(&registry, vec![rule]);
+        engine.evaluate(registry.snapshot()); // anchor
+        let mut states: Vec<RuleState> = Vec::new();
+        let mut prev = (0u64, 0u64);
+        let r = simulate_reconfigured_observed(
+            &[C, C, C],
+            &flows,
+            &c,
+            &Discipline::StaticPriority,
+            &rc,
+            0.01,
+            &mut |p| {
+                packets.add(p.packets - prev.0);
+                misses.add(p.misses - prev.1);
+                prev = (p.packets, p.misses);
+                engine.evaluate(registry.snapshot());
+                states.push(engine.state_of("deadline_miss_ratio").unwrap());
+            },
+        );
+        assert!(r.total_misses() > 0, "the congested phase must miss");
+        assert!(
+            states.contains(&RuleState::Firing),
+            "congestion must fire the rule: {states:?}"
+        );
+        assert_eq!(
+            *states.last().unwrap(),
+            RuleState::Ok,
+            "post-swap windows must resolve the alert: {states:?}"
+        );
+        assert_eq!(engine.active_alerts().len(), 0);
+        let recent: Vec<_> = engine.recent_alerts().collect();
+        assert_eq!(recent.len(), 1, "exactly one fire→resolve cycle");
+        assert!(recent[0].resolved_at.is_some());
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod sched;
 pub mod source;
 
 pub use engine::{
-    simulate, simulate_reconfigured, simulate_with, FlowSpec, Reconfiguration, SimConfig,
+    simulate, simulate_observed, simulate_reconfigured, simulate_reconfigured_observed,
+    simulate_with, FlowSpec, Reconfiguration, SimConfig, SimProgress,
 };
 pub use report::{ClassStats, DelayHistogram, SimReport};
 pub use sched::Discipline;

@@ -3,6 +3,12 @@
 //! Counters are bumped once per completed run (from the final tallies
 //! the engine already keeps); only the queue-depth histogram records
 //! inside the event loop, at three relaxed atomic ops per enqueue.
+//! Exception: *observed* runs ([`crate::simulate_observed`] /
+//! [`crate::simulate_reconfigured_observed`]) publish `sim.packets` and
+//! `sim.deadline_misses` incrementally at each observation point (the
+//! end-of-run publish then adds only the remainder), so windowed
+//! consumers such as the SLO engine see misses as they happen. Lifetime
+//! totals are identical either way.
 //!
 //! Metric names:
 //!

@@ -11,6 +11,9 @@
 //!   (Definition 2) with the algebra needed by the delay formulas: sums,
 //!   integer scaling, jitter shifts `F(I + Y)`, capping by the link rate,
 //!   and the busy-period maximization `max_{I>0}(F(I) − C·I)` of Eq. (3).
+//! * [`BurstModel`] — an RNG-agnostic on/off batch-size distribution with
+//!   exact mean and coefficient of variation, for driving bursty churn
+//!   workloads against the admission path's arrival telemetry.
 //!
 //! All quantities are in bits, seconds, and bits/second.
 
@@ -18,9 +21,11 @@
 #![warn(missing_docs)]
 
 pub mod bucket;
+pub mod burst;
 pub mod class;
 pub mod envelope;
 
 pub use bucket::LeakyBucket;
+pub use burst::BurstModel;
 pub use class::{ClassId, ClassSet, TrafficClass};
 pub use envelope::Envelope;

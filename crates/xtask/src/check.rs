@@ -43,6 +43,14 @@
 //!    carry a `// padding:` waiver comment nearby explaining why
 //!    sharing is acceptable (e.g. sparse writes, or cells that are
 //!    all-thread-shared by design).
+//! 9. **slo-rule-manifest** — every SLO rule constructed with
+//!    `SloRule::named("…", …)` publishes a `slo.<name>.state` and a
+//!    `slo.<name>.value` gauge (registered by `SloEngine::new`), so
+//!    both names must appear in `docs/metrics-manifest.txt`. Rule 4
+//!    cannot see them: the gauges are registered from the rule's
+//!    runtime name, not a literal at the `.gauge(…)` call site. The
+//!    name literal is matched on the `SloRule::named(` line or within
+//!    the next few lines (the rustfmt multi-line call form).
 //!
 //! The linter is line-based on purpose: it runs in milliseconds with no
 //! dependencies, and every rule is about *local* textual discipline
@@ -431,6 +439,12 @@ fn word_at(hay: &str, pat: &str) -> Vec<usize> {
 /// distant ordering.
 const JUSTIFICATION_WINDOW: usize = 8;
 
+/// Rule 9 call-site marker and how many lines below it the rule-name
+/// literal may sit (rustfmt puts the first argument of a wrapped call
+/// on the line after the open paren).
+const SLO_RULE_MARKER: &str = "SloRule::named(";
+const SLO_NAME_LOOKAHEAD: usize = 4;
+
 /// Lints one file; used directly by the fixture tests below.
 #[cfg(test)]
 pub fn lint_source(rel: &str, source: &str, manifest: &Manifest) -> Vec<String> {
@@ -601,6 +615,41 @@ fn lint_file(
                             idx,
                             "metric-manifest",
                             format!("metric `{name}` not in docs/metrics-manifest.txt"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Rule 9: SLO rules publish `slo.<name>.state` / `.value`
+        // gauges from their runtime name; both must be manifested. The
+        // name is the first string literal after the marker — on the
+        // same raw line, or (the rustfmt multi-line call form) on one
+        // of the next few lines.
+        if line.code.contains(SLO_RULE_MARKER) {
+            let name = (idx..raw.len().min(idx + SLO_NAME_LOOKAHEAD)).find_map(|j| {
+                let rl = raw.get(j).copied().unwrap_or("");
+                let tail = if j == idx {
+                    rl.find(SLO_RULE_MARKER)
+                        .map_or(rl, |p| &rl[p + SLO_RULE_MARKER.len()..])
+                } else {
+                    rl
+                };
+                between(tail, "\"", "\"")
+            });
+            if let Some(name) = name {
+                for part in ["state", "value"] {
+                    stats.metric_names += 1;
+                    let gauge = format!("slo.{name}.{part}");
+                    if !manifest.covers(&gauge) {
+                        vio(
+                            violations,
+                            idx,
+                            "slo-rule-manifest",
+                            format!(
+                                "SLO rule `{name}` publishes `{gauge}` but it is not in \
+                                 docs/metrics-manifest.txt"
+                            ),
                         );
                     }
                 }
@@ -879,6 +928,38 @@ mod tests {
         // Unit-test code is exempt like every code rule.
         let in_tests = "#[cfg(test)]\nmod tests { struct S { a: Vec<AtomicU64> } }";
         assert!(lint_source("crates/admission/src/state.rs", in_tests, &manifest()).is_empty());
+    }
+
+    #[test]
+    fn slo_rule_names_must_be_manifested() {
+        let m = Manifest::from_text(
+            "slo.miss_ratio.state\nslo.miss_ratio.value\nslo.reject_rate.state\n",
+        );
+        // Same-line form, fully manifested: clean.
+        let good = r#"let r = SloRule::named("miss_ratio", sig, Cmp::Above, 0.1, 2, 2);"#;
+        assert!(lint_source("crates/obs/src/slo.rs", good, &m).is_empty());
+        // Multi-line (rustfmt) form: the name sits below the marker.
+        let wrapped = "let r = SloRule::named(\n    \"miss_ratio\",\n    sig,\n);";
+        assert!(lint_source("crates/obs/src/slo.rs", wrapped, &m).is_empty());
+        // Unmanifested name: one violation per missing gauge.
+        let bad = r#"let r = SloRule::named("phantom", sig, Cmp::Above, 0.1, 2, 2);"#;
+        let v = lint_source("crates/obs/src/slo.rs", bad, &m);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].contains("slo-rule-manifest"), "{v:?}");
+        assert!(v[0].contains("slo.phantom.state"), "{v:?}");
+        assert!(v[1].contains("slo.phantom.value"), "{v:?}");
+        // Manifested .state but missing .value: exactly the gap flags.
+        let half = r#"let r = SloRule::named("reject_rate", sig, Cmp::Above, 1.0, 2, 2);"#;
+        let v = lint_source("crates/obs/src/slo.rs", half, &m);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("slo.reject_rate.value"), "{v:?}");
+        // Unit tests may construct throwaway rules freely.
+        let in_tests =
+            "#[cfg(test)]\nmod tests { fn t() { SloRule::named(\"scratch\", s, c, 0.0, 1, 1); } }";
+        assert!(lint_source("crates/obs/src/slo.rs", in_tests, &m).is_empty());
+        // The marker inside a doc comment or string is not a call site.
+        let quoted = "// see SloRule::named(\"x\", …)\nlet s = \"SloRule::named(\\\"y\\\"\";";
+        assert!(lint_source("crates/obs/src/slo.rs", quoted, &m).is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --offline --release (hermetic build)"
 cargo build --offline --release --workspace
 
-echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding)"
+echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding, slo rules)"
 cargo run --offline -q -p xtask -- check
 
 echo "==> cargo clippy --workspace -- -D warnings (lint gate)"
@@ -27,6 +27,9 @@ cargo run --offline --release -p uba-bench --bin config_speed -- smoke
 
 echo "==> trace_overhead smoke (flight recorder on vs off on the admit path)"
 cargo run --offline --release -p uba-bench --bin trace_overhead -- smoke
+
+echo "==> slo_overhead smoke (admit path under hostile SLO evaluation vs quiet)"
+cargo run --offline --release -p uba-bench --bin slo_overhead -- smoke
 
 echo "==> reconfig_overhead smoke (versioned admit path vs pinned-generation baseline)"
 cargo run --offline --release -p uba-bench --bin reconfig_overhead -- smoke
