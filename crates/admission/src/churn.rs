@@ -106,6 +106,18 @@ pub struct ChurnStats {
     pub admit_ns: u128,
     /// Mean admit() latency in nanoseconds.
     pub mean_admit_ns: f64,
+    /// Bursts offered. Zero for the one-at-a-time driver
+    /// ([`run_churn`]); the burst drivers count every tick's slug here,
+    /// including bursts of one.
+    pub bursts: usize,
+    /// Bursts admitted in full.
+    pub bursts_clean: usize,
+    /// Bursts partially admitted: at least one request in, at least one
+    /// turned away. The interesting failure mode — a conference call
+    /// that connected some parties but not all.
+    pub bursts_clipped: usize,
+    /// Bursts rejected outright (no request admitted).
+    pub bursts_dropped: usize,
 }
 
 impl ChurnStats {
@@ -115,6 +127,18 @@ impl ChurnStats {
             0.0
         } else {
             1.0 - self.accepted as f64 / self.offered as f64
+        }
+    }
+
+    /// Classifies one burst outcome: `got` of `n` requests admitted.
+    fn tally_burst(&mut self, n: usize, got: usize) {
+        self.bursts += 1;
+        if got == n {
+            self.bursts_clean += 1;
+        } else if got == 0 {
+            self.bursts_dropped += 1;
+        } else {
+            self.bursts_clipped += 1;
         }
     }
 }
@@ -242,6 +266,7 @@ pub fn run_churn_bursts<P: Policy>(
         let t0 = Stopwatch::start();
         let admitted = policy.admit_burst(class, &reqs);
         stats.admit_ns += t0.elapsed_ns() as u128;
+        stats.tally_burst(n, admitted.iter().filter(|h| h.is_some()).count());
         for h in admitted.into_iter().flatten() {
             stats.accepted += 1;
             active += 1;
@@ -311,6 +336,7 @@ pub fn run_churn_bursty<P: Policy>(
         let t0 = Stopwatch::start();
         let admitted = policy.admit_burst(class, &reqs);
         stats.admit_ns += t0.elapsed_ns() as u128;
+        stats.tally_burst(n, admitted.iter().filter(|h| h.is_some()).count());
         for h in admitted.into_iter().flatten() {
             stats.accepted += 1;
             active += 1;
@@ -416,6 +442,13 @@ mod tests {
         assert_eq!(a.offered, b.offered);
         assert_eq!(a.accepted, b.accepted);
         assert_eq!(a.peak_active, b.peak_active);
+        // One-at-a-time driver leaves burst tallies empty; bursts of one
+        // can only be clean or dropped.
+        assert_eq!(a.bursts, 0);
+        assert_eq!(b.bursts, b.offered);
+        assert_eq!(b.bursts_clipped, 0);
+        assert_eq!(b.bursts_clean, b.accepted);
+        assert_eq!(b.bursts_dropped, b.offered - b.accepted);
     }
 
     #[test]
@@ -432,6 +465,16 @@ mod tests {
         assert!(stats.blocking() > 0.0);
         assert!(stats.peak_active <= 6, "peak {}", stats.peak_active);
         assert_eq!(ctrl.reserved(2, ClassId(0)), 0.0);
+        // Per-burst granularity: every burst lands in exactly one bin,
+        // and the saturated budget (3 flows vs bursts of 8) means at
+        // least some bursts got a partial fill rather than all-or-none.
+        assert_eq!(stats.bursts, 60);
+        assert_eq!(
+            stats.bursts_clean + stats.bursts_clipped + stats.bursts_dropped,
+            stats.bursts
+        );
+        assert!(stats.bursts_clipped > 0, "no clipped bursts: {stats:?}");
+        assert!(stats.bursts_dropped > 0, "no dropped bursts: {stats:?}");
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! per-flow state anywhere but at the edge (the returned [`FlowHandle`]).
 //! This is the paper's entire run-time mechanism — the safety of the
 //! utilization levels was proven offline, so no delay computation
-//! happens here.
+//! happens here. A generation may additionally carry a
+//! [`PolicyChain`](crate::PolicyChain) of shaping stages (token bucket,
+//! AIMD overuse gating) evaluated between the route lookup and the
+//! reservation walk; the default `Static` chain has no stages and the
+//! decision path reduces to exactly the utilization predicate.
 //!
 //! Configuration is *versioned*: the controller holds the current
 //! [`ConfigGeneration`] behind an epoch pointer, and
@@ -57,6 +61,17 @@ pub enum Reject {
         /// Configured budget `α_i · C` of `class` on the server, bits/s.
         budget_bps: f64,
     },
+    /// A policy stage of the generation's chain turned the flow away
+    /// before the backend reservation was attempted (see
+    /// [`PolicyChain`](crate::PolicyChain)). Only non-`Static` chains
+    /// can produce this.
+    Policy {
+        /// Name of the rejecting stage (one of
+        /// [`STAGE_NAMES`](crate::STAGE_NAMES)).
+        stage: &'static str,
+        /// The class whose shaping budget was exhausted.
+        class: ClassId,
+    },
 }
 
 impl std::fmt::Display for Reject {
@@ -81,6 +96,13 @@ impl std::fmt::Display for Reject {
                     class.index(),
                     reserved_bps / 1e3,
                     budget_bps / 1e3,
+                )
+            }
+            Reject::Policy { stage, class } => {
+                write!(
+                    f,
+                    "policy stage {stage} rejected class {} before the utilization check",
+                    class.index(),
                 )
             }
         }
@@ -262,6 +284,14 @@ impl AdmissionController {
         Self::from_generation_with_metrics(generation, Some(metrics))
     }
 
+    /// [`from_generation`](Self::from_generation) without
+    /// instrumentation — the generation-adopting counterpart of
+    /// [`new_unmetered`](Self::new_unmetered), for callers that need a
+    /// non-default policy chain (or backend) but not the metrics.
+    pub fn from_generation_unmetered(generation: ConfigGeneration) -> Self {
+        Self::from_generation_with_metrics(generation, None)
+    }
+
     fn from_generation_with_metrics(
         generation: ConfigGeneration,
         metrics: Option<AdmissionMetrics>,
@@ -319,7 +349,25 @@ impl AdmissionController {
         dst: NodeId,
     ) -> Result<FlowHandle, Reject> {
         let generation = self.current_generation();
-        self.try_admit_on(&generation, class, src, dst)
+        self.admit_inner(&generation, class, src, dst, None)
+    }
+
+    /// Like [`try_admit`](Self::try_admit) but on an explicit decision
+    /// clock: `t` is seconds on the caller's timeline, fed to the
+    /// shaping stages of a non-`Static` policy chain (token-bucket
+    /// refill, AIMD detector updates). Simulations and benches drive
+    /// virtual time through this; [`try_admit`](Self::try_admit) uses
+    /// the process clock instead — and only reads it when the chain
+    /// actually has stages.
+    pub fn try_admit_at(
+        &self,
+        class: ClassId,
+        src: NodeId,
+        dst: NodeId,
+        t: f64,
+    ) -> Result<FlowHandle, Reject> {
+        let generation = self.current_generation();
+        self.admit_inner(&generation, class, src, dst, Some(t))
     }
 
     /// Like [`try_admit`](Self::try_admit) but against an explicitly
@@ -333,6 +381,22 @@ impl AdmissionController {
         class: ClassId,
         src: NodeId,
         dst: NodeId,
+    ) -> Result<FlowHandle, Reject> {
+        self.admit_inner(generation, class, src, dst, None)
+    }
+
+    /// The one admission decision path. `now` is the decision clock for
+    /// the policy chain: `Some(t)` from the `_at` entry points, `None`
+    /// to read the process clock lazily — a `Static` chain never reads
+    /// any clock, keeping the default path bit-identical to the
+    /// pre-pipeline controller.
+    fn admit_inner(
+        &self,
+        generation: &Arc<ConfigGeneration>,
+        class: ClassId,
+        src: NodeId,
+        dst: NodeId,
+        now: Option<f64>,
     ) -> Result<FlowHandle, Reject> {
         let inner = &self.inner;
         let backend = generation.backend();
@@ -364,6 +428,38 @@ impl AdmissionController {
             );
             return Err(Reject::NoRoute);
         };
+        // Policy chain: shaping stages run after the route lookup (a
+        // routeless flow is a config error, not demand) and before the
+        // reservation walk. The `Static` chain skips everything —
+        // including the clock read — so the default decision path stays
+        // bit-identical to the pre-pipeline controller.
+        let chain = generation.policy();
+        if !chain.is_static() {
+            let t = now.unwrap_or_else(uba_obs::process_secs);
+            if let Err(stage) = chain.admit_n(class.index(), 1, t) {
+                if let Some(m) = &inner.metrics {
+                    m.record_policy_reject(stage, 1);
+                    // Offered load includes policy rejects: the burst
+                    // estimators must see the demand the chain clipped.
+                    m.record_arrival(class.index());
+                    m.record_admit_ns(timer);
+                }
+                let stage_idx = chain
+                    .stages()
+                    .iter()
+                    .position(|s| s.name() == stage)
+                    .map_or(-1.0, |i| i as f64);
+                tr.emit(
+                    EventKind::RejectPolicy,
+                    class.index(),
+                    flow,
+                    u32::MAX,
+                    stage_idx,
+                    1.0,
+                );
+                return Err(Reject::Policy { stage, class });
+            }
+        }
         match backend.try_reserve_path(route, class.index(), rate) {
             Ok(cas_retries) => {
                 if let Some(m) = &inner.metrics {
@@ -394,6 +490,12 @@ impl AdmissionController {
                 })
             }
             Err(reject) => {
+                // The chain consumed for this flow; the utilization
+                // check turned it away, so every stage refunds — a
+                // rejected flow leaves no residue in the shaping budgets.
+                if !chain.is_static() {
+                    chain.refund_n(class.index(), 1);
+                }
                 if let Some(m) = &inner.metrics {
                     m.rejects_link_full.inc();
                     m.rejects_link_full_class[class.index()].inc();
@@ -445,7 +547,15 @@ impl AdmissionController {
     /// block the rest of the batch.
     pub fn try_admit_batch(&self, specs: &[FlowSpec]) -> BatchOutcome {
         let generation = self.current_generation();
-        self.try_admit_batch_on(&generation, specs)
+        self.batch_inner(&generation, specs, None)
+    }
+
+    /// Like [`try_admit_batch`](Self::try_admit_batch) on an explicit
+    /// decision clock (the batched counterpart of
+    /// [`try_admit_at`](Self::try_admit_at)).
+    pub fn try_admit_batch_at(&self, specs: &[FlowSpec], t: f64) -> BatchOutcome {
+        let generation = self.current_generation();
+        self.batch_inner(&generation, specs, Some(t))
     }
 
     /// Like [`try_admit_batch`](Self::try_admit_batch) but against an
@@ -455,6 +565,15 @@ impl AdmissionController {
         &self,
         generation: &Arc<ConfigGeneration>,
         specs: &[FlowSpec],
+    ) -> BatchOutcome {
+        self.batch_inner(generation, specs, None)
+    }
+
+    fn batch_inner(
+        &self,
+        generation: &Arc<ConfigGeneration>,
+        specs: &[FlowSpec],
+        now: Option<f64>,
     ) -> BatchOutcome {
         if specs.is_empty() {
             return BatchOutcome {
@@ -524,6 +643,56 @@ impl AdmissionController {
             .collect();
         let no_route = uniq_of.iter().filter(|&&j| uniq[j].1.is_none()).count();
         let routed = specs.len() - no_route;
+        // Policy chain over the batch: one aggregate grab per class (its
+        // routed flow count), so the fast path pays one chain walk per
+        // class, not per flow. If any class's aggregate is clipped, the
+        // whole batch falls back to the per-flow path, where each flow
+        // re-consults the chain individually — a partially affordable
+        // burst admits exactly the prefix the sequential path would
+        // (burst-clipped, not burst-dropped).
+        let chain = generation.policy();
+        let mut policy_consumed: Vec<(usize, u64)> = Vec::new();
+        if !chain.is_static() && routed > 0 {
+            let t = now.unwrap_or_else(uba_obs::process_secs);
+            let mut class_counts: Vec<(usize, u64)> = Vec::new();
+            for (spec, route, count) in &uniq {
+                if route.is_some() {
+                    let c = spec.class.index();
+                    match class_counts.iter_mut().find(|(k, _)| *k == c) {
+                        Some((_, n)) => *n += count,
+                        None => class_counts.push((c, *count)),
+                    }
+                }
+            }
+            let mut clipped = false;
+            for &(c, n) in &class_counts {
+                match chain.admit_n(c, n, t) {
+                    Ok(()) => policy_consumed.push((c, n)),
+                    Err(_) => {
+                        clipped = true;
+                        break;
+                    }
+                }
+            }
+            if clipped {
+                for &(c, n) in &policy_consumed {
+                    chain.refund_n(c, n);
+                }
+                if let Some(m) = &inner.metrics {
+                    m.batches.inc();
+                    m.batch_fallbacks.inc();
+                    m.record_admit_ns(timer);
+                }
+                let flows = specs
+                    .iter()
+                    .map(|s| self.admit_inner(generation, s.class, s.src, s.dst, now))
+                    .collect();
+                return BatchOutcome {
+                    flows,
+                    fast_path: false,
+                };
+            }
+        }
         match backend.try_reserve_batch(&demands) {
             Ok(cas_retries) => {
                 // Audit-trail flow ids: one contiguous block per batch
@@ -594,9 +763,15 @@ impl AdmissionController {
                 // Aggregate does not fit: per-flow fallback in slice
                 // order — decision-for-decision the sequential path
                 // (partial admission, per-flow tracepoints and reject
-                // detail). The timer sample here covers aggregation plus
-                // the failed batch reserve; each fallback admit samples
-                // its own latency as usual.
+                // detail). The chain's aggregate grab is returned first
+                // so the fallback's per-flow consults start from the
+                // same shaping state the sequential path would see. The
+                // timer sample here covers aggregation plus the failed
+                // batch reserve; each fallback admit samples its own
+                // latency as usual.
+                for &(c, n) in &policy_consumed {
+                    chain.refund_n(c, n);
+                }
                 if let Some(m) = &inner.metrics {
                     m.batches.inc();
                     m.batch_fallbacks.inc();
@@ -604,7 +779,7 @@ impl AdmissionController {
                 }
                 let flows = specs
                     .iter()
-                    .map(|s| self.try_admit_on(generation, s.class, s.src, s.dst))
+                    .map(|s| self.admit_inner(generation, s.class, s.src, s.dst, now))
                     .collect();
                 BatchOutcome {
                     flows,
@@ -812,6 +987,7 @@ impl Drop for FlowHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::{ChainKind, PolicyChain, PolicyConfig};
     use uba_graph::{Digraph, Path};
     use uba_traffic::TrafficClass;
 
@@ -1260,6 +1436,118 @@ mod tests {
         drop(out);
         assert_eq!(g0.pinned(), 0);
         assert_eq!(g0.backend().snapshot(2, 0), 0.0);
+    }
+
+    fn policy_ctrl(alpha: f64, cfg: PolicyConfig) -> AdmissionController {
+        let (table, _, edges) = topology();
+        let classes = ClassSet::single(TrafficClass::voip());
+        let caps = vec![1e6; edges];
+        let chain = PolicyChain::from_config(&cfg, &[32_000.0]);
+        AdmissionController::from_generation(ConfigGeneration::with_policy(
+            table,
+            &classes,
+            &caps,
+            &[alpha],
+            BackendKind::Atomic,
+            chain,
+        ))
+    }
+
+    #[test]
+    fn token_bucket_chain_clips_bursts_and_refills_with_time() {
+        let cfg = PolicyConfig {
+            chain: ChainKind::TokenBucket,
+            bucket_rate_bps: 32_000.0,
+            bucket_burst_bits: 3.0 * 32_000.0,
+            ..PolicyConfig::default()
+        };
+        let ctrl = policy_ctrl(0.32, cfg);
+        let _held: Vec<_> = (0..3)
+            .map(|_| ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0).unwrap())
+            .collect();
+        match ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0) {
+            Err(Reject::Policy { stage, class }) => {
+                assert_eq!(stage, "token_bucket");
+                assert_eq!(class, ClassId(0));
+            }
+            other => panic!("expected a policy reject, got {other:?}"),
+        }
+        // One flow-cost refills per second on the virtual clock.
+        assert!(ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 1.0).is_ok());
+    }
+
+    #[test]
+    fn utilization_reject_refunds_the_chain() {
+        // Utilization admits one flow (alpha 0.032 on 1 Mb/s = one voip
+        // flow); the non-refilling bucket starts with two tokens.
+        let cfg = PolicyConfig {
+            chain: ChainKind::TokenBucket,
+            bucket_rate_bps: 0.0,
+            bucket_burst_bits: 2.0 * 32_000.0,
+            ..PolicyConfig::default()
+        };
+        let ctrl = policy_ctrl(0.032, cfg);
+        let h = ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0).unwrap();
+        // Link full: the token the chain consumed must come back.
+        assert!(matches!(
+            ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0),
+            Err(Reject::LinkFull { .. })
+        ));
+        drop(h);
+        // The refunded token covers this admit (without the refund the
+        // bucket would be empty and reject it).
+        let _h2 = ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0).unwrap();
+        // Both tokens now spent: the chain rejects before the backend
+        // even gets asked.
+        assert!(matches!(
+            ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0),
+            Err(Reject::Policy {
+                stage: "token_bucket",
+                ..
+            })
+        ));
+        assert_eq!(
+            Reject::Policy {
+                stage: "token_bucket",
+                class: ClassId(0)
+            }
+            .to_string(),
+            "policy stage token_bucket rejected class 0 before the utilization check"
+        );
+    }
+
+    #[test]
+    fn batch_with_policy_clips_to_the_sequential_prefix() {
+        let cfg = PolicyConfig {
+            chain: ChainKind::TokenBucket,
+            bucket_rate_bps: 0.0,
+            bucket_burst_bits: 2.0 * 32_000.0,
+            ..PolicyConfig::default()
+        };
+        let ctrl = policy_ctrl(0.32, cfg);
+        let specs = vec![
+            FlowSpec {
+                class: ClassId(0),
+                src: NodeId(0),
+                dst: NodeId(2),
+            };
+            3
+        ];
+        let out = ctrl.try_admit_batch_at(&specs, 0.0);
+        assert!(!out.fast_path, "a clipped batch must fall back per flow");
+        assert_eq!(out.admitted(), 2, "burst-clipped, not burst-dropped");
+        assert!(matches!(
+            out.flows[2],
+            Err(Reject::Policy {
+                stage: "token_bucket",
+                ..
+            })
+        ));
+        // A batch the bucket can cover stays on the fast path.
+        let ctrl = policy_ctrl(0.32, cfg);
+        let out = ctrl.try_admit_batch_at(&specs[..2], 0.0);
+        assert!(out.fast_path);
+        assert_eq!(out.admitted(), 2);
     }
 
     #[test]

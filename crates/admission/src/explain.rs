@@ -26,6 +26,10 @@ pub enum ExplainVerdict {
     NoRoute,
     /// Some link on the path cannot fit the flow's rate.
     LinkFull,
+    /// A shaping stage of the generation's policy chain would turn the
+    /// flow away before the utilization check (see
+    /// [`Explain::rejected_stage`]).
+    PolicyReject,
 }
 
 impl ExplainVerdict {
@@ -35,6 +39,32 @@ impl ExplainVerdict {
             ExplainVerdict::Admissible => "admissible",
             ExplainVerdict::NoRoute => "no_route",
             ExplainVerdict::LinkFull => "link_full",
+            ExplainVerdict::PolicyReject => "policy_reject",
+        }
+    }
+}
+
+/// One policy stage's verdict inside an [`Explain`] (the stages are
+/// dry-run independently, so a diagnosis names *every* stage that would
+/// reject, not just the first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StageVerdict {
+    /// The stage would admit the flow.
+    Pass,
+    /// The stage would reject the flow.
+    Reject,
+    /// The stage was not evaluated (the terminal utilization stage when
+    /// no route exists to walk).
+    Skipped,
+}
+
+impl StageVerdict {
+    /// Stable lower-snake name used in the JSON rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StageVerdict::Pass => "pass",
+            StageVerdict::Reject => "reject",
+            StageVerdict::Skipped => "skipped",
         }
     }
 }
@@ -62,6 +92,13 @@ pub struct Explain {
     pub reserved_bps: f64,
     /// Budget `α_i · C` of the class on the diagnosed link, bits/s.
     pub budget_bps: f64,
+    /// Every policy stage's verdict in chain order, the terminal
+    /// `"utilization"` stage last. A `Static` chain reports only the
+    /// utilization entry.
+    pub stages: Vec<(&'static str, StageVerdict)>,
+    /// First shaping stage that would reject (`None` unless the verdict
+    /// is [`ExplainVerdict::PolicyReject`]).
+    pub rejected_stage: Option<&'static str>,
 }
 
 impl Explain {
@@ -93,10 +130,26 @@ impl Explain {
         let link = self
             .link
             .map_or_else(|| "null".into(), |l| l.to_string());
+        let mut stages = String::new();
+        for (i, (name, verdict)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                stages.push(',');
+            }
+            write!(
+                stages,
+                "{{\"stage\":\"{name}\",\"verdict\":\"{}\"}}",
+                verdict.as_str()
+            )
+            .unwrap();
+        }
+        let rejected_stage = self
+            .rejected_stage
+            .map_or_else(|| "null".into(), |s| format!("\"{s}\""));
         format!(
             "{{\"class\":{},\"src\":{},\"dst\":{},\"verdict\":\"{}\",\"path\":[{path}],\
              \"flow_rate_bps\":{:?},\"link\":{link},\"reserved_bps\":{:?},\
-             \"budget_bps\":{:?},\"utilization\":{:?},\"headroom_bps\":{:?}}}",
+             \"budget_bps\":{:?},\"utilization\":{:?},\"headroom_bps\":{:?},\
+             \"stages\":[{stages}],\"rejected_stage\":{rejected_stage}}}",
             self.class.index(),
             self.src.0,
             self.dst.0,
@@ -141,6 +194,11 @@ impl fmt::Display for Explain {
                 self.headroom_bps() / 1e3,
                 self.flow_rate_bps / 1e3,
             ),
+            ExplainVerdict::PolicyReject => write!(
+                f,
+                "policy stage {} would reject before the utilization check",
+                self.rejected_stage.unwrap_or("?"),
+            ),
         }
     }
 }
@@ -159,6 +217,24 @@ impl AdmissionController {
     /// tightest-headroom link, which is the one that will fail first as
     /// load grows.
     pub fn explain(&self, class: ClassId, src: NodeId, dst: NodeId) -> Explain {
+        self.explain_impl(class, src, dst, None)
+    }
+
+    /// Like [`explain`](Self::explain) on an explicit decision clock:
+    /// `t` is what the policy stages' dry runs see (token-bucket refill
+    /// credit, AIMD ceiling refill) — the diagnostic counterpart of
+    /// [`try_admit_at`](Self::try_admit_at).
+    pub fn explain_at(&self, class: ClassId, src: NodeId, dst: NodeId, t: f64) -> Explain {
+        self.explain_impl(class, src, dst, Some(t))
+    }
+
+    fn explain_impl(
+        &self,
+        class: ClassId,
+        src: NodeId,
+        dst: NodeId,
+        now: Option<f64>,
+    ) -> Explain {
         let generation = self.current_generation();
         let rate = generation.rates()[class.index()];
         let mut ex = Explain {
@@ -171,33 +247,66 @@ impl AdmissionController {
             link: None,
             reserved_bps: 0.0,
             budget_bps: 0.0,
+            stages: Vec::new(),
+            rejected_stage: None,
         };
-        let Some(route) = generation.table().route(src, dst, class) else {
-            return ex;
-        };
-        ex.path = route.to_vec();
         let state = generation.backend();
         let c = class.index();
-        ex.verdict = ExplainVerdict::Admissible;
         let mut tightest: Option<(u32, f64)> = None;
-        for &server in route {
-            let s = server as usize;
-            if !state.would_fit(s, c, rate) {
-                ex.verdict = ExplainVerdict::LinkFull;
-                ex.link = Some(server);
-                ex.reserved_bps = state.snapshot(s, c);
-                ex.budget_bps = state.budget(s, c);
-                return ex;
+        if let Some(route) = generation.table().route(src, dst, class) {
+            ex.path = route.to_vec();
+            ex.verdict = ExplainVerdict::Admissible;
+            for &server in route {
+                let s = server as usize;
+                if !state.would_fit(s, c, rate) {
+                    ex.verdict = ExplainVerdict::LinkFull;
+                    ex.link = Some(server);
+                    ex.reserved_bps = state.snapshot(s, c);
+                    ex.budget_bps = state.budget(s, c);
+                    break;
+                }
+                let headroom = state.budget(s, c) - state.snapshot(s, c);
+                if tightest.is_none_or(|(_, h)| headroom < h) {
+                    tightest = Some((server, headroom));
+                }
             }
-            let headroom = state.budget(s, c) - state.snapshot(s, c);
-            if tightest.is_none_or(|(_, h)| headroom < h) {
-                tightest = Some((server, headroom));
+            if ex.verdict == ExplainVerdict::Admissible {
+                if let Some((server, _)) = tightest {
+                    ex.link = Some(server);
+                    ex.reserved_bps = state.snapshot(server as usize, c);
+                    ex.budget_bps = state.budget(server as usize, c);
+                }
             }
         }
-        if let Some((server, _)) = tightest {
-            ex.link = Some(server);
-            ex.reserved_bps = state.snapshot(server as usize, c);
-            ex.budget_bps = state.budget(server as usize, c);
+        // Policy stages are dry-run independently (no consumption, no
+        // short-circuit), so the diagnosis names every stage that would
+        // reject — richer than the real admit path, which stops at the
+        // first. A `Static` chain skips the clock read entirely.
+        let chain = generation.policy();
+        if !chain.is_static() {
+            let t = now.unwrap_or_else(uba_obs::process_secs);
+            for (name, ok) in chain.dry_run(c, 1, t) {
+                let v = if ok { StageVerdict::Pass } else { StageVerdict::Reject };
+                if !ok && ex.rejected_stage.is_none() {
+                    ex.rejected_stage = Some(name);
+                }
+                ex.stages.push((name, v));
+            }
+        }
+        ex.stages.push((
+            "utilization",
+            match ex.verdict {
+                ExplainVerdict::NoRoute => StageVerdict::Skipped,
+                ExplainVerdict::LinkFull => StageVerdict::Reject,
+                _ => StageVerdict::Pass,
+            },
+        ));
+        // Verdict precedence mirrors the admit path: no_route first,
+        // then the shaping stages, then the utilization walk.
+        if ex.verdict != ExplainVerdict::NoRoute && ex.rejected_stage.is_some() {
+            ex.verdict = ExplainVerdict::PolicyReject;
+        } else {
+            ex.rejected_stage = None;
         }
         ex
     }
@@ -342,6 +451,97 @@ mod tests {
             assert_eq!(num("budget_bps"), Some(ex.budget_bps), "{line}");
             assert_eq!(num("utilization"), Some(ex.observed_utilization()), "{line}");
             assert_eq!(num("headroom_bps"), Some(ex.headroom_bps()), "{line}");
+            assert_stages_round_trip(ex, &v, &line);
         }
+    }
+
+    fn assert_stages_round_trip(ex: &Explain, v: &uba_obs::json::JsonValue, line: &str) {
+        use uba_obs::json::JsonValue;
+        let stages = match v.get("stages") {
+            Some(JsonValue::Array(items)) => items,
+            other => panic!("stages must be an array, got {other:?}: {line}"),
+        };
+        assert_eq!(stages.len(), ex.stages.len(), "{line}");
+        for (item, (name, verdict)) in stages.iter().zip(&ex.stages) {
+            assert_eq!(item.get("stage").and_then(JsonValue::as_str), Some(*name), "{line}");
+            assert_eq!(
+                item.get("verdict").and_then(JsonValue::as_str),
+                Some(verdict.as_str()),
+                "{line}"
+            );
+        }
+        match ex.rejected_stage {
+            Some(s) => assert_eq!(
+                v.get("rejected_stage").and_then(JsonValue::as_str),
+                Some(s),
+                "{line}"
+            ),
+            None => assert_eq!(v.get("rejected_stage"), Some(&JsonValue::Null), "{line}"),
+        }
+    }
+
+    #[test]
+    fn explain_policy_stages_round_trip_in_json() {
+        use crate::generation::{BackendKind, ConfigGeneration};
+        use crate::policy::{ChainKind, PolicyChain, PolicyConfig};
+        let mut g = Digraph::with_nodes(3);
+        let (e01, _) = g.add_link(NodeId(0), NodeId(1), 1.0);
+        let (e12, _) = g.add_link(NodeId(1), NodeId(2), 1.0);
+        let mut table = RoutingTable::new();
+        table.insert(ClassId(0), &Path::from_edges(&g, vec![e01, e12]));
+        let classes = ClassSet::single(TrafficClass::voip());
+        let caps = vec![1e6; g.edge_count()];
+        // Adaptive chain with a one-flow, non-refilling bucket: after one
+        // admit the token bucket must read as the rejecting stage.
+        let cfg = PolicyConfig {
+            chain: ChainKind::Adaptive,
+            bucket_rate_bps: 0.0,
+            bucket_burst_bits: 32_000.0,
+            ..PolicyConfig::default()
+        };
+        let chain = PolicyChain::from_config(&cfg, &[32_000.0]);
+        let ctrl = AdmissionController::from_generation(ConfigGeneration::with_policy(
+            table,
+            &classes,
+            &caps,
+            &[0.32],
+            BackendKind::Atomic,
+            chain,
+        ));
+        let before = ctrl.explain_at(ClassId(0), NodeId(0), NodeId(2), 0.0);
+        assert_eq!(before.verdict, ExplainVerdict::Admissible);
+        assert_eq!(
+            before.stages,
+            vec![
+                ("token_bucket", StageVerdict::Pass),
+                ("aimd", StageVerdict::Pass),
+                ("utilization", StageVerdict::Pass),
+            ]
+        );
+        let _h = ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0).unwrap();
+        let after = ctrl.explain_at(ClassId(0), NodeId(0), NodeId(2), 0.0);
+        assert_eq!(after.verdict, ExplainVerdict::PolicyReject);
+        assert_eq!(after.rejected_stage, Some("token_bucket"));
+        assert_eq!(after.stages[0], ("token_bucket", StageVerdict::Reject));
+        assert_eq!(after.stages[2], ("utilization", StageVerdict::Pass));
+        assert!(after.to_string().contains("policy stage token_bucket"));
+        // The stage verdicts and rejected stage survive the JSON
+        // round-trip, for both shapes.
+        for ex in [&before, &after] {
+            let line = ex.to_json_line();
+            let v = uba_obs::json::parse(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert_eq!(
+                v.get("verdict").and_then(uba_obs::json::JsonValue::as_str),
+                Some(ex.verdict.as_str()),
+                "{line}"
+            );
+            assert_stages_round_trip(ex, &v, &line);
+        }
+        // The dry run consumed nothing: the real admit path sees the
+        // same single remaining decision it would have without explain.
+        assert!(matches!(
+            ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0),
+            Err(crate::Reject::Policy { stage: "token_bucket", .. })
+        ));
     }
 }

@@ -14,6 +14,7 @@
 //! [`AdmissionController::reconfigure`]: crate::AdmissionController::reconfigure
 
 use crate::backend::{AdmissionBackend, AtomicBackend, ShardedBackend};
+use crate::policy::PolicyChain;
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::table::RoutingTable;
 use uba_traffic::ClassSet;
@@ -47,6 +48,10 @@ pub struct ConfigGeneration {
     alphas: Vec<f64>,
     kind: BackendKind,
     backend: Box<dyn AdmissionBackend>,
+    /// Shaping stages evaluated before the backend reservation (see
+    /// [`PolicyChain`]). Frozen with the generation: a reconfigure
+    /// installs fresh policy state alongside the fresh budgets.
+    policy: PolicyChain,
     /// Live flows admitted under this generation (incremented on admit,
     /// decremented when their handle drops) — what `drain` reports.
     pinned: AtomicU64,
@@ -63,6 +68,21 @@ impl ConfigGeneration {
         alphas: &[f64],
         kind: BackendKind,
     ) -> Self {
+        Self::with_policy(table, classes, capacities, alphas, kind, PolicyChain::static_only())
+    }
+
+    /// Like [`new`](Self::new) but with an explicit admission policy
+    /// chain evaluated before the utilization check. The chain is part
+    /// of the frozen snapshot: its token/AIMD state is fresh at install
+    /// time and retires with the generation.
+    pub fn with_policy(
+        table: RoutingTable,
+        classes: &ClassSet,
+        capacities: &[f64],
+        alphas: &[f64],
+        kind: BackendKind,
+        policy: PolicyChain,
+    ) -> Self {
         assert_eq!(alphas.len(), classes.len(), "one alpha per class");
         let backend: Box<dyn AdmissionBackend> = match kind {
             BackendKind::Atomic => Box::new(AtomicBackend::new(capacities, alphas)),
@@ -75,6 +95,7 @@ impl ConfigGeneration {
             alphas: alphas.to_vec(),
             kind,
             backend,
+            policy,
             pinned: AtomicU64::new(0),
         }
     }
@@ -108,6 +129,13 @@ impl ConfigGeneration {
     /// The reservation backend holding this generation's budgets.
     pub fn backend(&self) -> &dyn AdmissionBackend {
         &*self.backend
+    }
+
+    /// The shaping stages evaluated before the backend reservation. A
+    /// default-constructed generation carries the empty `Static` chain
+    /// (utilization check only).
+    pub fn policy(&self) -> &PolicyChain {
+        &self.policy
     }
 
     /// Live flows still holding reservations in this generation.

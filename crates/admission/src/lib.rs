@@ -39,6 +39,13 @@
 //!   arrival-rate and inter-arrival-CV estimators plus a GCC-style
 //!   overuse detector, fed from the buffered metrics path and published
 //!   as `admission.arrival.*` / `admission.overuse_state` gauges.
+//! * [`policy`] — the composable admission-policy pipeline
+//!   ([`PolicyChain`]): zero or more shaping stages (per-class integer
+//!   token bucket, AIMD rate controller gated by the [`arrival`]
+//!   overuse detector) evaluated before the backend reservation, with
+//!   consume-before-reserve semantics and exact refund on any
+//!   downstream reject. The empty (`Static`) chain is the pre-pipeline
+//!   controller, bit for bit (`tests/policy_equiv.rs`).
 //! * [`metrics`] — admission-path instrumentation (counters for
 //!   admits/rejects/CAS retries, a path-length histogram, per-class
 //!   utilization gauges) recorded into the [`uba_obs`] registry.
@@ -58,6 +65,7 @@ pub mod controller;
 pub mod explain;
 pub mod generation;
 pub mod metrics;
+pub mod policy;
 pub mod state;
 pub(crate) mod sync;
 pub mod table;
@@ -71,8 +79,12 @@ pub use churn::{
 pub use controller::{
     AdmissionController, BatchOutcome, DrainStatus, FlowHandle, FlowSpec, Reject, ReconfigReport,
 };
-pub use explain::{Explain, ExplainVerdict};
+pub use explain::{Explain, ExplainVerdict, StageVerdict};
 pub use generation::{BackendKind, ConfigGeneration};
 pub use metrics::AdmissionMetrics;
+pub use policy::{
+    AimdParams, AimdStage, ChainKind, PolicyChain, PolicyConfig, PolicyStage, TokenBucketStage,
+    STAGE_NAMES,
+};
 pub use state::UtilizationState;
 pub use table::RoutingTable;

@@ -19,6 +19,7 @@
 
 use crate::arrival::ArrivalMonitor;
 use crate::generation::BackendKind;
+use crate::policy::STAGE_NAMES;
 use crate::sync::CachePadded;
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Mutex};
@@ -275,6 +276,7 @@ thread_local! {
 /// | `admission.rejects.no_route` | counter | rejects: no configured route |
 /// | `admission.rejects.link_full` | counter | rejects: some link at budget |
 /// | `admission.rejects.link_full.class<i>` | counter | ditto, split by class |
+/// | `admission.rejects.policy.<stage>` | counter | rejects by policy stage `<stage>` (one counter per [`STAGE_NAMES`] entry) |
 /// | `admission.cas_retries` | counter | CAS reservation retries |
 /// | `admission.releases` | counter | flows torn down |
 /// | `admission.path_hops` | histogram | route length per admitted flow |
@@ -305,6 +307,10 @@ pub struct AdmissionMetrics {
     pub rejects_link_full: Arc<Counter>,
     /// Per-class split of the link-full rejections.
     pub rejects_link_full_class: Vec<Arc<Counter>>,
+    /// Rejections by policy stage, indexed like [`STAGE_NAMES`]. Direct
+    /// atomics like the other reject counters: a policy reject is off
+    /// the admitted-flow hot path.
+    pub rejects_policy: Vec<Arc<Counter>>,
     /// CAS retries across all reservation loops.
     pub cas_retries: Arc<Counter>,
     /// Flows released (handle dropped).
@@ -365,6 +371,10 @@ impl AdmissionMetrics {
             rejects_link_full: registry.counter("admission.rejects.link_full"),
             rejects_link_full_class: (0..classes)
                 .map(|i| registry.counter(&format!("admission.rejects.link_full.class{i}")))
+                .collect(),
+            rejects_policy: STAGE_NAMES
+                .iter()
+                .map(|s| registry.counter(&format!("admission.rejects.policy.{s}")))
                 .collect(),
             cas_retries: registry.counter("admission.cas_retries"),
             releases: registry.counter("admission.releases"),
@@ -504,6 +514,16 @@ impl AdmissionMetrics {
             slots[slot].set(slots[slot].get() + 1);
             p.bump();
         });
+    }
+
+    /// Counts `n` flows turned away by the policy stage named `stage`
+    /// (one of [`STAGE_NAMES`]). Unknown names are ignored — a custom
+    /// [`PolicyStage`](crate::PolicyStage) outside the shipped registry
+    /// simply has no counter.
+    pub fn record_policy_reject(&self, stage: &str, n: u64) {
+        if let Some(i) = STAGE_NAMES.iter().position(|s| *s == stage) {
+            self.rejects_policy[i].add(n);
+        }
     }
 
     /// Publishes this thread's buffered hot-path deltas into the shared
@@ -656,6 +676,23 @@ mod tests {
         assert!(snap.get("admission.overuse_state").is_some());
         // Out-of-range classes fold rather than vanish.
         assert!(m.arrival.rate(1) > 0.0, "folded rate {}", m.arrival.rate(1));
+    }
+
+    #[test]
+    fn policy_reject_counters_key_on_stage_names() {
+        let r = Registry::new();
+        let m = AdmissionMetrics::register(&r, 1);
+        assert_eq!(m.rejects_policy.len(), STAGE_NAMES.len());
+        m.record_policy_reject("token_bucket", 2);
+        m.record_policy_reject("aimd", 1);
+        m.record_policy_reject("not_a_stage", 5); // silently ignored
+        let tb = STAGE_NAMES.iter().position(|s| *s == "token_bucket").unwrap();
+        let aimd = STAGE_NAMES.iter().position(|s| *s == "aimd").unwrap();
+        assert_eq!(m.rejects_policy[tb].get(), 2);
+        assert_eq!(m.rejects_policy[aimd].get(), 1);
+        let snap = r.snapshot();
+        assert!(snap.get("admission.rejects.policy.token_bucket").is_some());
+        assert!(snap.get("admission.rejects.policy.aimd").is_some());
     }
 
     #[test]

@@ -1,0 +1,844 @@
+//! Composable admission policy pipeline (ROADMAP item 2).
+//!
+//! The paper's admission decision is a single hard-wired predicate —
+//! the utilization check against `α_i·C`. This module turns the
+//! decision path into a *chain* of [`PolicyStage`]s evaluated before
+//! the backend reservation; the utilization check stays exactly where
+//! it was and becomes the chain's terminal stage. Two stages ship with
+//! the chain:
+//!
+//! * [`TokenBucketStage`] — a per-class integer token bucket over
+//!   *admitted demand*: each admitted flow of class `i` costs its
+//!   declared rate `ρ_i` in millibits, the bucket refills at a
+//!   configured millibit rate and is capped at a configured burst
+//!   depth. All arithmetic is integer millibits on lock-free CAS
+//!   atomics (same discipline as the reservation backends), so a
+//!   refill racing an admit can never over-grant — proven by the loom
+//!   model in `tests/loom_models.rs`.
+//! * [`AimdStage`] — an AIMD rate controller gated by the PR 8 overuse
+//!   detector ([`crate::arrival`]): the stage feeds every admission
+//!   attempt into a per-class [`ArrivalEstimator`] +
+//!   [`OveruseDetector`] and maintains a ceiling on admitted demand —
+//!   multiplicative clamp while the detector reads `Overuse`, additive
+//!   recovery under `Normal`, hold under `Underuse`.
+//!
+//! Ordering rule: shaping stages run in declaration order
+//! ([`STAGE_NAMES`]) and the utilization check is always terminal — a
+//! stage may only *narrow* what the utilization test would admit, so
+//! an empty ("static") chain is decision-identical to the pre-pipeline
+//! controller (the `policy_equiv` suite proves it decision-for-
+//! decision). Stages consume on success; when a later stage or the
+//! backend reservation rejects, the controller refunds every stage
+//! that already consumed, so a rejected flow leaves no residue in the
+//! chain.
+//!
+//! Time is always an explicit `t` parameter (seconds on the caller's
+//! clock); this module never reads a wall clock (xtask rule 5).
+
+use crate::arrival::{
+    ArrivalEstimator, OveruseDetector, OveruseState, BASELINE_TAU, OVERUSE_SUSTAIN,
+    OVERUSE_THRESHOLD, RATE_TAU,
+};
+use crate::state::{to_millibits, SCALE};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{CachePadded, Mutex};
+use std::fmt;
+
+/// Every shipped policy stage name, in chain order. xtask rule 10
+/// parses this list and requires a per-stage reject-cause counter
+/// (`admission.rejects.policy.<name>`) plus the `trace.reject_policy`
+/// tracepoint in `docs/metrics-manifest.txt`.
+pub const STAGE_NAMES: [&str; 2] = ["token_bucket", "aimd"];
+
+/// One stage of the admission policy chain, evaluated before the
+/// backend reservation. Implementations must be exact under
+/// concurrency: `admit_n` consumes atomically (all-or-nothing for the
+/// whole `n`-flow grab) and must never grant what the stage's own
+/// budget cannot cover.
+pub trait PolicyStage: fmt::Debug + Send + Sync {
+    /// Stable lower-snake stage name; must be one of [`STAGE_NAMES`]
+    /// (reject counters and tracepoints key on it).
+    fn name(&self) -> &'static str;
+
+    /// Consumes this stage's budget for `n` flows of `class` at time
+    /// `t` (seconds). Returns `false` — consuming nothing — when the
+    /// budget cannot cover the whole grab.
+    fn admit_n(&self, class: usize, n: u64, t: f64) -> bool;
+
+    /// Returns a previously consumed `n`-flow grab (a later stage or
+    /// the backend rejected the admission).
+    fn refund_n(&self, class: usize, n: u64);
+
+    /// Whether `admit_n` would currently succeed, without consuming
+    /// anything. Advisory (used by `explain` dry runs); may race
+    /// concurrent admissions like every other dry read.
+    fn would_admit(&self, class: usize, n: u64, t: f64) -> bool;
+}
+
+/// An ordered chain of policy stages. The empty chain is the `Static`
+/// (utilization-only) policy: [`PolicyChain::admit_n`] is a no-op and
+/// the controller's decision path reduces to exactly the pre-pipeline
+/// code.
+#[derive(Debug, Default)]
+pub struct PolicyChain {
+    stages: Vec<Box<dyn PolicyStage>>,
+}
+
+impl PolicyChain {
+    /// The utilization-only chain: no shaping stages at all.
+    pub fn static_only() -> Self {
+        Self { stages: Vec::new() }
+    }
+
+    /// Appends a stage (stages run in push order).
+    pub fn push(&mut self, stage: Box<dyn PolicyStage>) {
+        self.stages.push(stage);
+    }
+
+    /// Whether this is the utilization-only chain (no shaping stages).
+    pub fn is_static(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The shaping stages, in evaluation order.
+    pub fn stages(&self) -> &[Box<dyn PolicyStage>] {
+        &self.stages
+    }
+
+    /// Runs `n` flows of `class` through every stage in order,
+    /// consuming each stage's budget. On the first stage that rejects,
+    /// every earlier stage is refunded and the rejecting stage's name
+    /// is returned — the chain is all-or-nothing.
+    pub fn admit_n(&self, class: usize, n: u64, t: f64) -> Result<(), &'static str> {
+        for (i, stage) in self.stages.iter().enumerate() {
+            if !stage.admit_n(class, n, t) {
+                for held in &self.stages[..i] {
+                    held.refund_n(class, n);
+                }
+                return Err(stage.name());
+            }
+        }
+        Ok(())
+    }
+
+    /// Refunds an `n`-flow grab from every stage (the backend
+    /// reservation failed after the whole chain had consumed).
+    pub fn refund_n(&self, class: usize, n: u64) {
+        for stage in &self.stages {
+            stage.refund_n(class, n);
+        }
+    }
+
+    /// Dry-runs every stage independently (no consumption, no
+    /// short-circuit): `(stage name, would admit)` per stage, in chain
+    /// order. The `explain` diagnosis renders these verdicts.
+    pub fn dry_run(&self, class: usize, n: u64, t: f64) -> Vec<(&'static str, bool)> {
+        self.stages
+            .iter()
+            .map(|s| (s.name(), s.would_admit(class, n, t)))
+            .collect()
+    }
+
+    /// Builds the chain a [`PolicyConfig`] describes, for traffic
+    /// classes with the given per-flow rates (bits/s) — each admitted
+    /// flow of class `i` costs `rates_bps[i]` against the shaping
+    /// budgets.
+    pub fn from_config(cfg: &PolicyConfig, rates_bps: &[f64]) -> Self {
+        let mut chain = Self::static_only();
+        match cfg.chain {
+            ChainKind::Static => {}
+            ChainKind::TokenBucket => {
+                chain.push(Box::new(TokenBucketStage::new(
+                    cfg.bucket_rate_bps,
+                    cfg.bucket_burst_bits,
+                    rates_bps,
+                )));
+            }
+            ChainKind::Adaptive => {
+                chain.push(Box::new(TokenBucketStage::new(
+                    cfg.bucket_rate_bps,
+                    cfg.bucket_burst_bits,
+                    rates_bps,
+                )));
+                chain.push(Box::new(AimdStage::new(cfg.aimd, rates_bps)));
+            }
+        }
+        chain
+    }
+}
+
+/// Which shaping stages a scenario's `[policy]` table enables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChainKind {
+    /// Utilization check only — decision-identical to the
+    /// pre-pipeline controller.
+    #[default]
+    Static,
+    /// Token bucket, then the utilization check.
+    TokenBucket,
+    /// Token bucket, then AIMD overuse gating, then the utilization
+    /// check.
+    Adaptive,
+}
+
+impl ChainKind {
+    /// Stable lower-snake name (the `[policy] chain = "..."` value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ChainKind::Static => "static",
+            ChainKind::TokenBucket => "token_bucket",
+            ChainKind::Adaptive => "adaptive",
+        }
+    }
+
+    /// Parses a `[policy] chain` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "static" => Some(ChainKind::Static),
+            "token_bucket" => Some(ChainKind::TokenBucket),
+            "adaptive" => Some(ChainKind::Adaptive),
+            _ => None,
+        }
+    }
+}
+
+/// AIMD controller parameters (all demand-denominated, bits/s).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AimdParams {
+    /// Floor the multiplicative decrease can never clamp below.
+    pub min_rate_bps: f64,
+    /// Ceiling additive recovery can never raise above (also the
+    /// initial ceiling — the stage starts permissive).
+    pub max_rate_bps: f64,
+    /// Multiplicative decrease factor applied under `Overuse`
+    /// (`0 < decrease < 1`).
+    pub decrease: f64,
+    /// Additive recovery step (bits/s) applied under `Normal`.
+    pub increase_bps: f64,
+}
+
+impl Default for AimdParams {
+    fn default() -> Self {
+        Self {
+            min_rate_bps: 64_000.0,
+            max_rate_bps: 1e8,
+            decrease: 0.7,
+            increase_bps: 64_000.0,
+        }
+    }
+}
+
+/// Declarative policy-chain configuration — what a scenario's
+/// `[policy]` TOML table deserializes into.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PolicyConfig {
+    /// Which stages to build.
+    pub chain: ChainKind,
+    /// Token-bucket refill rate (bits/s of admitted demand per class).
+    pub bucket_rate_bps: f64,
+    /// Token-bucket depth (bits): the largest admitted-demand burst a
+    /// quiet class can absorb at once.
+    pub bucket_burst_bits: f64,
+    /// AIMD stage parameters.
+    pub aimd: AimdParams,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self {
+            chain: ChainKind::Static,
+            bucket_rate_bps: 1e6,
+            bucket_burst_bits: 1e6,
+            aimd: AimdParams::default(),
+        }
+    }
+}
+
+/// One class's token bucket: tokens and the last-refill timestamp,
+/// each on its own atomic (the timestamp stores `f64::to_bits`).
+/// `CachePadded` so concurrent classes never share a line.
+#[derive(Debug)]
+struct Bucket {
+    /// Remaining tokens, millibits.
+    tokens: AtomicU64,
+    /// Last refill time, seconds, as `f64` bits.
+    last_bits: AtomicU64,
+}
+
+/// Per-class integer token bucket over admitted demand (see the
+/// module docs). Buckets start full.
+#[derive(Debug)]
+pub struct TokenBucketStage {
+    /// Refill rate, millibits per second.
+    rate_mb: u64,
+    /// Bucket depth, millibits.
+    burst_mb: u64,
+    /// Per-class cost of one admitted flow, millibits (`ρ_i`).
+    cost_mb: Vec<u64>,
+    buckets: Vec<CachePadded<Bucket>>,
+}
+
+impl TokenBucketStage {
+    /// A bucket per class: refill `rate_bps` bits/s of admitted
+    /// demand, depth `burst_bits` bits, one-flow cost `rates_bps[i]`.
+    pub fn new(rate_bps: f64, burst_bits: f64, rates_bps: &[f64]) -> Self {
+        let burst_mb = to_millibits(burst_bits);
+        Self {
+            rate_mb: to_millibits(rate_bps),
+            burst_mb,
+            cost_mb: rates_bps.iter().map(|&r| to_millibits(r)).collect(),
+            buckets: rates_bps
+                .iter()
+                .map(|_| {
+                    CachePadded::new(Bucket {
+                        tokens: AtomicU64::new(burst_mb),
+                        last_bits: AtomicU64::new(0.0f64.to_bits()),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Current tokens of `class`, bits (diagnostic).
+    pub fn tokens_bits(&self, class: usize) -> f64 {
+        self.buckets.get(class).map_or(0.0, |b| {
+            // ordering: Acquire — advisory read, no older than what the
+            // caller already observed (same contract as backend
+            // snapshots).
+            b.tokens.load(Ordering::Acquire) as f64 / SCALE
+        })
+    }
+
+    /// The millibit cost of an `n`-flow grab of `class` (flows of an
+    /// unknown class are free — the chain never blocks what it cannot
+    /// account).
+    fn want(&self, class: usize, n: u64) -> u64 {
+        self.cost_mb
+            .get(class)
+            .map_or(0, |&c| c.saturating_mul(n))
+    }
+
+    /// Credits the elapsed interval since the last refill into the
+    /// bucket, clamped at the burst depth. Exactly one thread claims
+    /// any given `[last, t]` interval (the CAS on `last_bits`), so
+    /// racing refills can never credit the same elapsed time twice —
+    /// the never-over-grant half of the loom model.
+    fn refill(&self, bucket: &Bucket, t: f64) {
+        loop {
+            // ordering: Acquire — pairs with the claim CAS below so a
+            // loser re-reads the winner's published timestamp.
+            let last = f64::from_bits(bucket.last_bits.load(Ordering::Acquire));
+            if !t.is_finite() || t <= last {
+                return;
+            }
+            // ordering: AcqRel — claiming the interval publishes the new
+            // timestamp before the credit lands; a racing claimer either
+            // sees it and credits only its own later sliver, or retries.
+            if bucket
+                .last_bits
+                .compare_exchange(
+                    last.to_bits(),
+                    t.to_bits(),
+                    Ordering::AcqRel,
+                    // ordering: Acquire on failure — the loser re-reads
+                    // the winner's published timestamp on retry.
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            // Clamping the credit at the depth keeps the arithmetic in
+            // range for any elapsed time; the CAS loop below clamps the
+            // sum again so tokens never exceed the depth.
+            let credit = ((t - last) * self.rate_mb as f64).min(self.burst_mb as f64) as u64;
+            if credit == 0 {
+                return;
+            }
+            let mut cur = bucket.tokens.load(Ordering::Relaxed);
+            loop {
+                let new = cur.saturating_add(credit).min(self.burst_mb);
+                // ordering: AcqRel — publishing refilled tokens pairs
+                // with the consuming CAS in `admit_n`, like a backend
+                // release pairs with the next reserve.
+                match bucket.tokens.compare_exchange_weak(
+                    cur,
+                    new,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+}
+
+impl PolicyStage for TokenBucketStage {
+    fn name(&self) -> &'static str {
+        "token_bucket"
+    }
+
+    fn admit_n(&self, class: usize, n: u64, t: f64) -> bool {
+        let want = self.want(class, n);
+        if want == 0 {
+            return true;
+        }
+        let Some(bucket) = self.buckets.get(class) else {
+            return true;
+        };
+        self.refill(bucket, t);
+        let mut cur = bucket.tokens.load(Ordering::Relaxed);
+        while cur >= want {
+            // ordering: AcqRel — the consuming CAS pairs with refill's
+            // publish; the decrement only happens when the observed
+            // tokens cover the whole grab, so concurrent admits can
+            // never jointly overdraw the bucket.
+            match bucket.tokens.compare_exchange_weak(
+                cur,
+                cur - want,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+        false
+    }
+
+    fn refund_n(&self, class: usize, n: u64) {
+        let want = self.want(class, n);
+        if want == 0 {
+            return;
+        }
+        let Some(bucket) = self.buckets.get(class) else {
+            return;
+        };
+        let mut cur = bucket.tokens.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(want).min(self.burst_mb);
+            // ordering: AcqRel — a refund republishes tokens exactly
+            // like a refill (clamped at the depth, so a refund racing a
+            // refill cannot mint tokens).
+            match bucket.tokens.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn would_admit(&self, class: usize, n: u64, t: f64) -> bool {
+        let want = self.want(class, n);
+        if want == 0 {
+            return true;
+        }
+        let Some(bucket) = self.buckets.get(class) else {
+            return true;
+        };
+        // ordering: Acquire ×2 — advisory dry read of (tokens, last);
+        // mirrors what admit_n would see without claiming the interval.
+        let tokens = bucket.tokens.load(Ordering::Acquire);
+        let last = f64::from_bits(bucket.last_bits.load(Ordering::Acquire));
+        let credit = if t > last {
+            ((t - last) * self.rate_mb as f64).min(self.burst_mb as f64) as u64
+        } else {
+            0
+        };
+        tokens.saturating_add(credit).min(self.burst_mb) >= want
+    }
+}
+
+/// How often (seconds) the AIMD stage may adjust its ceiling. Paces
+/// the multiplicative decrease so one sustained overuse episode clamps
+/// geometrically over the episode instead of collapsing to the floor
+/// on consecutive admissions within the same batch.
+const AIMD_ADJUST_EVERY: f64 = 0.1;
+
+/// One class's AIMD state, behind its own padded mutex.
+#[derive(Debug)]
+struct AimdClass {
+    est: ArrivalEstimator,
+    det: OveruseDetector,
+    /// Current admitted-demand ceiling, millibits/s.
+    cap_mb: u64,
+    /// Enforcement tokens, millibits (refilled at `cap_mb`/s, depth one
+    /// second of ceiling).
+    tokens_mb: u64,
+    last_refill: f64,
+    last_adjust: f64,
+}
+
+/// AIMD rate controller gated by the overuse detector (see the module
+/// docs). Enforcement is a token bucket whose refill rate *is* the
+/// adaptive ceiling (depth: one second of ceiling), so "admitted
+/// demand per second" is what the ceiling actually bounds.
+#[derive(Debug)]
+pub struct AimdStage {
+    min_mb: u64,
+    max_mb: u64,
+    decrease: f64,
+    increase_mb: u64,
+    /// Per-class cost of one admitted flow, millibits (`ρ_i`).
+    cost_mb: Vec<u64>,
+    classes: Vec<CachePadded<Mutex<AimdClass>>>,
+}
+
+impl AimdStage {
+    /// An AIMD stage for classes with per-flow rates `rates_bps`.
+    pub fn new(params: AimdParams, rates_bps: &[f64]) -> Self {
+        assert!(
+            params.decrease > 0.0 && params.decrease < 1.0,
+            "decrease must be a fraction in (0, 1)"
+        );
+        assert!(params.increase_bps > 0.0, "increase step must be positive");
+        let min_mb = to_millibits(params.min_rate_bps);
+        let max_mb = to_millibits(params.max_rate_bps).max(min_mb);
+        Self {
+            min_mb,
+            max_mb,
+            decrease: params.decrease,
+            increase_mb: to_millibits(params.increase_bps).max(1),
+            cost_mb: rates_bps.iter().map(|&r| to_millibits(r)).collect(),
+            classes: rates_bps
+                .iter()
+                .map(|_| {
+                    CachePadded::new(Mutex::new(AimdClass {
+                        est: ArrivalEstimator::new(RATE_TAU),
+                        det: OveruseDetector::new(
+                            OVERUSE_THRESHOLD,
+                            OVERUSE_SUSTAIN,
+                            BASELINE_TAU,
+                        ),
+                        cap_mb: max_mb,
+                        tokens_mb: max_mb,
+                        last_refill: 0.0,
+                        last_adjust: 0.0,
+                    }))
+                })
+                .collect(),
+        }
+    }
+
+    /// Current admitted-demand ceiling of `class`, bits/s.
+    pub fn cap_bps(&self, class: usize) -> f64 {
+        self.classes.get(class).map_or(0.0, |c| {
+            c.lock().unwrap().cap_mb as f64 / SCALE
+        })
+    }
+
+    /// Detector state of `class` (diagnostic).
+    pub fn state(&self, class: usize) -> OveruseState {
+        self.classes
+            .get(class)
+            .map_or(OveruseState::Normal, |c| c.lock().unwrap().det.state())
+    }
+
+    fn want(&self, class: usize, n: u64) -> u64 {
+        self.cost_mb
+            .get(class)
+            .map_or(0, |&c| c.saturating_mul(n))
+    }
+
+    /// Advances `st` to time `t`: detector update, at most one paced
+    /// ceiling adjustment, then the enforcement-token refill.
+    fn advance(&self, st: &mut AimdClass, t: f64, offered: u64) {
+        st.est.observe_n(t, offered);
+        let rate = st.est.rate();
+        st.det.update(t, rate);
+        if t - st.last_adjust >= AIMD_ADJUST_EVERY {
+            st.last_adjust = t;
+            match st.det.state() {
+                OveruseState::Overuse => {
+                    st.cap_mb = ((st.cap_mb as f64 * self.decrease) as u64).max(self.min_mb);
+                }
+                OveruseState::Normal => {
+                    st.cap_mb = st.cap_mb.saturating_add(self.increase_mb).min(self.max_mb);
+                }
+                OveruseState::Underuse => {}
+            }
+            st.tokens_mb = st.tokens_mb.min(st.cap_mb);
+        }
+        let gap = (t - st.last_refill).max(0.0);
+        st.last_refill = t;
+        let credit = (gap * st.cap_mb as f64).min(st.cap_mb as f64) as u64;
+        st.tokens_mb = st.tokens_mb.saturating_add(credit).min(st.cap_mb);
+    }
+}
+
+impl PolicyStage for AimdStage {
+    fn name(&self) -> &'static str {
+        "aimd"
+    }
+
+    fn admit_n(&self, class: usize, n: u64, t: f64) -> bool {
+        let want = self.want(class, n);
+        let Some(slot) = self.classes.get(class) else {
+            return true;
+        };
+        let mut st = slot.lock().unwrap();
+        // The estimator sees *offered* attempts (n flows asked), so the
+        // detector measures demand pressure, not the post-clamp trickle.
+        self.advance(&mut st, t, n);
+        if want == 0 {
+            return true;
+        }
+        if st.tokens_mb >= want {
+            st.tokens_mb -= want;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn refund_n(&self, class: usize, n: u64) {
+        let want = self.want(class, n);
+        if want == 0 {
+            return;
+        }
+        let Some(slot) = self.classes.get(class) else {
+            return;
+        };
+        let mut st = slot.lock().unwrap();
+        st.tokens_mb = st.tokens_mb.saturating_add(want).min(st.cap_mb);
+    }
+
+    fn would_admit(&self, class: usize, n: u64, t: f64) -> bool {
+        let want = self.want(class, n);
+        if want == 0 {
+            return true;
+        }
+        let Some(slot) = self.classes.get(class) else {
+            return true;
+        };
+        let st = slot.lock().unwrap();
+        let gap = (t - st.last_refill).max(0.0);
+        let credit = (gap * st.cap_mb as f64).min(st.cap_mb as f64) as u64;
+        st.tokens_mb.saturating_add(credit).min(st.cap_mb) >= want
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    const VOIP: f64 = 32_000.0;
+
+    fn bucket(rate_bps: f64, burst_bits: f64) -> TokenBucketStage {
+        TokenBucketStage::new(rate_bps, burst_bits, &[VOIP])
+    }
+
+    #[test]
+    fn stage_names_match_the_manifest_registry() {
+        let tb = bucket(VOIP, VOIP);
+        let aimd = AimdStage::new(AimdParams::default(), &[VOIP]);
+        assert_eq!([tb.name(), aimd.name()], STAGE_NAMES);
+    }
+
+    #[test]
+    fn token_bucket_depth_bounds_a_cold_burst() {
+        // Depth 3 flows, so a burst of 3 fits and the 4th is rejected.
+        let tb = bucket(VOIP, 3.0 * VOIP);
+        assert!(tb.admit_n(0, 3, 0.0));
+        assert!(!tb.admit_n(0, 1, 0.0));
+        assert_eq!(tb.tokens_bits(0), 0.0);
+    }
+
+    #[test]
+    fn token_bucket_refills_at_the_configured_rate() {
+        // Refill one flow-cost per second.
+        let tb = bucket(VOIP, 2.0 * VOIP);
+        assert!(tb.admit_n(0, 2, 0.0));
+        assert!(!tb.admit_n(0, 1, 0.5), "half a flow refilled");
+        assert!(tb.would_admit(0, 1, 1.5));
+        assert!(tb.admit_n(0, 1, 1.5));
+        // Idle refill clamps at the depth: 100 s only restores 2 flows.
+        assert!(tb.admit_n(0, 2, 101.5));
+        assert!(!tb.admit_n(0, 1, 101.5));
+    }
+
+    #[test]
+    fn token_bucket_refund_restores_exactly_what_was_taken() {
+        let tb = bucket(VOIP, 2.0 * VOIP);
+        assert!(tb.admit_n(0, 2, 0.0));
+        tb.refund_n(0, 2);
+        assert!(tb.admit_n(0, 2, 0.0));
+        // Refund over a full bucket clamps at the depth.
+        tb.refund_n(0, 2);
+        tb.refund_n(0, 2);
+        assert!(tb.admit_n(0, 2, 0.0));
+        assert!(!tb.admit_n(0, 1, 0.0));
+    }
+
+    #[test]
+    fn would_admit_is_a_pure_dry_run() {
+        let tb = bucket(VOIP, VOIP);
+        for _ in 0..10 {
+            assert!(tb.would_admit(0, 1, 0.0));
+        }
+        assert!(tb.admit_n(0, 1, 0.0));
+        assert!(!tb.would_admit(0, 1, 0.0));
+    }
+
+    #[test]
+    fn unknown_classes_are_free() {
+        let tb = bucket(VOIP, VOIP);
+        assert!(tb.admit_n(7, 1000, 0.0));
+        let aimd = AimdStage::new(AimdParams::default(), &[VOIP]);
+        assert!(aimd.admit_n(7, 1000, 0.0));
+    }
+
+    #[test]
+    fn aimd_clamps_under_sustained_overuse_and_recovers() {
+        let params = AimdParams {
+            min_rate_bps: VOIP,
+            max_rate_bps: 100.0 * VOIP,
+            decrease: 0.5,
+            increase_bps: 10.0 * VOIP,
+        };
+        let aimd = AimdStage::new(params, &[VOIP]);
+        assert_eq!(aimd.cap_bps(0), 100.0 * VOIP);
+        // Sustained ramp: heavy offered load every 10 ms. The cold-start
+        // gradient reads overuse and the paced decrease bites.
+        let mut t = 0.0;
+        for _ in 0..100 {
+            aimd.admit_n(0, 50, t);
+            t += 0.01;
+        }
+        let clamped = aimd.cap_bps(0);
+        assert!(
+            clamped < 100.0 * VOIP,
+            "sustained overuse must clamp: {clamped}"
+        );
+        assert_eq!(aimd.state(0), OveruseState::Overuse);
+        // Long steady trickle: the detector settles and additive
+        // recovery raises the ceiling back toward the max.
+        for _ in 0..3000 {
+            aimd.admit_n(0, 1, t);
+            t += 0.1;
+        }
+        assert!(
+            aimd.cap_bps(0) > clamped,
+            "recovery must raise the ceiling: {} vs {clamped}",
+            aimd.cap_bps(0)
+        );
+    }
+
+    #[test]
+    fn aimd_ceiling_bounds_admitted_demand_per_second() {
+        // Pin the ceiling at min == max == 2 flows/s worth of demand:
+        // no adjustment can move it, so enforcement is pure.
+        let params = AimdParams {
+            min_rate_bps: 2.0 * VOIP,
+            max_rate_bps: 2.0 * VOIP,
+            decrease: 0.5,
+            increase_bps: VOIP,
+        };
+        let aimd = AimdStage::new(params, &[VOIP]);
+        // The first second's depth admits 2; the 3rd in the same tick
+        // must fail, and refund restores it.
+        assert!(aimd.admit_n(0, 2, 0.0));
+        assert!(!aimd.admit_n(0, 1, 0.0));
+        aimd.refund_n(0, 1);
+        assert!(aimd.admit_n(0, 1, 0.0));
+        // After a second of refill the ceiling grants 2 more.
+        assert!(aimd.would_admit(0, 2, 1.0));
+        assert!(aimd.admit_n(0, 2, 1.0));
+        assert!(!aimd.admit_n(0, 1, 1.0));
+    }
+
+    #[test]
+    fn chain_is_all_or_nothing_and_names_the_rejecting_stage() {
+        /// A test-only stage that always rejects.
+        #[derive(Debug)]
+        struct Wall;
+        impl PolicyStage for Wall {
+            fn name(&self) -> &'static str {
+                "aimd" // stand-in; names must come from STAGE_NAMES
+            }
+            fn admit_n(&self, _: usize, _: u64, _: f64) -> bool {
+                false
+            }
+            fn refund_n(&self, _: usize, _: u64) {}
+            fn would_admit(&self, _: usize, _: u64, _: f64) -> bool {
+                false
+            }
+        }
+        let mut chain = PolicyChain::static_only();
+        chain.push(Box::new(bucket(VOIP, 2.0 * VOIP)));
+        chain.push(Box::new(Wall));
+        assert_eq!(chain.admit_n(0, 1, 0.0), Err("aimd"));
+        // The token bucket was refunded: its full depth is intact.
+        let verdicts = chain.dry_run(0, 2, 0.0);
+        assert_eq!(verdicts[0], ("token_bucket", true));
+        assert_eq!(verdicts[1], ("aimd", false));
+    }
+
+    #[test]
+    fn chain_refund_returns_every_stage() {
+        let mut chain = PolicyChain::static_only();
+        chain.push(Box::new(bucket(VOIP, VOIP)));
+        assert!(chain.admit_n(0, 1, 0.0).is_ok());
+        assert!(!chain.stages()[0].would_admit(0, 1, 0.0));
+        chain.refund_n(0, 1);
+        assert!(chain.stages()[0].would_admit(0, 1, 0.0));
+    }
+
+    #[test]
+    fn static_chain_is_empty_and_always_passes() {
+        let chain = PolicyChain::static_only();
+        assert!(chain.is_static());
+        assert!(chain.admit_n(0, u64::MAX, 0.0).is_ok());
+        assert!(chain.dry_run(0, 1, 0.0).is_empty());
+    }
+
+    #[test]
+    fn from_config_builds_the_configured_stages() {
+        let rates = [VOIP];
+        let mut cfg = PolicyConfig::default();
+        assert!(PolicyChain::from_config(&cfg, &rates).is_static());
+        cfg.chain = ChainKind::TokenBucket;
+        let tb = PolicyChain::from_config(&cfg, &rates);
+        assert_eq!(
+            tb.stages().iter().map(|s| s.name()).collect::<Vec<_>>(),
+            ["token_bucket"]
+        );
+        cfg.chain = ChainKind::Adaptive;
+        let ad = PolicyChain::from_config(&cfg, &rates);
+        assert_eq!(
+            ad.stages().iter().map(|s| s.name()).collect::<Vec<_>>(),
+            STAGE_NAMES
+        );
+    }
+
+    #[test]
+    fn chain_kind_round_trips_its_names() {
+        for kind in [ChainKind::Static, ChainKind::TokenBucket, ChainKind::Adaptive] {
+            assert_eq!(ChainKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ChainKind::parse("always"), None);
+    }
+
+    #[test]
+    fn concurrent_admits_never_overdraw_the_bucket() {
+        use std::sync::Arc;
+        // Depth 5 flows, no refill (t fixed at 0): exactly 5 of the 40
+        // concurrent grabs may win.
+        let tb = Arc::new(bucket(VOIP, 5.0 * VOIP));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let tb = Arc::clone(&tb);
+            handles.push(std::thread::spawn(move || {
+                (0..5).filter(|_| tb.admit_n(0, 1, 0.0)).count()
+            }));
+        }
+        let won: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(won, 5, "depth 5 must admit exactly 5 concurrent flows");
+    }
+}

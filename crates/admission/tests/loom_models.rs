@@ -34,6 +34,10 @@
 //! 5. A *batched* admit racing a reconfigure never strands a
 //!    reservation: the whole batch lands on one generation and balances
 //!    to zero when its handles drop.
+//! 6. The policy token bucket never over-grants: concurrent admits
+//!    racing each other (and racing the CAS-claimed refill interval)
+//!    can never jointly draw more than the burst depth, and a refunded
+//!    grab restores the balance exactly.
 
 #![cfg(loom)]
 
@@ -41,7 +45,7 @@ use std::sync::Arc;
 
 use uba_admission::{
     AdmissionBackend, AdmissionController, AtomicBackend, BackendKind, ConfigGeneration,
-    FlowSpec, RoutingTable, ShardedBackend,
+    FlowSpec, PolicyStage, RoutingTable, ShardedBackend, TokenBucketStage,
 };
 use uba_graph::{Digraph, NodeId, Path};
 use uba_loom::{Builder, Exploration};
@@ -313,6 +317,54 @@ fn batch_admit_racing_reconfigure_strands_nothing() {
         assert_eq!(gen2.backend().snapshot(0, 0), 0.0, "reservation stranded on gen2");
         assert_eq!(gen1.pinned() + gen2.pinned(), 0);
         assert!(ctrl.drain().is_drained());
+    }));
+}
+
+// --- Model 6: policy token bucket never over-grants -------------------
+
+/// Two concurrent grabs racing each other's refill of the *same*
+/// elapsed interval: the CAS-claimed `[last, t]` window must be
+/// credited exactly once, however the schedules interleave. The bucket
+/// is pre-drained to empty, then both threads admit at a `t` whose
+/// single refill credit covers one flow but not two — if any schedule
+/// let both refills bank the interval (or one refill bank it twice),
+/// both grabs would fit and the model fails. The winner's refund must
+/// then restore the balance exactly.
+#[test]
+fn token_bucket_refill_racing_admits_never_credits_an_interval_twice() {
+    assert_complete(bounds().check(|| {
+        // Rate 600 b/s, depth 1000 bits, flow cost 500 bits. Drain the
+        // initial depth at t=0 (no elapsed time, so no refill), leaving
+        // an empty bucket whose only future credit is elapsed time.
+        let tb = Arc::new(TokenBucketStage::new(600.0, 1000.0, &[500.0]));
+        assert!(tb.admit_n(0, 2, 0.0), "full depth-1000 bucket holds 2×500");
+        assert_eq!(tb.tokens_bits(0), 0.0, "pre-drain must empty the bucket");
+
+        // At t=1.0 the interval [0, 1] is worth one credit of 600 bits:
+        // exactly one 500-bit grab fits. Two winners would mean the
+        // interval was credited twice (1200 banked).
+        let tb2 = Arc::clone(&tb);
+        let rival = uba_loom::thread::spawn(move || tb2.admit_n(0, 1, 1.0));
+        let mine = tb.admit_n(0, 1, 1.0);
+        let theirs = rival.join().unwrap();
+        assert!(
+            !(mine && theirs),
+            "a 600-bit refill interval was credited twice (two 500-bit grabs won)"
+        );
+        assert!(mine || theirs, "600 banked bits must admit one 500-bit flow");
+        let left = tb.tokens_bits(0);
+        assert!(
+            (left - 100.0).abs() < 1e-9,
+            "one credit minus one grab must leave 100 bits, got {left}"
+        );
+        // The winner's refund restores the balance exactly (a rejected
+        // later stage or backend must leave no residue in the bucket).
+        tb.refund_n(0, 1);
+        let back = tb.tokens_bits(0);
+        assert!(
+            (back - 600.0).abs() < 1e-9,
+            "refund must restore the grab exactly, got {back}"
+        );
     }));
 }
 

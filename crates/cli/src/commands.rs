@@ -5,7 +5,7 @@ use crate::scenario::{Scenario, ScenarioError};
 use std::fmt::Write as _;
 use uba::admission::{
     run_churn, AdmissionController, BackendKind, ChurnConfig, ConfigGeneration, Explain,
-    ExplainVerdict, Reject, RoutingTable,
+    ExplainVerdict, PolicyChain, Reject, RoutingTable,
 };
 use uba::delay::fixed_point::SolveConfig;
 use uba::delay::routeset::{Route, RouteSet};
@@ -307,15 +307,10 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
     )
     .unwrap();
 
-    // 2. Admission: churn workload, then saturate until a link fills.
-    let mut table = RoutingTable::new();
-    for (ci, _) in sc.classes.iter() {
-        for p in &paths {
-            table.insert(ci, p);
-        }
-    }
+    // 2. Admission: churn workload, then saturate until a link fills —
+    // through the scenario's policy chain, like `explain` and `serve`.
     let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
-    let ctrl = AdmissionController::new(table, &sc.classes, &caps, &sc.alphas);
+    let ctrl = scenario_controller(sc, true)?;
     let pairs: Vec<(NodeId, NodeId)> = sc.pairs.iter().map(|p| (p.src, p.dst)).collect();
     let mut policy = ctrl.clone();
     let churn = run_churn(
@@ -351,7 +346,7 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
                     sample = Some(r);
                     break 'saturate;
                 }
-                Err(Reject::NoRoute) => {}
+                Err(Reject::NoRoute | Reject::Policy { .. }) => {}
             }
         }
         if !progress {
@@ -462,31 +457,41 @@ fn scenario_table(sc: &Scenario) -> Result<(RoutingTable, Vec<f64>), ScenarioErr
     Ok((table, caps))
 }
 
+/// The scenario's `[policy]` section instantiated against its class
+/// rates — fresh stage state per call, as a generation install expects.
+fn scenario_chain(sc: &Scenario) -> PolicyChain {
+    let rates: Vec<f64> = sc.classes.iter().map(|(_, c)| c.bucket.rate).collect();
+    PolicyChain::from_config(&sc.policy, &rates)
+}
+
 /// Builds the SP routing table and an admission controller for a
 /// scenario — shared by `explain` and `serve`.
 pub(crate) fn scenario_controller(
     sc: &Scenario,
     metered: bool,
 ) -> Result<AdmissionController, ScenarioError> {
-    let (table, caps) = scenario_table(sc)?;
+    let generation = scenario_generation(sc)?;
     Ok(if metered {
-        AdmissionController::new(table, &sc.classes, &caps, &sc.alphas)
+        AdmissionController::from_generation(generation)
     } else {
-        AdmissionController::new_unmetered(table, &sc.classes, &caps, &sc.alphas)
+        AdmissionController::from_generation_unmetered(generation)
     })
 }
 
 /// Builds an installable [`ConfigGeneration`] from a scenario — the unit
 /// [`AdmissionController::reconfigure`] swaps in (the `reconfigure`
-/// command and `serve`'s `POST /reconfigure`).
+/// command and `serve`'s `POST /reconfigure`). The `[policy]` chain is
+/// baked into the generation, so a hot-reload installs fresh policy
+/// state alongside fresh budgets.
 pub(crate) fn scenario_generation(sc: &Scenario) -> Result<ConfigGeneration, ScenarioError> {
     let (table, caps) = scenario_table(sc)?;
-    Ok(ConfigGeneration::new(
+    Ok(ConfigGeneration::with_policy(
         table,
         &sc.classes,
         &caps,
         &sc.alphas,
         BackendKind::Atomic,
+        scenario_chain(sc),
     ))
 }
 
@@ -643,7 +648,7 @@ pub fn cmd_explain(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
     }
     writeln!(
         out,
-        "{:<10} {:>4} {:>5} {:<10} {:>5} {:>13} {:>13} {:>7} {:>12}",
+        "{:<10} {:>4} {:>5} {:<13} {:>5} {:>13} {:>13} {:>7} {:>12}  stages",
         "class", "src", "dst", "verdict", "link", "reserved", "budget", "util", "headroom"
     )
     .unwrap();
@@ -661,9 +666,15 @@ pub fn cmd_explain(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
                 format!("{:.1} kb/s", d.headroom_bps() / 1e3),
             )
         };
+        let stages = d
+            .stages
+            .iter()
+            .map(|(name, v)| format!("{name}={}", v.as_str()))
+            .collect::<Vec<_>>()
+            .join(",");
         writeln!(
             out,
-            "{:<10} {:>4} {:>5} {:<10} {:>5} {:>13} {:>13} {:>7} {:>12}",
+            "{:<10} {:>4} {:>5} {:<13} {:>5} {:>13} {:>13} {:>7} {:>12}  {}",
             sc.classes.get(d.class).name,
             d.src.0,
             d.dst.0,
@@ -673,6 +684,7 @@ pub fn cmd_explain(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
             budget,
             util,
             headroom,
+            stages,
         )
         .unwrap();
     }
@@ -866,6 +878,41 @@ mod tests {
             }
         }
         assert!(saw_link_full, "{out}");
+    }
+
+    #[test]
+    fn explain_renders_policy_stage_verdicts() {
+        let sc = Scenario::from_str(
+            r#"
+            [topology]
+            kind = "ring"
+            n = 6
+            [network]
+            capacity = 1e6
+            fan_in = 3
+            [[class]]
+            name = "voip"
+            burst = 640
+            rate = 32000
+            deadline = 0.1
+            alpha = 0.2
+            [policy]
+            chain = "adaptive"
+            bucket_rate_bps = 0.001
+            bucket_burst_bits = 64000
+            "#,
+        )
+        .unwrap();
+        // Depth 64 kbit at 32 kb/s per flow = two token-bucket admits;
+        // the ~non-refilling rate pins the bucket empty afterwards.
+        let out = cmd_explain(&sc, false).unwrap();
+        assert!(out.contains("policy_reject"), "{out}");
+        assert!(out.contains("token_bucket=reject"), "{out}");
+        assert!(out.contains("utilization="), "{out}");
+        // JSON mode carries the stage list and the rejecting stage.
+        let js = cmd_explain(&sc, true).unwrap();
+        assert!(js.contains("\"stages\""), "{js}");
+        assert!(js.contains("\"rejected_stage\":\"token_bucket\""), "{js}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! classes, and the pair demand, loadable by every CLI command.
 
 use crate::toml_lite::{parse, Document, Table, Value};
+use uba::admission::{AimdParams, ChainKind, PolicyConfig};
 use uba::graph::{Digraph, NodeId};
 use uba::obs::SloConfig;
 use uba::prelude::*;
@@ -22,6 +23,11 @@ pub struct Scenario {
     /// SLO thresholds and hysteresis (the `[slo]` section; defaults
     /// apply when absent). Consumed by `serve` and `metrics`.
     pub slo: SloConfig,
+    /// Admission-policy pipeline configuration (the `[policy]` section;
+    /// a utilization-only `static` chain when absent). Consumed by every
+    /// command that builds an [`uba::admission::AdmissionController`],
+    /// including `serve` hot-reload.
+    pub policy: PolicyConfig,
 }
 
 /// Scenario loading error: parse error or semantic problem.
@@ -124,6 +130,56 @@ fn parse_slo(t: Option<&Table>) -> Result<SloConfig, ScenarioError> {
     })
 }
 
+/// Parses the optional `[policy]` section against
+/// [`PolicyConfig::default`]: `chain` (`"static"`, `"token_bucket"`,
+/// `"adaptive"`), `bucket_rate_bps`, `bucket_burst_bits`, and the AIMD
+/// knobs `aimd_min_rate_bps`, `aimd_max_rate_bps`, `aimd_decrease`,
+/// `aimd_increase_bps`.
+fn parse_policy(t: Option<&Table>) -> Result<PolicyConfig, ScenarioError> {
+    let d = PolicyConfig::default();
+    let Some(t) = t else { return Ok(d) };
+    let chain = ChainKind::parse(string_or(t, "chain", d.chain.as_str())?).ok_or_else(|| {
+        bad("policy.chain must be one of \"static\", \"token_bucket\", \"adaptive\"")
+    })?;
+    let positive = |key: &str, v: f64| -> Result<f64, ScenarioError> {
+        if v > 0.0 && v.is_finite() {
+            Ok(v)
+        } else {
+            Err(bad(format!("policy.{key} must be positive")))
+        }
+    };
+    let decrease = num_or(t, "aimd_decrease", d.aimd.decrease)?;
+    if decrease <= 0.0 || decrease >= 1.0 || decrease.is_nan() {
+        return Err(bad("policy.aimd_decrease must be in (0, 1)"));
+    }
+    Ok(PolicyConfig {
+        chain,
+        bucket_rate_bps: positive(
+            "bucket_rate_bps",
+            num_or(t, "bucket_rate_bps", d.bucket_rate_bps)?,
+        )?,
+        bucket_burst_bits: positive(
+            "bucket_burst_bits",
+            num_or(t, "bucket_burst_bits", d.bucket_burst_bits)?,
+        )?,
+        aimd: AimdParams {
+            min_rate_bps: positive(
+                "aimd_min_rate_bps",
+                num_or(t, "aimd_min_rate_bps", d.aimd.min_rate_bps)?,
+            )?,
+            max_rate_bps: positive(
+                "aimd_max_rate_bps",
+                num_or(t, "aimd_max_rate_bps", d.aimd.max_rate_bps)?,
+            )?,
+            decrease,
+            increase_bps: positive(
+                "aimd_increase_bps",
+                num_or(t, "aimd_increase_bps", d.aimd.increase_bps)?,
+            )?,
+        },
+    })
+}
+
 impl Scenario {
     /// Loads a scenario from TOML-subset text.
     #[allow(clippy::should_implement_trait)]
@@ -202,6 +258,7 @@ impl Scenario {
         };
 
         let slo = parse_slo(doc.table("slo"))?;
+        let policy = parse_policy(doc.table("policy"))?;
 
         Ok(Scenario {
             graph,
@@ -210,6 +267,7 @@ impl Scenario {
             alphas,
             pairs,
             slo,
+            policy,
         })
     }
 
@@ -324,6 +382,43 @@ mod tests {
         for bad in ["for_windows = 0", "clear_windows = 1.5"] {
             let e = Scenario::from_str(&format!("[slo]\n{bad}")).unwrap_err();
             assert!(e.0.contains("positive integer"), "{e}");
+        }
+    }
+
+    #[test]
+    fn policy_section_defaults_and_overrides() {
+        let s = Scenario::from_str("").unwrap();
+        assert_eq!(s.policy.chain, ChainKind::Static);
+        let s = Scenario::from_str(
+            r#"
+            [policy]
+            chain = "adaptive"
+            bucket_rate_bps = 320000
+            bucket_burst_bits = 64000
+            aimd_decrease = 0.5
+            "#,
+        )
+        .unwrap();
+        assert_eq!(s.policy.chain, ChainKind::Adaptive);
+        assert_eq!(s.policy.bucket_rate_bps, 320_000.0);
+        assert_eq!(s.policy.bucket_burst_bits, 64_000.0);
+        assert_eq!(s.policy.aimd.decrease, 0.5);
+        // Untouched keys keep their defaults.
+        let d = PolicyConfig::default();
+        assert_eq!(s.policy.aimd.min_rate_bps, d.aimd.min_rate_bps);
+        assert_eq!(s.policy.aimd.increase_bps, d.aimd.increase_bps);
+    }
+
+    #[test]
+    fn policy_section_rejects_bad_values() {
+        for (toml, needle) in [
+            ("chain = \"rsvp\"", "policy.chain"),
+            ("bucket_rate_bps = 0", "must be positive"),
+            ("chain = \"adaptive\"\naimd_decrease = 1.0", "in (0, 1)"),
+            ("aimd_min_rate_bps = -5", "must be positive"),
+        ] {
+            let e = Scenario::from_str(&format!("[policy]\n{toml}")).unwrap_err();
+            assert!(e.0.contains(needle), "{toml}: {e}");
         }
     }
 

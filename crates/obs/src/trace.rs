@@ -92,13 +92,17 @@ pub enum EventKind {
     /// `clear` hysteresis count of consecutive windows (`flow` = rule
     /// index, `a` = observed value, `b` = threshold).
     AlertResolve,
+    /// Admission: rejected by a policy stage before the backend
+    /// reservation was attempted (`a` = stage index in the generation's
+    /// chain, `b` = flows turned away by this decision).
+    RejectPolicy,
 }
 
 impl EventKind {
     /// Every kind, in declaration order. Lets tooling (the metrics
     /// manifest test, exporters) enumerate the tracepoint namespace
     /// without a hand-maintained list.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Admit,
         EventKind::RejectLinkFull,
         EventKind::RejectNoRoute,
@@ -115,6 +119,7 @@ impl EventKind {
         EventKind::AdmitBatch,
         EventKind::AlertFire,
         EventKind::AlertResolve,
+        EventKind::RejectPolicy,
     ];
 
     /// Stable lower-snake name used in the JSON exposition.
@@ -136,6 +141,7 @@ impl EventKind {
             EventKind::AdmitBatch => "admit_batch",
             EventKind::AlertFire => "alert_fire",
             EventKind::AlertResolve => "alert_resolve",
+            EventKind::RejectPolicy => "reject_policy",
         }
     }
 }

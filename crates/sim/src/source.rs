@@ -32,6 +32,27 @@ pub enum SourceModel {
         /// First-packet offset, seconds.
         offset: f64,
     },
+    /// Phase-alternating on/off source with a bounded lifetime: emits at
+    /// `peak_bps` during on-phases, nothing during off-phases, and only
+    /// within `[start, stop]`. Its *mean* rate is
+    /// `peak_bps · on_s / (on_s + off_s)` — declare that as the flow's
+    /// `ρ` and the source is burstier than its contract looks, which is
+    /// exactly the workload the policy-pipeline burst benchmarks feed
+    /// the token-bucket/AIMD stages.
+    OnOff {
+        /// Emission rate during an on-phase, bits/s.
+        peak_bps: f64,
+        /// Packet size in bits.
+        packet_bits: u64,
+        /// On-phase length, seconds.
+        on_s: f64,
+        /// Off-phase length, seconds.
+        off_s: f64,
+        /// Source activation time (first on-phase begins here), seconds.
+        start: f64,
+        /// Source teardown time — no emissions after this, seconds.
+        stop: f64,
+    },
     /// A *misbehaving* source that ignores its traffic contract: emits at
     /// `factor` times the nominal CBR rate. Exists to exercise ingress
     /// policing — without a policer it would invade other flows'
@@ -72,6 +93,7 @@ impl SourceModel {
         match *self {
             SourceModel::GreedyOnOff { packet_bits, .. } => packet_bits,
             SourceModel::Cbr { packet_bits, .. } => packet_bits,
+            SourceModel::OnOff { packet_bits, .. } => packet_bits,
             SourceModel::Rogue { packet_bits, .. } => packet_bits,
         }
     }
@@ -118,6 +140,39 @@ impl SourceModel {
                 while t <= horizon {
                     out.push(t);
                     t += period;
+                }
+            }
+            SourceModel::OnOff {
+                peak_bps,
+                packet_bits,
+                on_s,
+                off_s,
+                start,
+                stop,
+            } => {
+                assert!(packet_bits > 0, "packet size must be positive");
+                assert!(peak_bps > 0.0 && on_s > 0.0 && off_s >= 0.0, "bad on/off parameters");
+                assert!(stop >= start, "stop must not precede start");
+                let gap = packet_bits as f64 / peak_bps;
+                let end = stop.min(horizon);
+                let mut phase = start;
+                while phase <= end {
+                    // Half-open on-phase: a packet landing exactly at
+                    // `phase + on_s` belongs to the silence that follows.
+                    // Emission times come from the packet index, not an
+                    // accumulator, so a 50-packet phase stays 50 packets
+                    // instead of drifting an extra one past the boundary.
+                    let mut k = 0u64;
+                    loop {
+                        let off = k as f64 * gap;
+                        let t = phase + off;
+                        if off >= on_s * (1.0 - 1e-12) || t > end {
+                            break;
+                        }
+                        out.push(t);
+                        k += 1;
+                    }
+                    phase += on_s + off_s;
                 }
             }
             SourceModel::Rogue {
@@ -195,6 +250,56 @@ mod tests {
             assert!((w[1] - w[0] - 0.02).abs() < 1e-12);
         }
         assert!((e[0] - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onoff_emits_only_during_on_phases_within_its_lifetime() {
+        // 400 kb/s peak, 8000-bit packets (gap 20 ms), on 1 s / off 3 s,
+        // alive on [2, 12]: mean rate 100 kb/s, but 4x that while on.
+        let s = SourceModel::OnOff {
+            peak_bps: 400_000.0,
+            packet_bits: 8000,
+            on_s: 1.0,
+            off_s: 3.0,
+            start: 2.0,
+            stop: 12.0,
+        };
+        let e = s.emissions(20.0);
+        assert!(!e.is_empty());
+        // Every emission falls inside an on-phase of the [2, 12] window.
+        for &t in &e {
+            assert!((2.0..=12.0).contains(&t), "emission {t} outside lifetime");
+            let in_cycle = (t - 2.0) % 4.0;
+            assert!(in_cycle < 1.0, "emission {t} during an off-phase");
+        }
+        // Three whole cycles fit (on-phases at 2, 6, 10): 50 packets
+        // each — the half-open phase end excludes the 51st.
+        assert_eq!(e.len(), 150);
+        // Long-run mean matches the duty-cycled rate: 150 packets ×
+        // 8000 bits over the 10 s lifetime ≈ 120 kb/s (the final
+        // on-phase has no trailing off-phase to average it down).
+        let bits = e.len() as f64 * 8000.0;
+        assert!((bits / 10.0 - 120_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn onoff_stop_and_horizon_both_clip() {
+        let s = SourceModel::OnOff {
+            peak_bps: 80_000.0,
+            packet_bits: 8000,
+            on_s: 1.0,
+            off_s: 1.0,
+            start: 0.0,
+            stop: 3.5,
+        };
+        // Horizon shorter than lifetime clips to the horizon.
+        let by_horizon = s.emissions(1.5);
+        assert!(by_horizon.iter().all(|&t| t <= 1.5));
+        assert_eq!(by_horizon.len(), 10); // only the [0, 1) on-phase
+        // Lifetime shorter than horizon clips to `stop`.
+        let by_stop = s.emissions(100.0);
+        assert!(by_stop.iter().all(|&t| t <= 3.5));
+        assert_eq!(by_stop.len(), 20); // the [0,1) and [2,3) on-phases, in full
     }
 
     #[test]

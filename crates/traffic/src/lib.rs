@@ -14,17 +14,23 @@
 //! * [`BurstModel`] — an RNG-agnostic on/off batch-size distribution with
 //!   exact mean and coefficient of variation, for driving bursty churn
 //!   workloads against the admission path's arrival telemetry.
+//! * [`Gamma`] / [`Mmpp`] — continuous-time arrival generators
+//!   (gamma interarrivals with configurable CV; a two-state
+//!   Markov-modulated Poisson source), the flow-arrival drivers behind
+//!   the policy-pipeline burst benchmarks.
 //!
 //! All quantities are in bits, seconds, and bits/second.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod bucket;
 pub mod burst;
 pub mod class;
 pub mod envelope;
 
+pub use arrivals::{Gamma, Mmpp};
 pub use bucket::LeakyBucket;
 pub use burst::BurstModel;
 pub use class::{ClassId, ClassSet, TrafficClass};

@@ -51,6 +51,16 @@
 //!    runtime name, not a literal at the `.gauge(…)` call site. The
 //!    name literal is matched on the `SloRule::named(` line or within
 //!    the next few lines (the rustfmt multi-line call form).
+//! 10. **policy-stage-manifest** — every policy stage listed in
+//!     `STAGE_NAMES` (crates/admission/src/policy.rs) gets a reject-cause
+//!     counter `admission.rejects.policy.<name>` registered from its
+//!     runtime name plus the shared `trace.reject_policy` tracepoint, so
+//!     all of those names must appear in `docs/metrics-manifest.txt`.
+//!     Like rule 9, rule 4 cannot see them: the counters come from a
+//!     `format!` over the list, and the glob `admission.rejects.policy.*`
+//!     would be satisfied by a single stale entry. The stage-name
+//!     literals are read off the `STAGE_NAMES` declaration line or the
+//!     next few lines below it (the rustfmt wrapped-array form).
 //!
 //! The linter is line-based on purpose: it runs in milliseconds with no
 //! dependencies, and every rule is about *local* textual discipline
@@ -103,6 +113,7 @@ const SHIMMED: &[&str] = &[
     "crates/admission/src/backend.rs",
     "crates/admission/src/generation.rs",
     "crates/admission/src/controller.rs",
+    "crates/admission/src/policy.rs",
     "crates/obs/src/trace.rs",
     "crates/obs/src/metrics.rs",
     "crates/obs/src/histogram.rs",
@@ -401,11 +412,16 @@ fn strip(source: &str) -> Vec<Line> {
 }
 
 /// Index of the first `#[cfg(test)]` line (everything below is
-/// unit-test code), or `len` when there is none.
+/// unit-test code), or `len` when there is none. The `all(test, …)`
+/// form covers modules additionally gated off the loom build
+/// (`#[cfg(all(test, not(loom)))]`).
 fn test_boundary(lines: &[Line]) -> usize {
     lines
         .iter()
-        .position(|l| l.code.trim_start().starts_with("#[cfg(test)]"))
+        .position(|l| {
+            let code = l.code.trim_start();
+            code.starts_with("#[cfg(test)]") || code.starts_with("#[cfg(all(test,")
+        })
         .unwrap_or(lines.len())
 }
 
@@ -444,6 +460,16 @@ const JUSTIFICATION_WINDOW: usize = 8;
 /// on the line after the open paren).
 const SLO_RULE_MARKER: &str = "SloRule::named(";
 const SLO_NAME_LOOKAHEAD: usize = 4;
+
+/// Rule 10 declaration marker (the `pub const STAGE_NAMES: [&str; N]`
+/// list in crates/admission/src/policy.rs) and how many lines at and
+/// below it the stage-name literals may span (rustfmt wraps a long
+/// array one element per line).
+const STAGE_LIST_MARKER: &str = "const STAGE_NAMES";
+const STAGE_LIST_LOOKAHEAD: usize = 6;
+
+/// The tracepoint every policy-stage reject emits (rule 10).
+const POLICY_REJECT_TRACE: &str = "trace.reject_policy";
 
 /// Lints one file; used directly by the fixture tests below.
 #[cfg(test)]
@@ -656,6 +682,58 @@ fn lint_file(
             }
         }
 
+        // Rule 10: every policy stage in the `STAGE_NAMES` list gets a
+        // reject-cause counter `admission.rejects.policy.<name>`
+        // (registered via `format!` over the list, invisible to rule 4
+        // beyond a single glob) plus the shared reject tracepoint; all
+        // must be manifested individually. The name literals sit on the
+        // declaration line after the `=`, or on the next few lines (the
+        // rustfmt wrapped-array form).
+        if rel == "crates/admission/src/policy.rs" && line.code.contains(STAGE_LIST_MARKER) {
+            let mut names: Vec<&str> = Vec::new();
+            for j in idx..raw.len().min(idx + STAGE_LIST_LOOKAHEAD) {
+                let rl = raw.get(j).copied().unwrap_or("");
+                let tail = if j == idx {
+                    rl.find('=').map_or("", |p| &rl[p + 1..])
+                } else {
+                    rl
+                };
+                names.extend(quoted_literals(tail));
+                if tail.contains(']') {
+                    break;
+                }
+            }
+            for name in &names {
+                stats.metric_names += 1;
+                let counter = format!("admission.rejects.policy.{name}");
+                if !manifest.covers(&counter) {
+                    vio(
+                        violations,
+                        idx,
+                        "policy-stage-manifest",
+                        format!(
+                            "policy stage `{name}` publishes `{counter}` but it is not in \
+                             docs/metrics-manifest.txt"
+                        ),
+                    );
+                }
+            }
+            if !names.is_empty() {
+                stats.metric_names += 1;
+                if !manifest.covers(POLICY_REJECT_TRACE) {
+                    vio(
+                        violations,
+                        idx,
+                        "policy-stage-manifest",
+                        format!(
+                            "policy stages emit `{POLICY_REJECT_TRACE}` but it is not in \
+                             docs/metrics-manifest.txt"
+                        ),
+                    );
+                }
+            }
+        }
+
         // Rule 4b: trace kinds (as_str arms) must be manifested as
         // `trace.<name>`.
         if rel == "crates/obs/src/trace.rs" {
@@ -721,6 +799,20 @@ fn extract_metric_name(raw_line: &str, reg: &str) -> Option<String> {
         }
     }
     (!name.is_empty()).then_some(name)
+}
+
+/// Every complete `"…"` literal in `hay`, in order (rule 10's
+/// stage-name lists; no escape handling needed for lower-snake names).
+fn quoted_literals(hay: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = hay;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        out.push(&after[..end]);
+        rest = &after[end + 1..];
+    }
+    out
 }
 
 fn between<'a>(hay: &'a str, open: &str, close: &str) -> Option<&'a str> {
@@ -960,6 +1052,44 @@ mod tests {
         // The marker inside a doc comment or string is not a call site.
         let quoted = "// see SloRule::named(\"x\", …)\nlet s = \"SloRule::named(\\\"y\\\"\";";
         assert!(lint_source("crates/obs/src/slo.rs", quoted, &m).is_empty());
+    }
+
+    #[test]
+    fn policy_stage_names_must_be_manifested() {
+        let m = Manifest::from_text(
+            "admission.rejects.policy.aimd\nadmission.rejects.policy.token_bucket\n\
+             trace.reject_policy\n",
+        );
+        let rel = "crates/admission/src/policy.rs";
+        // Same-line form, fully manifested: clean.
+        let good = r#"pub const STAGE_NAMES: [&str; 2] = ["token_bucket", "aimd"];"#;
+        assert!(lint_source(rel, good, &m).is_empty());
+        // Wrapped (rustfmt) form: literals sit below the declaration.
+        let wrapped = "pub const STAGE_NAMES: [&str; 2] = [\n    \"token_bucket\",\n    \"aimd\",\n];";
+        assert!(lint_source(rel, wrapped, &m).is_empty());
+        // A stage without its reject counter: exactly the gap flags.
+        let bad = r#"pub const STAGE_NAMES: [&str; 3] = ["token_bucket", "aimd", "phantom"];"#;
+        let v = lint_source(rel, bad, &m);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("policy-stage-manifest"), "{v:?}");
+        assert!(v[0].contains("admission.rejects.policy.phantom"), "{v:?}");
+        // Missing tracepoint line: flagged once for the whole list.
+        let no_trace = Manifest::from_text(
+            "admission.rejects.policy.aimd\nadmission.rejects.policy.token_bucket\n",
+        );
+        let v = lint_source(rel, good, &no_trace);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("trace.reject_policy"), "{v:?}");
+        // Other files never match (a doc mention is not the list).
+        assert!(lint_source("crates/admission/src/metrics.rs", bad, &m).is_empty());
+    }
+
+    #[test]
+    fn quoted_literal_scanning() {
+        assert_eq!(quoted_literals(r#"["a", "b"];"#), vec!["a", "b"]);
+        assert_eq!(quoted_literals("no strings here"), Vec::<&str>::new());
+        // An unterminated literal is ignored rather than mis-paired.
+        assert_eq!(quoted_literals(r#""done", "dangl"#), vec!["done"]);
     }
 
     #[test]

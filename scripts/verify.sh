@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --offline --release (hermetic build)"
 cargo build --offline --release --workspace
 
-echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding, slo rules)"
+echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding, slo rules, policy stages)"
 cargo run --offline -q -p xtask -- check
 
 echo "==> cargo clippy --workspace -- -D warnings (lint gate)"
@@ -36,6 +36,9 @@ cargo run --offline --release -p uba-bench --bin reconfig_overhead -- smoke
 
 echo "==> admission_scaling smoke (multi-thread throughput, latency + contention telemetry)"
 cargo run --offline --release -p uba-bench --bin admission_scaling -- smoke
+
+echo "==> policy_burst smoke (policy-chain A/B: adaptive must beat utilization-only under burst)"
+cargo run --offline --release -p uba-bench --bin policy_burst -- smoke
 
 # Bounded model checking of the lock-free admission paths (uba-loom, the
 # in-tree checker). The preemption-bounded smoke pass finishes in seconds;

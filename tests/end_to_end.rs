@@ -40,6 +40,7 @@ fn configured_controller_admits_only_analyzable_load() {
             Ok(h) => handles.push((p, h)),
             Err(Reject::LinkFull { .. }) => {}
             Err(Reject::NoRoute) => panic!("configured pair has no route"),
+            Err(Reject::Policy { .. }) => panic!("default controller has no policy stages"),
         }
     }
     assert!(!handles.is_empty());
