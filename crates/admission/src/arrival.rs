@@ -388,7 +388,11 @@ mod tests {
             est.observe_n(i as f64 * 0.01, 1);
         }
         assert!((est.rate() - 100.0).abs() < 5.0, "rate {}", est.rate());
-        assert!(est.cv() < 0.05, "steady traffic must read smooth: {}", est.cv());
+        assert!(
+            est.cv() < 0.05,
+            "steady traffic must read smooth: {}",
+            est.cv()
+        );
         assert_eq!(est.total(), 1000);
     }
 
@@ -509,7 +513,12 @@ mod tests {
             mon.observe(t, &[1, 5, 5, 5]);
         }
         assert!(mon.rate(0) > 50.0, "{}", mon.rate(0));
-        assert!(mon.rate(1) > 10.0 * mon.rate(0), "{} vs {}", mon.rate(1), mon.rate(0));
+        assert!(
+            mon.rate(1) > 10.0 * mon.rate(0),
+            "{} vs {}",
+            mon.rate(1),
+            mon.rate(0)
+        );
         assert_eq!(mon.rate(7), 0.0, "out-of-range class reads zero");
         // Ramp class 1 hard: worst state goes overuse.
         for i in 0..20 {

@@ -31,9 +31,9 @@
 //!   headroom never exceeds the budget".
 
 use crate::state::{to_millibits, UtilizationState, SCALE};
-use crate::sync::atomic::{AtomicU64, Ordering};
 #[cfg(not(loom))]
 use crate::sync::atomic::AtomicUsize;
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{CachePadded, Mutex};
 use std::fmt;
 
@@ -110,8 +110,7 @@ pub trait AdmissionBackend: fmt::Debug + Send + Sync {
     /// Atomically-per-cell reserves `rate` bits/s of `class` on every
     /// server of `route`; rolls the prefix back and reports the failing
     /// server if any cell is full. Returns total CAS retries on success.
-    fn try_reserve_path(&self, route: &[u32], class: usize, rate: f64)
-        -> Result<u32, PathReject>;
+    fn try_reserve_path(&self, route: &[u32], class: usize, rate: f64) -> Result<u32, PathReject>;
 
     /// Releases a previously successful path reservation.
     fn release_path(&self, route: &[u32], class: usize, rate: f64);
@@ -185,12 +184,7 @@ impl AdmissionBackend for UtilizationState {
         UtilizationState::classes(self)
     }
 
-    fn try_reserve_path(
-        &self,
-        route: &[u32],
-        class: usize,
-        rate: f64,
-    ) -> Result<u32, PathReject> {
+    fn try_reserve_path(&self, route: &[u32], class: usize, rate: f64) -> Result<u32, PathReject> {
         let mut cas_retries = 0u32;
         for (i, &server) in route.iter().enumerate() {
             let (ok, retries) = self.try_reserve_with_retries(server as usize, class, rate);
@@ -430,12 +424,8 @@ impl ShardedBackend {
             // ordering: AcqRel — same reserve/release pairing as the
             // atomic backend, per shard: a grab of freed headroom
             // happens-after the put() that freed it.
-            match shard.compare_exchange_weak(
-                cur,
-                cur - want,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match shard.compare_exchange_weak(cur, cur - want, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.meter_reserved(cell, want, home);
                     return Ok(retries);
@@ -578,12 +568,7 @@ impl AdmissionBackend for ShardedBackend {
         self.classes
     }
 
-    fn try_reserve_path(
-        &self,
-        route: &[u32],
-        class: usize,
-        rate: f64,
-    ) -> Result<u32, PathReject> {
+    fn try_reserve_path(&self, route: &[u32], class: usize, rate: f64) -> Result<u32, PathReject> {
         let want = to_millibits(rate);
         let home = home_seed() % self.shards;
         let mut cas_retries = 0u32;
@@ -664,8 +649,7 @@ impl AdmissionBackend for ShardedBackend {
             // overshoot into a model failure).
             self.budgets[cell]
                 .checked_sub(self.headroom(cell))
-                .expect("shard headroom exceeds cell budget")
-                as f64
+                .expect("shard headroom exceeds cell budget") as f64
                 / SCALE
         }
     }
@@ -702,7 +686,13 @@ mod tests {
             assert!(s.try_reserve_path(&[0], 0, 32_000.0).is_ok(), "flow {i}");
         }
         let r = s.try_reserve_path(&[0], 0, 32_000.0);
-        assert_eq!(r, Err(PathReject { server: 0, retries: 0 }));
+        assert_eq!(
+            r,
+            Err(PathReject {
+                server: 0,
+                retries: 0
+            })
+        );
         // Other server untouched.
         assert!(s.try_reserve_path(&[1], 0, 32_000.0).is_ok());
         assert_eq!(s.snapshot(0, 0), 480_000.0);
@@ -743,7 +733,10 @@ mod tests {
     #[test]
     fn shard_count_is_clamped() {
         assert_eq!(ShardedBackend::new(&[1e6], &[0.5], 0).shards(), 1);
-        assert_eq!(ShardedBackend::new(&[1e6], &[0.5], 999).shards(), MAX_SHARDS);
+        assert_eq!(
+            ShardedBackend::new(&[1e6], &[0.5], 999).shards(),
+            MAX_SHARDS
+        );
     }
 
     #[test]
@@ -776,21 +769,43 @@ mod tests {
     #[test]
     fn batch_reserve_is_all_or_nothing() {
         for (name, backend) in [
-            ("atomic", Box::new(AtomicBackend::new(&[1e6, 1e6], &[0.5])) as Box<dyn AdmissionBackend>),
-            ("sharded", Box::new(ShardedBackend::new(&[1e6, 1e6], &[0.5], 4))),
+            (
+                "atomic",
+                Box::new(AtomicBackend::new(&[1e6, 1e6], &[0.5])) as Box<dyn AdmissionBackend>,
+            ),
+            (
+                "sharded",
+                Box::new(ShardedBackend::new(&[1e6, 1e6], &[0.5], 4)),
+            ),
         ] {
             // 300k + 150k on server 0, 150k on server 1: fits.
             let ok = backend.try_reserve_batch(&[
-                CellDemand { server: 0, class: 0, rate: 450_000.0 },
-                CellDemand { server: 1, class: 0, rate: 150_000.0 },
+                CellDemand {
+                    server: 0,
+                    class: 0,
+                    rate: 450_000.0,
+                },
+                CellDemand {
+                    server: 1,
+                    class: 0,
+                    rate: 150_000.0,
+                },
             ]);
             assert!(ok.is_ok(), "{name}");
             assert_eq!(backend.snapshot(0, 0), 450_000.0, "{name}");
             // Second batch: server 1 fits, server 0 does not — nothing
             // of the batch may remain reserved.
             let err = backend.try_reserve_batch(&[
-                CellDemand { server: 1, class: 0, rate: 100_000.0 },
-                CellDemand { server: 0, class: 0, rate: 100_000.0 },
+                CellDemand {
+                    server: 1,
+                    class: 0,
+                    rate: 100_000.0,
+                },
+                CellDemand {
+                    server: 0,
+                    class: 0,
+                    rate: 100_000.0,
+                },
             ]);
             assert_eq!(err.unwrap_err().server, 0, "{name}");
             assert_eq!(backend.snapshot(1, 0), 150_000.0, "{name}");

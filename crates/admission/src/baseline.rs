@@ -103,10 +103,7 @@ impl PerFlowAdmission {
     /// Panics on double release or an unknown id.
     pub fn release(&self, id: BaselineFlowId) {
         let mut slots = self.slots.lock().unwrap();
-        let slot = slots
-            .flows
-            .get_mut(id.0)
-            .expect("unknown baseline flow id");
+        let slot = slots.flows.get_mut(id.0).expect("unknown baseline flow id");
         assert!(slot.take().is_some(), "double release of baseline flow");
         slots.free.push(id.0);
     }

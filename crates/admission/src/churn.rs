@@ -7,8 +7,8 @@
 //! utilization-based controller against the per-flow baseline under
 //! identical request sequences.
 
-use uba_obs::{SplitMix64, Stopwatch};
 use uba_graph::NodeId;
+use uba_obs::{SplitMix64, Stopwatch};
 use uba_traffic::{BurstModel, ClassId};
 
 /// An admission policy under test.

@@ -273,7 +273,9 @@ impl AdmissionController {
         alphas: &[f64],
         kind: BackendKind,
     ) -> Self {
-        Self::from_generation(ConfigGeneration::new(table, classes, capacities, alphas, kind))
+        Self::from_generation(ConfigGeneration::new(
+            table, classes, capacities, alphas, kind,
+        ))
     }
 
     /// Adopts an already-built generation (e.g. from
@@ -403,7 +405,10 @@ impl AdmissionController {
         let rate = generation.rates()[class.index()];
         // Sampled decision latency: 1 in LATENCY_SAMPLE_EVERY decisions
         // reads the clock; the rest pay one thread-local decrement.
-        let timer = inner.metrics.as_ref().and_then(AdmissionMetrics::admit_timer);
+        let timer = inner
+            .metrics
+            .as_ref()
+            .and_then(AdmissionMetrics::admit_timer);
         // Audit trail: one flight-recorder event per decision. Flow ids
         // are only minted while tracing is on, so a disabled recorder
         // costs the admit path a single relaxed load.
@@ -583,7 +588,10 @@ impl AdmissionController {
         }
         let inner = &self.inner;
         let backend = generation.backend();
-        let timer = inner.metrics.as_ref().and_then(AdmissionMetrics::admit_timer);
+        let timer = inner
+            .metrics
+            .as_ref()
+            .and_then(AdmissionMetrics::admit_timer);
         let tr = trace::global();
         // Dedupe identical (class, src, dst) triples: one route lookup
         // and one demand contribution per unique triple. `uniq_of[i]` is
@@ -699,7 +707,10 @@ impl AdmissionController {
                 // (a single RMW), so each flow's release stays
                 // individually attributable in the trace.
                 let flow_base = if tr.enabled() {
-                    inner.flow_seq.fetch_add(specs.len() as u64, Ordering::Relaxed) + 1
+                    inner
+                        .flow_seq
+                        .fetch_add(specs.len() as u64, Ordering::Relaxed)
+                        + 1
                 } else {
                     0
                 };
@@ -819,7 +830,14 @@ impl AdmissionController {
         if pinned_previous > 0 {
             self.inner.retired.lock().unwrap().push(old);
         } else {
-            tr.emit(EventKind::GenerationRetired, 0, previous, u32::MAX, 0.0, 0.0);
+            tr.emit(
+                EventKind::GenerationRetired,
+                0,
+                previous,
+                u32::MAX,
+                0.0,
+                0.0,
+            );
         }
         tr.emit(
             EventKind::ReconfigApplied,
@@ -868,13 +886,17 @@ impl AdmissionController {
     /// Reserved rate of `class` on a server in the current generation,
     /// bits/s.
     pub fn reserved(&self, server: usize, class: ClassId) -> f64 {
-        self.current_generation().backend().snapshot(server, class.index())
+        self.current_generation()
+            .backend()
+            .snapshot(server, class.index())
     }
 
     /// Fraction of the class budget in use on a server (current
     /// generation).
     pub fn occupancy(&self, server: usize, class: ClassId) -> f64 {
-        self.current_generation().backend().occupancy(server, class.index())
+        self.current_generation()
+            .backend()
+            .occupancy(server, class.index())
     }
 
     /// Upper bound on concurrently admissible flows of `class` on one
@@ -1120,7 +1142,10 @@ mod tests {
             budget_bps: 320_000.0,
         };
         let msg = partial.to_string();
-        assert!(msg.contains("reserved 288.0 kb/s of 320.0 kb/s budget"), "{msg}");
+        assert!(
+            msg.contains("reserved 288.0 kb/s of 320.0 kb/s budget"),
+            "{msg}"
+        );
         assert!(msg.contains("90.0% utilized"), "{msg}");
         assert_eq!(
             Reject::NoRoute.to_string(),
@@ -1325,7 +1350,9 @@ mod tests {
         ctrl.reconfigure(fresh_generation(0.32));
         // Admitting on the displaced generation still works and releases
         // against it.
-        let h = ctrl.try_admit_on(&g0, ClassId(0), NodeId(0), NodeId(2)).unwrap();
+        let h = ctrl
+            .try_admit_on(&g0, ClassId(0), NodeId(0), NodeId(2))
+            .unwrap();
         assert_eq!(h.generation(), g0.id());
         assert_eq!(g0.pinned(), 1);
         assert_eq!(g0.backend().snapshot(2, 0), 32_000.0);
@@ -1463,7 +1490,10 @@ mod tests {
         };
         let ctrl = policy_ctrl(0.32, cfg);
         let _held: Vec<_> = (0..3)
-            .map(|_| ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0).unwrap())
+            .map(|_| {
+                ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0)
+                    .unwrap()
+            })
             .collect();
         match ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0) {
             Err(Reject::Policy { stage, class }) => {
@@ -1473,7 +1503,9 @@ mod tests {
             other => panic!("expected a policy reject, got {other:?}"),
         }
         // One flow-cost refills per second on the virtual clock.
-        assert!(ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 1.0).is_ok());
+        assert!(ctrl
+            .try_admit_at(ClassId(0), NodeId(0), NodeId(2), 1.0)
+            .is_ok());
     }
 
     #[test]
@@ -1487,7 +1519,9 @@ mod tests {
             ..PolicyConfig::default()
         };
         let ctrl = policy_ctrl(0.032, cfg);
-        let h = ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0).unwrap();
+        let h = ctrl
+            .try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0)
+            .unwrap();
         // Link full: the token the chain consumed must come back.
         assert!(matches!(
             ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0),
@@ -1496,7 +1530,9 @@ mod tests {
         drop(h);
         // The refunded token covers this admit (without the refund the
         // bucket would be empty and reject it).
-        let _h2 = ctrl.try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0).unwrap();
+        let _h2 = ctrl
+            .try_admit_at(ClassId(0), NodeId(1), NodeId(2), 0.0)
+            .unwrap();
         // Both tokens now spent: the chain rejects before the backend
         // even gets asked.
         assert!(matches!(
@@ -1557,11 +1593,23 @@ mod tests {
         let (a, _) = setup(0.32);
         let (b, _) = setup(0.32);
         for _ in 0..3 {
-            assert_eq!(a.current_generation().id(), a.inner.epoch.load(Ordering::Relaxed));
-            assert_eq!(b.current_generation().id(), b.inner.epoch.load(Ordering::Relaxed));
+            assert_eq!(
+                a.current_generation().id(),
+                a.inner.epoch.load(Ordering::Relaxed)
+            );
+            assert_eq!(
+                b.current_generation().id(),
+                b.inner.epoch.load(Ordering::Relaxed)
+            );
         }
         a.reconfigure(fresh_generation(0.32));
-        assert_eq!(a.current_generation().id(), a.inner.epoch.load(Ordering::Relaxed));
-        assert_eq!(b.current_generation().id(), b.inner.epoch.load(Ordering::Relaxed));
+        assert_eq!(
+            a.current_generation().id(),
+            a.inner.epoch.load(Ordering::Relaxed)
+        );
+        assert_eq!(
+            b.current_generation().id(),
+            b.inner.epoch.load(Ordering::Relaxed)
+        );
     }
 }

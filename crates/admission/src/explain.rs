@@ -127,9 +127,7 @@ impl Explain {
             }
             write!(path, "{s}").unwrap();
         }
-        let link = self
-            .link
-            .map_or_else(|| "null".into(), |l| l.to_string());
+        let link = self.link.map_or_else(|| "null".into(), |l| l.to_string());
         let mut stages = String::new();
         for (i, (name, verdict)) in self.stages.iter().enumerate() {
             if i > 0 {
@@ -228,13 +226,7 @@ impl AdmissionController {
         self.explain_impl(class, src, dst, Some(t))
     }
 
-    fn explain_impl(
-        &self,
-        class: ClassId,
-        src: NodeId,
-        dst: NodeId,
-        now: Option<f64>,
-    ) -> Explain {
+    fn explain_impl(&self, class: ClassId, src: NodeId, dst: NodeId, now: Option<f64>) -> Explain {
         let generation = self.current_generation();
         let rate = generation.rates()[class.index()];
         let mut ex = Explain {
@@ -286,7 +278,11 @@ impl AdmissionController {
         if !chain.is_static() {
             let t = now.unwrap_or_else(uba_obs::process_secs);
             for (name, ok) in chain.dry_run(c, 1, t) {
-                let v = if ok { StageVerdict::Pass } else { StageVerdict::Reject };
+                let v = if ok {
+                    StageVerdict::Pass
+                } else {
+                    StageVerdict::Reject
+                };
                 if !ok && ex.rejected_stage.is_none() {
                     ex.rejected_stage = Some(name);
                 }
@@ -389,7 +385,10 @@ mod tests {
         let line = ex.to_json_line();
         let v = uba_obs::json::parse(&line).expect("explain JSON must parse");
         use uba_obs::json::JsonValue;
-        assert_eq!(v.get("verdict").and_then(JsonValue::as_str), Some("link_full"));
+        assert_eq!(
+            v.get("verdict").and_then(JsonValue::as_str),
+            Some("link_full")
+        );
         assert_eq!(
             v.get("link").and_then(JsonValue::as_number),
             Some(shared as f64)
@@ -449,7 +448,11 @@ mod tests {
             }
             assert_eq!(num("reserved_bps"), Some(ex.reserved_bps), "{line}");
             assert_eq!(num("budget_bps"), Some(ex.budget_bps), "{line}");
-            assert_eq!(num("utilization"), Some(ex.observed_utilization()), "{line}");
+            assert_eq!(
+                num("utilization"),
+                Some(ex.observed_utilization()),
+                "{line}"
+            );
             assert_eq!(num("headroom_bps"), Some(ex.headroom_bps()), "{line}");
             assert_stages_round_trip(ex, &v, &line);
         }
@@ -463,7 +466,11 @@ mod tests {
         };
         assert_eq!(stages.len(), ex.stages.len(), "{line}");
         for (item, (name, verdict)) in stages.iter().zip(&ex.stages) {
-            assert_eq!(item.get("stage").and_then(JsonValue::as_str), Some(*name), "{line}");
+            assert_eq!(
+                item.get("stage").and_then(JsonValue::as_str),
+                Some(*name),
+                "{line}"
+            );
             assert_eq!(
                 item.get("verdict").and_then(JsonValue::as_str),
                 Some(verdict.as_str()),
@@ -518,7 +525,9 @@ mod tests {
                 ("utilization", StageVerdict::Pass),
             ]
         );
-        let _h = ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0).unwrap();
+        let _h = ctrl
+            .try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0)
+            .unwrap();
         let after = ctrl.explain_at(ClassId(0), NodeId(0), NodeId(2), 0.0);
         assert_eq!(after.verdict, ExplainVerdict::PolicyReject);
         assert_eq!(after.rejected_stage, Some("token_bucket"));
@@ -541,7 +550,10 @@ mod tests {
         // same single remaining decision it would have without explain.
         assert!(matches!(
             ctrl.try_admit_at(ClassId(0), NodeId(0), NodeId(2), 0.0),
-            Err(crate::Reject::Policy { stage: "token_bucket", .. })
+            Err(crate::Reject::Policy {
+                stage: "token_bucket",
+                ..
+            })
         ));
     }
 }

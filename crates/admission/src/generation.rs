@@ -68,7 +68,14 @@ impl ConfigGeneration {
         alphas: &[f64],
         kind: BackendKind,
     ) -> Self {
-        Self::with_policy(table, classes, capacities, alphas, kind, PolicyChain::static_only())
+        Self::with_policy(
+            table,
+            classes,
+            capacities,
+            alphas,
+            kind,
+            PolicyChain::static_only(),
+        )
     }
 
     /// Like [`new`](Self::new) but with an explicit admission policy

@@ -77,7 +77,7 @@ pub use churn::{
     run_churn, run_churn_bursts, run_churn_bursty, run_churn_with, ChurnConfig, ChurnStats, Policy,
 };
 pub use controller::{
-    AdmissionController, BatchOutcome, DrainStatus, FlowHandle, FlowSpec, Reject, ReconfigReport,
+    AdmissionController, BatchOutcome, DrainStatus, FlowHandle, FlowSpec, ReconfigReport, Reject,
 };
 pub use explain::{Explain, ExplainVerdict, StageVerdict};
 pub use generation::{BackendKind, ConfigGeneration};

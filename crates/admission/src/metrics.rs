@@ -686,7 +686,10 @@ mod tests {
         m.record_policy_reject("token_bucket", 2);
         m.record_policy_reject("aimd", 1);
         m.record_policy_reject("not_a_stage", 5); // silently ignored
-        let tb = STAGE_NAMES.iter().position(|s| *s == "token_bucket").unwrap();
+        let tb = STAGE_NAMES
+            .iter()
+            .position(|s| *s == "token_bucket")
+            .unwrap();
         let aimd = STAGE_NAMES.iter().position(|s| *s == "aimd").unwrap();
         assert_eq!(m.rejects_policy[tb].get(), 2);
         assert_eq!(m.rejects_policy[aimd].get(), 1);

@@ -313,9 +313,7 @@ impl TokenBucketStage {
     /// unknown class are free — the chain never blocks what it cannot
     /// account).
     fn want(&self, class: usize, n: u64) -> u64 {
-        self.cost_mb
-            .get(class)
-            .map_or(0, |&c| c.saturating_mul(n))
+        self.cost_mb.get(class).map_or(0, |&c| c.saturating_mul(n))
     }
 
     /// Credits the elapsed interval since the last refill into the
@@ -422,12 +420,10 @@ impl PolicyStage for TokenBucketStage {
             // ordering: AcqRel — a refund republishes tokens exactly
             // like a refill (clamped at the depth, so a refund racing a
             // refill cannot mint tokens).
-            match bucket.tokens.compare_exchange_weak(
-                cur,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match bucket
+                .tokens
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return,
                 Err(actual) => cur = actual,
             }
@@ -511,11 +507,7 @@ impl AimdStage {
                 .map(|_| {
                     CachePadded::new(Mutex::new(AimdClass {
                         est: ArrivalEstimator::new(RATE_TAU),
-                        det: OveruseDetector::new(
-                            OVERUSE_THRESHOLD,
-                            OVERUSE_SUSTAIN,
-                            BASELINE_TAU,
-                        ),
+                        det: OveruseDetector::new(OVERUSE_THRESHOLD, OVERUSE_SUSTAIN, BASELINE_TAU),
                         cap_mb: max_mb,
                         tokens_mb: max_mb,
                         last_refill: 0.0,
@@ -528,9 +520,9 @@ impl AimdStage {
 
     /// Current admitted-demand ceiling of `class`, bits/s.
     pub fn cap_bps(&self, class: usize) -> f64 {
-        self.classes.get(class).map_or(0.0, |c| {
-            c.lock().unwrap().cap_mb as f64 / SCALE
-        })
+        self.classes
+            .get(class)
+            .map_or(0.0, |c| c.lock().unwrap().cap_mb as f64 / SCALE)
     }
 
     /// Detector state of `class` (diagnostic).
@@ -541,9 +533,7 @@ impl AimdStage {
     }
 
     fn want(&self, class: usize, n: u64) -> u64 {
-        self.cost_mb
-            .get(class)
-            .map_or(0, |&c| c.saturating_mul(n))
+        self.cost_mb.get(class).map_or(0, |&c| c.saturating_mul(n))
     }
 
     /// Advances `st` to time `t`: detector update, at most one paced
@@ -819,7 +809,11 @@ mod tests {
 
     #[test]
     fn chain_kind_round_trips_its_names() {
-        for kind in [ChainKind::Static, ChainKind::TokenBucket, ChainKind::Adaptive] {
+        for kind in [
+            ChainKind::Static,
+            ChainKind::TokenBucket,
+            ChainKind::Adaptive,
+        ] {
             assert_eq!(ChainKind::parse(kind.as_str()), Some(kind));
         }
         assert_eq!(ChainKind::parse("always"), None);

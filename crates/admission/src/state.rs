@@ -98,12 +98,7 @@ impl UtilizationState {
     /// Like [`try_reserve`](Self::try_reserve), additionally reporting how
     /// many CAS retries the reservation loop took (0 on an uncontended
     /// cell) so contention is observable.
-    pub fn try_reserve_with_retries(
-        &self,
-        server: usize,
-        class: usize,
-        rate: f64,
-    ) -> (bool, u32) {
+    pub fn try_reserve_with_retries(&self, server: usize, class: usize, rate: f64) -> (bool, u32) {
         let want = to_millibits(rate);
         let i = self.idx(server, class);
         let budget = self.budgets[i];

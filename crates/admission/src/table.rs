@@ -41,11 +41,7 @@ impl RoutingTable {
     }
 
     /// Installs routes for many `(pair, path)` results of a selection.
-    pub fn insert_all<'a>(
-        &mut self,
-        class: ClassId,
-        paths: impl IntoIterator<Item = &'a Path>,
-    ) {
+    pub fn insert_all<'a>(&mut self, class: ClassId, paths: impl IntoIterator<Item = &'a Path>) {
         for p in paths {
             self.insert(class, p);
         }

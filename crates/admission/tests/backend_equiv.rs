@@ -13,15 +13,18 @@
 //! is order-independent; the fallback replays the sequential walk), and
 //! sharded batches must never admit a flow the atomic backend rejects.
 
-use uba_admission::{
-    AdmissionController, BackendKind, FlowHandle, FlowSpec, Reject, RoutingTable,
-};
+use uba_admission::{AdmissionController, BackendKind, FlowHandle, FlowSpec, Reject, RoutingTable};
 use uba_graph::Digraph;
 use uba_obs::SplitMix64;
 use uba_routing::{all_ordered_pairs, sp_selection, Pair};
 use uba_traffic::{ClassId, ClassSet, TrafficClass};
 
-fn controller_on(g: &Digraph, pairs: &[Pair], alpha: f64, kind: BackendKind) -> AdmissionController {
+fn controller_on(
+    g: &Digraph,
+    pairs: &[Pair],
+    alpha: f64,
+    kind: BackendKind,
+) -> AdmissionController {
     let paths = sp_selection(g, pairs).expect("topology is connected");
     let mut table = RoutingTable::new();
     for p in &paths {
@@ -36,7 +39,12 @@ fn controller_on(g: &Digraph, pairs: &[Pair], alpha: f64, kind: BackendKind) -> 
 /// sequence. Mirrors the churn driver's shape: each arrival admits one
 /// random pair, and each admitted flow is dropped after a random number
 /// of later arrivals, so the workload crosses in and out of saturation.
-fn decision_sequence(ctrl: &AdmissionController, pairs: &[Pair], seed: u64, arrivals: usize) -> Vec<bool> {
+fn decision_sequence(
+    ctrl: &AdmissionController,
+    pairs: &[Pair],
+    seed: u64,
+    arrivals: usize,
+) -> Vec<bool> {
     let mut rng = SplitMix64::new(seed);
     let mut held: Vec<(usize, uba_admission::FlowHandle)> = Vec::new();
     let mut decisions = Vec::with_capacity(arrivals);
@@ -130,7 +138,10 @@ fn admit_one_by_one(
     c: &AdmissionController,
     specs: &[FlowSpec],
 ) -> Vec<Result<FlowHandle, Reject>> {
-    specs.iter().map(|s| c.try_admit(s.class, s.src, s.dst)).collect()
+    specs
+        .iter()
+        .map(|s| c.try_admit(s.class, s.src, s.dst))
+        .collect()
 }
 
 /// Batch admission is decision-equivalent to admitting the same flows
@@ -140,14 +151,16 @@ fn admit_one_by_one(
 /// decision sequences are identical through saturation churn.
 #[test]
 fn batch_matches_sequential_on_atomic() {
-    for (g, name) in [(uba_topology::mci(), "mci"), (uba_topology::ring(8), "ring")] {
+    for (g, name) in [
+        (uba_topology::mci(), "mci"),
+        (uba_topology::ring(8), "ring"),
+    ] {
         let pairs = all_ordered_pairs(&g);
         for seed in [7, 42] {
             let batched = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
             let sequential = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
             let b = batched_decision_sequence(&batched, &pairs, seed, 2_000, admit_batched);
-            let s =
-                batched_decision_sequence(&sequential, &pairs, seed, 2_000, admit_one_by_one);
+            let s = batched_decision_sequence(&sequential, &pairs, seed, 2_000, admit_one_by_one);
             assert!(b.iter().any(|&d| d), "{name}/{seed}: no admissions");
             assert!(b.iter().any(|&d| !d), "{name}/{seed}: no rejections");
             assert_eq!(b, s, "{name}/{seed}: batch disagreed with sequential");
@@ -176,7 +189,10 @@ fn fast_path_batches_admit_in_either_order() {
         .collect();
     let ctrl = controller_on(&g, &pairs, 0.2, BackendKind::Atomic);
     let out = ctrl.try_admit_batch(&specs);
-    assert!(out.fast_path, "6 flows against empty budgets must fast-path");
+    assert!(
+        out.fast_path,
+        "6 flows against empty budgets must fast-path"
+    );
     assert_eq!(out.admitted(), specs.len());
     drop(out);
     for reverse in [false, true] {

@@ -44,8 +44,8 @@
 use std::sync::Arc;
 
 use uba_admission::{
-    AdmissionBackend, AdmissionController, AtomicBackend, BackendKind, ConfigGeneration,
-    FlowSpec, PolicyStage, RoutingTable, ShardedBackend, TokenBucketStage,
+    AdmissionBackend, AdmissionController, AtomicBackend, BackendKind, ConfigGeneration, FlowSpec,
+    PolicyStage, RoutingTable, ShardedBackend, TokenBucketStage,
 };
 use uba_graph::{Digraph, NodeId, Path};
 use uba_loom::{Builder, Exploration};
@@ -67,12 +67,26 @@ fn bounds() -> Builder {
 
 /// Every model in this file must fully explore its (possibly bounded)
 /// schedule space — a truncated search would be a silent coverage hole.
+/// The telemetry line (visible under `--nocapture`) is how the
+/// DESIGN.md §14 reduction table is collected: run once normally and
+/// once with `UBA_LOOM_NO_DPOR=1`.
 fn assert_complete(e: Exploration) {
+    eprintln!("uba-loom exploration: {e:?}");
     assert!(
-        matches!(e, Exploration::Complete { .. }),
+        e.complete,
         "exploration truncated by the iteration cap: {e:?}"
     );
     assert!(e.executions() > 1, "model has no concurrency at all");
+}
+
+/// Full-DFS bounds (no preemption bound) for the flagship models:
+/// DPOR + sleep sets make complete exploration affordable even in the
+/// smoke lane, weak-memory read choices included.
+fn flagship() -> Builder {
+    let mut b = Builder::new();
+    b.preemption_bound = None;
+    b.max_iterations = 2_000_000;
+    b
 }
 
 // --- Model 1: budget safety on both backends -------------------------
@@ -125,7 +139,7 @@ fn sharded_backend_budget_admits_exactly_one_of_two() {
 /// the two-phase protocol every schedule admits both.
 #[test]
 fn sharded_two_phase_admits_all_when_total_headroom_suffices() {
-    assert_complete(bounds().check(|| {
+    assert_complete(flagship().check(|| {
         let b = Arc::new(ShardedBackend::new(&[1000.0], &[1.0], 2));
         let b2 = Arc::clone(&b);
         let rival = uba_loom::thread::spawn(move || b2.try_reserve_path(&[0], 0, 600.0).is_ok());
@@ -226,7 +240,11 @@ fn admit_racing_reconfigure_is_never_lost_or_double_counted() {
         if handle.generation() == gen1.id() {
             assert_eq!((on1, on2), (rate, 0.0), "admit must land on gen1 only");
         } else {
-            assert_eq!(handle.generation(), gen2.id(), "unknown admitting generation");
+            assert_eq!(
+                handle.generation(),
+                gen2.id(),
+                "unknown admitting generation"
+            );
             assert_eq!((on1, on2), (0.0, rate), "admit must land on gen2 only");
         }
 
@@ -306,15 +324,31 @@ fn batch_admit_racing_reconfigure_strands_nothing() {
         let batch_rate = 2.0 * handles[0].rate();
         let (on1, on2) = (gen1.backend().snapshot(0, 0), gen2.backend().snapshot(0, 0));
         if admitted_on == gen1.id() {
-            assert_eq!((on1, on2), (batch_rate, 0.0), "batch must land on gen1 only");
+            assert_eq!(
+                (on1, on2),
+                (batch_rate, 0.0),
+                "batch must land on gen1 only"
+            );
         } else {
             assert_eq!(admitted_on, gen2.id(), "unknown admitting generation");
-            assert_eq!((on1, on2), (0.0, batch_rate), "batch must land on gen2 only");
+            assert_eq!(
+                (on1, on2),
+                (0.0, batch_rate),
+                "batch must land on gen2 only"
+            );
         }
 
         drop(handles);
-        assert_eq!(gen1.backend().snapshot(0, 0), 0.0, "reservation stranded on gen1");
-        assert_eq!(gen2.backend().snapshot(0, 0), 0.0, "reservation stranded on gen2");
+        assert_eq!(
+            gen1.backend().snapshot(0, 0),
+            0.0,
+            "reservation stranded on gen1"
+        );
+        assert_eq!(
+            gen2.backend().snapshot(0, 0),
+            0.0,
+            "reservation stranded on gen2"
+        );
         assert_eq!(gen1.pinned() + gen2.pinned(), 0);
         assert!(ctrl.drain().is_drained());
     }));
@@ -330,42 +364,63 @@ fn batch_admit_racing_reconfigure_strands_nothing() {
 /// let both refills bank the interval (or one refill bank it twice),
 /// both grabs would fit and the model fails. The winner's refund must
 /// then restore the balance exactly.
+fn token_bucket_interval_race() {
+    // Rate 600 b/s, depth 1000 bits, flow cost 500 bits. Drain the
+    // initial depth at t=0 (no elapsed time, so no refill), leaving
+    // an empty bucket whose only future credit is elapsed time.
+    let tb = Arc::new(TokenBucketStage::new(600.0, 1000.0, &[500.0]));
+    assert!(tb.admit_n(0, 2, 0.0), "full depth-1000 bucket holds 2×500");
+    assert_eq!(tb.tokens_bits(0), 0.0, "pre-drain must empty the bucket");
+
+    // At t=1.0 the interval [0, 1] is worth one credit of 600 bits:
+    // exactly one 500-bit grab fits. Two winners would mean the
+    // interval was credited twice (1200 banked).
+    let tb2 = Arc::clone(&tb);
+    let rival = uba_loom::thread::spawn(move || tb2.admit_n(0, 1, 1.0));
+    let mine = tb.admit_n(0, 1, 1.0);
+    let theirs = rival.join().unwrap();
+    assert!(
+        !(mine && theirs),
+        "a 600-bit refill interval was credited twice (two 500-bit grabs won)"
+    );
+    assert!(
+        mine || theirs,
+        "600 banked bits must admit one 500-bit flow"
+    );
+    let left = tb.tokens_bits(0);
+    assert!(
+        (left - 100.0).abs() < 1e-9,
+        "one credit minus one grab must leave 100 bits, got {left}"
+    );
+    // The winner's refund restores the balance exactly (a rejected
+    // later stage or backend must leave no residue in the bucket).
+    tb.refund_n(0, 1);
+    let back = tb.tokens_bits(0);
+    assert!(
+        (back - 600.0).abs() < 1e-9,
+        "refund must restore the grab exactly, got {back}"
+    );
+}
+
 #[test]
 fn token_bucket_refill_racing_admits_never_credits_an_interval_twice() {
-    assert_complete(bounds().check(|| {
-        // Rate 600 b/s, depth 1000 bits, flow cost 500 bits. Drain the
-        // initial depth at t=0 (no elapsed time, so no refill), leaving
-        // an empty bucket whose only future credit is elapsed time.
-        let tb = Arc::new(TokenBucketStage::new(600.0, 1000.0, &[500.0]));
-        assert!(tb.admit_n(0, 2, 0.0), "full depth-1000 bucket holds 2×500");
-        assert_eq!(tb.tokens_bits(0), 0.0, "pre-drain must empty the bucket");
+    assert_complete(flagship().check(token_bucket_interval_race));
+}
 
-        // At t=1.0 the interval [0, 1] is worth one credit of 600 bits:
-        // exactly one 500-bit grab fits. Two winners would mean the
-        // interval was credited twice (1200 banked).
-        let tb2 = Arc::clone(&tb);
-        let rival = uba_loom::thread::spawn(move || tb2.admit_n(0, 1, 1.0));
-        let mine = tb.admit_n(0, 1, 1.0);
-        let theirs = rival.join().unwrap();
-        assert!(
-            !(mine && theirs),
-            "a 600-bit refill interval was credited twice (two 500-bit grabs won)"
-        );
-        assert!(mine || theirs, "600 banked bits must admit one 500-bit flow");
-        let left = tb.tokens_bits(0);
-        assert!(
-            (left - 100.0).abs() < 1e-9,
-            "one credit minus one grab must leave 100 bits, got {left}"
-        );
-        // The winner's refund restores the balance exactly (a rejected
-        // later stage or backend must leave no residue in the bucket).
-        tb.refund_n(0, 1);
-        let back = tb.tokens_bits(0);
-        assert!(
-            (back - 600.0).abs() < 1e-9,
-            "refund must restore the grab exactly, got {back}"
-        );
-    }));
+/// The same race under weak memory must actually *exercise* stale
+/// visibility: the stage's Acquire/Relaxed loads observe old stores in
+/// some schedules (the telemetry proves it), and the interval still
+/// cannot be credited twice — the CAS interval claim reads the newest
+/// store in the modification order by construction, so correctness
+/// never depended on silent `SeqCst` upgrades.
+#[test]
+fn token_bucket_refill_survives_stale_visibility() {
+    let explored = flagship().check(token_bucket_interval_race);
+    assert!(explored.complete, "truncated: {explored:?}");
+    assert!(
+        explored.stale_reads > 0,
+        "weak-memory mode must exercise stale loads: {explored:?}"
+    );
 }
 
 // --- Model 4: trace ring integrity -----------------------------------

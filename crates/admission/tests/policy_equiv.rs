@@ -27,7 +27,12 @@ use uba_traffic::{ClassId, ClassSet, TrafficClass};
 
 const ALPHA: f64 = 0.2;
 
-fn generation(g: &Digraph, pairs: &[Pair], kind: BackendKind, chain: PolicyChain) -> ConfigGeneration {
+fn generation(
+    g: &Digraph,
+    pairs: &[Pair],
+    kind: BackendKind,
+    chain: PolicyChain,
+) -> ConfigGeneration {
     let paths = sp_selection(g, pairs).expect("topology is connected");
     let mut table = RoutingTable::new();
     for p in &paths {
@@ -57,9 +62,21 @@ fn static_chain(g: &Digraph, pairs: &[Pair], kind: BackendKind) -> AdmissionCont
 /// Seeded saturation churn via a caller-chosen admit function; returns
 /// the decision sequence. Identical RNG draws regardless of how `admit`
 /// decides, so two drivers over one seed see the same flows.
-fn drive<F>(ctrl: &AdmissionController, pairs: &[Pair], seed: u64, arrivals: usize, admit: F) -> Vec<bool>
+fn drive<F>(
+    ctrl: &AdmissionController,
+    pairs: &[Pair],
+    seed: u64,
+    arrivals: usize,
+    admit: F,
+) -> Vec<bool>
 where
-    F: Fn(&AdmissionController, ClassId, uba_graph::NodeId, uba_graph::NodeId, usize) -> Result<FlowHandle, Reject>,
+    F: Fn(
+        &AdmissionController,
+        ClassId,
+        uba_graph::NodeId,
+        uba_graph::NodeId,
+        usize,
+    ) -> Result<FlowHandle, Reject>,
 {
     let mut rng = SplitMix64::new(seed);
     let mut held: Vec<(usize, FlowHandle)> = Vec::new();
@@ -98,7 +115,11 @@ fn drive_batched(
         let specs: Vec<FlowSpec> = (0..batch)
             .map(|_| {
                 let p = pairs[(rng.next_u64() as usize) % pairs.len()];
-                FlowSpec { class: ClassId(0), src: p.src, dst: p.dst }
+                FlowSpec {
+                    class: ClassId(0),
+                    src: p.src,
+                    dst: p.dst,
+                }
             })
             .collect();
         let lifetimes: Vec<usize> = (0..batch)
@@ -123,7 +144,10 @@ fn drive_batched(
 }
 
 fn topologies() -> Vec<(Digraph, &'static str)> {
-    vec![(uba_topology::mci(), "mci"), (uba_topology::ring(8), "ring")]
+    vec![
+        (uba_topology::mci(), "mci"),
+        (uba_topology::ring(8), "ring"),
+    ]
 }
 
 const BACKENDS: [BackendKind; 2] = [BackendKind::Atomic, BackendKind::Sharded(4)];
@@ -138,10 +162,20 @@ fn static_chain_matches_prerefactor_per_flow() {
             for seed in [7, 42] {
                 let old = prerefactor(&g, &pairs, kind);
                 let new = static_chain(&g, &pairs, kind);
-                let a = drive(&old, &pairs, seed, 2_000, |c, cl, s, d, _| c.try_admit(cl, s, d));
-                let b = drive(&new, &pairs, seed, 2_000, |c, cl, s, d, _| c.try_admit(cl, s, d));
-                assert!(a.iter().any(|&d| d), "{name}/{kind:?}/{seed}: no admissions");
-                assert!(a.iter().any(|&d| !d), "{name}/{kind:?}/{seed}: no rejections");
+                let a = drive(&old, &pairs, seed, 2_000, |c, cl, s, d, _| {
+                    c.try_admit(cl, s, d)
+                });
+                let b = drive(&new, &pairs, seed, 2_000, |c, cl, s, d, _| {
+                    c.try_admit(cl, s, d)
+                });
+                assert!(
+                    a.iter().any(|&d| d),
+                    "{name}/{kind:?}/{seed}: no admissions"
+                );
+                assert!(
+                    a.iter().any(|&d| !d),
+                    "{name}/{kind:?}/{seed}: no rejections"
+                );
                 assert_eq!(a, b, "{name}/{kind:?}/{seed}: static chain diverged");
                 assert_eq!(
                     old.occupancy_snapshot(ClassId(0)),
@@ -164,7 +198,10 @@ fn static_chain_matches_prerefactor_batched() {
             let new = static_chain(&g, &pairs, kind);
             let a = drive_batched(&old, &pairs, 99, 2_000, None);
             let b = drive_batched(&new, &pairs, 99, 2_000, None);
-            assert!(a.iter().any(|&d| !d), "{name}/{kind:?}: workload must saturate");
+            assert!(
+                a.iter().any(|&d| !d),
+                "{name}/{kind:?}: workload must saturate"
+            );
             assert_eq!(a, b, "{name}/{kind:?}: static chain diverged on batches");
             assert_eq!(
                 old.occupancy_snapshot(ClassId(0)),
@@ -184,7 +221,9 @@ fn static_chain_ignores_the_decision_clock() {
     let pairs = all_ordered_pairs(&g);
     let reference = {
         let ctrl = static_chain(&g, &pairs, BackendKind::Atomic);
-        drive(&ctrl, &pairs, 7, 1_500, |c, cl, s, d, _| c.try_admit(cl, s, d))
+        drive(&ctrl, &pairs, 7, 1_500, |c, cl, s, d, _| {
+            c.try_admit(cl, s, d)
+        })
     };
     // Timestamps that would wreck any stage actually reading them:
     // alternating between a huge future and far past per call.
@@ -217,7 +256,9 @@ fn shaped_chain_actually_diverges() {
     let pairs = all_ordered_pairs(&g);
     let reference = {
         let ctrl = static_chain(&g, &pairs, BackendKind::Atomic);
-        drive(&ctrl, &pairs, 7, 1_000, |c, cl, s, d, _| c.try_admit(cl, s, d))
+        drive(&ctrl, &pairs, 7, 1_000, |c, cl, s, d, _| {
+            c.try_admit(cl, s, d)
+        })
     };
     // One flow of depth, no refill at a frozen t=0: after the first
     // admission every later request hits the bucket.
@@ -241,7 +282,10 @@ fn shaped_chain_actually_diverges() {
         .zip(&shaped)
         .filter(|(r, s)| **s && !**r)
         .count();
-    assert_eq!(extra, 0, "shaped chain admitted flows the static chain rejected");
+    assert_eq!(
+        extra, 0,
+        "shaped chain admitted flows the static chain rejected"
+    );
     assert_eq!(
         shaped.iter().filter(|&&d| d).count(),
         1,

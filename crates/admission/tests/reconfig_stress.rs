@@ -14,9 +14,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use uba_admission::{
-    AdmissionController, BackendKind, ConfigGeneration, RoutingTable,
-};
+use uba_admission::{AdmissionController, BackendKind, ConfigGeneration, RoutingTable};
 use uba_graph::{Digraph, NodeId, Path};
 use uba_obs::SplitMix64;
 use uba_traffic::{ClassId, ClassSet, TrafficClass};

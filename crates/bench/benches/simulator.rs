@@ -43,8 +43,8 @@ fn bench_simulator(c: &mut Criterion) {
     let cfg = SimConfig {
         horizon: 0.3,
         deadlines: vec![0.1],
-            policers: None,
-        };
+        policers: None,
+    };
     // Count events once for throughput normalization.
     let probe = simulate(&caps, &flows, &cfg);
     let mut group = c.benchmark_group("simulator");

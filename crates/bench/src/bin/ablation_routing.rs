@@ -11,7 +11,13 @@
 
 use uba::prelude::*;
 
-fn run(g: &Digraph, servers: &Servers, voip: &TrafficClass, pairs: &[Pair], cfg: HeuristicConfig) -> f64 {
+fn run(
+    g: &Digraph,
+    servers: &Servers,
+    voip: &TrafficClass,
+    pairs: &[Pair],
+    cfg: HeuristicConfig,
+) -> f64 {
     max_utilization(g, servers, voip, pairs, &Selector::Heuristic(cfg), 0.005).alpha
 }
 

@@ -106,7 +106,12 @@ fn controller(
 /// stride of `pairs` with a rotating window of held flows. Returns
 /// (ops/sec, total decisions) — workers flush their metric buffers at
 /// thread exit, so the caller's registry delta sees everything.
-fn run_cell(ctrl: &AdmissionController, pairs: &[Pair], threads: usize, iters: usize) -> (f64, u64) {
+fn run_cell(
+    ctrl: &AdmissionController,
+    pairs: &[Pair],
+    threads: usize,
+    iters: usize,
+) -> (f64, u64) {
     let t0 = Instant::now();
     let mut admitted_total = 0u64;
     std::thread::scope(|s| {
@@ -118,9 +123,12 @@ fn run_cell(ctrl: &AdmissionController, pairs: &[Pair], threads: usize, iters: u
                     // so no two workers hammer the same route head-on by
                     // construction, and contention comes from genuinely
                     // shared links.
-                    let mine: Vec<Pair> =
-                        pairs.iter().copied().skip(t).step_by(threads).collect();
-                    let mine = if mine.is_empty() { pairs.to_vec() } else { mine };
+                    let mine: Vec<Pair> = pairs.iter().copied().skip(t).step_by(threads).collect();
+                    let mine = if mine.is_empty() {
+                        pairs.to_vec()
+                    } else {
+                        mine
+                    };
                     let mut held = VecDeque::with_capacity(WINDOW + 1);
                     let mut admitted = 0u64;
                     for i in 0..iters {
@@ -215,7 +223,11 @@ fn run_batch_cell(ctrl: &AdmissionController, pairs: &[Pair], batch: usize, iter
 fn hist(d: &uba::obs::Snapshot, name: &str) -> (u64, f64, f64, f64) {
     match d.get(name) {
         Some(SnapshotValue::Histogram {
-            count, p50, p99, mean, ..
+            count,
+            p50,
+            p99,
+            mean,
+            ..
         }) => (
             *count,
             p50.unwrap_or(0.0),
@@ -272,8 +284,10 @@ fn main() {
     // The contended star runs in both lanes: its gates are about
     // telemetry liveness, not throughput, so the smoke lane covers them.
     topologies.push(("hotlink", &hot_g, &hot_servers, hot_pairs.as_slice()));
-    let backends: [(&'static str, BackendKind); 2] =
-        [("atomic", BackendKind::Atomic), ("sharded8", BackendKind::Sharded(8))];
+    let backends: [(&'static str, BackendKind); 2] = [
+        ("atomic", BackendKind::Atomic),
+        ("sharded8", BackendKind::Sharded(8)),
+    ];
 
     println!(
         "admission_scaling{}: {} core(s), threads {:?}, {} iters/thread",
@@ -389,10 +403,7 @@ fn main() {
                 retries_per_op,
                 borrows: gauge(&registry.snapshot(), "admission.sharded.borrows"),
                 steals: gauge(&registry.snapshot(), "admission.sharded.steals"),
-                spurious_rejects: gauge(
-                    &registry.snapshot(),
-                    "admission.sharded.spurious_rejects",
-                ),
+                spurious_rejects: gauge(&registry.snapshot(), "admission.sharded.spurious_rejects"),
             };
             println!(
                 "{:>8} {:>8} B={}: {:>10.0} flows/s (x{:.2} vs B=1), admit p50 {:>6.0} ns \
@@ -437,7 +448,9 @@ fn main() {
             cells
                 .iter()
                 .find(|c| {
-                    c.topology == *topo_name && c.backend == backend && c.threads == top
+                    c.topology == *topo_name
+                        && c.backend == backend
+                        && c.threads == top
                         && c.batch == 0
                 })
                 .map(|c| c.ops_per_sec)

@@ -36,10 +36,7 @@ fn report(name: &str, g: &Digraph) {
         &Selector::Heuristic(HeuristicConfig::default()),
         0.005,
     );
-    let heur_census = heur
-        .selection
-        .as_ref()
-        .map(|sel| census(&sel.routes));
+    let heur_census = heur.selection.as_ref().map(|sel| census(&sel.routes));
 
     println!("{name}:");
     println!(
@@ -65,5 +62,7 @@ fn main() {
     report("mci", &uba::topology::mci());
     report("nsfnet", &uba::topology::nsfnet());
     report("grid4x4", &uba::topology::grid(4, 4));
-    println!("# deeper mixing on the worst route => lower verifiable alpha (see EXPERIMENTS.md §T1)");
+    println!(
+        "# deeper mixing on the worst route => lower verifiable alpha (see EXPERIMENTS.md §T1)"
+    );
 }

@@ -55,9 +55,17 @@ fn reference_cfg() -> HeuristicConfig {
 
 /// The §5.3 bisection, shared by the reference searches so the probe
 /// sequence is identical to `max_utilization`'s.
-fn bisect(g: &Digraph, servers: &Servers, class: &TrafficClass, mut probe: impl FnMut(f64) -> bool) -> (f64, usize) {
+fn bisect(
+    g: &Digraph,
+    servers: &Servers,
+    class: &TrafficClass,
+    mut probe: impl FnMut(f64) -> bool,
+) -> (f64, usize) {
     let diameter = bfs::diameter(g).expect("connected");
-    let fan_in = (0..servers.len()).map(|k| servers.fan_in_at(k)).max().unwrap();
+    let fan_in = (0..servers.len())
+        .map(|k| servers.fan_in_at(k))
+        .max()
+        .unwrap();
     let (lb, ub) = utilization_bounds(fan_in, diameter.max(1), class);
     let hi_cap = ub.min(1.0 - 1e-9);
     let mut probes = 0usize;
@@ -153,7 +161,14 @@ fn bench_candidates(
             candidates.push(p.clone());
         }
     }
-    let base = solve_two_class(servers, class, alpha, &routes, &SolveConfig::default(), None);
+    let base = solve_two_class(
+        servers,
+        class,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
     assert!(
         base.outcome.is_safe(),
         "{label}: committed base must be safe at alpha {alpha}"
@@ -162,15 +177,43 @@ fn bench_candidates(
     let mut t_ref = Vec::with_capacity(rounds);
     let mut t_fast = Vec::with_capacity(rounds);
     // Warm-up both subjects once, then interleave.
-    time_candidate_pass(servers, class, alpha, &routes, &base.delays, &candidates, false);
-    time_candidate_pass(servers, class, alpha, &routes, &base.delays, &candidates, true);
+    time_candidate_pass(
+        servers,
+        class,
+        alpha,
+        &routes,
+        &base.delays,
+        &candidates,
+        false,
+    );
+    time_candidate_pass(
+        servers,
+        class,
+        alpha,
+        &routes,
+        &base.delays,
+        &candidates,
+        true,
+    );
     for round in 0..rounds {
         let order_fast_first = round % 2 == 1;
         let (a, safe_a) = time_candidate_pass(
-            servers, class, alpha, &routes, &base.delays, &candidates, order_fast_first,
+            servers,
+            class,
+            alpha,
+            &routes,
+            &base.delays,
+            &candidates,
+            order_fast_first,
         );
         let (b, safe_b) = time_candidate_pass(
-            servers, class, alpha, &routes, &base.delays, &candidates, !order_fast_first,
+            servers,
+            class,
+            alpha,
+            &routes,
+            &base.delays,
+            &candidates,
+            !order_fast_first,
         );
         assert_eq!(safe_a, safe_b, "{label}: verdicts must agree");
         let (r, f) = if order_fast_first { (b, a) } else { (a, b) };
@@ -212,7 +255,10 @@ fn main() {
         rounds
     );
     let counters = uba::delay::metrics::solver();
-    let (skipped0, touched0) = (counters.sweeps_skipped.get(), counters.servers_touched.get());
+    let (skipped0, touched0) = (
+        counters.sweeps_skipped.get(),
+        counters.servers_touched.get(),
+    );
 
     // ---- 1. Cold solver sweeps: dense vs. incremental, full SP set. ----
     let sp_paths = sp_selection(g, &pairs).expect("MCI is connected");

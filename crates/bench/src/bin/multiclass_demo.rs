@@ -51,7 +51,14 @@ fn main() {
         [0.15, 0.25, 0.25],
     ];
     for alphas in splits {
-        let r = solve_multiclass(&servers, &classes, &alphas, &routes, &SolveConfig::default(), None);
+        let r = solve_multiclass(
+            &servers,
+            &classes,
+            &alphas,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         // Worst end-to-end delay per class over its routes.
         let mut worst = [0.0f64; 3];
         for (rt, &rd) in routes.routes().iter().zip(&r.route_delays) {
@@ -63,7 +70,11 @@ fn main() {
             alphas[0],
             alphas[1],
             alphas[2],
-            if r.outcome.is_safe() { "SAFE" } else { "UNSAFE" },
+            if r.outcome.is_safe() {
+                "SAFE"
+            } else {
+                "UNSAFE"
+            },
             worst[0] * 1e3,
             worst[1] * 1e3,
             worst[2] * 1e3,

@@ -26,7 +26,14 @@ fn main() {
     for p in &paths {
         routes.push(Route::from_path(ClassId(0), p));
     }
-    let analysis = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+    let analysis = solve_two_class(
+        &servers,
+        &voip,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
     assert!(analysis.outcome.is_safe());
     let bound = analysis.route_delays.iter().cloned().fold(0.0, f64::max);
 
@@ -72,7 +79,10 @@ fn main() {
     });
 
     println!("# POL: MCI (C=2 Mb/s), {conforming} conforming flows + 1 rogue (100x contract)");
-    println!("# analytic bound for conforming traffic: {:.2} ms", bound * 1e3);
+    println!(
+        "# analytic bound for conforming traffic: {:.2} ms",
+        bound * 1e3
+    );
     let caps = vec![capacity; servers.len()];
     for policed in [false, true] {
         let cfg = SimConfig {

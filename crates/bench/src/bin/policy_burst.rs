@@ -182,15 +182,13 @@ fn run_arm(
         held.retain(|(expiry, _)| *expiry > t);
         let ok = match ctrl {
             None => true,
-            Some(c) => {
-                match c.try_admit_at(ClassId(0), NodeId(src as u32), sink, t) {
-                    Ok(h) => {
-                        held.push((t + LIFE_S, h));
-                        true
-                    }
-                    Err(_) => false,
+            Some(c) => match c.try_admit_at(ClassId(0), NodeId(src as u32), sink, t) {
+                Ok(h) => {
+                    held.push((t + LIFE_S, h));
+                    true
                 }
-            }
+                Err(_) => false,
+            },
         };
         if ok {
             admitted.push((t, src));

@@ -68,8 +68,8 @@ fn main() {
     let cfg = SimConfig {
         horizon: 0.2,
         deadlines: vec![0.1, f64::INFINITY],
-            policers: None,
-        };
+        policers: None,
+    };
     let disciplines: Vec<(&str, Discipline)> = vec![
         ("static-priority", Discipline::StaticPriority),
         ("fifo", Discipline::Fifo),

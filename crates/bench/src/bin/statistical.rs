@@ -37,7 +37,13 @@ fn main() {
             t.max_flows, gain, t.violation, mc
         );
         assert!(t.violation <= eps);
-        assert!(mc <= eps.max(3.0 / trials as f64) * 3.0 + 1e-3, "MC blew epsilon");
+        assert!(
+            mc <= eps.max(3.0 / trials as f64) * 3.0 + 1e-3,
+            "MC blew epsilon"
+        );
     }
-    println!("# gain -> 1/activity = {:.2} as budgets grow (law of large numbers)", 1.0 / class.activity);
+    println!(
+        "# gain -> 1/activity = {:.2} as budgets grow (law of large numbers)",
+        1.0 / class.activity
+    );
 }

@@ -48,11 +48,7 @@ fn sweep_burst() {
     println!("# T_over_rho_ms lower upper");
     for ms in [1, 2, 5, 10, 20, 40, 80, 160] {
         let t_over_rho = ms as f64 / 1e3;
-        let cls = TrafficClass::new(
-            "v",
-            LeakyBucket::new(32_000.0 * t_over_rho, 32_000.0),
-            0.1,
-        );
+        let cls = TrafficClass::new("v", LeakyBucket::new(32_000.0 * t_over_rho, 32_000.0), 0.1);
         let (lb, ub) = utilization_bounds(6, 4, &cls);
         println!("{ms} {lb:.4} {ub:.4}");
     }

@@ -60,9 +60,7 @@ fn main() {
         lb, sp.alpha, heur.alpha, ub
     );
     println!();
-    println!(
-        "paper:  | 0.30        | 0.33 | 0.45           | 0.61        |"
-    );
+    println!("paper:  | 0.30        | 0.33 | 0.45           | 0.61        |");
     println!();
     println!(
         "SP search: {} probes in {:.2?}; heuristic search: {} probes in {:.2?}",

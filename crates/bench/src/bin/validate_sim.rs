@@ -27,8 +27,14 @@ fn main() {
     println!("# V-SIM: MCI (C=2 Mb/s, per-topology fan-in), SP routes, greedy fill");
     println!("# alpha verdict flows packets bound_ms sim_max_ms sim_mean_ms misses");
     for alpha in [0.05, 0.10, 0.15, 0.20, 0.25, 0.30] {
-        let analysis =
-            solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+        let analysis = solve_two_class(
+            &servers,
+            &voip,
+            alpha,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         if !analysis.outcome.is_safe() {
             println!("{alpha:.2} UNVERIFIED - - - - - -");
             continue;
@@ -66,8 +72,8 @@ fn main() {
             &SimConfig {
                 horizon: 0.3,
                 deadlines: vec![voip.deadline],
-            policers: None,
-        },
+                policers: None,
+            },
         );
         println!(
             "{alpha:.2} SAFE {} {} {:.2} {:.2} {:.3} {}",

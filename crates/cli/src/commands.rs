@@ -61,7 +61,13 @@ pub fn cmd_verify(sc: &Scenario) -> Result<String, ScenarioError> {
             routes.push(Route::from_path(ci, p));
         }
     }
-    let report = verify(&sc.servers, &sc.classes, &sc.alphas, &routes, &SolveConfig::default());
+    let report = verify(
+        &sc.servers,
+        &sc.classes,
+        &sc.alphas,
+        &routes,
+        &SolveConfig::default(),
+    );
     let mut out = String::new();
     writeln!(
         out,
@@ -75,10 +81,7 @@ pub fn cmd_verify(sc: &Scenario) -> Result<String, ScenarioError> {
         writeln!(out, "worst slack: {:.3} ms", report.worst_slack * 1e3).unwrap();
     }
     for (i, (_, class)) in sc.classes.iter().enumerate() {
-        let worst = report.server_delays[i]
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
+        let worst = report.server_delays[i].iter().cloned().fold(0.0, f64::max);
         writeln!(
             out,
             "class {:<10} worst per-server delay {:.3} ms",
@@ -93,7 +96,11 @@ pub fn cmd_verify(sc: &Scenario) -> Result<String, ScenarioError> {
 /// `maximize`: Section 5.3 binary search; multi-class scenarios use the
 /// §5.4 trade-off ray (scenario alphas as the weight vector). `threads`
 /// fans out candidate verification and the solver sweeps (1 = serial).
-pub fn cmd_maximize(sc: &Scenario, selector_name: &str, threads: usize) -> Result<String, ScenarioError> {
+pub fn cmd_maximize(
+    sc: &Scenario,
+    selector_name: &str,
+    threads: usize,
+) -> Result<String, ScenarioError> {
     if threads == 0 {
         return Err(ScenarioError("--threads must be at least 1".into()));
     }
@@ -131,7 +138,12 @@ pub fn cmd_maximize(sc: &Scenario, selector_name: &str, threads: usize) -> Resul
     writeln!(out, "probes: {}", r.probes.len()).unwrap();
     if let Some(sel) = &r.selection {
         let longest = sel.paths.iter().map(Path::len).max().unwrap_or(0);
-        writeln!(out, "routes committed: {} (longest {longest} hops)", sel.paths.len()).unwrap();
+        writeln!(
+            out,
+            "routes committed: {} (longest {longest} hops)",
+            sel.paths.len()
+        )
+        .unwrap();
         writeln!(
             out,
             "worst route delay: {:.3} ms (deadline {:.1} ms)",
@@ -150,9 +162,7 @@ fn cmd_maximize_multiclass(sc: &Scenario, threads: usize) -> Result<String, Scen
     let demands: Vec<Demand> = sc
         .classes
         .iter()
-        .flat_map(|(ci, _)| {
-            sc.pairs.iter().map(move |&pair| Demand { class: ci, pair })
-        })
+        .flat_map(|(ci, _)| sc.pairs.iter().map(move |&pair| Demand { class: ci, pair }))
         .collect();
     let cfg = HeuristicConfig {
         threads,
@@ -188,7 +198,9 @@ fn cmd_maximize_multiclass(sc: &Scenario, threads: usize) -> Result<String, Scen
 /// sources, packet simulation against the analytic bound.
 pub fn cmd_simulate(sc: &Scenario, horizon: f64) -> Result<String, ScenarioError> {
     if sc.classes.len() != 1 {
-        return Err(ScenarioError("simulate handles single-class scenarios".into()));
+        return Err(ScenarioError(
+            "simulate handles single-class scenarios".into(),
+        ));
     }
     let (_, class) = sc.classes.iter().next().unwrap();
     let alpha = sc.alphas[0];
@@ -243,7 +255,9 @@ pub fn cmd_simulate(sc: &Scenario, horizon: f64) -> Result<String, ScenarioError
             }
         }
     }
-    let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    let caps: Vec<f64> = (0..sc.servers.len())
+        .map(|k| sc.servers.capacity_at(k))
+        .collect();
     let report = simulate(
         &caps,
         &flows,
@@ -291,7 +305,13 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
         solver_metrics.sweeps_skipped.get(),
         solver_metrics.servers_touched.get(),
     );
-    let report = verify(&sc.servers, &sc.classes, &sc.alphas, &routes, &SolveConfig::default());
+    let report = verify(
+        &sc.servers,
+        &sc.classes,
+        &sc.alphas,
+        &routes,
+        &SolveConfig::default(),
+    );
     writeln!(
         out,
         "verification: {} ({} iterations)",
@@ -309,7 +329,9 @@ pub fn cmd_metrics(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
 
     // 2. Admission: churn workload, then saturate until a link fills —
     // through the scenario's policy chain, like `explain` and `serve`.
-    let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    let caps: Vec<f64> = (0..sc.servers.len())
+        .map(|k| sc.servers.capacity_at(k))
+        .collect();
     let ctrl = scenario_controller(sc, true)?;
     let pairs: Vec<(NodeId, NodeId)> = sc.pairs.iter().map(|p| (p.src, p.dst)).collect();
     let mut policy = ctrl.clone();
@@ -453,7 +475,9 @@ fn scenario_table(sc: &Scenario) -> Result<(RoutingTable, Vec<f64>), ScenarioErr
             table.insert(ci, p);
         }
     }
-    let caps: Vec<f64> = (0..sc.servers.len()).map(|k| sc.servers.capacity_at(k)).collect();
+    let caps: Vec<f64> = (0..sc.servers.len())
+        .map(|k| sc.servers.capacity_at(k))
+        .collect();
     Ok((table, caps))
 }
 
@@ -514,7 +538,11 @@ fn total_budget_bps(gen: &ConfigGeneration) -> f64 {
 /// stranded, and how the total class budget moved. The old flows drain
 /// against their own (retired) generation, exactly as a live controller
 /// would behave.
-pub fn cmd_reconfigure(old: &Scenario, new: &Scenario, json: bool) -> Result<String, ScenarioError> {
+pub fn cmd_reconfigure(
+    old: &Scenario,
+    new: &Scenario,
+    json: bool,
+) -> Result<String, ScenarioError> {
     let ctrl = scenario_controller(old, false)?;
     // Deterministic saturation: round-robin over the pair list in file
     // order, every class, holding every admitted flow.
@@ -653,9 +681,7 @@ pub fn cmd_explain(sc: &Scenario, json: bool) -> Result<String, ScenarioError> {
     )
     .unwrap();
     for d in &diagnoses {
-        let link = d
-            .link
-            .map_or_else(|| "-".into(), |l| l.to_string());
+        let link = d.link.map_or_else(|| "-".into(), |l| l.to_string());
         let (reserved, budget, util, headroom) = if d.verdict == ExplainVerdict::NoRoute {
             ("-".into(), "-".into(), "-".into(), "-".into())
         } else {
@@ -820,10 +846,7 @@ mod tests {
     #[test]
     fn metrics_report_json_mode_parses_back() {
         let out = cmd_metrics(&ring_scenario(), true).unwrap();
-        let json_tail: Vec<&str> = out
-            .lines()
-            .filter(|l| l.starts_with('{'))
-            .collect();
+        let json_tail: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
         assert!(!json_tail.is_empty(), "{out}");
         for line in json_tail {
             uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
@@ -860,7 +883,11 @@ mod tests {
         )
         .unwrap();
         let out = cmd_explain(&sc, true).unwrap();
-        assert_eq!(out, cmd_explain(&sc, true).unwrap(), "must be deterministic");
+        assert_eq!(
+            out,
+            cmd_explain(&sc, true).unwrap(),
+            "must be deterministic"
+        );
         let mut saw_link_full = false;
         for line in out.lines() {
             let v = uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
@@ -869,12 +896,24 @@ mod tests {
                 saw_link_full = true;
                 // The diagnosis names a concrete link with observed and
                 // budgeted utilization for the rejected class.
-                assert!(v.get("link").and_then(JsonValue::as_number).is_some(), "{line}");
-                let reserved = v.get("reserved_bps").and_then(JsonValue::as_number).unwrap();
+                assert!(
+                    v.get("link").and_then(JsonValue::as_number).is_some(),
+                    "{line}"
+                );
+                let reserved = v
+                    .get("reserved_bps")
+                    .and_then(JsonValue::as_number)
+                    .unwrap();
                 let budget = v.get("budget_bps").and_then(JsonValue::as_number).unwrap();
                 assert!(budget > 0.0 && reserved <= budget, "{line}");
-                let rate = v.get("flow_rate_bps").and_then(JsonValue::as_number).unwrap();
-                assert!(budget - reserved < rate, "headroom must not fit the flow: {line}");
+                let rate = v
+                    .get("flow_rate_bps")
+                    .and_then(JsonValue::as_number)
+                    .unwrap();
+                assert!(
+                    budget - reserved < rate,
+                    "headroom must not fit the flow: {line}"
+                );
             }
         }
         assert!(saw_link_full, "{out}");
@@ -924,7 +963,10 @@ mod tests {
         assert!(out.contains("reconfigure: generation"), "{out}");
         assert!(out.contains("stranded (route gone):  0"), "{out}");
         // alpha 0.2 -> 0.4 on 12 ring links of 1 Mb/s: +2400 kb/s.
-        assert!(out.contains("total class budget delta: +2400.0 kb/s"), "{out}");
+        assert!(
+            out.contains("total class budget delta: +2400.0 kb/s"),
+            "{out}"
+        );
         assert!(out.contains("drained after release: true"), "{out}");
     }
 
@@ -971,7 +1013,13 @@ mod tests {
         let out2 = cmd_reconfigure(&old, &new, true).unwrap();
         let v2 = uba::obs::json::parse(out2.trim()).unwrap();
         let num2 = |k: &str| v2.get(k).and_then(JsonValue::as_number).unwrap();
-        for k in ["admitted", "kept", "stranded", "pinned_previous", "headroom_delta_bps"] {
+        for k in [
+            "admitted",
+            "kept",
+            "stranded",
+            "pinned_previous",
+            "headroom_delta_bps",
+        ] {
             assert_eq!(num(k), num2(k), "field {k}: {out} vs {out2}");
         }
     }

@@ -119,10 +119,9 @@ mod tests {
     fn parsed_rejects_garbage_and_out_of_range() {
         for bad in ["zero", "-3", "0"] {
             let mut args = argv(&["--threads", bad]);
-            let err = take_parsed::<usize>(&mut args, "--threads", "a positive integer", |&n| {
-                n >= 1
-            })
-            .unwrap_err();
+            let err =
+                take_parsed::<usize>(&mut args, "--threads", "a positive integer", |&n| n >= 1)
+                    .unwrap_err();
             assert!(err.contains("a positive integer"), "{err}");
             assert!(err.contains(bad), "{err}");
         }

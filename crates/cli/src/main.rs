@@ -61,9 +61,12 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let dump_metrics = take_flag(&mut args, "--metrics");
     let json = take_flag(&mut args, "--json");
-    let threads = take_parsed(&mut args, "--threads", "a positive integer", |&n: &usize| {
-        n >= 1
-    })
+    let threads = take_parsed(
+        &mut args,
+        "--threads",
+        "a positive integer",
+        |&n: &usize| n >= 1,
+    )
     .unwrap_or_else(|e| fail(e))
     .unwrap_or(1);
     let port: Option<u16> = take_parsed(&mut args, "--port", "a port number", |&p: &u16| p >= 1)
@@ -71,14 +74,21 @@ fn main() {
     let bind = take_value(&mut args, "--bind")
         .unwrap_or_else(|e| fail(e))
         .unwrap_or_else(|| "127.0.0.1".into());
-    let interval_ms = take_parsed(&mut args, "--interval-ms", "a positive integer", |&n: &u64| {
-        n >= 1
-    })
+    let interval_ms = take_parsed(
+        &mut args,
+        "--interval-ms",
+        "a positive integer",
+        |&n: &u64| n >= 1,
+    )
     .unwrap_or_else(|e| fail(e))
     .unwrap_or(1000);
-    let iterations: Option<usize> =
-        take_parsed(&mut args, "--iterations", "a positive integer", |&n: &usize| n >= 1)
-            .unwrap_or_else(|e| fail(e));
+    let iterations: Option<usize> = take_parsed(
+        &mut args,
+        "--iterations",
+        "a positive integer",
+        |&n: &usize| n >= 1,
+    )
+    .unwrap_or_else(|e| fail(e));
     // `watch` talks to a running server: no scenario file to load.
     if args.first().map(String::as_str) == Some("watch") {
         let Some(port) = port else {
@@ -111,10 +121,7 @@ fn main() {
             threads,
         ),
         "simulate" => {
-            let horizon = args
-                .get(2)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0.3);
+            let horizon = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.3);
             cmd_simulate(&scenario, horizon)
         }
         "metrics" => cmd_metrics(&scenario, json),

@@ -80,14 +80,10 @@ fn build_topology(t: &Table) -> Result<Digraph, ScenarioError> {
         "line" => uba::topology::line(n),
         "star" => uba::topology::star(n),
         "mesh" => uba::topology::full_mesh(n),
-        "grid" => uba::topology::grid(
-            num_or(t, "w", 4.0)? as usize,
-            num_or(t, "h", 4.0)? as usize,
-        ),
-        "torus" => uba::topology::torus(
-            num_or(t, "w", 4.0)? as usize,
-            num_or(t, "h", 4.0)? as usize,
-        ),
+        "grid" => uba::topology::grid(num_or(t, "w", 4.0)? as usize, num_or(t, "h", 4.0)? as usize),
+        "torus" => {
+            uba::topology::torus(num_or(t, "w", 4.0)? as usize, num_or(t, "h", 4.0)? as usize)
+        }
         "waxman" => uba::topology::waxman(
             n,
             num_or(t, "alpha", 0.4)?,
@@ -210,7 +206,11 @@ impl Scenario {
                 let burst = num(ct, "burst")?;
                 let rate = num(ct, "rate")?;
                 let deadline = num(ct, "deadline")?;
-                classes.push(TrafficClass::new(name, LeakyBucket::new(burst, rate), deadline));
+                classes.push(TrafficClass::new(
+                    name,
+                    LeakyBucket::new(burst, rate),
+                    deadline,
+                ));
                 alphas.push(num_or(ct, "alpha", 0.1)?);
             }
         }
@@ -273,8 +273,8 @@ impl Scenario {
 
     /// Loads a scenario from a file path.
     pub fn from_path(path: &str) -> Result<Self, ScenarioError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| bad(format!("cannot read '{path}': {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| bad(format!("cannot read '{path}': {e}")))?;
         Self::from_str(&text)
     }
 }

@@ -288,7 +288,10 @@ fn http_get(addr: &str, path: &str) -> Result<String, ScenarioError> {
     use std::io::Read as _;
     let attempt = || -> std::io::Result<String> {
         let mut stream = TcpStream::connect(addr)?;
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )?;
         let mut response = String::new();
         stream.read_to_string(&mut response)?;
         Ok(response)
@@ -324,7 +327,9 @@ pub fn watch_frame(snapshot_body: &str, slo_body: &str) -> String {
     let mut admits_per_sec = None;
     let mut rejects_per_sec = None;
     for line in snapshot_body.lines() {
-        let Ok(v) = uba::obs::json::parse(line) else { continue };
+        let Ok(v) = uba::obs::json::parse(line) else {
+            continue;
+        };
         let value = v.get("value").and_then(JsonValue::as_number);
         match v.get("name").and_then(JsonValue::as_str) {
             Some("snapshot.window_secs") => window = value,
@@ -341,7 +346,9 @@ pub fn watch_frame(snapshot_body: &str, slo_body: &str) -> String {
         num(rejects_per_sec),
     );
     for line in slo_body.lines() {
-        let Ok(v) = uba::obs::json::parse(line) else { continue };
+        let Ok(v) = uba::obs::json::parse(line) else {
+            continue;
+        };
         let (Some(rule), Some(state)) = (
             v.get("rule").and_then(JsonValue::as_str),
             v.get("state").and_then(JsonValue::as_str),
@@ -451,7 +458,10 @@ mod tests {
         // Valid Prometheus text format with live data from the churn
         // loop: TYPE comments and name/value samples.
         assert!(body.contains("# TYPE admission_admits counter"), "{body}");
-        for line in body.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        for line in body
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+        {
             let (name, value) = line.rsplit_once(' ').expect("sample line");
             assert!(!name.is_empty(), "{line}");
             assert!(
@@ -494,13 +504,21 @@ mod tests {
         let v = uba::obs::json::parse(body.trim()).unwrap_or_else(|e| panic!("{e}: {body}"));
         {
             use uba::obs::json::JsonValue;
-            assert_eq!(v.get("status").and_then(JsonValue::as_str), Some("ok"), "{body}");
-            assert!(
-                v.get("generation").and_then(JsonValue::as_number).is_some_and(|g| g >= 0.0),
+            assert_eq!(
+                v.get("status").and_then(JsonValue::as_str),
+                Some("ok"),
                 "{body}"
             );
             assert!(
-                v.get("uptime_secs").and_then(JsonValue::as_number).is_some_and(|u| u > 0.0),
+                v.get("generation")
+                    .and_then(JsonValue::as_number)
+                    .is_some_and(|g| g >= 0.0),
+                "{body}"
+            );
+            assert!(
+                v.get("uptime_secs")
+                    .and_then(JsonValue::as_number)
+                    .is_some_and(|u| u > 0.0),
                 "{body}"
             );
         }
@@ -568,7 +586,10 @@ mod tests {
 
         // The swap shows up on the exposition side.
         let (_, metrics) = get(addr, "/metrics");
-        assert!(metrics.contains("# TYPE admission_reconfigures counter"), "{metrics}");
+        assert!(
+            metrics.contains("# TYPE admission_reconfigures counter"),
+            "{metrics}"
+        );
 
         // Other POST paths stay rejected.
         let (head, _) = request(addr, "POST", "/metrics");
@@ -640,14 +661,20 @@ mod tests {
             Some("trace_meta"),
             "{body}"
         );
-        let events = trailer.get("events").and_then(JsonValue::as_number).unwrap();
+        let events = trailer
+            .get("events")
+            .and_then(JsonValue::as_number)
+            .unwrap();
         assert!(events <= 3.0, "{body}");
         assert_eq!(events as usize, lines.len() - 1, "{body}");
 
         // A malformed count is ignored: the full tail drains.
         let (head, body) = get(addr, "/trace?n=bogus");
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
-        assert!(body.lines().last().unwrap().contains("trace_meta"), "{body}");
+        assert!(
+            body.lines().last().unwrap().contains("trace_meta"),
+            "{body}"
+        );
 
         server.join().unwrap().unwrap();
     }
@@ -697,8 +724,13 @@ mod tests {
                 let v = uba::obs::json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
                 if v.get("rule").and_then(JsonValue::as_str) == Some("deadline_miss_ratio") {
                     return (
-                        v.get("state").and_then(JsonValue::as_str).unwrap().to_string(),
-                        v.get("pending_windows").and_then(JsonValue::as_number).unwrap(),
+                        v.get("state")
+                            .and_then(JsonValue::as_str)
+                            .unwrap()
+                            .to_string(),
+                        v.get("pending_windows")
+                            .and_then(JsonValue::as_number)
+                            .unwrap(),
                     );
                 }
             }
@@ -734,7 +766,10 @@ mod tests {
             l.contains("\"rule\":\"deadline_miss_ratio\"") && l.contains("\"state\":\"firing\"")
         });
         assert!(active, "no active deadline_miss_ratio alert: {body}");
-        assert!(body.lines().last().unwrap().contains("alerts_meta"), "{body}");
+        assert!(
+            body.lines().last().unwrap().contains("alerts_meta"),
+            "{body}"
+        );
 
         // Phase 2: clean traffic (packets, no misses) until the rule
         // resolves.
@@ -760,9 +795,15 @@ mod tests {
         // The bursty churn loop's arrival telemetry is live alongside.
         let (_, metrics) = get(addr, "/metrics");
         used += 1;
-        assert!(metrics.contains("admission_arrival_class0_rate"), "{metrics}");
+        assert!(
+            metrics.contains("admission_arrival_class0_rate"),
+            "{metrics}"
+        );
         assert!(metrics.contains("admission_overuse_state"), "{metrics}");
-        assert!(metrics.contains("slo_deadline_miss_ratio_state"), "{metrics}");
+        assert!(
+            metrics.contains("slo_deadline_miss_ratio_state"),
+            "{metrics}"
+        );
 
         // Exhaust the request budget so the server exits cleanly.
         for _ in used..MAX_REQUESTS {

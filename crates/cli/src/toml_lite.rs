@@ -357,9 +357,18 @@ mod tests {
     fn errors_carry_line_numbers() {
         let e = parse("ok = 1\nbroken").unwrap_err();
         assert_eq!(e.line, 2);
-        assert!(parse("x = [1, \"a\"]").unwrap_err().message.contains("mixed"));
-        assert!(parse("[dup]\n[dup]").unwrap_err().message.contains("duplicate"));
-        assert!(parse("[t]\nk = 1\nk = 2").unwrap_err().message.contains("duplicate key"));
+        assert!(parse("x = [1, \"a\"]")
+            .unwrap_err()
+            .message
+            .contains("mixed"));
+        assert!(parse("[dup]\n[dup]")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+        assert!(parse("[t]\nk = 1\nk = 2")
+            .unwrap_err()
+            .message
+            .contains("duplicate key"));
         assert!(parse("k = \"unterminated").is_err());
         assert!(parse("[bad name]").is_err());
     }
@@ -407,7 +416,6 @@ mod tests {
             "k = @",
             "k.sub = 1",
             "0bad = 1", // digit-leading bare keys are legal TOML
-
             "k = \"unterminated\nnext = 2",
             "[t]\nk = 1\n[t]\nk = 2",
             "[[a]]\n[a]\nk = 1\nk = 1",
@@ -436,10 +444,9 @@ mod tests {
     /// root table keeps only pre-header keys.
     #[test]
     fn sections_commit_exactly_where_they_started() {
-        let doc = parse(
-            "root_key = 1\n[empty]\n[t]\nk = 2\n[[a]]\nx = 3\n[[a]]\nx = 4\n[u]\nk = 5\n",
-        )
-        .unwrap();
+        let doc =
+            parse("root_key = 1\n[empty]\n[t]\nk = 2\n[[a]]\nx = 3\n[[a]]\nx = 4\n[u]\nk = 5\n")
+                .unwrap();
         assert_eq!(doc.root.len(), 1);
         assert_eq!(doc.root["root_key"], Value::Number(1.0));
         assert_eq!(doc.table("empty"), Some(&Table::new()));

@@ -33,8 +33,8 @@ fn manifest_lines() -> Vec<String> {
 
 fn live_registry_names() -> BTreeSet<String> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/ring_small.toml");
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     let sc = Scenario::from_str(&text).expect("canonical scenario parses");
     cmd_metrics(&sc, true).expect("canonical scenario runs");
     render_global_metrics(true)

@@ -193,7 +193,9 @@ pub fn solve_two_class(
     cfg: &SolveConfig,
     warm: Option<&[f64]>,
 ) -> SolveResult {
-    with_thread_scratch(|sc| solve_two_class_with(servers, class, alpha, routes, None, cfg, warm, sc))
+    with_thread_scratch(|sc| {
+        solve_two_class_with(servers, class, alpha, routes, None, cfg, warm, sc)
+    })
 }
 
 /// [`solve_two_class`] with full control: an optional borrowed
@@ -214,7 +216,9 @@ pub fn solve_two_class_with(
     let mut alphas = std::mem::take(&mut scratch.alphas);
     alphas.clear();
     alphas.resize(servers.len(), alpha);
-    let r = solve_instrumented(servers, class, &alphas, routes, tentative, cfg, warm, scratch);
+    let r = solve_instrumented(
+        servers, class, &alphas, routes, tentative, cfg, warm, scratch,
+    );
     scratch.alphas = alphas;
     r
 }
@@ -273,8 +277,9 @@ fn solve_instrumented(
         if warm.is_some() { 1.0 } else { 0.0 },
     );
     let t0 = uba_obs::Stopwatch::start();
-    let (outcome, iterations, residual, stats) =
-        solve_core(servers, class, alphas, routes, tentative, cfg, warm, scratch);
+    let (outcome, iterations, residual, stats) = solve_core(
+        servers, class, alphas, routes, tentative, cfg, warm, scratch,
+    );
     let m = crate::metrics::solver();
     m.seconds.record(t0.elapsed_secs());
     m.iterations.record(iterations as f64);
@@ -503,7 +508,12 @@ fn solve_core(
                 route_delays[ri] = sweep_route(r, d, y) + prop[ri];
             }
             if let Some(ri) = first_violation(route_delays, class.deadline) {
-                return (Outcome::DeadlineExceeded { route: ri }, iterations, residual, stats);
+                return (
+                    Outcome::DeadlineExceeded { route: ri },
+                    iterations,
+                    residual,
+                    stats,
+                );
             }
 
             stats.servers_touched += s as u64;
@@ -585,7 +595,12 @@ fn solve_core(
             }
         }
         if let Some(ri) = first_violation(route_delays, class.deadline) {
-            return (Outcome::DeadlineExceeded { route: ri }, iterations, residual, stats);
+            return (
+                Outcome::DeadlineExceeded { route: ri },
+                iterations,
+                residual,
+                stats,
+            );
         }
 
         // Re-evaluate Theorem 3 only where `Y` moved (ascending server
@@ -769,7 +784,14 @@ mod tests {
     fn empty_route_set_safe_immediately() {
         let (_, servers, _) = line_setup(3);
         let routes = RouteSet::new(servers.len());
-        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &voip(),
+            0.3,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(r.outcome, Outcome::Safe);
         assert!(r.delays.iter().all(|&d| d == 0.0));
     }
@@ -795,7 +817,14 @@ mod tests {
         });
         let alpha = 0.3;
         let cls = voip();
-        let r = solve_two_class(&servers, &cls, alpha, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &cls,
+            alpha,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(r.outcome, Outcome::Safe);
         let beta = alpha * 5.0 / (6.0 - alpha);
         let t_over_rho = 0.02;
@@ -810,7 +839,14 @@ mod tests {
     #[test]
     fn bidirectional_line_safe_at_moderate_alpha() {
         let (_, servers, routes) = line_setup(4);
-        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &voip(),
+            0.3,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(r.outcome, Outcome::Safe);
         assert!(r.route_delays.iter().all(|&rd| rd <= 0.1));
         assert!(r.route_delays.iter().all(|&rd| rd > 0.0));
@@ -820,7 +856,14 @@ mod tests {
     fn high_alpha_rejected() {
         let (_, servers, routes) = line_setup(4);
         // α close to 1 on a 4-hop path with N=6 blows past 100 ms.
-        let r = solve_two_class(&servers, &voip(), 0.95, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &voip(),
+            0.95,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert!(matches!(
             r.outcome,
             Outcome::DeadlineExceeded { .. } | Outcome::IterationLimit
@@ -831,8 +874,14 @@ mod tests {
     fn invalid_alpha_reported() {
         let (_, servers, routes) = line_setup(2);
         for &bad in &[0.0, 1.0, -0.5, f64::NAN] {
-            let r =
-                solve_two_class(&servers, &voip(), bad, &routes, &SolveConfig::default(), None);
+            let r = solve_two_class(
+                &servers,
+                &voip(),
+                bad,
+                &routes,
+                &SolveConfig::default(),
+                None,
+            );
             assert_eq!(r.outcome, Outcome::InvalidParams);
         }
     }
@@ -840,8 +889,22 @@ mod tests {
     #[test]
     fn monotone_in_alpha() {
         let (_, servers, routes) = line_setup(4);
-        let lo = solve_two_class(&servers, &voip(), 0.2, &routes, &SolveConfig::default(), None);
-        let hi = solve_two_class(&servers, &voip(), 0.4, &routes, &SolveConfig::default(), None);
+        let lo = solve_two_class(
+            &servers,
+            &voip(),
+            0.2,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
+        let hi = solve_two_class(
+            &servers,
+            &voip(),
+            0.4,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(lo.outcome, Outcome::Safe);
         assert_eq!(hi.outcome, Outcome::Safe);
         for (a, b) in lo.route_delays.iter().zip(&hi.route_delays) {
@@ -890,7 +953,14 @@ mod tests {
     fn unused_servers_keep_zero_delay() {
         let (_, servers, mut routes) = line_setup(4);
         routes.pop(); // keep only the forward route
-        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &voip(),
+            0.3,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(r.outcome, Outcome::Safe);
         let used = routes.used_servers(ClassId(0));
         for (k, &u) in used.iter().enumerate() {
@@ -919,7 +989,14 @@ mod tests {
         let (_, servers, routes) = line_setup(6);
         let cls = voip();
         for &alpha in &[0.1, 0.3, 0.45, 0.6] {
-            let inc = solve_two_class(&servers, &cls, alpha, &routes, &SolveConfig::default(), None);
+            let inc = solve_two_class(
+                &servers,
+                &cls,
+                alpha,
+                &routes,
+                &SolveConfig::default(),
+                None,
+            );
             let dense = solve_two_class(&servers, &cls, alpha, &routes, &dense_cfg(), None);
             assert_eq!(inc.outcome, dense.outcome, "alpha {alpha}");
             assert_eq!(inc.iterations, dense.iterations, "alpha {alpha}");
@@ -971,7 +1048,14 @@ mod tests {
         let m = crate::metrics::solver();
         let (solves0, div0) = (m.iterations.count(), m.divergence.get());
         let (_, servers, routes) = line_setup(4);
-        let ok = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        let ok = solve_two_class(
+            &servers,
+            &voip(),
+            0.3,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(ok.outcome, Outcome::Safe);
         let capped = SolveConfig {
             max_iters: 1,
@@ -989,7 +1073,14 @@ mod tests {
         let m = crate::metrics::solver();
         let touched0 = m.servers_touched.get();
         let (_, servers, routes) = line_setup(4);
-        let r = solve_two_class(&servers, &voip(), 0.3, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &voip(),
+            0.3,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert_eq!(r.outcome, Outcome::Safe);
         // Every solve evaluates at least its used servers once.
         assert!(m.servers_touched.get() > touched0);

@@ -542,8 +542,7 @@ mod tests {
         ];
         for split in splits {
             assert_eq!(split.iter().sum::<usize>(), m);
-            let inputs: Vec<Vec<LeakyBucket>> =
-                split.iter().map(|&k| vec![b; k]).collect();
+            let inputs: Vec<Vec<LeakyBucket>> = split.iter().map(|&k| vec![b; k]).collect();
             let general = server_delay_general(c, &inputs).unwrap();
             assert!(
                 general <= t3 + 1e-9,
@@ -692,9 +691,7 @@ mod tests {
         let mut g = Digraph::with_nodes(n + 1);
         let mut in_edges = Vec::new();
         for i in 0..n {
-            in_edges.push(
-                g.add_edge(NodeId(i as u32 + 1), NodeId(0), 1.0).0,
-            );
+            in_edges.push(g.add_edge(NodeId(i as u32 + 1), NodeId(0), 1.0).0);
         }
         // One outbound server fed by n links.
         let out = g.add_edge(NodeId(0), NodeId(1), 1.0).0;

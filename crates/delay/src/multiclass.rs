@@ -59,8 +59,8 @@ pub fn theorem5_delay(specs: &[ClassSpec], i: usize, fan_in: usize, y: &[f64]) -
     if n <= si.alpha {
         return None;
     }
-    let tau_i = si.alpha * (si.bucket.burst + si.bucket.rate * y[i])
-        / (si.bucket.rate * (n - si.alpha));
+    let tau_i =
+        si.alpha * (si.bucket.burst + si.bucket.rate * y[i]) / (si.bucket.rate * (n - si.alpha));
     let d = (num + (sum_le - 1.0) * tau_i) / (1.0 - sum_lt);
     Some(d.max(0.0))
 }
@@ -193,9 +193,10 @@ pub fn solve_multiclass(
                     }
                 }
             }
-            let violation = routes.routes().iter().enumerate().find(|(ri, r)| {
-                route_delays[*ri] > classes.get(r.class).deadline + DEADLINE_SLACK
-            });
+            let violation =
+                routes.routes().iter().enumerate().find(|(ri, r)| {
+                    route_delays[*ri] > classes.get(r.class).deadline + DEADLINE_SLACK
+                });
             let outcome = match violation {
                 Some((ri, _)) => Outcome::DeadlineExceeded { route: ri },
                 None => Outcome::Safe,

@@ -38,10 +38,7 @@ impl Servers {
     /// enter through an extra access link).
     pub fn from_topology(g: &Digraph, c: f64) -> Self {
         assert!(c > 0.0 && c.is_finite(), "capacity must be positive");
-        let fan_in = g
-            .edges()
-            .map(|e| g.in_degree(g.src(e)) + 1)
-            .collect();
+        let fan_in = g.edges().map(|e| g.in_degree(g.src(e)) + 1).collect();
         Self {
             capacity: vec![c; g.edge_count()],
             fan_in,
@@ -112,10 +109,7 @@ impl Servers {
 
     /// Sum of constant delays along a route (raw server indices).
     pub fn route_const_delay(&self, servers: &[u32]) -> f64 {
-        servers
-            .iter()
-            .map(|&s| self.const_delay[s as usize])
-            .sum()
+        servers.iter().map(|&s| self.const_delay[s as usize]).sum()
     }
 }
 

@@ -41,11 +41,7 @@ impl VerifyReport {
     /// `capacities[k]` must match the servers the report was computed
     /// for. Returns the max over classes per server.
     pub fn backlog_bounds(&self, capacities: &[f64]) -> Vec<f64> {
-        let s = self
-            .server_delays
-            .first()
-            .map(Vec::len)
-            .unwrap_or(0);
+        let s = self.server_delays.first().map(Vec::len).unwrap_or(0);
         assert_eq!(capacities.len(), s, "capacity per server");
         (0..s)
             .map(|k| {
@@ -222,6 +218,12 @@ mod tests {
     fn alpha_count_mismatch_panics() {
         let (servers, routes) = ring_setup(4);
         let classes = ClassSet::single(TrafficClass::voip());
-        verify(&servers, &classes, &[0.3, 0.1], &routes, &SolveConfig::default());
+        verify(
+            &servers,
+            &classes,
+            &[0.3, 0.1],
+            &routes,
+            &SolveConfig::default(),
+        );
     }
 }

@@ -60,12 +60,7 @@ fn propagation_can_make_a_safe_assignment_unsafe() {
     let cfg = SolveConfig::default();
     let base = solve_two_class(&servers, &voip, 0.45, &routes, &cfg, None);
     assert_eq!(base.outcome, Outcome::Safe);
-    let slack = voip.deadline
-        - base
-            .route_delays
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max);
+    let slack = voip.deadline - base.route_delays.iter().cloned().fold(0.0, f64::max);
     assert!(slack > 0.0);
     // Propagation exceeding the remaining slack flips the verdict.
     let per_hop = slack / 4.0 + 1e-4;
@@ -73,7 +68,10 @@ fn propagation_can_make_a_safe_assignment_unsafe() {
         servers.set_const_delay(e, per_hop);
     }
     let with_prop = solve_two_class(&servers, &voip, 0.45, &routes, &cfg, None);
-    assert!(matches!(with_prop.outcome, Outcome::DeadlineExceeded { .. }));
+    assert!(matches!(
+        with_prop.outcome,
+        Outcome::DeadlineExceeded { .. }
+    ));
 }
 
 #[test]

@@ -196,7 +196,14 @@ fn tentative_matches_committed_across_seeds() {
         let mut rng = SplitMix64::new(0xABCD + seed);
         let mut routes = random_routes(&g, 25, &mut rng);
         let candidate = routes.pop().unwrap();
-        let base = solve_two_class(&servers, &voip, 0.35, &routes, &SolveConfig::default(), None);
+        let base = solve_two_class(
+            &servers,
+            &voip,
+            0.35,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         let warm = (base.outcome == Outcome::Safe).then_some(base.delays);
 
         let mut scratch = SolveScratch::new();
@@ -222,7 +229,10 @@ fn tentative_matches_committed_across_seeds() {
         assert_eq!(tentative.outcome, committed.outcome, "seed {seed}");
         assert_eq!(tentative.iterations, committed.iterations, "seed {seed}");
         assert_eq!(tentative.delays, committed.delays, "seed {seed}");
-        assert_eq!(tentative.route_delays, committed.route_delays, "seed {seed}");
+        assert_eq!(
+            tentative.route_delays, committed.route_delays,
+            "seed {seed}"
+        );
     }
 }
 
@@ -257,10 +267,8 @@ fn exhaustive_seeded_equivalence() {
                     Some(&delays),
                     &format!("{name} seed={seed} warm"),
                 );
-                let decayed: Vec<f64> = delays
-                    .iter()
-                    .map(|d| d * rng.range_f64(0.0, 1.0))
-                    .collect();
+                let decayed: Vec<f64> =
+                    delays.iter().map(|d| d * rng.range_f64(0.0, 1.0)).collect();
                 assert_equiv(
                     &servers,
                     &voip,

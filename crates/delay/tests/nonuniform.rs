@@ -1,8 +1,6 @@
 //! Per-server (non-uniform) utilization assignments.
 
-use uba_delay::fixed_point::{
-    solve_two_class, solve_two_class_nonuniform, Outcome, SolveConfig,
-};
+use uba_delay::fixed_point::{solve_two_class, solve_two_class_nonuniform, Outcome, SolveConfig};
 use uba_delay::routeset::{Route, RouteSet};
 use uba_delay::servers::Servers;
 use uba_graph::{Digraph, NodeId};

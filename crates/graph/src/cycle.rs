@@ -48,8 +48,7 @@ impl DynDigraph {
     /// # Panics
     /// Panics if the edge is not present.
     pub fn remove_edge(&mut self, u: usize, v: usize) {
-        let m = self
-            .out[u]
+        let m = self.out[u]
             .get_mut(&v)
             .expect("removing edge that is not present");
         *m -= 1;

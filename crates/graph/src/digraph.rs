@@ -198,7 +198,10 @@ impl Digraph {
 
     /// Finds a directed edge from `a` to `b`, if one exists.
     pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        self.out[a.index()].iter().copied().find(|&e| self.dst(e) == b)
+        self.out[a.index()]
+            .iter()
+            .copied()
+            .find(|&e| self.dst(e) == b)
     }
 
     /// Renders the graph in Graphviz DOT format (directed; labels from
@@ -252,11 +255,7 @@ impl Path {
             if i == 0 {
                 nodes.push(g.src(e));
             } else {
-                assert_eq!(
-                    g.src(e),
-                    *nodes.last().unwrap(),
-                    "edges do not form a path"
-                );
+                assert_eq!(g.src(e), *nodes.last().unwrap(), "edges do not form a path");
             }
             nodes.push(g.dst(e));
         }

@@ -71,8 +71,7 @@ pub fn k_shortest_paths_filtered(
                 }
             }
             // Ban root nodes (except the spur node) to keep paths simple.
-            let banned_nodes: HashSet<NodeId> =
-                root_nodes[..i].iter().copied().collect();
+            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
 
             let sp = dijkstra_filtered(
                 g,
@@ -149,7 +148,10 @@ mod tests {
         let ps = k_shortest_paths(&g, NodeId(0), NodeId(5), 4);
         assert!(!ps.is_empty());
         // First is the true shortest: 0-1-3-5 with weight 3.
-        assert_eq!(ps[0].nodes, vec![NodeId(0), NodeId(1), NodeId(3), NodeId(5)]);
+        assert_eq!(
+            ps[0].nodes,
+            vec![NodeId(0), NodeId(1), NodeId(3), NodeId(5)]
+        );
         let weights: Vec<f64> = ps.iter().map(|p| p.weight(&g)).collect();
         for w in weights.windows(2) {
             assert!(w[0] <= w[1] + 1e-12, "not sorted: {weights:?}");

@@ -13,8 +13,11 @@ use uba_graph::{bfs, dijkstra, k_shortest_paths, Digraph, EdgeId, NodeId, Path};
 
 /// Random connected-ish undirected graph on up to 7 nodes.
 fn arb_graph() -> impl Strategy<Value = Digraph> {
-    (2usize..7, proptest::collection::vec((0usize..7, 0usize..7, 1u32..10), 4..16)).prop_map(
-        |(n, raw_edges)| {
+    (
+        2usize..7,
+        proptest::collection::vec((0usize..7, 0usize..7, 1u32..10), 4..16),
+    )
+        .prop_map(|(n, raw_edges)| {
             let mut g = Digraph::with_nodes(n);
             // Spanning chain guarantees connectivity.
             for i in 0..n - 1 {
@@ -28,8 +31,7 @@ fn arb_graph() -> impl Strategy<Value = Digraph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 /// All simple paths from src to dst by exhaustive DFS.

@@ -1,0 +1,82 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Component `t` of a clock counts schedule-visible events performed by
+//! model thread `t`. Clock `a` *covers* clock `b` when every component
+//! of `a` is at least the matching component of `b` — i.e. everything
+//! `b` describes happened before (or at) the state `a` describes. The
+//! scheduler keeps one clock per thread, one per mutex, one per store
+//! (two, in fact: the writer's plain stamp and the release-sequence
+//! synchronization clock) and a single global `SeqCst` clock.
+
+/// A grow-on-demand vector clock. Missing components are zero, so
+/// clocks stay small until a model actually spawns many threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub(crate) fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Component for thread `t` (zero if never bumped).
+    pub(crate) fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `t`'s own component by one event.
+    pub(crate) fn bump(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Componentwise maximum: afterwards `self` covers both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when `self >= other` componentwise — everything `other`
+    /// describes happens-before (or equals) `self`.
+    pub(crate) fn covers(&self, other: &VClock) -> bool {
+        (0..other.0.len().max(self.0.len())).all(|i| self.get(i) >= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn zero_covers_only_zero() {
+        let z = VClock::new();
+        let mut a = VClock::new();
+        a.bump(2);
+        assert!(z.covers(&VClock::new()));
+        assert!(a.covers(&z));
+        assert!(!z.covers(&a));
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(1);
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+        assert!(j.covers(&a) && j.covers(&b));
+        assert!(!a.covers(&b) && !b.covers(&a));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-location store histories for the weak-memory model.
+//!
+//! Every modeled atomic location keeps its full *modification order*:
+//! the list of stores in the (total, per-location) order they committed.
+//! A load does not necessarily observe the newest store — the scheduler
+//! computes the *visible range* of store indices the loading thread may
+//! legally read (bounded below by coherence and happens-before, see
+//! `scheduler::atomic_load`) and forks a `Read` decision when more than
+//! one is visible. Location state is keyed by the atomic's address and
+//! lives only for the current execution; the first access seeds the
+//! history from the backing `std` atomic's current value.
+
+use crate::clock::VClock;
+
+/// One committed store in a location's modification order.
+pub(crate) struct Store {
+    /// Stored value, widened to `u64` (bools are 0/1).
+    pub(crate) value: u64,
+    /// Writing thread (0 for the synthetic initial store).
+    pub(crate) writer: usize,
+    /// The writer's clock when the store committed. A reader whose
+    /// clock covers this stamp happens-after the store and may no
+    /// longer read anything older in the modification order.
+    pub(crate) stamp: VClock,
+    /// Release-sequence clock published to acquire loads: the writer's
+    /// clock for a release store, the previous store's `sync` carried
+    /// forward (plus the writer's clock if releasing) for an RMW, and
+    /// empty for a relaxed store.
+    pub(crate) sync: VClock,
+    /// Source location of the store, for race counterexamples.
+    pub(crate) site: &'static std::panic::Location<'static>,
+    /// Whether the store was `SeqCst` (participates in the global SC
+    /// order approximated by the scheduler's `sc_clock`).
+    pub(crate) sc: bool,
+    /// Synthetic store holding the location's pre-model value.
+    pub(crate) initial: bool,
+}
+
+/// History and per-thread read state for one atomic location.
+pub(crate) struct LocState {
+    /// Modification order; index 0 is the synthetic initial store.
+    pub(crate) stores: Vec<Store>,
+    /// Per-thread coherence floor: the newest store index each thread
+    /// has read or written. Later loads by that thread may not go
+    /// below it (read-read / write-read coherence).
+    pub(crate) seen: Vec<usize>,
+    /// Per-thread run of consecutive stale (non-newest) reads; bounded
+    /// so relaxed spin loops terminate instead of reading a stale flag
+    /// forever.
+    pub(crate) stale_streak: Vec<usize>,
+}
+
+impl LocState {
+    /// Seeds a location first touched at `site` with the value the
+    /// backing std atomic currently holds. The initial store carries
+    /// empty clocks: it happens-before everything.
+    pub(crate) fn seed(value: u64, site: &'static std::panic::Location<'static>) -> Self {
+        Self {
+            stores: vec![Store {
+                value,
+                writer: 0,
+                stamp: VClock::new(),
+                sync: VClock::new(),
+                site,
+                sc: false,
+                initial: true,
+            }],
+            seen: Vec::new(),
+            stale_streak: Vec::new(),
+        }
+    }
+
+    fn slot(v: &mut Vec<usize>, t: usize) -> &mut usize {
+        if v.len() <= t {
+            v.resize(t + 1, 0);
+        }
+        &mut v[t]
+    }
+
+    /// The newest store index thread `t` is already bound to.
+    pub(crate) fn seen(&self, t: usize) -> usize {
+        self.seen.get(t).copied().unwrap_or(0)
+    }
+
+    /// Raises thread `t`'s coherence floor to store index `idx`.
+    pub(crate) fn mark_seen(&mut self, t: usize, idx: usize) {
+        let s = Self::slot(&mut self.seen, t);
+        if *s < idx {
+            *s = idx;
+        }
+    }
+
+    /// Current stale-read streak for thread `t`.
+    pub(crate) fn streak(&self, t: usize) -> usize {
+        self.stale_streak.get(t).copied().unwrap_or(0)
+    }
+
+    /// Records whether thread `t`'s latest read was stale.
+    pub(crate) fn set_streak(&mut self, t: usize, stale: bool) {
+        let s = Self::slot(&mut self.stale_streak, t);
+        *s = if stale { *s + 1 } else { 0 };
+    }
+
+    /// Largest store index whose stamp `clock` covers — the newest
+    /// store the thread with that clock happens-after. Index 0 (empty
+    /// stamp) is always covered, so this never underflows.
+    pub(crate) fn hb_floor(&self, clock: &VClock) -> usize {
+        (0..self.stores.len())
+            .rev()
+            .find(|&i| clock.covers(&self.stores[i].stamp))
+            .unwrap_or(0)
+    }
+
+    /// Index of the newest `SeqCst` store, if any.
+    pub(crate) fn sc_floor(&self) -> Option<usize> {
+        (0..self.stores.len()).rev().find(|&i| self.stores[i].sc)
+    }
+}

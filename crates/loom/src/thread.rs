@@ -27,15 +27,20 @@ impl<T> JoinHandle<T> {
 
 /// Spawns a modeled thread. The closure runs on a real OS thread, but
 /// only when the scheduler makes it active; the spawn itself is a
-/// schedule point (the child may run before `spawn` returns).
+/// schedule point (the child may run before `spawn` returns). The
+/// thread is named after its spawn site (`t<idx>@file:line`) so
+/// deadlock and race reports identify it without guesswork.
+#[track_caller]
 pub fn spawn<F, T>(f: F) -> JoinHandle<T>
 where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
+    let site = std::panic::Location::caller();
+    let name = format!("{}:{}", site.file(), site.line());
     let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
     let slot2 = Arc::clone(&slot);
-    let idx = scheduler::spawn_controlled(move || {
+    let idx = scheduler::spawn_controlled(Some(name), move || {
         let value = f();
         match slot2.lock() {
             Ok(mut g) => *g = Some(value),

@@ -118,8 +118,10 @@ impl Histogram {
         }
         let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
         self.buckets[self.slot_of(v)].fetch_add(n, Ordering::Relaxed);
-        self.sum_micro
-            .fetch_add(((v * SUM_SCALE).round() as u64).saturating_mul(n), Ordering::Relaxed);
+        self.sum_micro.fetch_add(
+            ((v * SUM_SCALE).round() as u64).saturating_mul(n),
+            Ordering::Relaxed,
+        );
         self.max_bits.fetch_max(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -455,10 +457,7 @@ mod tests {
         // distribution with lower mass.
         let mut counts = [0u64; BUCKETS];
         counts[BUCKETS - 1] = 3;
-        assert_eq!(
-            quantile_from_counts(1.0, &counts, 0.5),
-            Some(2f64.powi(63))
-        );
+        assert_eq!(quantile_from_counts(1.0, &counts, 0.5), Some(2f64.powi(63)));
         counts[0] = 97;
         // 97% of the mass is in slot 0; the p99 crosses into overflow.
         let h = Histogram::with_base(1.0);

@@ -235,9 +235,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..=0xDFFF).contains(&low) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let scalar = 0x10000
-                                        + ((code - 0xD800) << 10)
-                                        + (low - 0xDC00);
+                                    let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                     out.push(
                                         char::from_u32(scalar)
                                             .ok_or_else(|| self.err("bad surrogate pair"))?,
@@ -260,9 +258,7 @@ impl<'a> Parser<'a> {
                     // because the parser takes &str).
                     let start = self.pos;
                     self.pos += 1;
-                    while self.pos < self.bytes.len()
-                        && (self.bytes[self.pos] & 0xC0) == 0x80
-                    {
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
                     out.push_str(
@@ -396,7 +392,10 @@ mod tests {
         r.counter("astral.𐍈.😀").add(1);
         let line = r.snapshot().render_json_lines();
         let v = parse(line.trim()).unwrap();
-        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("astral.𐍈.😀"));
+        assert_eq!(
+            v.get("name").and_then(JsonValue::as_str),
+            Some("astral.𐍈.😀")
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod trace;
 pub use histogram::Histogram;
 pub use metrics::{Counter, Gauge};
 pub use registry::{global, process_secs, Registry, Snapshot, SnapshotValue};
-pub use slo::{standard_rules, Alert, Cmp, RuleState, SloConfig, SloEngine, SloRule, SloSignal};
 pub use rng::SplitMix64;
+pub use slo::{standard_rules, Alert, Cmp, RuleState, SloConfig, SloEngine, SloRule, SloSignal};
 pub use span::{Span, Stopwatch};
 pub use trace::{Event, EventKind, Tracer};

@@ -59,9 +59,11 @@ impl Gauge {
         // fetch_update is the hand-rolled load + compare_exchange_weak
         // retry loop, minus the chance of getting it subtly wrong — the
         // closure always returns Some, so the Err branch is unreachable.
-        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
-            Some((f64::from_bits(cur) + delta).to_bits())
-        });
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some((f64::from_bits(cur) + delta).to_bits())
+            });
     }
 
     /// Current value.

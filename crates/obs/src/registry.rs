@@ -266,10 +266,7 @@ fn prom_num(v: f64) -> String {
 impl Snapshot {
     /// The reading for `name`, if present.
     pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
     /// The window between `earlier` and this snapshot, as a derived
@@ -338,8 +335,8 @@ impl Snapshot {
                         diff[i] = now[i].saturating_sub(buckets0[i]);
                     }
                     let dcount = count.saturating_sub(count0);
-                    let dsum = mean.unwrap_or(0.0) * *count as f64
-                        - mean0.unwrap_or(0.0) * count0 as f64;
+                    let dsum =
+                        mean.unwrap_or(0.0) * *count as f64 - mean0.unwrap_or(0.0) * count0 as f64;
                     let dmean = if dcount > 0 {
                         Some(dsum / dcount as f64)
                     } else {
@@ -447,8 +444,11 @@ impl Snapshot {
             let name = json_escape(name);
             match value {
                 SnapshotValue::Counter(v) => {
-                    writeln!(out, "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}")
-                        .unwrap();
+                    writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}"
+                    )
+                    .unwrap();
                 }
                 SnapshotValue::Gauge(v) => {
                     writeln!(
@@ -732,8 +732,14 @@ mod tests {
         assert!(text.contains("admission_admits 42"), "{text}");
         assert!(text.contains("# TYPE util_link_3 gauge"), "{text}");
         assert!(text.contains("util_link_3 +Inf"), "{text}");
-        assert!(text.contains("# TYPE delay_solve_seconds histogram"), "{text}");
-        assert!(text.contains("delay_solve_seconds_bucket{le=\"+Inf\"} 2"), "{text}");
+        assert!(
+            text.contains("# TYPE delay_solve_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("delay_solve_seconds_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
         assert!(text.contains("delay_solve_seconds_count 2"), "{text}");
         // Empty histograms emit only the +Inf bucket and sum/count.
         assert!(text.contains("delay_empty_bucket{le=\"+Inf\"} 0"), "{text}");

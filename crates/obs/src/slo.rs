@@ -821,7 +821,8 @@ mod tests {
             Some("firing")
         );
         assert_eq!(
-            line.get("fired").and_then(crate::json::JsonValue::as_number),
+            line.get("fired")
+                .and_then(crate::json::JsonValue::as_number),
             Some(2.0)
         );
         let alerts = h.engine.alerts_json_lines();
@@ -832,15 +833,21 @@ mod tests {
             active.get("state").and_then(crate::json::JsonValue::as_str),
             Some("firing")
         );
-        assert_eq!(active.get("resolved_at"), Some(&crate::json::JsonValue::Null));
+        assert_eq!(
+            active.get("resolved_at"),
+            Some(&crate::json::JsonValue::Null)
+        );
         let resolved = crate::json::parse(lines[1]).unwrap();
         assert_eq!(
-            resolved.get("state").and_then(crate::json::JsonValue::as_str),
+            resolved
+                .get("state")
+                .and_then(crate::json::JsonValue::as_str),
             Some("resolved")
         );
         let meta = crate::json::parse(lines[2]).unwrap();
         assert_eq!(
-            meta.get("active").and_then(crate::json::JsonValue::as_number),
+            meta.get("active")
+                .and_then(crate::json::JsonValue::as_number),
             Some(1.0)
         );
     }

@@ -524,7 +524,9 @@ mod tests {
             Some("reject_link_full")
         );
         assert_eq!(
-            first.get("class").and_then(crate::json::JsonValue::as_number),
+            first
+                .get("class")
+                .and_then(crate::json::JsonValue::as_number),
             Some(2.0)
         );
         assert_eq!(
@@ -536,11 +538,13 @@ mod tests {
         assert_eq!(second.get("a"), Some(&crate::json::JsonValue::Null));
         let meta = crate::json::parse(lines[2]).unwrap();
         assert_eq!(
-            meta.get("events").and_then(crate::json::JsonValue::as_number),
+            meta.get("events")
+                .and_then(crate::json::JsonValue::as_number),
             Some(2.0)
         );
         assert_eq!(
-            meta.get("dropped").and_then(crate::json::JsonValue::as_number),
+            meta.get("dropped")
+                .and_then(crate::json::JsonValue::as_number),
             Some(0.0)
         );
     }

@@ -73,7 +73,11 @@ fn json_snapshot_round_trips() {
     let mut parsed = std::collections::BTreeMap::new();
     for line in rendered.lines() {
         let v = json::parse(line).expect("snapshot line must be valid JSON");
-        let name = v.get("name").and_then(JsonValue::as_str).unwrap().to_string();
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .to_string();
         parsed.insert(name, v);
     }
     assert_eq!(parsed.len(), snap.entries.len());
@@ -192,14 +196,24 @@ fn prometheus_histogram_buckets_are_cumulative_and_ordered() {
             .and_then(|s| s.split('"').next())
             .unwrap();
         let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
-        les.push(if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap() });
+        les.push(if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().unwrap()
+        });
         cums.push(cum);
     }
     // One series per non-empty slot plus +Inf.
     assert_eq!(les.len(), 4, "{text}");
     assert_eq!(les[3], f64::INFINITY);
-    assert!(les.windows(2).all(|w| w[0] < w[1]), "le must ascend: {les:?}");
-    assert!(cums.windows(2).all(|w| w[0] <= w[1]), "must be cumulative: {cums:?}");
+    assert!(
+        les.windows(2).all(|w| w[0] < w[1]),
+        "le must ascend: {les:?}"
+    );
+    assert!(
+        cums.windows(2).all(|w| w[0] <= w[1]),
+        "must be cumulative: {cums:?}"
+    );
     // The +Inf bucket equals _count, and the middle slot holds both 5.0
     // samples (cumulative 3 = 1 below + 2 here).
     assert_eq!(cums[3], 4);
@@ -215,15 +229,22 @@ fn prometheus_names_are_sanitized() {
     let text = r.snapshot().render_prometheus();
     // Leading digit gets a prefix; every non-[a-zA-Z0-9_:] byte becomes
     // an underscore, so labels and newlines cannot break the exposition.
-    assert!(text.contains("# TYPE _9weird_name_with_spaces_ histogram"), "{text}");
-    assert!(text.contains("_9weird_name_with_spaces__bucket{le=\""), "{text}");
+    assert!(
+        text.contains("# TYPE _9weird_name_with_spaces_ histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("_9weird_name_with_spaces__bucket{le=\""),
+        "{text}"
+    );
     assert!(text.contains("admission_admits_per_sec_ 1"), "{text}");
     for line in text.lines().filter(|l| !l.starts_with('#')) {
         let (name, value) = line.rsplit_once(' ').expect("sample line");
         assert!(!name.is_empty() && !value.is_empty(), "{line}");
         let bare = name.split('{').next().unwrap();
         assert!(
-            bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            bare.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
             "{line}"
         );
     }
@@ -291,5 +312,8 @@ fn tracer_drain_preserves_cross_thread_timeline() {
         json::parse(line).expect("trace line must be valid JSON");
     }
     let meta = json::parse(lines[200]).unwrap();
-    assert_eq!(meta.get("events").and_then(JsonValue::as_number), Some(200.0));
+    assert_eq!(
+        meta.get("events").and_then(JsonValue::as_number),
+        Some(200.0)
+    );
 }

@@ -84,10 +84,7 @@ mod tests {
         for n in 2..12 {
             for l in 1..8 {
                 let (lb, ub) = utilization_bounds(n, l, &voip);
-                assert!(
-                    lb <= ub + 1e-12,
-                    "lb {lb} > ub {ub} at N={n}, L={l}"
-                );
+                assert!(lb <= ub + 1e-12, "lb {lb} > ub {ub} at N={n}, L={l}");
                 assert!((0.0..=1.0).contains(&lb));
                 assert!((0.0..=1.0).contains(&ub));
             }
@@ -101,10 +98,7 @@ mod tests {
         let voip = TrafficClass::voip();
         for n in 2..10 {
             let (lb, ub) = utilization_bounds(n, 1, &voip);
-            assert!(
-                (lb - ub).abs() < 1e-12,
-                "N={n}: lb {lb} != ub {ub}"
-            );
+            assert!((lb - ub).abs() < 1e-12, "N={n}: lb {lb} != ub {ub}");
         }
     }
 

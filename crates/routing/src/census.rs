@@ -37,10 +37,7 @@ pub struct RouteCensus {
 impl RouteCensus {
     /// Mixing depth of the deepest route (0 for an empty set).
     pub fn worst_mixing_depth(&self) -> f64 {
-        self.route_mixing_depth
-            .iter()
-            .cloned()
-            .fold(0.0, f64::max)
+        self.route_mixing_depth.iter().cloned().fold(0.0, f64::max)
     }
 
     /// Longest route length in hops.

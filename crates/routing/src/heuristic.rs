@@ -140,8 +140,7 @@ pub(crate) fn choose_route(
     let candidates: &[Path] = match precomputed {
         Some(c) => c,
         None => {
-            computed =
-                k_shortest_paths_filtered(g, pair.src, pair.dst, cfg.k_candidates, edge_ok);
+            computed = k_shortest_paths_filtered(g, pair.src, pair.dst, cfg.k_candidates, edge_ok);
             &computed
         }
     };
@@ -189,7 +188,14 @@ pub(crate) fn choose_route(
         } else {
             let mut trial = routes.clone();
             trial.push(tentative);
-            solve_two_class(servers, class, alpha, &trial, &cfg.solver, Some(base_delays))
+            solve_two_class(
+                servers,
+                class,
+                alpha,
+                &trial,
+                &cfg.solver,
+                Some(base_delays),
+            )
         };
         if r.outcome.is_safe() {
             let own = *r.route_delays.last().unwrap();
@@ -265,13 +271,7 @@ pub(crate) fn select_routes_cached(
             Some(c) => Some(
                 c.entry((pair.src.0, pair.dst.0))
                     .or_insert_with(|| {
-                        k_shortest_paths_filtered(
-                            g,
-                            pair.src,
-                            pair.dst,
-                            cfg.k_candidates,
-                            |_| true,
-                        )
+                        k_shortest_paths_filtered(g, pair.src, pair.dst, cfg.k_candidates, |_| true)
                     })
                     .as_slice(),
             ),
@@ -328,8 +328,15 @@ mod tests {
     fn selects_all_pairs_at_low_alpha() {
         let (g, servers) = mci_setup();
         let pairs = all_ordered_pairs(&g);
-        let sel = select_routes(&g, &servers, &voip(), 0.1, &pairs, &HeuristicConfig::default())
-            .expect("low alpha must be routable");
+        let sel = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.1,
+            &pairs,
+            &HeuristicConfig::default(),
+        )
+        .expect("low alpha must be routable");
         assert_eq!(sel.paths.len(), pairs.len());
         assert!(sel.worst_slack(0.1) > 0.0);
         for (p, path) in sel.pairs.iter().zip(&sel.paths) {
@@ -342,7 +349,14 @@ mod tests {
     fn fails_at_absurd_alpha() {
         let (g, servers) = mci_setup();
         let pairs = all_ordered_pairs(&g);
-        let r = select_routes(&g, &servers, &voip(), 0.99, &pairs, &HeuristicConfig::default());
+        let r = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.99,
+            &pairs,
+            &HeuristicConfig::default(),
+        );
         assert!(matches!(r, Err(SelectionError::NoSafeRoute(_))));
     }
 
@@ -355,7 +369,14 @@ mod tests {
             src: uba_graph::NodeId(0),
             dst: island,
         }];
-        let r = select_routes(&g, &servers, &voip(), 0.1, &pairs, &HeuristicConfig::default());
+        let r = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.1,
+            &pairs,
+            &HeuristicConfig::default(),
+        );
         assert!(matches!(r, Err(SelectionError::NoRoute(_))));
     }
 
@@ -364,8 +385,15 @@ mod tests {
         let (g, servers) = mci_setup();
         // A manageable subset of pairs.
         let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(9).collect();
-        let serial = select_routes(&g, &servers, &voip(), 0.3, &pairs, &HeuristicConfig::default())
-            .unwrap();
+        let serial = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.3,
+            &pairs,
+            &HeuristicConfig::default(),
+        )
+        .unwrap();
         let cfg = HeuristicConfig {
             threads: 4,
             ..Default::default()
@@ -378,10 +406,24 @@ mod tests {
     fn deterministic() {
         let (g, servers) = mci_setup();
         let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(7).collect();
-        let a = select_routes(&g, &servers, &voip(), 0.25, &pairs, &HeuristicConfig::default())
-            .unwrap();
-        let b = select_routes(&g, &servers, &voip(), 0.25, &pairs, &HeuristicConfig::default())
-            .unwrap();
+        let a = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.25,
+            &pairs,
+            &HeuristicConfig::default(),
+        )
+        .unwrap();
+        let b = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.25,
+            &pairs,
+            &HeuristicConfig::default(),
+        )
+        .unwrap();
         assert_eq!(a.paths, b.paths);
     }
 
@@ -409,8 +451,14 @@ mod tests {
         let (g, servers) = mci_setup();
         let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(8).collect();
         for &alpha in &[0.2, 0.35, 0.5] {
-            let fast =
-                select_routes(&g, &servers, &voip(), alpha, &pairs, &HeuristicConfig::default());
+            let fast = select_routes(
+                &g,
+                &servers,
+                &voip(),
+                alpha,
+                &pairs,
+                &HeuristicConfig::default(),
+            );
             let reference_cfg = HeuristicConfig {
                 tentative_eval: false,
                 ..Default::default()
@@ -453,9 +501,15 @@ mod tests {
     fn committed_routes_meet_deadline() {
         let (g, servers) = mci_setup();
         let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(5).collect();
-        let sel =
-            select_routes(&g, &servers, &voip(), 0.35, &pairs, &HeuristicConfig::default())
-                .unwrap();
+        let sel = select_routes(
+            &g,
+            &servers,
+            &voip(),
+            0.35,
+            &pairs,
+            &HeuristicConfig::default(),
+        )
+        .unwrap();
         for &rd in &sel.route_delays {
             assert!(rd <= 0.1 + 1e-9, "route delay {rd} exceeds deadline");
         }

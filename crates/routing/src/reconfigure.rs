@@ -428,7 +428,10 @@ mod tests {
         let held: Vec<_> = c
             .pairs()
             .iter()
-            .map(|p| ctrl.try_admit(ClassId(0), p.src, p.dst).expect("committed pair admits"))
+            .map(|p| {
+                ctrl.try_admit(ClassId(0), p.src, p.dst)
+                    .expect("committed pair admits")
+            })
             .collect();
 
         // Fail a core link, recompute routes, and install the result
@@ -438,9 +441,14 @@ mod tests {
         assert_eq!(report.pinned_previous as usize, held.len());
         // New admissions route around the failure.
         for p in c.pairs() {
-            let h = ctrl.try_admit(ClassId(0), p.src, p.dst).expect("rerouted pair admits");
+            let h = ctrl
+                .try_admit(ClassId(0), p.src, p.dst)
+                .expect("rerouted pair admits");
             for &s in h.route() {
-                assert!(!c.failed_links().contains(&EdgeId(s)), "route crosses failed link");
+                assert!(
+                    !c.failed_links().contains(&EdgeId(s)),
+                    "route crosses failed link"
+                );
             }
         }
         // Old flows drain against the displaced generation.

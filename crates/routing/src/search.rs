@@ -192,8 +192,16 @@ mod tests {
         let r = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.01);
         let (lb, ub) = r.bounds;
         assert!(r.alpha > 0.0, "search found nothing");
-        assert!(r.alpha + 1e-9 >= lb, "alpha {} below lower bound {lb}", r.alpha);
-        assert!(r.alpha <= ub + 0.01, "alpha {} above upper bound {ub}", r.alpha);
+        assert!(
+            r.alpha + 1e-9 >= lb,
+            "alpha {} below lower bound {lb}",
+            r.alpha
+        );
+        assert!(
+            r.alpha <= ub + 0.01,
+            "alpha {} above upper bound {ub}",
+            r.alpha
+        );
         assert!(r.selection.is_some());
     }
 
@@ -245,7 +253,14 @@ mod tests {
         let g = mci();
         let servers = Servers::uniform(&g, 100e6, 6);
         let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(4).collect();
-        let r = max_utilization(&g, &servers, &voip(), &pairs, &Selector::ShortestPath, 0.005);
+        let r = max_utilization(
+            &g,
+            &servers,
+            &voip(),
+            &pairs,
+            &Selector::ShortestPath,
+            0.005,
+        );
         let paths = sp_selection(&g, &pairs).unwrap();
         let mut rs = RouteSet::new(g.edge_count());
         for p in &paths {

@@ -102,7 +102,9 @@ struct Job {
 
 enum Event {
     Arrive(Job),
-    Complete { station: u32 },
+    Complete {
+        station: u32,
+    },
     /// The mid-run route swap (pushed once, at the configured time).
     Reconfigure,
 }
@@ -168,7 +170,14 @@ pub fn simulate_observed(
         every > 0.0 && every.is_finite(),
         "observation interval must be positive"
     );
-    run(capacities, flows, cfg, discipline, None, Some((every, observer)))
+    run(
+        capacities,
+        flows,
+        cfg,
+        discipline,
+        None,
+        Some((every, observer)),
+    )
 }
 
 /// Runs the simulation with a mid-run routing reconfiguration.
@@ -311,10 +320,10 @@ fn run(
     let mut payloads: HashMap<u64, Event> = HashMap::new();
     let mut seq: u64 = 0;
     let push = |heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
-                    payloads: &mut HashMap<u64, Event>,
-                    seq: &mut u64,
-                    t: u64,
-                    e: Event| {
+                payloads: &mut HashMap<u64, Event>,
+                seq: &mut u64,
+                t: u64,
+                e: Event| {
         *seq += 1;
         heap.push(Reverse((t, *seq)));
         payloads.insert(*seq, e);
@@ -475,8 +484,7 @@ fn run(
                     acc[f.class].record(delay, deadline);
                     histograms[f.class].record(delay);
                     total_packets += 1;
-                    if let (Some((every, obs)), Some(mark)) =
-                        (observe.as_mut(), next_obs.as_mut())
+                    if let (Some((every, obs)), Some(mark)) = (observe.as_mut(), next_obs.as_mut())
                     {
                         let t_secs = t as f64 / NS;
                         if t_secs >= *mark {
@@ -1032,7 +1040,13 @@ mod tests {
             at: 0.1,
             reroutes: vec![(0, vec![2])],
         };
-        let rec = simulate_reconfigured(&[C, C, C], &flows, &cfg(1), &Discipline::StaticPriority, &rc);
+        let rec = simulate_reconfigured(
+            &[C, C, C],
+            &flows,
+            &cfg(1),
+            &Discipline::StaticPriority,
+            &rc,
+        );
         assert_eq!(rec.total_packets, plain.total_packets);
     }
 

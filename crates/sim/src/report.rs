@@ -112,10 +112,7 @@ pub struct SimReport {
 impl SimReport {
     /// Worst observed delay across all classes.
     pub fn max_delay(&self) -> f64 {
-        self.classes
-            .iter()
-            .map(|c| c.max_delay)
-            .fold(0.0, f64::max)
+        self.classes.iter().map(|c| c.max_delay).fold(0.0, f64::max)
     }
 
     /// Total deadline misses across classes.

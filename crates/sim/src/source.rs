@@ -151,7 +151,10 @@ impl SourceModel {
                 stop,
             } => {
                 assert!(packet_bits > 0, "packet size must be positive");
-                assert!(peak_bps > 0.0 && on_s > 0.0 && off_s >= 0.0, "bad on/off parameters");
+                assert!(
+                    peak_bps > 0.0 && on_s > 0.0 && off_s >= 0.0,
+                    "bad on/off parameters"
+                );
                 assert!(stop >= start, "stop must not precede start");
                 let gap = packet_bits as f64 / peak_bps;
                 let end = stop.min(horizon);
@@ -296,7 +299,7 @@ mod tests {
         let by_horizon = s.emissions(1.5);
         assert!(by_horizon.iter().all(|&t| t <= 1.5));
         assert_eq!(by_horizon.len(), 10); // only the [0, 1) on-phase
-        // Lifetime shorter than horizon clips to `stop`.
+                                          // Lifetime shorter than horizon clips to `stop`.
         let by_stop = s.emissions(100.0);
         assert!(by_stop.iter().all(|&t| t <= 3.5));
         assert_eq!(by_stop.len(), 20); // the [0,1) and [2,3) on-phases, in full

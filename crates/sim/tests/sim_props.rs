@@ -13,12 +13,12 @@ use uba_sim::{simulate, simulate_with, Discipline, FlowSpec, SimConfig, SourceMo
 fn arb_flows() -> impl Strategy<Value = Vec<FlowSpec>> {
     proptest::collection::vec(
         (
-            0usize..2,          // class
-            0u32..4,            // ingress
-            0usize..3,          // route start
-            1usize..3,          // route length (clamped)
-            0u8..2,             // source kind
-            0u32..20,           // offset in ms
+            0usize..2, // class
+            0u32..4,   // ingress
+            0usize..3, // route start
+            1usize..3, // route length (clamped)
+            0u8..2,    // source kind
+            0u32..20,  // offset in ms
         ),
         1..8,
     )

@@ -54,17 +54,20 @@ fn validate(g: &uba_graph::Digraph, alpha: f64, capacity: f64, horizon: f64) -> 
     for p in &paths {
         routes.push(Route::from_path(ClassId(0), p));
     }
-    let analysis = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+    let analysis = solve_two_class(
+        &servers,
+        &voip,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
     assert!(
         analysis.outcome.is_safe(),
         "choose alpha so the configuration verifies; outcome {:?}",
         analysis.outcome
     );
-    let bound = analysis
-        .route_delays
-        .iter()
-        .cloned()
-        .fold(0.0, f64::max);
+    let bound = analysis.route_delays.iter().cloned().fold(0.0, f64::max);
 
     // Fill to the admission limit and simulate adversarial sources.
     let counts = greedy_fill(&paths, &servers, alpha, voip.bucket.rate);
@@ -81,7 +84,9 @@ fn validate(g: &uba_graph::Digraph, alpha: f64, capacity: f64, horizon: f64) -> 
     }
     assert!(!flows.is_empty(), "fill admitted nothing");
     let report = simulate(
-        &(0..servers.len()).map(|k| servers.capacity_at(k)).collect::<Vec<_>>(),
+        &(0..servers.len())
+            .map(|k| servers.capacity_at(k))
+            .collect::<Vec<_>>(),
         &flows,
         &SimConfig {
             horizon,

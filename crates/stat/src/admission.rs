@@ -36,7 +36,10 @@ pub struct StatThreshold {
 /// ```
 pub fn max_flows(class: OnOffClass, budget: f64, epsilon: f64) -> StatThreshold {
     assert!(budget >= 0.0 && budget.is_finite(), "budget");
-    assert!((0.0..1.0).contains(&epsilon) && epsilon > 0.0, "epsilon in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&epsilon) && epsilon > 0.0,
+        "epsilon in (0,1)"
+    );
     let k = (budget / class.peak_rate).floor() as usize; // simultaneous talkers that fit
     let deterministic = k;
     // The tail P(Bin(n,p) > k) is increasing in n; exponential + binary
@@ -127,7 +130,10 @@ mod tests {
         let g_small = multiplexing_gain(class, 20.0 * class.peak_rate, 1e-5);
         let g_large = multiplexing_gain(class, 500.0 * class.peak_rate, 1e-5);
         assert!(g_small >= 1.0);
-        assert!(g_large > g_small, "law of large numbers: {g_small} -> {g_large}");
+        assert!(
+            g_large > g_small,
+            "law of large numbers: {g_small} -> {g_large}"
+        );
         // Upper limit: 1/activity.
         assert!(g_large <= 1.0 / class.activity + 1e-9);
     }

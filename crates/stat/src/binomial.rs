@@ -6,7 +6,10 @@
 /// Defined for `a, p ∈ [0, 1]`; boundary cases use the usual `0·ln 0 = 0`
 /// convention and return `+∞` where the supports separate.
 pub fn kl_bernoulli(a: f64, p: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&p), "probabilities");
+    assert!(
+        (0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&p),
+        "probabilities"
+    );
     let term = |x: f64, y: f64| -> f64 {
         if x == 0.0 {
             0.0

@@ -16,7 +16,10 @@ impl OnOffClass {
     /// Creates the class, validating parameters.
     pub fn new(peak_rate: f64, activity: f64) -> Self {
         assert!(peak_rate > 0.0 && peak_rate.is_finite(), "peak rate");
-        assert!((0.0..1.0).contains(&activity) && activity > 0.0, "activity in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&activity) && activity > 0.0,
+            "activity in (0,1)"
+        );
         Self {
             peak_rate,
             activity,
@@ -80,10 +83,7 @@ mod tests {
         let budget = 40.0 * 1000.0; // allow 40 simultaneous talkers
         let exact = binomial_tail(n, 0.3, 40);
         let mc = monte_carlo_violation(class, n, budget, 200_000, 42);
-        assert!(
-            (mc - exact).abs() < 0.01,
-            "mc {mc} vs exact {exact}"
-        );
+        assert!((mc - exact).abs() < 0.01, "mc {mc} vs exact {exact}");
     }
 
     #[test]

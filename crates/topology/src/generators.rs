@@ -101,7 +101,10 @@ pub fn dumbbell(leaves: usize, bottleneck_hops: usize) -> Digraph {
 /// routers per pod. (A folded-Clos abstraction at router granularity —
 /// rich path diversity between pods.)
 pub fn fat_tree(cores: usize, pods: usize, hosts_per_pod: usize) -> Digraph {
-    assert!(cores >= 1 && pods >= 2, "fat tree needs cores and >= 2 pods");
+    assert!(
+        cores >= 1 && pods >= 2,
+        "fat tree needs cores and >= 2 pods"
+    );
     let mut g = Digraph::with_nodes(cores + pods + pods * hosts_per_pod);
     for p in 0..pods {
         let pod = NodeId((cores + p) as u32);
@@ -138,7 +141,10 @@ pub fn full_mesh(n: usize) -> Digraph {
 /// Deterministic for a given seed.
 pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Digraph {
     assert!(n >= 2, "waxman needs at least 2 routers");
-    assert!(alpha > 0.0 && beta > 0.0 && beta <= 1.0, "bad waxman params");
+    assert!(
+        alpha > 0.0 && beta > 0.0 && beta <= 1.0,
+        "bad waxman params"
+    );
     let mut rng = SplitMix64::new(seed);
     let pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
     let dist = |a: usize, b: usize| -> f64 {

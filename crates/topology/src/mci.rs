@@ -36,12 +36,12 @@ const LABELS: [&str; MCI_NODES] = [
     "WashingtonDC", // 4
     "Chicago",      // 5
     // 6..12: dual-homed regional sites between adjacent cores
-    "Seattle",     // 6:  SF + LA
-    "Phoenix",     // 7:  LA + Dallas
-    "Houston",     // 8:  Dallas + Atlanta
-    "Miami",       // 9:  Atlanta + DC
-    "NewYork",     // 10: DC + Chicago
-    "Denver",      // 11: Chicago + SF
+    "Seattle", // 6:  SF + LA
+    "Phoenix", // 7:  LA + Dallas
+    "Houston", // 8:  Dallas + Atlanta
+    "Miami",   // 9:  Atlanta + DC
+    "NewYork", // 10: DC + Chicago
+    "Denver",  // 11: Chicago + SF
     // 12..18: single-homed metros, one per core
     "Sacramento", // 12: SF
     "SanDiego",   // 13: LA

@@ -15,20 +15,20 @@ pub const NSFNET_NODES: usize = 14;
 pub const NSFNET_DIAMETER: usize = 4;
 
 const LABELS: [&str; NSFNET_NODES] = [
-    "Seattle",      // 0
-    "PaloAlto",     // 1
-    "SanDiego",     // 2
-    "SaltLake",     // 3
-    "Boulder",      // 4
-    "Houston",      // 5
-    "Lincoln",      // 6
-    "Champaign",    // 7
-    "Pittsburgh",   // 8
-    "Atlanta",      // 9
-    "AnnArbor",     // 10
-    "Ithaca",       // 11
-    "CollegePark",  // 12
-    "Princeton",    // 13
+    "Seattle",     // 0
+    "PaloAlto",    // 1
+    "SanDiego",    // 2
+    "SaltLake",    // 3
+    "Boulder",     // 4
+    "Houston",     // 5
+    "Lincoln",     // 6
+    "Champaign",   // 7
+    "Pittsburgh",  // 8
+    "Atlanta",     // 9
+    "AnnArbor",    // 10
+    "Ithaca",      // 11
+    "CollegePark", // 12
+    "Princeton",   // 13
 ];
 
 /// Builds the NSFNET-style topology (21 bidirectional links).

@@ -1,6 +1,5 @@
 //! Leaky-bucket source characterization.
 
-
 /// A leaky-bucket policer `(T, ρ)`: burst size `T` in bits, sustained rate
 /// `ρ` in bits/second.
 ///

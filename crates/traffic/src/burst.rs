@@ -42,7 +42,10 @@ impl BurstModel {
     /// probability re-solved against the rounded size, so the *mean*
     /// stays exact and only the CV absorbs sub-unit rounding error.
     pub fn with_mean_cv(mean: f64, cv: f64) -> Self {
-        assert!(mean > 1.0 && mean.is_finite(), "mean batch size must exceed 1");
+        assert!(
+            mean > 1.0 && mean.is_finite(),
+            "mean batch size must exceed 1"
+        );
         assert!(cv >= 0.0 && cv.is_finite(), "cv must be non-negative");
         let s = mean - 1.0;
         if cv == 0.0 {
@@ -108,9 +111,17 @@ mod tests {
     fn moments_match_the_request() {
         for &(m, c) in &[(8.0, 2.0), (16.0, 3.0), (50.0, 1.5), (4.0, 4.0)] {
             let model = BurstModel::with_mean_cv(m, c);
-            assert!((model.mean() - m).abs() < 1e-9, "mean {} for ({m},{c})", model.mean());
+            assert!(
+                (model.mean() - m).abs() < 1e-9,
+                "mean {} for ({m},{c})",
+                model.mean()
+            );
             // CV absorbs the integer rounding of the spike size.
-            assert!((model.cv() - c).abs() / c < 0.05, "cv {} for ({m},{c})", model.cv());
+            assert!(
+                (model.cv() - c).abs() / c < 0.05,
+                "cv {} for ({m},{c})",
+                model.cv()
+            );
         }
     }
 
@@ -138,7 +149,11 @@ mod tests {
     #[test]
     fn high_cv_means_rare_large_spikes() {
         let model = BurstModel::with_mean_cv(8.0, 3.0);
-        assert!(model.spike_probability() < 0.1, "{}", model.spike_probability());
+        assert!(
+            model.spike_probability() < 0.1,
+            "{}",
+            model.spike_probability()
+        );
         assert!(model.spike_size() > 50, "{}", model.spike_size());
         // Quiet ticks are the common case.
         assert_eq!(model.sample(0.99), 1);

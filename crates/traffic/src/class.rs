@@ -104,7 +104,10 @@ impl ClassSet {
 
     /// Iterator over `(id, class)` in priority order.
     pub fn iter(&self) -> impl Iterator<Item = (ClassId, &TrafficClass)> {
-        self.classes.iter().enumerate().map(|(i, c)| (ClassId(i), c))
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ClassId(i), c))
     }
 
     /// Ids of all classes with *strictly higher* priority than `id`.

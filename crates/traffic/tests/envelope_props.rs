@@ -16,18 +16,14 @@ use uba_traffic::Envelope;
 /// Strategy: a modest leaky-bucket-ish envelope with random burst/rate/cap.
 fn arb_bucket() -> impl Strategy<Value = (f64, f64, f64)> {
     (
-        1.0..1e6f64,   // sigma (bits)
-        1.0..1e6f64,   // rho (bits/s)
-        1e3..1e8f64,   // cap c (bits/s)
+        1.0..1e6f64, // sigma (bits)
+        1.0..1e6f64, // rho (bits/s)
+        1e3..1e8f64, // cap c (bits/s)
     )
 }
 
 fn arb_interval() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        Just(0.0),
-        1e-9..1.0f64,
-        1.0..100.0f64,
-    ]
+    prop_oneof![Just(0.0), 1e-9..1.0f64, 1.0..100.0f64,]
 }
 
 proptest! {

@@ -61,6 +61,17 @@
 //!     would be satisfied by a single stale entry. The stage-name
 //!     literals are read off the `STAGE_NAMES` declaration line or the
 //!     next few lines below it (the rustfmt wrapped-array form).
+//! 11. **loom-model-coverage** — every module carrying a `// ordering:`
+//!     justification (rule 1) must be mapped in `docs/loom-models.txt`
+//!     to a `#![cfg(loom)]` model file that checks it under the
+//!     weak-memory model checker. Rule 1 makes the author *write down*
+//!     the happens-before claim; this rule makes a machine check of
+//!     that claim exist — under a checker where a too-weak ordering
+//!     actually fails instead of being silently upgraded. The map is
+//!     verified in both directions: a justified module with no entry
+//!     fails, and so does a stale entry whose module no longer has
+//!     justifications (or whose model file is missing its `cfg(loom)`
+//!     gate), so the map cannot drift from the code.
 //!
 //! The linter is line-based on purpose: it runs in milliseconds with no
 //! dependencies, and every rule is about *local* textual discipline
@@ -85,6 +96,9 @@ pub struct Stats {
     pub justified_orderings: usize,
     /// Metric/trace names checked against the manifest.
     pub metric_names: usize,
+    /// Modules whose ordering justifications are backed by a loom model
+    /// (rule 11).
+    pub loom_covered_modules: usize,
 }
 
 /// One rule violation, displayed `path:line: [rule] message`.
@@ -123,9 +137,10 @@ const SHIMMED: &[&str] = &[
 const PARSERS: &[&str] = &["crates/cli/src/toml_lite.rs", "crates/obs/src/json.rs"];
 
 /// The model checker and this linter are exempt from the ordering and
-/// clock rules: uba-loom *implements* the atomics (everything executes
-/// at `SeqCst` by design, documented in its crate docs) and xtask's
-/// source spells out the patterns it scans for.
+/// clock rules: uba-loom *implements* the atomics (its scheduler turns
+/// the `Ordering` arguments into vector-clock semantics rather than
+/// performing synchronizing accesses of its own) and xtask's source
+/// spells out the patterns it scans for.
 fn is_checker_infra(rel: &str) -> bool {
     rel.starts_with("crates/loom/") || rel.starts_with("crates/xtask/")
 }
@@ -164,6 +179,7 @@ pub fn run(root: &Path) -> Result<Stats, Vec<String>> {
     let manifest = manifest.unwrap_or_default();
 
     let verify_sh = fs::read_to_string(root.join("scripts/verify.sh")).unwrap_or_default();
+    let mut justified_modules: Vec<String> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -174,12 +190,31 @@ pub fn run(root: &Path) -> Result<Stats, Vec<String>> {
             continue;
         };
         stats.files += 1;
-        lint_file(&rel, &source, &manifest, &allowlist, &mut violations, &mut stats);
+        lint_file(
+            &rel,
+            &source,
+            &manifest,
+            &allowlist,
+            &mut violations,
+            &mut stats,
+        );
         // Rule 7: bench smoke gates must be wired into the verify lane.
         if let Some(v) = check_bench_wiring(&rel, &source, &verify_sh) {
             violations.push(v);
         }
+        if has_ordering_notes(&rel, &source) {
+            justified_modules.push(rel);
+        }
     }
+
+    // Rule 11: ordering justifications must be backed by loom models.
+    let loom_map = LoomMap::load(&root.join("docs/loom-models.txt"));
+    let coverage = check_loom_coverage(&justified_modules, &loom_map, &mut stats, |model| {
+        fs::read_to_string(root.join(model))
+            .ok()
+            .map(|src| src.contains("cfg(loom)"))
+    });
+    violations.extend(coverage);
 
     if violations.is_empty() {
         Ok(stats)
@@ -262,6 +297,132 @@ fn glob_match(pattern: &str, text: &str) -> bool {
             (0..=tail.len()).any(|i| glob_match(rest, &tail[i..]))
         }
     }
+}
+
+/// The checked-in `docs/loom-models.txt` map for rule 11: one
+/// `<module> -> <model file>` pair per line, `#` comments and blanks
+/// ignored. `None` means the file itself is missing.
+#[derive(Debug, Default)]
+pub struct LoomMap {
+    entries: Vec<(String, String)>,
+    present: bool,
+}
+
+impl LoomMap {
+    fn load(path: &Path) -> Self {
+        fs::read_to_string(path)
+            .map(|text| Self::from_text(&text))
+            .unwrap_or_default()
+    }
+
+    /// Parses map text (used directly by tests).
+    pub fn from_text(text: &str) -> Self {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .filter_map(|l| {
+                let (module, model) = l.split_once("->")?;
+                Some((module.trim().to_string(), model.trim().to_string()))
+            })
+            .collect();
+        Self {
+            entries,
+            present: true,
+        }
+    }
+
+    fn model_for(&self, module: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(m, _)| m == module)
+            .map(|(_, model)| model.as_str())
+    }
+}
+
+/// Whether a module's non-test code carries at least one `// ordering:`
+/// justification — the trigger for rule 11. Checker infrastructure and
+/// test trees are exempt, mirroring rule 1.
+fn has_ordering_notes(rel: &str, source: &str) -> bool {
+    if is_checker_infra(rel) || is_test_tree(rel) {
+        return false;
+    }
+    let lines = strip(source);
+    let boundary = test_boundary(&lines);
+    lines[..boundary]
+        .iter()
+        .any(|l| l.comment.contains("ordering:"))
+}
+
+/// Rule 11 proper, factored over an injectable model-file probe (tests
+/// substitute a closure for the filesystem): `probe(model)` returns
+/// `Some(has_cfg_loom_gate)` if the model file exists. Checks both
+/// directions — justified modules must be mapped to a live `cfg(loom)`
+/// model, and every map entry must still correspond to a justified
+/// module.
+fn check_loom_coverage(
+    justified: &[String],
+    map: &LoomMap,
+    stats: &mut Stats,
+    probe: impl Fn(&str) -> Option<bool>,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if !map.present && !justified.is_empty() {
+        violations.push(Violation {
+            file: "docs/loom-models.txt".into(),
+            line: 0,
+            rule: "loom-model-coverage",
+            msg: format!(
+                "map file missing but {} module(s) carry `// ordering:` justifications",
+                justified.len()
+            ),
+        });
+        return violations;
+    }
+    for module in justified {
+        match map.model_for(module) {
+            None => violations.push(Violation {
+                file: module.clone(),
+                line: 0,
+                rule: "loom-model-coverage",
+                msg: "module has `// ordering:` justifications but no model entry in \
+                      docs/loom-models.txt"
+                    .into(),
+            }),
+            Some(model) => match probe(model) {
+                None => violations.push(Violation {
+                    file: "docs/loom-models.txt".into(),
+                    line: 0,
+                    rule: "loom-model-coverage",
+                    msg: format!("model file `{model}` (covering `{module}`) does not exist"),
+                }),
+                Some(false) => violations.push(Violation {
+                    file: model.to_string(),
+                    line: 0,
+                    rule: "loom-model-coverage",
+                    msg: format!(
+                        "model file for `{module}` has no `cfg(loom)` gate — it never runs \
+                         under the checker"
+                    ),
+                }),
+                Some(true) => stats.loom_covered_modules += 1,
+            },
+        }
+    }
+    for (module, _) in &map.entries {
+        if !justified.iter().any(|j| j == module) {
+            violations.push(Violation {
+                file: "docs/loom-models.txt".into(),
+                line: 0,
+                rule: "loom-model-coverage",
+                msg: format!(
+                    "stale entry: `{module}` no longer exists or carries no `// ordering:` \
+                     justifications"
+                ),
+            });
+        }
+    }
+    violations
 }
 
 /// A source line split into executable code and comment text, with
@@ -497,7 +658,11 @@ fn lint_file(
 ) {
     let lines = strip(source);
     let raw: Vec<&str> = source.lines().collect();
-    let boundary = if is_test_tree(rel) { 0 } else { test_boundary(&lines) };
+    let boundary = if is_test_tree(rel) {
+        0
+    } else {
+        test_boundary(&lines)
+    };
     let vio = |violations: &mut Vec<Violation>, line: usize, rule: &'static str, msg: String| {
         violations.push(Violation {
             file: rel.to_string(),
@@ -943,12 +1108,10 @@ mod tests {
 
     #[test]
     fn unsafe_outside_allowlist_fails_even_in_tests() {
-        let bad = "#[cfg(test)]\nmod tests { fn f() { unsafe { core::hint::unreachable_unchecked() } } }";
+        let bad =
+            "#[cfg(test)]\nmod tests { fn f() { unsafe { core::hint::unreachable_unchecked() } } }";
         let v = lint_source("crates/sim/src/lib.rs", bad, &manifest());
-        assert!(
-            v.iter().any(|m| m.contains("unsafe-allowlist")),
-            "{v:?}"
-        );
+        assert!(v.iter().any(|m| m.contains("unsafe-allowlist")), "{v:?}");
         // …but the word inside a string or metric name is not a block.
         let s = r#"let c = registry.counter("admission.admits"); let m = "unsafe";"#;
         assert!(lint_source("crates/admission/src/metrics.rs", s, &manifest()).is_empty());
@@ -968,19 +1131,25 @@ mod tests {
     #[test]
     fn test_modules_and_test_trees_are_exempt_from_code_rules() {
         let in_tests = "fn f(a: &AtomicU64) -> u64 { a.load(Ordering::Acquire) }";
-        assert!(lint_source("crates/admission/tests/loom_models.rs", in_tests, &manifest())
-            .is_empty());
+        assert!(lint_source(
+            "crates/admission/tests/loom_models.rs",
+            in_tests,
+            &manifest()
+        )
+        .is_empty());
         let below_cfg = "#[cfg(test)]\nmod tests { use std::sync::atomic::AtomicU64; }";
         assert!(lint_source("crates/admission/src/state.rs", below_cfg, &manifest()).is_empty());
     }
 
     #[test]
     fn bench_smoke_binaries_must_be_wired_into_verify() {
-        let smoke_src = r#"fn main() { let smoke = std::env::args().nth(1).as_deref() == Some("smoke"); }"#;
+        let smoke_src =
+            r#"fn main() { let smoke = std::env::args().nth(1).as_deref() == Some("smoke"); }"#;
         let verify = "cargo run --offline --release -p uba-bench --bin obs_overhead -- smoke\n";
         // Wired: no violation.
-        assert!(check_bench_wiring("crates/bench/src/bin/obs_overhead.rs", smoke_src, verify)
-            .is_none());
+        assert!(
+            check_bench_wiring("crates/bench/src/bin/obs_overhead.rs", smoke_src, verify).is_none()
+        );
         // Smoke mode but never run by verify.sh: violation.
         let v = check_bench_wiring("crates/bench/src/bin/new_gate.rs", smoke_src, verify)
             .expect("unwired smoke gate must be flagged");
@@ -1065,7 +1234,8 @@ mod tests {
         let good = r#"pub const STAGE_NAMES: [&str; 2] = ["token_bucket", "aimd"];"#;
         assert!(lint_source(rel, good, &m).is_empty());
         // Wrapped (rustfmt) form: literals sit below the declaration.
-        let wrapped = "pub const STAGE_NAMES: [&str; 2] = [\n    \"token_bucket\",\n    \"aimd\",\n];";
+        let wrapped =
+            "pub const STAGE_NAMES: [&str; 2] = [\n    \"token_bucket\",\n    \"aimd\",\n];";
         assert!(lint_source(rel, wrapped, &m).is_empty());
         // A stage without its reject counter: exactly the gap flags.
         let bad = r#"pub const STAGE_NAMES: [&str; 3] = ["token_bucket", "aimd", "phantom"];"#;
@@ -1082,6 +1252,79 @@ mod tests {
         assert!(v[0].contains("trace.reject_policy"), "{v:?}");
         // Other files never match (a doc mention is not the list).
         assert!(lint_source("crates/admission/src/metrics.rs", bad, &m).is_empty());
+    }
+
+    #[test]
+    fn loom_coverage_requires_mapped_cfg_loom_models() {
+        let map = LoomMap::from_text(
+            "# comment\ncrates/admission/src/state.rs -> crates/admission/tests/loom_models.rs\n",
+        );
+        let justified = vec!["crates/admission/src/state.rs".to_string()];
+        let probe_ok = |m: &str| (m == "crates/admission/tests/loom_models.rs").then_some(true);
+
+        // Mapped to an existing cfg(loom) model: clean, and counted.
+        let mut stats = Stats::default();
+        assert!(check_loom_coverage(&justified, &map, &mut stats, probe_ok).is_empty());
+        assert_eq!(stats.loom_covered_modules, 1);
+
+        // Justified module with no entry: flagged.
+        let orphan = ["crates/admission/src/backend.rs".to_string()];
+        let both: Vec<String> = justified.iter().chain(orphan.iter()).cloned().collect();
+        let v = check_loom_coverage(&both, &map, &mut Stats::default(), probe_ok);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].to_string().contains("loom-model-coverage"), "{v:?}");
+        assert!(v[0].to_string().contains("backend.rs"), "{v:?}");
+
+        // Model file missing: flagged against the map.
+        let v = check_loom_coverage(&justified, &map, &mut Stats::default(), |_| None);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].to_string().contains("does not exist"), "{v:?}");
+
+        // Model file without a cfg(loom) gate: flagged against the model.
+        let v = check_loom_coverage(&justified, &map, &mut Stats::default(), |_| Some(false));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].to_string().contains("cfg(loom)"), "{v:?}");
+
+        // Stale entry (module lost its justifications): flagged.
+        let v = check_loom_coverage(&[], &map, &mut Stats::default(), probe_ok);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].to_string().contains("stale entry"), "{v:?}");
+
+        // Missing map file with justified modules: one summary violation.
+        let v = check_loom_coverage(
+            &justified,
+            &LoomMap::default(),
+            &mut Stats::default(),
+            probe_ok,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].to_string().contains("map file missing"), "{v:?}");
+        // Missing map file with nothing justified: nothing to enforce.
+        assert!(
+            check_loom_coverage(&[], &LoomMap::default(), &mut Stats::default(), probe_ok)
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn ordering_notes_detection_respects_exemptions() {
+        let src = "// ordering: pairs with the Release in publish()\nfn f() {}";
+        assert!(has_ordering_notes("crates/admission/src/state.rs", src));
+        // Checker infra and test trees never demand models.
+        assert!(!has_ordering_notes("crates/loom/src/scheduler.rs", src));
+        assert!(!has_ordering_notes("crates/admission/tests/x.rs", src));
+        // A note inside a #[cfg(test)] module does not count.
+        let test_only = "#[cfg(test)]\nmod tests {\n// ordering: scratch\n}";
+        assert!(!has_ordering_notes(
+            "crates/admission/src/state.rs",
+            test_only
+        ));
+        // The word in code (a string) is not a justification comment.
+        let in_string = "fn f() -> &'static str { \"ordering: nope\" }";
+        assert!(!has_ordering_notes(
+            "crates/admission/src/state.rs",
+            in_string
+        ));
     }
 
     #[test]

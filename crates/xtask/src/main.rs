@@ -21,8 +21,12 @@ fn main() -> ExitCode {
             match check::run(&root) {
                 Ok(stats) => {
                     println!(
-                        "xtask check: ok ({} files, {} justified orderings, {} metric names)",
-                        stats.files, stats.justified_orderings, stats.metric_names
+                        "xtask check: ok ({} files, {} justified orderings, {} metric names, \
+                         {} loom-covered modules)",
+                        stats.files,
+                        stats.justified_orderings,
+                        stats.metric_names,
+                        stats.loom_covered_modules
                     );
                     ExitCode::SUCCESS
                 }
@@ -36,10 +40,7 @@ fn main() -> ExitCode {
             }
         }
         other => {
-            eprintln!(
-                "usage: cargo run -p xtask -- check\n  (got: {:?})",
-                other
-            );
+            eprintln!("usage: cargo run -p xtask -- check\n  (got: {:?})", other);
             ExitCode::FAILURE
         }
     }

@@ -20,16 +20,9 @@ fn main() {
 
     // Day 0: a third of the pairs have SLAs.
     let initial: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(3).collect();
-    let sel = select_routes(&g, &servers, &voip, alpha, &initial, &cfg)
-        .expect("initial configuration");
-    let mut live = Configuration::from_selection(
-        g.clone(),
-        servers,
-        voip,
-        alpha,
-        cfg,
-        sel,
-    );
+    let sel =
+        select_routes(&g, &servers, &voip, alpha, &initial, &cfg).expect("initial configuration");
+    let mut live = Configuration::from_selection(g.clone(), servers, voip, alpha, cfg, sel);
     println!(
         "day 0: {} pairs configured at alpha = {alpha}, verified = {}",
         live.pairs().len(),

@@ -43,7 +43,14 @@ fn main() {
     println!("|--------|--------|--------|---------|------------------|");
     for video_share in [0.05, 0.10, 0.20, 0.30] {
         let alphas = [0.05, video_share, 0.15];
-        let r = solve_multiclass(&servers, &classes, &alphas, &routes, &SolveConfig::default(), None);
+        let r = solve_multiclass(
+            &servers,
+            &classes,
+            &alphas,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         let slack = routes
             .routes()
             .iter()
@@ -55,8 +62,16 @@ fn main() {
             alphas[0],
             alphas[1],
             alphas[2],
-            if r.outcome.is_safe() { "SAFE" } else { "UNSAFE" },
-            if slack.is_finite() { slack * 1e3 } else { f64::NAN },
+            if r.outcome.is_safe() {
+                "SAFE"
+            } else {
+                "UNSAFE"
+            },
+            if slack.is_finite() {
+                slack * 1e3
+            } else {
+                f64::NAN
+            },
         );
         if r.outcome.is_safe() {
             // Per-class worst link delay, to show the priority ladder.

@@ -24,7 +24,14 @@ fn main() {
     //    heuristic at a target utilization, and verify safety (Figure 2).
     let pairs = all_ordered_pairs(&g);
     let alpha = 0.45;
-    match select_routes(&g, &servers, &voip, alpha, &pairs, &HeuristicConfig::default()) {
+    match select_routes(
+        &g,
+        &servers,
+        &voip,
+        alpha,
+        &pairs,
+        &HeuristicConfig::default(),
+    ) {
         Ok(sel) => {
             println!(
                 "alpha = {alpha}: routed {} pairs, worst route delay {:.1} ms (deadline 100 ms)",

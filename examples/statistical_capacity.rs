@@ -24,9 +24,7 @@ fn main() {
     let alpha = result.alpha;
     let budget = alpha * 100e6;
     let det_cap = (budget / voip.bucket.rate) as usize;
-    println!(
-        "verified utilization alpha = {alpha:.3} -> deterministic cap {det_cap} calls/link"
-    );
+    println!("verified utilization alpha = {alpha:.3} -> deterministic cap {det_cap} calls/link");
 
     // ...then speech is on/off: while silent, a call needs nothing.
     let speech = OnOffClass::new(voip.bucket.rate, 0.4);

@@ -24,7 +24,14 @@ fn main() {
     }
 
     let alpha = 0.25;
-    let analysis = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+    let analysis = solve_two_class(
+        &servers,
+        &voip,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
     assert!(analysis.outcome.is_safe(), "pick a verifiable alpha");
     let bound = analysis.route_delays.iter().cloned().fold(0.0, f64::max);
 

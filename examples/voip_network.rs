@@ -85,7 +85,11 @@ fn main() {
         "burst of {}: admitted {} via the {} path",
         burst.len(),
         outcome.admitted(),
-        if outcome.fast_path { "aggregated fast" } else { "per-flow fallback" },
+        if outcome.fast_path {
+            "aggregated fast"
+        } else {
+            "per-flow fallback"
+        },
     );
     println!("every accepted call is deadline-guaranteed by the offline verification.");
 }

@@ -10,7 +10,10 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --offline --release (hermetic build)"
 cargo build --offline --release --workspace
 
-echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding, slo rules, policy stages)"
+echo "==> cargo fmt --check (formatting gate)"
+cargo fmt --check
+
+echo "==> xtask check (repo invariant linter: orderings, shims, unsafe, manifest, clocks, padding, slo rules, policy stages, loom coverage)"
 cargo run --offline -q -p xtask -- check
 
 echo "==> cargo clippy --workspace -- -D warnings (lint gate)"
@@ -41,12 +44,16 @@ echo "==> policy_burst smoke (policy-chain A/B: adaptive must beat utilization-o
 cargo run --offline --release -p uba-bench --bin policy_burst -- smoke
 
 # Bounded model checking of the lock-free admission paths (uba-loom, the
-# in-tree checker). The preemption-bounded smoke pass finishes in seconds;
-# the exhaustive pass (full DFS, no preemption bound) runs only when
-# UBA_LOOM_EXHAUSTIVE=1 is set — it is minutes, not seconds.
-echo "==> loom bounded models (concurrency smoke: admission + obs under --cfg loom)"
+# in-tree weak-memory checker). The preemption-bounded smoke pass finishes
+# in seconds; the exhaustive pass (full DFS, no preemption bound) runs only
+# when UBA_LOOM_EXHAUSTIVE=1 is set — it is minutes, not seconds.
+echo "==> loom bounded models (weak-memory concurrency smoke: admission + obs under --cfg loom)"
 RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
   cargo test --offline -q -p uba-admission -p uba-obs --test loom_models
+
+echo "==> loom DPOR reduction gate (exhaustive DFS of the flagship models -> BENCH_loom.json)"
+RUSTFLAGS="--cfg loom" CARGO_TARGET_DIR=target/loom \
+  cargo test --offline -q -p uba-admission --test loom_bench
 
 if [[ "${UBA_LOOM_EXHAUSTIVE:-0}" == "1" ]]; then
   echo "==> loom exhaustive models (full DFS via --features prop-tests)"

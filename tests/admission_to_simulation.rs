@@ -26,7 +26,14 @@ fn admitted_flows_meet_deadlines_in_simulation() {
     for p in &paths {
         routes.push(Route::from_path(ClassId(0), p));
     }
-    let analysis = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+    let analysis = solve_two_class(
+        &servers,
+        &voip,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
     assert!(analysis.outcome.is_safe());
     let bound = analysis.route_delays.iter().cloned().fold(0.0, f64::max);
 
@@ -71,8 +78,15 @@ fn admitted_flows_meet_deadlines_in_simulation() {
         },
     );
     assert!(report.total_packets > 0);
-    assert_eq!(report.total_misses(), 0, "admitted traffic missed deadlines");
-    assert_eq!(report.classes[0].policed_drops, 0, "conforming traffic policed");
+    assert_eq!(
+        report.total_misses(),
+        0,
+        "admitted traffic missed deadlines"
+    );
+    assert_eq!(
+        report.classes[0].policed_drops, 0,
+        "conforming traffic policed"
+    );
     assert!(
         report.max_delay() <= bound + 0.005,
         "sim {} exceeded analytic bound {}",

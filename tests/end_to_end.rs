@@ -87,7 +87,14 @@ fn saturated_link_still_meets_deadline() {
     }
     // Find a safe alpha by verification.
     let alpha = 0.4;
-    let analysis = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+    let analysis = solve_two_class(
+        &servers,
+        &voip,
+        alpha,
+        &routes,
+        &SolveConfig::default(),
+        None,
+    );
     assert!(analysis.outcome.is_safe());
 
     let mut table = RoutingTable::new();
@@ -123,10 +130,23 @@ fn selection_and_verification_agree() {
     let servers = Servers::uniform(&g, 100e6, 6);
     let voip = TrafficClass::voip();
     let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(17).collect();
-    let sel = select_routes(&g, &servers, &voip, 0.4, &pairs, &HeuristicConfig::default())
-        .expect("routable");
+    let sel = select_routes(
+        &g,
+        &servers,
+        &voip,
+        0.4,
+        &pairs,
+        &HeuristicConfig::default(),
+    )
+    .expect("routable");
     let classes = classes_of(&voip);
-    let report = verify(&servers, &classes, &[0.4], &sel.routes, &SolveConfig::default());
+    let report = verify(
+        &servers,
+        &classes,
+        &[0.4],
+        &sel.routes,
+        &SolveConfig::default(),
+    );
     assert!(report.safe);
     // And the delays match the selection's own record.
     for (a, b) in report.route_delays.iter().zip(&sel.route_delays) {
@@ -148,7 +168,12 @@ fn alphas_inside_theorem4_window() {
     ] {
         let r = max_utilization(&g, &servers, &voip, &pairs, &selector, 0.01);
         let (lb, ub) = r.bounds;
-        assert!(r.alpha >= lb - 1e-9, "{:?} alpha {} < lb {lb}", r.probes, r.alpha);
+        assert!(
+            r.alpha >= lb - 1e-9,
+            "{:?} alpha {} < lb {lb}",
+            r.probes,
+            r.alpha
+        );
         assert!(r.alpha <= ub + 0.01, "alpha {} > ub {ub}", r.alpha);
     }
 }

@@ -5,7 +5,12 @@ use uba::admission::{AdmissionController, BackendKind, RoutingTable};
 use uba::prelude::*;
 use uba::routing::Configuration;
 
-fn stand_up_controller(cfg: &Configuration, servers: &Servers, voip: &TrafficClass, alpha: f64) -> AdmissionController {
+fn stand_up_controller(
+    cfg: &Configuration,
+    servers: &Servers,
+    voip: &TrafficClass,
+    alpha: f64,
+) -> AdmissionController {
     let mut table = RoutingTable::new();
     for p in cfg.paths() {
         table.insert(ClassId(0), p);
@@ -21,8 +26,15 @@ fn failure_recovery_keeps_admission_working() {
     let voip = TrafficClass::voip();
     let alpha = 0.25;
     let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(4).collect();
-    let sel = select_routes(&g, &servers, &voip, alpha, &pairs, &HeuristicConfig::default())
-        .expect("configurable");
+    let sel = select_routes(
+        &g,
+        &servers,
+        &voip,
+        alpha,
+        &pairs,
+        &HeuristicConfig::default(),
+    )
+    .expect("configurable");
     let mut live = Configuration::from_selection(
         g.clone(),
         servers.clone(),
@@ -80,8 +92,15 @@ fn live_reconfigure_follows_link_failure_without_dropping_calls() {
     let voip = TrafficClass::voip();
     let alpha = 0.25;
     let pairs: Vec<Pair> = all_ordered_pairs(&g).into_iter().step_by(4).collect();
-    let sel = select_routes(&g, &servers, &voip, alpha, &pairs, &HeuristicConfig::default())
-        .expect("configurable");
+    let sel = select_routes(
+        &g,
+        &servers,
+        &voip,
+        alpha,
+        &pairs,
+        &HeuristicConfig::default(),
+    )
+    .expect("configurable");
     let mut live = Configuration::from_selection(
         g.clone(),
         servers.clone(),

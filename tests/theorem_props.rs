@@ -34,7 +34,14 @@ fn theorem4_lower_bound_safe_on_random_topologies() {
         for p in &paths {
             routes.push(Route::from_path(ClassId(0), p));
         }
-        let r = solve_two_class(&servers, &voip, alpha, &routes, &SolveConfig::default(), None);
+        let r = solve_two_class(
+            &servers,
+            &voip,
+            alpha,
+            &routes,
+            &SolveConfig::default(),
+            None,
+        );
         assert!(
             r.outcome.is_safe(),
             "seed {seed}: SP at 0.98*LB={alpha} must verify (L={diameter}, N={n}), got {:?}",
